@@ -1,0 +1,184 @@
+/**
+ * @file
+ * google-benchmark timing harness for the substrate kernels: gate
+ * application, full-program simulation, ensemble checking, and the
+ * statistical tests. Establishes that breakpoint ensembles at the
+ * paper's scales run in milliseconds on a laptop, versus the cluster
+ * the original toolflow needed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "qsa/qsa.hh"
+
+namespace
+{
+
+using namespace qsa;
+
+void
+BM_GateApplication(benchmark::State &state)
+{
+    const unsigned n = state.range(0);
+    sim::StateVector sv(n);
+    const auto h = sim::gates::h();
+    unsigned q = 0;
+    for (auto _ : state) {
+        sv.applyGate(h, q);
+        q = (q + 1) % n;
+        benchmark::DoNotOptimize(sv);
+    }
+    state.SetItemsProcessed(state.iterations() * (1ull << n));
+}
+BENCHMARK(BM_GateApplication)->Arg(8)->Arg(13)->Arg(18);
+
+void
+BM_ControlledGate(benchmark::State &state)
+{
+    const unsigned n = state.range(0);
+    sim::StateVector sv(n);
+    const auto x = sim::gates::x();
+    for (auto _ : state) {
+        sv.applyControlled(x, {0, 1}, n - 1);
+        benchmark::DoNotOptimize(sv);
+    }
+}
+BENCHMARK(BM_ControlledGate)->Arg(8)->Arg(13)->Arg(18);
+
+void
+BM_BellProgram(benchmark::State &state)
+{
+    const auto program = algo::buildBellProgram();
+    Rng rng(1);
+    for (auto _ : state) {
+        auto rec = circuit::runCircuit(program, rng);
+        benchmark::DoNotOptimize(rec);
+    }
+}
+BENCHMARK(BM_BellProgram);
+
+void
+BM_ShorFullCircuit(benchmark::State &state)
+{
+    const auto prog = algo::buildShorProgram(algo::ShorConfig());
+    Rng rng(1);
+    for (auto _ : state) {
+        auto rec = circuit::runCircuit(prog.circuit, rng);
+        benchmark::DoNotOptimize(rec);
+    }
+    state.counters["qubits"] = prog.circuit.numQubits();
+    state.counters["instructions"] = prog.circuit.size();
+}
+BENCHMARK(BM_ShorFullCircuit)->Unit(benchmark::kMillisecond);
+
+void
+BM_GroverFullCircuit(benchmark::State &state)
+{
+    algo::GroverConfig config;
+    const auto prog = algo::buildGroverProgram(config);
+    Rng rng(1);
+    for (auto _ : state) {
+        auto rec = circuit::runCircuit(prog.circuit, rng);
+        benchmark::DoNotOptimize(rec);
+    }
+    state.counters["qubits"] = prog.circuit.numQubits();
+}
+BENCHMARK(BM_GroverFullCircuit)->Unit(benchmark::kMillisecond);
+
+void
+BM_AssertionEnsembleSampled(benchmark::State &state)
+{
+    const auto prog = algo::buildShorProgram(algo::ShorConfig());
+    assertions::CheckConfig cfg;
+    cfg.ensembleSize = state.range(0);
+    cfg.mode = assertions::EnsembleMode::SampleFinalState;
+    assertions::AssertionChecker checker(prog.circuit, cfg);
+    checker.assertEntangled("entangled", prog.upper, prog.lower);
+    for (auto _ : state) {
+        auto o = checker.check(checker.assertions()[0]);
+        benchmark::DoNotOptimize(o);
+    }
+}
+BENCHMARK(BM_AssertionEnsembleSampled)
+    ->Arg(16)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_AssertionEnsembleResimulated(benchmark::State &state)
+{
+    const auto prog = algo::buildShorProgram(algo::ShorConfig());
+    assertions::CheckConfig cfg;
+    cfg.ensembleSize = state.range(0);
+    cfg.mode = assertions::EnsembleMode::Resimulate;
+    assertions::AssertionChecker checker(prog.circuit, cfg);
+    checker.assertEntangled("entangled", prog.upper, prog.lower);
+    for (auto _ : state) {
+        auto o = checker.check(checker.assertions()[0]);
+        benchmark::DoNotOptimize(o);
+    }
+}
+BENCHMARK(BM_AssertionEnsembleResimulated)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ChiSquareGof(benchmark::State &state)
+{
+    const std::size_t bins = state.range(0);
+    std::vector<double> observed(bins);
+    Rng rng(3);
+    for (auto &o : observed)
+        o = 90.0 + 20.0 * rng.uniform();
+    const auto expected = stats::uniformExpected(bins, 100.0 * bins);
+    for (auto _ : state) {
+        auto res = stats::chiSquareGof(observed, expected);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_ChiSquareGof)->Arg(16)->Arg(256)->Arg(4096);
+
+void
+BM_ContingencyTest(benchmark::State &state)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+    Rng rng(5);
+    for (int i = 0; i < 1024; ++i) {
+        const std::uint64_t a = rng.uniformInt(16);
+        pairs.emplace_back(a, (a + rng.uniformInt(3)) % 16);
+    }
+    const auto table = stats::ContingencyTable::fromPairs(pairs);
+    for (auto _ : state) {
+        auto res = stats::independenceTest(table);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_ContingencyTest);
+
+void
+BM_H2ModelBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto model = chem::buildH2Model(73.48);
+        benchmark::DoNotOptimize(model);
+    }
+    state.SetLabel("integrals + JW transform");
+}
+BENCHMARK(BM_H2ModelBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_TrotterStepCircuit(benchmark::State &state)
+{
+    const auto model = chem::buildH2Model(73.48);
+    for (auto _ : state) {
+        circuit::Circuit circ(5);
+        chem::appendTrotterEvolution(circ, model.hamiltonian, 1.2, 4,
+                                     {0, 1, 2, 3}, {4}, 1.5);
+        benchmark::DoNotOptimize(circ);
+    }
+}
+BENCHMARK(BM_TrotterStepCircuit);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

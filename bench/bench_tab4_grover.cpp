@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 4: the amplitude-amplification subroutine's structure and the
+ * assertions it dictates (Section 5.1), plus the per-iteration
+ * success-probability series for the GF(2^4) square-root search.
+ */
+
+#include <iostream>
+
+#include "qsa/qsa.hh"
+
+int
+main()
+{
+    using namespace qsa;
+
+    std::cout << "=== Table 4: Grover amplitude amplification ===\n\n";
+
+    algo::GroverConfig config;
+    config.degree = 4;
+    config.target = 0b1011;
+    const auto prog = algo::buildGroverProgram(config);
+    const gf2::Field field(config.degree);
+
+    std::cout << "oracle: find x with x^2 = " << config.target
+              << " in GF(16); unique answer x = "
+              << prog.expectedAnswer << "\n";
+    std::cout << "circuit: " << prog.circuit.numQubits() << " qubits, "
+              << prog.circuit.size() << " instructions\n";
+    std::cout << "gate counts:";
+    for (const auto &[g, c] : prog.circuit.gateCounts())
+        std::cout << " " << g << "=" << c;
+    std::cout << "\n\n";
+
+    // --- Structure-driven assertions (rows 2-6 of Table 4). ---------------
+    std::cout << "assertions placed by the compute / controlled / "
+                 "uncompute structure:\n";
+    assertions::CheckConfig cfg;
+    cfg.ensembleSize = 256;
+    assertions::AssertionChecker checker(prog.circuit, cfg);
+    checker.assertClassical("init", prog.q, 0);
+    checker.assertSuperposition("superposed", prog.q);
+    checker.assertEntangled("oracle_computed", prog.q, prog.work);
+    checker.assertProduct("oracle_uncomputed", prog.q, prog.work);
+    checker.assertClassical("oracle_uncomputed", prog.work, 0);
+    std::cout << assertions::renderReport(checker.checkAll()) << "\n";
+
+    // --- Ground truth purity at the two oracle breakpoints. ----------------
+    std::cout << "work-register purity (1 = product state): computed "
+              << AsciiTable::fmt(
+                     assertions::exactPurity(prog.circuit,
+                                             "oracle_computed",
+                                             prog.work),
+                     4)
+              << ", uncomputed "
+              << AsciiTable::fmt(
+                     assertions::exactPurity(prog.circuit,
+                                             "oracle_uncomputed",
+                                             prog.work),
+                     4)
+              << "\n\n";
+
+    // --- Amplification series (the "figure" behind the table). -------------
+    std::cout << "success probability per iteration (optimal = "
+              << prog.iterations << "):\n";
+    algo::GroverConfig sweep_cfg = config;
+    sweep_cfg.iterations = prog.iterations + 3; // overshoot visible
+    const auto sweep = algo::buildGroverProgram(sweep_cfg);
+
+    AsciiTable series;
+    series.setHeader({"iteration", "P(success)", "note"});
+    series.addRow({"0", AsciiTable::fmt(1.0 / 16.0, 4),
+                   "uniform superposition"});
+    for (unsigned i = 1; i <= sweep.iterations; ++i) {
+        const auto probs = assertions::exactMarginal(
+            sweep.circuit, "iter_" + std::to_string(i), sweep.q);
+        series.addRow({std::to_string(i),
+                       AsciiTable::fmt(probs[sweep.expectedAnswer], 4),
+                       i == prog.iterations ? "optimal stop" : ""});
+    }
+    std::cout << series.render() << "\n";
+    std::cout << "shape check: probability rises to ~0.96 at the "
+                 "optimal iteration, then over-rotates.\n";
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Table 5: QC-calculated energy of H2 (bond length 73.48 pm) for the
+ * six two-electron assignments.
+ *
+ * Reports, per assignment: the Slater determinant expectation energy
+ * (whose degeneracy pattern is exactly the paper's table), the IPEA
+ * phase and energy, and the nearest exact eigenvalue. Also prints the
+ * FCI spectrum and the symmetry (degeneracy) checks of Section 5.2.2.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "qsa/qsa.hh"
+
+namespace
+{
+
+using namespace qsa;
+
+std::string
+occupationString(std::uint32_t mask)
+{
+    // Table 5 column order: bonding up/down, antibonding up/down.
+    std::string s;
+    for (unsigned p = 0; p < 4; ++p) {
+        s += getBit(mask, p) ? '1' : '0';
+        if (p == 1)
+            s += ' ';
+    }
+    return s;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace qsa;
+    using namespace qsa::chem;
+
+    std::cout << "=== Table 5: H2 energies per electron assignment "
+                 "===\n\n";
+
+    const H2Model model = buildH2Model(73.48);
+    const auto spectrum = diagonalize(model.hamiltonian);
+
+    const double e_ref = 1.5, time = 1.2;
+    const auto u = evolutionOperator(model.hamiltonian, time, e_ref);
+    const algo::ControlledPowerFn power_fn =
+        [&](circuit::Circuit &circ, unsigned ctrl, unsigned k) {
+            sim::CMatrix p = u;
+            for (unsigned i = 0; i < k; ++i)
+                p = p.mul(p);
+            circ.unitary(p, {0, 1, 2, 3}, {ctrl});
+        };
+
+    AsciiTable t;
+    t.setHeader({"assignment (bond|anti)", "level", "<det|H|det>",
+                 "IPEA phase", "IPEA energy", "nearest eigenvalue"});
+
+    struct Row
+    {
+        std::uint32_t mask;
+        const char *level;
+    };
+    const Row rows[] = {
+        {0b1100, "3rd excited (E3)"}, {0b0110, "2nd excited (E2)"},
+        {0b1001, "2nd excited (E2)"}, {0b0101, "1st excited (E1)"},
+        {0b1010, "1st excited (E1)"}, {0b0011, "ground (G)"},
+    };
+
+    for (const auto &row : rows) {
+        const double det_e = determinantEnergy(model, row.mask);
+
+        algo::IpeaConfig cfg;
+        cfg.bits = 12;
+        const auto run = algo::runIpea(4, row.mask, power_fn, cfg);
+        const double ipea_e =
+            algo::phaseToEnergy(run.phase, time, e_ref);
+
+        double nearest = spectrum.values[0];
+        for (double ev : spectrum.values) {
+            if (std::fabs(ev - ipea_e) < std::fabs(nearest - ipea_e))
+                nearest = ev;
+        }
+
+        t.addRow({occupationString(row.mask), row.level,
+                  AsciiTable::fmt(det_e, 4),
+                  AsciiTable::fmt(run.phase, 4),
+                  AsciiTable::fmt(ipea_e, 4),
+                  AsciiTable::fmt(nearest, 4)});
+    }
+    std::cout << t.render() << "\n";
+
+    // --- Symmetry checks (Section 5.2.2). ----------------------------------
+    const double e2a = determinantEnergy(model, 0b0110);
+    const double e2b = determinantEnergy(model, 0b1001);
+    const double e1a = determinantEnergy(model, 0b0101);
+    const double e1b = determinantEnergy(model, 0b1010);
+    std::cout << "symmetry checks: |E2a - E2b| = "
+              << AsciiTable::fmt(std::fabs(e2a - e2b), 6)
+              << ", |E1a - E1b| = "
+              << AsciiTable::fmt(std::fabs(e1a - e1b), 6)
+              << " (paper: both pairs give the same energy)\n";
+    std::cout << "four distinct determinant levels, ordered G < E1 < "
+                 "E2 < E3: "
+              << (determinantEnergy(model, 0b0011) < e1a &&
+                          e1a < e2a &&
+                          e2a < determinantEnergy(model, 0b1100)
+                      ? "yes"
+                      : "NO")
+              << "\n\n";
+
+    // --- Exact 2-electron spectrum for reference. ----------------------------
+    std::cout << "FCI eigenvalues in the 2-electron sector "
+                 "(hartree, with nuclear repulsion):\n";
+    auto number_op = PauliOperator(4);
+    for (unsigned p = 0; p < 4; ++p)
+        number_op = number_op.add(jwNumber(4, p));
+    const auto n_matrix = number_op.toMatrix();
+
+    AsciiTable ft;
+    ft.setHeader({"eigenvalue", "dominant determinant(s)"});
+    for (std::size_t k = 0; k < spectrum.values.size(); ++k) {
+        // Two-electron states only: <v|N|v> == 2.
+        double n_exp = 0.0;
+        for (unsigned b = 0; b < 16; ++b)
+            n_exp += spectrum.vectors[k][b] * spectrum.vectors[k][b] *
+                     n_matrix.at(b, b).real();
+        if (std::fabs(n_exp - 2.0) > 1e-6)
+            continue;
+
+        std::string dominant;
+        for (unsigned b = 0; b < 16; ++b) {
+            if (std::fabs(spectrum.vectors[k][b]) > 0.3) {
+                if (!dominant.empty())
+                    dominant += ", ";
+                dominant += occupationString(b);
+            }
+        }
+        ft.addRow({AsciiTable::fmt(spectrum.values[k], 4), dominant});
+    }
+    std::cout << ft.render() << "\n";
+
+    std::cout << "note: the paper reports E2 identically for both "
+                 "opposite-spin assignments; those determinants are\n"
+              << "equal mixtures of the open-shell singlet and "
+                 "triplet, so a single IPEA run collapses to one of\n"
+              << "the two eigenvalues (see EXPERIMENTS.md). The "
+                 "determinant expectation column reproduces the\n"
+              << "paper's degeneracy pattern exactly.\n";
+    return 0;
+}

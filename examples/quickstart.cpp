@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: the paper's Figure 1 example end to end.
+ *
+ * Builds the two-qubit Bell program, registers one assertion of each
+ * of the four statistical types at the appropriate breakpoints, runs
+ * the ensemble checker, and prints the report.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "qsa/qsa.hh"
+
+int
+main()
+{
+    using namespace qsa;
+
+    // --- 1. Write the quantum program (Figure 1). -----------------------
+    circuit::Circuit program = algo::buildBellProgram();
+    const auto q = program.reg("q");
+    const auto q0 = q.slice(0, 1, "q0");
+    const auto q1 = q.slice(1, 1, "q1");
+
+    std::cout << "Bell program (" << program.numQubits()
+              << " qubits, " << program.size() << " instructions)\n";
+    std::cout << "OpenQASM:\n" << circuit::toQasm(program) << "\n";
+
+    // --- 2. Register statistical assertions at breakpoints. -------------
+    assertions::CheckConfig config;
+    config.ensembleSize = 256;
+
+    assertions::AssertionChecker checker(program, config);
+    // The initial state is classical |00>.
+    checker.assertClassical("classical", q, 0);
+    // After the Hadamard, qubit 0 is in uniform superposition...
+    checker.assertSuperposition("superposition", q0);
+    // ...and independent of qubit 1.
+    checker.assertProduct("superposition", q0, q1);
+    // After the CNOT the qubits are entangled.
+    checker.assertEntangled("entangled", q0, q1);
+
+    // --- 3. Check and report. --------------------------------------------
+    const auto outcomes = checker.checkAll();
+    std::cout << assertions::renderReport(outcomes);
+
+    // --- 4. Exact (infinite-ensemble) ground truth. ----------------------
+    std::cout << "\nexact joint distribution at 'entangled':\n";
+    const auto joint =
+        assertions::exactJoint(program, "entangled", q0, q1);
+    AsciiTable t;
+    t.setHeader({"P(q0, q1)", "q1=0", "q1=1"});
+    for (unsigned a = 0; a < 2; ++a) {
+        t.addRow({"q0=" + std::to_string(a),
+                  AsciiTable::fmt(joint[a][0], 3),
+                  AsciiTable::fmt(joint[a][1], 3)});
+    }
+    std::cout << t.render();
+
+    std::cout << "\npurity of q0 at 'entangled': "
+              << assertions::exactPurity(program, "entangled", q0)
+              << " (0.5 = maximally entangled)\n";
+
+    return assertions::allPassed(outcomes) ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fourier-space arithmetic implementation.
+ */
+
+#include "algo/arith.hh"
+
+#include <cmath>
+
+#include "algo/qft.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::algo
+{
+
+void
+phiAdd(circuit::Circuit &circ, const circuit::QubitRegister &b,
+       std::uint64_t a, const std::vector<unsigned> &controls, int sign)
+{
+    fatal_if(sign != 1 && sign != -1, "phiAdd sign must be +1 or -1");
+
+    const unsigned width = b.width();
+    // Listing 2's double iteration, kept verbatim: bits of `a` at or
+    // below the target index contribute pi / 2^(distance).
+    for (int b_indx = width - 1; b_indx >= 0; --b_indx) {
+        for (int a_indx = b_indx; a_indx >= 0; --a_indx) {
+            if ((a >> a_indx) & 1) {
+                const double angle =
+                    sign * M_PI / std::pow(2.0, b_indx - a_indx);
+                circ.controlledGate(circuit::GateKind::Phase, controls,
+                                    b[b_indx], angle);
+            }
+        }
+    }
+}
+
+void
+phiAddModN(circuit::Circuit &circ, const circuit::QubitRegister &b,
+           std::uint64_t a, std::uint64_t n_mod, unsigned zero_anc,
+           const std::vector<unsigned> &controls)
+{
+    const unsigned width = b.width();
+    fatal_if(width < 2, "modular adder needs an overflow qubit");
+    fatal_if(n_mod >= pow2(width - 1), "modulus too wide for register");
+    fatal_if(a >= n_mod, "addend must be reduced mod N");
+
+    const unsigned msb = b[width - 1];
+
+    // 1. Conditionally add a, then unconditionally subtract N; the
+    //    overflow MSB now flags b + a < N.
+    phiAdd(circ, b, a, controls, +1);
+    phiAdd(circ, b, n_mod, {}, -1);
+
+    // 2. Copy the sign bit onto the ancilla (requires leaving Fourier
+    //    space around the CNOT).
+    iqft(circ, b);
+    circ.cnot(msb, zero_anc);
+    qft(circ, b);
+
+    // 3. Add N back only when the subtraction underflowed.
+    phiAdd(circ, b, n_mod, {zero_anc}, +1);
+
+    // 4. Restore the ancilla to |0>: subtract a again, compare, and
+    //    CNOT through the *complemented* sign bit.
+    phiAdd(circ, b, a, controls, -1);
+    iqft(circ, b);
+    circ.x(msb);
+    circ.cnot(msb, zero_anc);
+    circ.x(msb);
+    qft(circ, b);
+    phiAdd(circ, b, a, controls, +1);
+}
+
+void
+cModMul(circuit::Circuit &circ, unsigned ctrl,
+        const circuit::QubitRegister &x,
+        const circuit::QubitRegister &b, std::uint64_t a,
+        std::uint64_t n_mod, unsigned zero_anc)
+{
+    fatal_if(b.width() != x.width() + 1,
+             "helper register must have one more qubit than x");
+
+    qft(circ, b);
+    for (unsigned i = 0; i < x.width(); ++i) {
+        const std::uint64_t addend = (a << i) % n_mod;
+        std::vector<unsigned> controls{ctrl, x[i]};
+        phiAddModN(circ, b, addend, n_mod, zero_anc, controls);
+    }
+    iqft(circ, b);
+}
+
+void
+cModMulInverse(circuit::Circuit &circ, unsigned ctrl,
+               const circuit::QubitRegister &x,
+               const circuit::QubitRegister &b, std::uint64_t a,
+               std::uint64_t n_mod, unsigned zero_anc)
+{
+    // Mirroring pattern (Section 4.5): build the forward multiplier on
+    // a scratch circuit and append its adjoint.
+    circuit::Circuit forward(circ.numQubits());
+    cModMul(forward, ctrl, x, b, a, n_mod, zero_anc);
+    circ.appendCircuit(forward.inverse());
+}
+
+void
+cUa(circuit::Circuit &circ, unsigned ctrl,
+    const circuit::QubitRegister &x, const circuit::QubitRegister &b,
+    std::uint64_t a, std::uint64_t a_inv, std::uint64_t n_mod,
+    unsigned zero_anc)
+{
+    // b (|0>) <- a * x mod N, controlled.
+    cModMul(circ, ctrl, x, b, a, n_mod, zero_anc);
+
+    // Controlled swap of x with the low n bits of b.
+    for (unsigned i = 0; i < x.width(); ++i)
+        circ.cswap(ctrl, x[i], b[i]);
+
+    // Clear b: with the true inverse this computes
+    // b <- b - a^-1 * (a x) = 0; with a wrong "inverse" the helper
+    // register stays entangled — bug type 6 in the paper.
+    cModMulInverse(circ, ctrl, x, b, a_inv, n_mod, zero_anc);
+}
+
+void
+cModExp(circuit::Circuit &circ, const circuit::QubitRegister &ctrl_reg,
+        const circuit::QubitRegister &x, const circuit::QubitRegister &b,
+        const std::vector<std::pair<std::uint64_t,
+                                    std::uint64_t>> &pairs,
+        std::uint64_t n_mod, unsigned zero_anc)
+{
+    fatal_if(pairs.size() < ctrl_reg.width(),
+             "need one (a, a^-1) pair per control qubit");
+    for (unsigned k = 0; k < ctrl_reg.width(); ++k) {
+        cUa(circ, ctrl_reg[k], x, b, pairs[k].first, pairs[k].second,
+            n_mod, zero_anc);
+    }
+}
+
+} // namespace qsa::algo

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Quantum arithmetic in Fourier space, following Beauregard's
+ * minimal-qubit construction [2] that the paper's Shor implementation
+ * is based on (Listings 2-4).
+ *
+ * All adders operate on a register already mapped to Fourier space by
+ * qsa::algo::qft (no bit reversal). Angles use the Phase-gate
+ * semantics; the listings write `Rz`, but the controlled arithmetic is
+ * only correct with diag(1, e^{i theta}) rotations — precisely the
+ * species of sign/convention subtlety Section 4.2 of the paper warns
+ * about.
+ */
+
+#ifndef QSA_ALGO_ARITH_HH
+#define QSA_ALGO_ARITH_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "circuit/register.hh"
+
+namespace qsa::algo
+{
+
+/**
+ * Listing 2's cADD: add the classical constant `a` to Fourier-space
+ * register `b`, under any number of controls.
+ *
+ * @param circ circuit to append to
+ * @param b target register in Fourier space
+ * @param a classical addend
+ * @param controls control qubits (0, 1, or 2 in the listings; any
+ *        number here — the recursion pattern of Figure 4)
+ * @param sign +1 to add, -1 to subtract (mirrored angles)
+ */
+void phiAdd(circuit::Circuit &circ, const circuit::QubitRegister &b,
+            std::uint64_t a, const std::vector<unsigned> &controls = {},
+            int sign = +1);
+
+/**
+ * Beauregard's doubly-controlled modular adder: b <- b + a mod N in
+ * Fourier space, where b has n + 1 qubits (one overflow MSB) and
+ * 0 <= value(b) < N, 0 <= a < N.
+ *
+ * @param circ circuit to append to
+ * @param b Fourier-space target (n + 1 qubits)
+ * @param a classical addend, a < N
+ * @param n_mod modulus N < 2^n
+ * @param zero_anc ancilla qubit in |0> used for the comparison trick;
+ *        returned to |0>
+ * @param controls control qubits gating the addition of `a`
+ */
+void phiAddModN(circuit::Circuit &circ, const circuit::QubitRegister &b,
+                std::uint64_t a, std::uint64_t n_mod, unsigned zero_anc,
+                const std::vector<unsigned> &controls = {});
+
+/**
+ * Listing 4's cMODMUL: b <- b + a * x mod N, controlled on `ctrl`.
+ * b must hold n + 1 qubits (value < N), x holds n qubits.
+ */
+void cModMul(circuit::Circuit &circ, unsigned ctrl,
+             const circuit::QubitRegister &x,
+             const circuit::QubitRegister &b, std::uint64_t a,
+             std::uint64_t n_mod, unsigned zero_anc);
+
+/** Exact mirror of cModMul (b <- b - a * x mod N, controlled). */
+void cModMulInverse(circuit::Circuit &circ, unsigned ctrl,
+                    const circuit::QubitRegister &x,
+                    const circuit::QubitRegister &b, std::uint64_t a,
+                    std::uint64_t n_mod, unsigned zero_anc);
+
+/**
+ * Controlled in-place modular multiplication U_a: x <- a * x mod N
+ * when ctrl reads |1>, using helper register b (n + 1 qubits, |0> in
+ * and out) via multiply, controlled swap, and inverse multiply.
+ *
+ * The inverse multiplier constant is an explicit parameter so the
+ * paper's bug type 6 (wrong modular inverse, Table 3) can be injected;
+ * pass the true a^-1 mod N for correct behaviour.
+ */
+void cUa(circuit::Circuit &circ, unsigned ctrl,
+         const circuit::QubitRegister &x,
+         const circuit::QubitRegister &b, std::uint64_t a,
+         std::uint64_t a_inv, std::uint64_t n_mod, unsigned zero_anc);
+
+/**
+ * Controlled modular exponentiation: for each control qubit k of
+ * `ctrl_reg`, apply U_{a_k} with (a_k, a_k^-1) = pairs[k]. With
+ * pairs[k] = (a^(2^k) mod N, inverse), this computes
+ * x <- x * a^value(ctrl_reg) mod N — the workhorse of Shor's
+ * algorithm (Figure 2's "controlled modular exponentiation").
+ */
+void cModExp(circuit::Circuit &circ,
+             const circuit::QubitRegister &ctrl_reg,
+             const circuit::QubitRegister &x,
+             const circuit::QubitRegister &b,
+             const std::vector<std::pair<std::uint64_t,
+                                         std::uint64_t>> &pairs,
+             std::uint64_t n_mod, unsigned zero_anc);
+
+} // namespace qsa::algo
+
+#endif // QSA_ALGO_ARITH_HH

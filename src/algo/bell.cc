@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bell/GHZ builders.
+ */
+
+#include "algo/bell.hh"
+
+#include <cmath>
+
+namespace qsa::algo
+{
+
+circuit::Circuit
+buildBellProgram()
+{
+    circuit::Circuit circ;
+    const auto q = circ.addRegister("q", 2);
+
+    circ.prepZ(q[0], 0);
+    circ.prepZ(q[1], 0);
+    circ.breakpoint("classical");
+
+    circ.h(q[0]);
+    circ.breakpoint("superposition");
+
+    circ.cnot(q[0], q[1]);
+    circ.breakpoint("entangled");
+
+    circ.measure(q, "m");
+    return circ;
+}
+
+void
+appendGhz(circuit::Circuit &circ, const circuit::QubitRegister &q)
+{
+    circ.h(q[0]);
+    for (unsigned i = 1; i < q.width(); ++i)
+        circ.cnot(q[i - 1], q[i]);
+}
+
+void
+appendWState(circuit::Circuit &circ, const circuit::QubitRegister &q)
+{
+    const unsigned n = q.width();
+    // Standard cascade: starting from |10...0>, each stage moves the
+    // excitation one qubit down with the right amplitude split:
+    // controlled-Ry leaks amplitude, CNOT re-normalises the source.
+    circ.x(q[0]);
+    for (unsigned i = 0; i + 1 < n; ++i) {
+        const double theta =
+            2.0 * std::acos(std::sqrt(1.0 / (n - i)));
+        circ.controlledGate(circuit::GateKind::Ry, {q[i]}, q[i + 1],
+                            theta);
+        circ.cnot(q[i + 1], q[i]);
+    }
+}
+
+} // namespace qsa::algo

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bell/GHZ state preparation (Figure 1 of the paper).
+ *
+ * The Bell program is the paper's introductory example: a classical
+ * two-qubit state (A) is put in superposition (B), entangled by a
+ * CNOT (C/D), and measured (E), producing maximally correlated
+ * outcomes (F) that the entanglement assertion detects.
+ */
+
+#ifndef QSA_ALGO_BELL_HH
+#define QSA_ALGO_BELL_HH
+
+#include "circuit/circuit.hh"
+
+namespace qsa::algo
+{
+
+/**
+ * Build the Figure 1 program on a fresh circuit:
+ * register "q" of two qubits with breakpoints
+ *  - "classical"    after preparation (state A),
+ *  - "superposition" after the Hadamard (state B),
+ *  - "entangled"    after the CNOT (state D/Q),
+ * and a final measurement labelled "m".
+ */
+circuit::Circuit buildBellProgram();
+
+/**
+ * Append a GHZ-state preparation over `width` qubits of register q to
+ * an existing circuit (generalisation used by property tests).
+ */
+void appendGhz(circuit::Circuit &circ, const circuit::QubitRegister &q);
+
+/**
+ * Append a W-state preparation: |W_n> = (|10..0> + |010..0> + ... +
+ * |0..01>) / sqrt(n). The outcome distribution is uniform over the
+ * one-hot values — the natural target for the library's
+ * assert_uniform_subset extension, and (unlike GHZ) every qubit stays
+ * entangled after any other is measured.
+ */
+void appendWState(circuit::Circuit &circ,
+                  const circuit::QubitRegister &q);
+
+} // namespace qsa::algo
+
+#endif // QSA_ALGO_BELL_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Grover search implementation.
+ */
+
+#include "algo/grover.hh"
+
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::algo
+{
+
+unsigned
+optimalGroverIterations(std::uint64_t num_items,
+                        std::uint64_t num_marked)
+{
+    fatal_if(num_marked == 0 || num_marked > num_items,
+             "invalid marked count");
+    const double angle =
+        std::asin(std::sqrt((double)num_marked / (double)num_items));
+    const int iters = (int)std::floor(M_PI / (4.0 * angle));
+    return std::max(1, iters);
+}
+
+namespace
+{
+
+/**
+ * Phase flip on |11...1> of `reg` using the Table 4 CCNOT chain:
+ * accumulate the AND into the chain ancillas, controlled-Z, mirror.
+ */
+void
+phaseFlipAllOnes(circuit::Circuit &circ,
+                 const circuit::QubitRegister &reg,
+                 const circuit::QubitRegister &chain)
+{
+    const unsigned n = reg.width();
+    if (n == 1) {
+        circ.z(reg[0]);
+        return;
+    }
+    if (n == 2) {
+        circ.cz(reg[0], reg[1]);
+        return;
+    }
+    panic_if(chain.width() < n - 1, "chain register too small");
+
+    // Compute the running AND (Table 4, row 3).
+    circ.ccnot(reg[1], reg[0], chain[0]);
+    for (unsigned j = 1; j + 1 < n; ++j)
+        circ.ccnot(chain[j - 1], reg[j + 1], chain[j]);
+
+    // Phase flip (row 4): the last chain bit is the AND of all of
+    // reg, so conditioning on it (and any reg qubit) flips exactly
+    // the all-ones component.
+    circ.cz(chain[n - 2], reg[n - 1]);
+
+    // Uncompute (row 5).
+    for (unsigned j = n - 1; j-- > 1;)
+        circ.ccnot(chain[j - 1], reg[j + 1], chain[j]);
+    circ.ccnot(reg[1], reg[0], chain[0]);
+}
+
+/** X on every qubit where the target bit is 0 (match -> all ones). */
+void
+complementToOnes(circuit::Circuit &circ,
+                 const circuit::QubitRegister &reg, std::uint64_t value)
+{
+    for (unsigned i = 0; i < reg.width(); ++i) {
+        if (!getBit(value, i))
+            circ.x(reg[i]);
+    }
+}
+
+} // anonymous namespace
+
+void
+appendDiffusion(circuit::Circuit &circ, const circuit::QubitRegister &q,
+                const circuit::QubitRegister &chain)
+{
+    // Table 4 rows 2 and 6 around the phase flip: reflect across the
+    // uniform superposition.
+    for (unsigned j = 0; j < q.width(); ++j)
+        circ.h(q[j]);
+    for (unsigned j = 0; j < q.width(); ++j)
+        circ.x(q[j]);
+    phaseFlipAllOnes(circ, q, chain);
+    for (unsigned j = 0; j < q.width(); ++j)
+        circ.x(q[j]);
+    for (unsigned j = 0; j < q.width(); ++j)
+        circ.h(q[j]);
+}
+
+GroverProgram
+buildGroverProgram(const GroverConfig &config)
+{
+    const unsigned n = config.degree;
+    const gf2::Field field(n);
+    fatal_if(config.target >= field.order(),
+             "target outside the field");
+
+    GroverProgram prog;
+    prog.config = config;
+    prog.expectedAnswer = field.sqrt(config.target);
+    prog.iterations = config.iterations == 0
+                          ? optimalGroverIterations(field.order())
+                          : config.iterations;
+
+    auto &circ = prog.circuit;
+    prog.q = circ.addRegister("q", n);
+    prog.work = circ.addRegister("work", n);
+    prog.chain = circ.addRegister("chain", n > 1 ? n - 1 : 1);
+
+    circ.prepRegister(prog.q, 0);
+    circ.prepRegister(prog.work, 0);
+    circ.prepRegister(prog.chain, 0);
+    if (config.withBreakpoints)
+        circ.breakpoint("init");
+
+    // Query all field elements at once.
+    for (unsigned j = 0; j < n; ++j)
+        circ.h(prog.q[j]);
+    if (config.withBreakpoints)
+        circ.breakpoint("superposed");
+
+    // The squaring map as CNOT fan-ins: work_i = parity of q bits in
+    // row i of the squaring matrix.
+    const auto rows = field.squaringMatrixRows();
+
+    for (unsigned iter = 1; iter <= prog.iterations; ++iter) {
+        // --- Oracle compute: work = (x^2 == c) ? all-ones : other ---
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = 0; j < n; ++j) {
+                if (getBit(rows[i], j))
+                    circ.cnot(prog.q[j], prog.work[i]);
+            }
+        }
+        complementToOnes(circ, prog.work, config.target);
+        if (iter == 1 && config.withBreakpoints)
+            circ.breakpoint("oracle_computed");
+
+        // --- Phase flip on the matching element ---
+        phaseFlipAllOnes(circ, prog.work, prog.chain);
+
+        // --- Oracle uncompute (mirror) ---
+        complementToOnes(circ, prog.work, config.target);
+        for (unsigned i = n; i-- > 0;) {
+            for (unsigned j = n; j-- > 0;) {
+                if (getBit(rows[i], j))
+                    circ.cnot(prog.q[j], prog.work[i]);
+            }
+        }
+        if (iter == 1 && config.withBreakpoints)
+            circ.breakpoint("oracle_uncomputed");
+
+        // --- Diffusion ---
+        appendDiffusion(circ, prog.q, prog.chain);
+        if (config.withBreakpoints)
+            circ.breakpoint("iter_" + std::to_string(iter));
+    }
+
+    circ.measure(prog.q, "result");
+    return prog;
+}
+
+GroverProgram
+buildMarkedValueGrover(unsigned n, std::uint64_t marked_value,
+                       unsigned iterations)
+{
+    return buildMarkedSetGrover(n, {marked_value}, iterations);
+}
+
+GroverProgram
+buildMarkedSetGrover(unsigned n,
+                     const std::vector<std::uint64_t> &marked_values,
+                     unsigned iterations)
+{
+    fatal_if(n == 0, "empty search register");
+    fatal_if(marked_values.empty(), "need at least one marked value");
+    for (std::uint64_t v : marked_values)
+        fatal_if(v >= pow2(n), "marked value out of range");
+
+    GroverProgram prog;
+    prog.expectedAnswer =
+        static_cast<std::uint32_t>(marked_values.front());
+    prog.iterations =
+        iterations == 0
+            ? optimalGroverIterations(pow2(n), marked_values.size())
+            : iterations;
+
+    auto &circ = prog.circuit;
+    prog.q = circ.addRegister("q", n);
+    prog.chain = circ.addRegister("chain", n > 1 ? n - 1 : 1);
+
+    circ.prepRegister(prog.q, 0);
+    circ.prepRegister(prog.chain, 0);
+    circ.breakpoint("init");
+    for (unsigned j = 0; j < n; ++j)
+        circ.h(prog.q[j]);
+    circ.breakpoint("superposed");
+
+    for (unsigned iter = 1; iter <= prog.iterations; ++iter) {
+        // Phase oracle: flip each marked value's phase.
+        for (std::uint64_t v : marked_values) {
+            complementToOnes(circ, prog.q, v);
+            phaseFlipAllOnes(circ, prog.q, prog.chain);
+            complementToOnes(circ, prog.q, v);
+        }
+
+        appendDiffusion(circ, prog.q, prog.chain);
+        circ.breakpoint("iter_" + std::to_string(iter));
+    }
+    circ.measure(prog.q, "result");
+    return prog;
+}
+
+} // namespace qsa::algo

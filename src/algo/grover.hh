@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Grover database search (Section 5.1 of the paper).
+ *
+ * Two oracles are provided:
+ *  - the paper's case study: find the square root of a constant in a
+ *    binary Galois field GF(2^k). Squaring there is GF(2)-linear, so
+ *    the reversible oracle is a CNOT network plus a comparison;
+ *  - a plain marked-value oracle for tests and sweeps.
+ *
+ * The amplitude-amplification (diffusion) subroutine follows Table 4's
+ * Scaffold column literally: Hadamards, X conjugation, a CCNOT chain
+ * accumulating the AND of the search register into ancillas, a
+ * controlled-Z, and the mirrored uncompute — the compute / controlled
+ * / uncompute structure that guides assertion placement.
+ */
+
+#ifndef QSA_ALGO_GROVER_HH
+#define QSA_ALGO_GROVER_HH
+
+#include <cstdint>
+
+#include "circuit/circuit.hh"
+#include "circuit/register.hh"
+#include "gf2/gf2.hh"
+
+namespace qsa::algo
+{
+
+/** Configuration for the GF(2^k) square-root Grover search. */
+struct GroverConfig
+{
+    /** Field degree k (search space 2^k). */
+    unsigned degree = 4;
+
+    /** The constant c whose square root is sought. */
+    std::uint32_t target = 0b1011;
+
+    /** Grover iterations; 0 selects the optimal count. */
+    unsigned iterations = 0;
+
+    /** Place per-iteration breakpoints (costs nothing to execute). */
+    bool withBreakpoints = true;
+};
+
+/** A built Grover program plus variable handles. */
+struct GroverProgram
+{
+    circuit::Circuit circuit;
+
+    /** Search register (holds x). */
+    circuit::QubitRegister q;
+
+    /** Oracle work register (holds x^2 xor c, complemented). */
+    circuit::QubitRegister work;
+
+    /** CCNOT-chain ancillas (Table 4's scratch register). */
+    circuit::QubitRegister chain;
+
+    /** Number of iterations built. */
+    unsigned iterations = 0;
+
+    /** The unique answer sqrt(c) the search should return. */
+    std::uint32_t expectedAnswer = 0;
+
+    GroverConfig config;
+};
+
+/** Optimal iteration count round(pi/4 sqrt(N / marked)). */
+unsigned optimalGroverIterations(std::uint64_t num_items,
+                                 std::uint64_t num_marked = 1);
+
+/**
+ * Build the square-root-in-GF(2^k) Grover program with breakpoints
+ *  - "init", "superposed" before the loop,
+ *  - "oracle_computed" / "oracle_uncomputed" inside iteration 1
+ *    (entanglement and product assertions, Section 5.1.3),
+ *  - "iter_<i>" after each iteration's diffusion,
+ * and a final measurement labelled "result".
+ */
+GroverProgram buildGroverProgram(const GroverConfig &config);
+
+/**
+ * Plain Grover search for one marked basis value on n qubits (no work
+ * register; the phase oracle flips the marked value directly). Used
+ * by tests and the amplitude-amplification sweep bench.
+ */
+GroverProgram buildMarkedValueGrover(unsigned n,
+                                     std::uint64_t marked_value,
+                                     unsigned iterations = 0);
+
+/**
+ * Grover search with multiple marked values (phase oracle applied per
+ * value); the optimal iteration count scales as
+ * sqrt(N / |marked|). expectedAnswer holds the first marked value;
+ * the final distribution concentrates on the whole set.
+ */
+GroverProgram
+buildMarkedSetGrover(unsigned n,
+                     const std::vector<std::uint64_t> &marked_values,
+                     unsigned iterations = 0);
+
+/**
+ * Append Table 4's diffusion (inversion about the mean) for register
+ * q using chain ancillas; exposed for unit testing and reuse.
+ */
+void appendDiffusion(circuit::Circuit &circ,
+                     const circuit::QubitRegister &q,
+                     const circuit::QubitRegister &chain);
+
+} // namespace qsa::algo
+
+#endif // QSA_ALGO_GROVER_HH

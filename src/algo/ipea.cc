@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Iterative phase estimation implementation.
+ */
+
+#include "algo/ipea.hh"
+
+#include <cmath>
+
+#include "circuit/executor.hh"
+#include "common/logging.hh"
+#include "sim/gates.hh"
+#include "sim/statevector.hh"
+
+namespace qsa::algo
+{
+
+IpeaResult
+runIpea(unsigned system_qubits, std::uint64_t initial_state,
+        const ControlledPowerFn &controlled_power,
+        const IpeaConfig &config)
+{
+    fatal_if(config.bits == 0, "IPEA needs at least one phase bit");
+    fatal_if(system_qubits == 0, "IPEA needs a system register");
+
+    const unsigned anc = system_qubits;
+    sim::StateVector state(system_qubits + 1);
+    state.setBasisState(initial_state);
+
+    Rng rng(config.seed);
+    const unsigned m = config.bits;
+
+    // bits_lsb_first[j] is phase bit b_{m-j} (least significant
+    // measured first).
+    std::vector<unsigned> bits_lsb_first;
+    bits_lsb_first.reserve(m);
+
+    for (unsigned round = 0; round < m; ++round) {
+        const unsigned l = m - round; // measuring bit b_l
+        // Feedback angle: -2 pi 0.0 b_{l+1} ... b_m.
+        double tail = 0.0;
+        for (unsigned j = 0; j < bits_lsb_first.size(); ++j) {
+            // bit b_{m-j} contributes at position (m - j) - l + 1.
+            tail += bits_lsb_first[j] *
+                    std::pow(2.0, -(double)((m - j) - l + 1));
+        }
+        const double feedback = -2.0 * M_PI * tail;
+
+        circuit::Circuit circ(system_qubits + 1);
+        circ.h(anc);
+        controlled_power(circ, anc, l - 1);
+        if (feedback != 0.0)
+            circ.phase(anc, feedback);
+        circ.h(anc);
+
+        std::map<std::string, std::uint64_t> meas;
+        circuit::runCircuitOn(circ, state, meas, rng);
+
+        const unsigned bit = state.measureQubit(anc, rng);
+        bits_lsb_first.push_back(bit);
+        if (bit)
+            state.applyGate(sim::gates::x(), anc); // reset ancilla
+    }
+
+    IpeaResult result;
+    result.bits.assign(bits_lsb_first.rbegin(), bits_lsb_first.rend());
+    for (unsigned j = 0; j < m; ++j)
+        result.phase += result.bits[j] * std::pow(2.0, -(double)(j + 1));
+    return result;
+}
+
+double
+phaseToEnergy(double phase, double time, double e_ref)
+{
+    fatal_if(time <= 0.0, "evolution time must be positive");
+    return e_ref - 2.0 * M_PI * phase / time;
+}
+
+} // namespace qsa::algo

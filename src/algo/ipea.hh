@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Iterative phase estimation (IPEA).
+ *
+ * The chemistry case study (Section 5.2) reads out molecular energies
+ * with iterative phase estimation: one ancilla qubit measures one
+ * phase bit per round, from least to most significant, with a
+ * feedback rotation conditioned on the bits already known. The system
+ * register stays coherent across rounds; the ancilla is measured and
+ * reset.
+ */
+
+#ifndef QSA_ALGO_IPEA_HH
+#define QSA_ALGO_IPEA_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "common/rng.hh"
+
+namespace qsa::algo
+{
+
+/**
+ * Callback appending controlled-U^(2^k) to a circuit.
+ *
+ * @param circ circuit to append to (system register on qubits
+ *        [0, system_qubits), ancilla at index system_qubits)
+ * @param ctrl ancilla/control qubit index
+ * @param k power exponent: apply U 2^k times
+ */
+using ControlledPowerFn =
+    std::function<void(circuit::Circuit &circ, unsigned ctrl,
+                       unsigned k)>;
+
+/** IPEA configuration. */
+struct IpeaConfig
+{
+    /** Number of phase bits m. */
+    unsigned bits = 10;
+
+    /** Random seed for the per-round ancilla measurements. */
+    std::uint64_t seed = 0x17ea;
+};
+
+/** IPEA result. */
+struct IpeaResult
+{
+    /** Phase estimate in [0, 1): sum of bits[j] 2^-(j+1). */
+    double phase = 0.0;
+
+    /** Measured bits, most significant (b1) first. */
+    std::vector<unsigned> bits;
+};
+
+/**
+ * Run iterative phase estimation.
+ *
+ * @param system_qubits width of the system register
+ * @param initial_state computational basis state to start from (an
+ *        eigenstate or a superposition that collapses during round 1)
+ * @param controlled_power appends controlled-U^(2^k)
+ * @param config bits and seed
+ */
+IpeaResult runIpea(unsigned system_qubits, std::uint64_t initial_state,
+                   const ControlledPowerFn &controlled_power,
+                   const IpeaConfig &config = IpeaConfig());
+
+/**
+ * Map an IPEA phase back to an energy, for U = exp(-i (H - e_ref) t)
+ * with e_ref above the spectrum: E = e_ref - 2 pi phase / t.
+ */
+double phaseToEnergy(double phase, double time, double e_ref);
+
+} // namespace qsa::algo
+
+#endif // QSA_ALGO_IPEA_HH

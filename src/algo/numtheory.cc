@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Classical number theory implementation.
+ */
+
+#include "algo/numtheory.hh"
+
+#include "common/logging.hh"
+
+namespace qsa::algo
+{
+
+std::uint64_t
+gcd(std::uint64_t a, std::uint64_t b)
+{
+    while (b) {
+        a %= b;
+        std::swap(a, b);
+    }
+    return a;
+}
+
+std::uint64_t
+mulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m)
+{
+    panic_if(m == 0, "modulus must be positive");
+    panic_if(m > (1ull << 32), "mulMod supports moduli below 2^32");
+    return (a % m) * (b % m) % m;
+}
+
+std::uint64_t
+powMod(std::uint64_t a, std::uint64_t e, std::uint64_t m)
+{
+    panic_if(m == 0, "modulus must be positive");
+    std::uint64_t result = 1 % m;
+    std::uint64_t base = a % m;
+    while (e) {
+        if (e & 1)
+            result = mulMod(result, base, m);
+        base = mulMod(base, base, m);
+        e >>= 1;
+    }
+    return result;
+}
+
+std::optional<std::uint64_t>
+modInverse(std::uint64_t a, std::uint64_t m)
+{
+    // Extended Euclid on (a mod m, m).
+    std::int64_t old_r = static_cast<std::int64_t>(a % m);
+    std::int64_t r = static_cast<std::int64_t>(m);
+    std::int64_t old_s = 1, s = 0;
+    while (r != 0) {
+        const std::int64_t q = old_r / r;
+        old_r -= q * r;
+        std::swap(old_r, r);
+        old_s -= q * s;
+        std::swap(old_s, s);
+    }
+    if (old_r != 1)
+        return std::nullopt; // not coprime
+    std::int64_t inv = old_s % static_cast<std::int64_t>(m);
+    if (inv < 0)
+        inv += static_cast<std::int64_t>(m);
+    return static_cast<std::uint64_t>(inv);
+}
+
+std::uint64_t
+multiplicativeOrder(std::uint64_t a, std::uint64_t m)
+{
+    fatal_if(gcd(a, m) != 1, "order undefined: gcd(", a, ", ", m,
+             ") != 1");
+    std::uint64_t value = a % m;
+    std::uint64_t order = 1;
+    while (value != 1) {
+        value = mulMod(value, a, m);
+        ++order;
+        panic_if(order > m, "order search exceeded the modulus");
+    }
+    return order;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+continuedFractionConvergents(std::uint64_t numer, std::uint64_t denom)
+{
+    panic_if(denom == 0, "denominator must be positive");
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> convergents;
+    // Standard seeds: p_{-2}/q_{-2} = 0/1, p_{-1}/q_{-1} = 1/0, and
+    // p_k = a_k p_{k-1} + p_{k-2}.
+    std::uint64_t p_prev2 = 0, q_prev2 = 1;
+    std::uint64_t p_prev1 = 1, q_prev1 = 0;
+
+    std::uint64_t num = numer, den = denom;
+    while (den != 0) {
+        const std::uint64_t a = num / den;
+        const std::uint64_t rem = num % den;
+
+        const std::uint64_t p = a * p_prev1 + p_prev2;
+        const std::uint64_t q = a * q_prev1 + q_prev2;
+        convergents.emplace_back(p, q);
+
+        p_prev2 = p_prev1;
+        q_prev2 = q_prev1;
+        p_prev1 = p;
+        q_prev1 = q;
+        num = den;
+        den = rem;
+    }
+    return convergents;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+shorClassicalInputs(std::uint64_t a, std::uint64_t n,
+                    unsigned iterations)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+    pairs.reserve(iterations);
+    for (unsigned k = 0; k < iterations; ++k) {
+        const std::uint64_t ak = powMod(a, 1ull << k, n);
+        const auto inv = modInverse(ak, n);
+        fatal_if(!inv.has_value(), "a^(2^k) not invertible mod N");
+        pairs.emplace_back(ak, *inv);
+    }
+    return pairs;
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>>
+shorPostprocess(std::uint64_t measurement, unsigned t, std::uint64_t a,
+                std::uint64_t n)
+{
+    if (measurement == 0)
+        return std::nullopt;
+
+    const std::uint64_t denom = 1ull << t;
+    for (const auto &[p, q] : continuedFractionConvergents(measurement,
+                                                           denom)) {
+        if (q == 0 || q >= n)
+            continue;
+
+        // The convergent denominator is r / gcd(k, r); small
+        // multiples recover the true order (standard refinement).
+        for (std::uint64_t multiple = 1; multiple <= 6; ++multiple) {
+            const std::uint64_t r = q * multiple;
+            if (r >= n || powMod(a, r, n) != 1)
+                continue;
+
+            if (r % 2 != 0)
+                return std::nullopt; // odd order: retry
+            const std::uint64_t half = powMod(a, r / 2, n);
+            if (half == n - 1)
+                return std::nullopt; // trivial root: retry
+
+            const std::uint64_t f1 = gcd(half + 1, n);
+            const std::uint64_t f2 = gcd(half + n - 1, n);
+            if (f1 != 1 && f1 != n)
+                return std::make_pair(f1, n / f1);
+            if (f2 != 1 && f2 != n)
+                return std::make_pair(f2, n / f2);
+            return std::nullopt;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace qsa::algo

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Classical number theory used by Shor's algorithm: modular
+ * arithmetic, the extended Euclidean algorithm, continued fractions
+ * for phase read-out, and brute-force order finding for test oracles.
+ *
+ * Bug type 6 in the paper (Section 4.6) is a mistake in exactly these
+ * classical inputs — supplying 12 instead of 13 as 7^-1 mod 15 — so
+ * this module is part of the reproduction surface, not just glue.
+ */
+
+#ifndef QSA_ALGO_NUMTHEORY_HH
+#define QSA_ALGO_NUMTHEORY_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace qsa::algo
+{
+
+/** Greatest common divisor. */
+std::uint64_t gcd(std::uint64_t a, std::uint64_t b);
+
+/** (a * b) mod m without overflow for m < 2^32. */
+std::uint64_t mulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+/** a^e mod m. */
+std::uint64_t powMod(std::uint64_t a, std::uint64_t e, std::uint64_t m);
+
+/** Modular inverse of a mod m, if gcd(a, m) == 1. */
+std::optional<std::uint64_t> modInverse(std::uint64_t a,
+                                        std::uint64_t m);
+
+/** Multiplicative order of a mod m (brute force; test oracle). */
+std::uint64_t multiplicativeOrder(std::uint64_t a, std::uint64_t m);
+
+/**
+ * Continued-fraction convergents p/q of the rational `numer/denom`,
+ * in order of increasing accuracy.
+ */
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+continuedFractionConvergents(std::uint64_t numer, std::uint64_t denom);
+
+/**
+ * Table 2 of the paper: the per-iteration classical inputs to Shor's
+ * algorithm. Entry k is (a^(2^k) mod N, inverse of that mod N).
+ */
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+shorClassicalInputs(std::uint64_t a, std::uint64_t n,
+                    unsigned iterations);
+
+/**
+ * Classical post-processing of one Shor measurement: interpret
+ * `measurement / 2^t` as a phase, recover a candidate order r via
+ * continued fractions, and derive non-trivial factors when r is even
+ * and a^(r/2) != -1 mod N.
+ *
+ * @return the two factors, or nullopt when this measurement is one of
+ *         the unlucky ones (e.g. 0) the algorithm retries on
+ */
+std::optional<std::pair<std::uint64_t, std::uint64_t>>
+shorPostprocess(std::uint64_t measurement, unsigned t, std::uint64_t a,
+                std::uint64_t n);
+
+} // namespace qsa::algo
+
+#endif // QSA_ALGO_NUMTHEORY_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deutsch-Jozsa / Bernstein-Vazirani builders.
+ */
+
+#include "algo/oracles.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::algo
+{
+
+namespace
+{
+
+/**
+ * Shared skeleton: prepare |0..0>|1>, Hadamard everything, apply the
+ * phase oracle, Hadamard the query register, measure.
+ */
+QueryProgram
+buildQuerySkeleton(unsigned n,
+                   const std::function<void(circuit::Circuit &,
+                                            const circuit::QubitRegister &,
+                                            unsigned)> &oracle)
+{
+    fatal_if(n == 0, "query register needs qubits");
+
+    QueryProgram prog;
+    auto &circ = prog.circuit;
+    prog.q = circ.addRegister("q", n);
+    prog.ancilla = circ.addRegister("anc", 1);
+
+    circ.prepRegister(prog.q, 0);
+    circ.prepZ(prog.ancilla[0], 1); // |1> -> |-> after H
+    circ.breakpoint("init");
+
+    for (unsigned i = 0; i < n; ++i)
+        circ.h(prog.q[i]);
+    circ.h(prog.ancilla[0]);
+    circ.breakpoint("superposed");
+
+    oracle(circ, prog.q, prog.ancilla[0]);
+    circ.breakpoint("queried");
+
+    for (unsigned i = 0; i < n; ++i)
+        circ.h(prog.q[i]);
+    circ.breakpoint("final");
+
+    circ.measure(prog.q, "result");
+    return prog;
+}
+
+} // anonymous namespace
+
+QueryProgram
+buildBernsteinVazirani(unsigned n, std::uint64_t secret)
+{
+    fatal_if(secret >= pow2(n), "secret wider than the register");
+
+    QueryProgram prog = buildQuerySkeleton(
+        n,
+        [secret](circuit::Circuit &circ,
+                 const circuit::QubitRegister &q, unsigned anc) {
+            // f(x) = s.x implemented as CNOTs into the |-> ancilla.
+            for (unsigned i = 0; i < q.width(); ++i) {
+                if (getBit(secret, i))
+                    circ.cnot(q[i], anc);
+            }
+        });
+    prog.expectedOutput = secret;
+    return prog;
+}
+
+QueryProgram
+buildDeutschJozsaConstant(unsigned n, unsigned bit)
+{
+    QueryProgram prog = buildQuerySkeleton(
+        n,
+        [bit](circuit::Circuit &circ, const circuit::QubitRegister &,
+              unsigned anc) {
+            if (bit & 1)
+                circ.x(anc); // f(x) = 1: global flip of the ancilla
+        });
+    prog.expectedOutput = 0;
+    return prog;
+}
+
+QueryProgram
+buildDeutschJozsaBalanced(unsigned n, std::uint64_t s)
+{
+    fatal_if(s == 0, "balanced oracle needs a non-zero mask");
+    QueryProgram prog = buildBernsteinVazirani(n, s);
+    prog.expectedOutput = s; // anything but 0 flags "balanced"
+    return prog;
+}
+
+} // namespace qsa::algo

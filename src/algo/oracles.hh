@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Oracle-based query algorithms: Deutsch-Jozsa and Bernstein-Vazirani.
+ *
+ * Both are single-query algorithms whose outputs are *classical*
+ * values, making them ideal substrates for the paper's classical and
+ * superposition assertions: the query register must be in uniform
+ * superposition before the oracle (precondition) and collapse to a
+ * deterministic answer after interference (postcondition).
+ */
+
+#ifndef QSA_ALGO_ORACLES_HH
+#define QSA_ALGO_ORACLES_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "circuit/circuit.hh"
+
+namespace qsa::algo
+{
+
+/** Handles for a built query-algorithm program. */
+struct QueryProgram
+{
+    circuit::Circuit circuit;
+
+    /** Query register. */
+    circuit::QubitRegister q;
+
+    /** Phase ancilla (|-> during the query). */
+    circuit::QubitRegister ancilla;
+
+    /** The classical value the final measurement should produce. */
+    std::uint64_t expectedOutput = 0;
+};
+
+/**
+ * Bernstein-Vazirani: recover the secret string s of the inner-
+ * product oracle f(x) = s.x (mod 2) with a single query. Breakpoints
+ * "init", "superposed", "queried", "final"; measurement "result"
+ * (which reads exactly s — a classical assertion target).
+ */
+QueryProgram buildBernsteinVazirani(unsigned n, std::uint64_t secret);
+
+/**
+ * Deutsch-Jozsa for two function families:
+ *  - constant f(x) = bit (0 or 1): output register reads 0;
+ *  - balanced f(x) = s.x with s != 0: output reads s (never 0).
+ * The classical assertion "result == 0" therefore *passes* for
+ * constant oracles and *fails* (p = 0) for balanced ones — a
+ * one-assertion classifier.
+ */
+QueryProgram buildDeutschJozsaConstant(unsigned n, unsigned bit);
+
+/** Balanced Deutsch-Jozsa instance with mask `s` (non-zero). */
+QueryProgram buildDeutschJozsaBalanced(unsigned n, std::uint64_t s);
+
+} // namespace qsa::algo
+
+#endif // QSA_ALGO_ORACLES_HH

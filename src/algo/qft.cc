@@ -1,0 +1,53 @@
+/**
+ * @file
+ * QFT implementation.
+ */
+
+#include "algo/qft.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qsa::algo
+{
+
+void
+approximateQft(circuit::Circuit &circ, const circuit::QubitRegister &r,
+               unsigned max_order, bool bit_reversal)
+{
+    const unsigned n = r.width();
+    for (unsigned j = n; j-- > 0;) {
+        circ.h(r[j]);
+        for (unsigned m = j; m-- > 0;) {
+            const unsigned order = j - m;
+            if (order > max_order)
+                continue;
+            circ.cphase(r[m], r[j], M_PI / std::pow(2.0, order));
+        }
+    }
+    if (bit_reversal) {
+        for (unsigned i = 0; i < n / 2; ++i)
+            circ.swap(r[i], r[n - 1 - i]);
+    }
+}
+
+void
+qft(circuit::Circuit &circ, const circuit::QubitRegister &r,
+    bool bit_reversal)
+{
+    approximateQft(circ, r, r.width(), bit_reversal);
+}
+
+void
+iqft(circuit::Circuit &circ, const circuit::QubitRegister &r,
+     bool bit_reversal)
+{
+    // Mirroring pattern: build the forward transform on a scratch
+    // circuit of the same width and append its adjoint.
+    circuit::Circuit forward(circ.numQubits());
+    qft(forward, r, bit_reversal);
+    circ.appendCircuit(forward.inverse());
+}
+
+} // namespace qsa::algo

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Quantum Fourier transform (Listing 1's QFT/iQFT subroutines).
+ *
+ * Convention: for a little-endian register |b>, the *Fourier-basis*
+ * QFT (no terminal swaps) leaves qubit j in
+ *   (|0> + exp(2 pi i b / 2^{j+1}) |1>) / sqrt(2),
+ * which is exactly the encoding the Draper/Beauregard adders of
+ * Listings 2-4 operate on. Passing `bit_reversal = true` appends the
+ * swap network, yielding the textbook DFT-on-amplitudes semantics used
+ * for phase estimation read-out.
+ */
+
+#ifndef QSA_ALGO_QFT_HH
+#define QSA_ALGO_QFT_HH
+
+#include "circuit/circuit.hh"
+#include "circuit/register.hh"
+
+namespace qsa::algo
+{
+
+/** Append the QFT on register `r`. */
+void qft(circuit::Circuit &circ, const circuit::QubitRegister &r,
+         bool bit_reversal = false);
+
+/** Append the inverse QFT on register `r` (exact mirror of qft). */
+void iqft(circuit::Circuit &circ, const circuit::QubitRegister &r,
+          bool bit_reversal = false);
+
+/**
+ * Approximate QFT: controlled phases with denominator beyond
+ * 2^max_order are dropped (a standard optimisation; exercised by the
+ * ablation benches to show assertion robustness to approximation).
+ */
+void approximateQft(circuit::Circuit &circ,
+                    const circuit::QubitRegister &r, unsigned max_order,
+                    bool bit_reversal = false);
+
+} // namespace qsa::algo
+
+#endif // QSA_ALGO_QFT_HH

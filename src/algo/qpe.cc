@@ -1,0 +1,60 @@
+/**
+ * @file
+ * QPE implementation.
+ */
+
+#include "algo/qpe.hh"
+
+#include "algo/qft.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::algo
+{
+
+QpeProgram
+buildQpeProgram(const sim::CMatrix &u, unsigned system_qubits,
+                unsigned counting_qubits, std::uint64_t initial_state)
+{
+    fatal_if(u.dim() != pow2(system_qubits),
+             "unitary dimension does not match the system register");
+    fatal_if(counting_qubits == 0, "counting register needs qubits");
+
+    QpeProgram prog;
+    auto &circ = prog.circuit;
+    prog.counting = circ.addRegister("counting", counting_qubits);
+    prog.system = circ.addRegister("system", system_qubits);
+
+    circ.prepRegister(prog.counting, 0);
+    circ.prepRegister(prog.system, initial_state);
+    circ.breakpoint("prepared");
+
+    for (unsigned k = 0; k < counting_qubits; ++k)
+        circ.h(prog.counting[k]);
+    circ.breakpoint("superposed");
+
+    // Controlled powers by repeated squaring.
+    sim::CMatrix power = u;
+    for (unsigned k = 0; k < counting_qubits; ++k) {
+        circ.unitary(power, prog.system.qubits(), {prog.counting[k]});
+        if (k + 1 < counting_qubits)
+            power = power.mul(power);
+    }
+    circ.breakpoint("kicked");
+
+    iqft(circ, prog.counting, /*bit_reversal=*/true);
+    circ.breakpoint("final");
+
+    circ.measure(prog.counting, "phase");
+    return prog;
+}
+
+double
+qpeMeasurementToPhase(std::uint64_t measurement,
+                      unsigned counting_qubits)
+{
+    return static_cast<double>(measurement) /
+           static_cast<double>(pow2(counting_qubits));
+}
+
+} // namespace qsa::algo

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Textbook quantum phase estimation (QPE) with a full counting
+ * register — the primitive behind Shor's algorithm's structure
+ * (Figure 2) and an alternative to the single-ancilla IPEA driver for
+ * the chemistry case study.
+ */
+
+#ifndef QSA_ALGO_QPE_HH
+#define QSA_ALGO_QPE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "circuit/circuit.hh"
+#include "sim/matrix.hh"
+
+namespace qsa::algo
+{
+
+/** Handles for a built QPE program. */
+struct QpeProgram
+{
+    circuit::Circuit circuit;
+
+    /** Counting (phase read-out) register, t qubits. */
+    circuit::QubitRegister counting;
+
+    /** System register. */
+    circuit::QubitRegister system;
+};
+
+/**
+ * Build a QPE program for a dense unitary.
+ *
+ * Structure: prepare the system basis state, Hadamard the counting
+ * register, apply controlled-U^(2^k) from counting qubit k, inverse
+ * QFT, measure (label "phase"). Breakpoints: "prepared",
+ * "superposed", "kicked", "final".
+ *
+ * @param u the unitary (dimension 2^system_qubits)
+ * @param system_qubits system register width
+ * @param counting_qubits read-out precision t
+ * @param initial_state computational basis state for the system
+ */
+QpeProgram buildQpeProgram(const sim::CMatrix &u, unsigned system_qubits,
+                           unsigned counting_qubits,
+                           std::uint64_t initial_state);
+
+/** Convert a QPE measurement to a phase in [0, 1). */
+double qpeMeasurementToPhase(std::uint64_t measurement,
+                             unsigned counting_qubits);
+
+} // namespace qsa::algo
+
+#endif // QSA_ALGO_QPE_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Shor program builder and driver.
+ */
+
+#include "algo/shor.hh"
+
+#include "algo/arith.hh"
+#include "algo/numtheory.hh"
+#include "algo/qft.hh"
+#include "circuit/executor.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::algo
+{
+
+ShorProgram
+buildShorProgram(const ShorConfig &config)
+{
+    fatal_if(config.n < 3, "nothing to factor");
+    fatal_if(gcd(config.a, config.n) != 1,
+             "trial base shares a factor with N; no quantum part "
+             "needed");
+    fatal_if(config.upperBits == 0, "upper register needs qubits");
+
+    const unsigned n_bits = bitWidth(config.n);
+
+    ShorProgram prog;
+    prog.config = config;
+    prog.upper = prog.circuit.addRegister("upper", config.upperBits);
+    prog.lower = prog.circuit.addRegister("lower", n_bits);
+    prog.helper = prog.circuit.addRegister("helper", n_bits + 1);
+    prog.flag = prog.circuit.addRegister("flag", 1);
+
+    auto &circ = prog.circuit;
+
+    // --- Inputs (Section 4.1): classical preconditions. ---
+    circ.prepRegister(prog.upper, 0);
+    circ.prepRegister(prog.lower, config.lowerInit);
+    circ.prepRegister(prog.helper, 0);
+    circ.prepRegister(prog.flag, 0);
+    circ.breakpoint("init");
+
+    // Uniform superposition on the control register.
+    for (unsigned k = 0; k < prog.upper.width(); ++k)
+        circ.h(prog.upper[k]);
+    circ.breakpoint("superposed");
+
+    // --- Controlled modular exponentiation (Sections 4.3-4.5). ---
+    auto pairs = config.pairs;
+    if (pairs.empty())
+        pairs = shorClassicalInputs(config.a, config.n,
+                                    config.upperBits);
+    cModExp(circ, prog.upper, prog.lower, prog.helper, pairs, config.n,
+            prog.flag[0]);
+    circ.breakpoint("entangled");
+
+    // --- Phase read-out. ---
+    iqft(circ, prog.upper, /*bit_reversal=*/true);
+    circ.breakpoint("final");
+
+    circ.measure(prog.upper, "output");
+    circ.measure(prog.lower, "lower");
+    circ.measure(prog.helper, "helper");
+    circ.measure(prog.flag, "flag");
+    return prog;
+}
+
+SemiclassicalShorProgram
+buildSemiclassicalShorProgram(const ShorConfig &config)
+{
+    fatal_if(config.n < 3, "nothing to factor");
+    fatal_if(gcd(config.a, config.n) != 1,
+             "trial base shares a factor with N");
+    fatal_if(config.upperBits == 0, "need at least one phase bit");
+
+    const unsigned n_bits = bitWidth(config.n);
+    const unsigned t = config.upperBits;
+
+    SemiclassicalShorProgram prog;
+    prog.config = config;
+    prog.upperBits = t;
+    prog.control = prog.circuit.addRegister("control", 1);
+    prog.lower = prog.circuit.addRegister("lower", n_bits);
+    prog.helper = prog.circuit.addRegister("helper", n_bits + 1);
+    prog.flag = prog.circuit.addRegister("flag", 1);
+
+    auto &circ = prog.circuit;
+    const unsigned c = prog.control[0];
+
+    circ.prepRegister(prog.control, 0);
+    circ.prepRegister(prog.lower, config.lowerInit);
+    circ.prepRegister(prog.helper, 0);
+    circ.prepRegister(prog.flag, 0);
+    circ.breakpoint("init");
+
+    auto pairs = config.pairs;
+    if (pairs.empty())
+        pairs = shorClassicalInputs(config.a, config.n, t);
+
+    // Semiclassical phase estimation: round l measures fractional
+    // phase bit phi_l (l = t first, least significant), recycling the
+    // single control qubit; feedback rotations are conditioned on the
+    // recorded bits (same recurrence as the IPEA driver).
+    for (unsigned l = t; l >= 1; --l) {
+        if (l < t)
+            circ.prepZ(c, 0); // recycle the control qubit
+        circ.h(c);
+
+        cUa(circ, c, prog.lower, prog.helper, pairs[l - 1].first,
+            pairs[l - 1].second, config.n, prog.flag[0]);
+
+        for (unsigned j = l + 1; j <= t; ++j) {
+            circ.phase(c, -2.0 * M_PI /
+                              static_cast<double>(pow2(j - l + 1)));
+            circ.conditionLast("m_" + std::to_string(j), 1);
+        }
+        circ.h(c);
+        circ.measureQubits({c}, "m_" + std::to_string(l));
+    }
+
+    circ.breakpoint("final");
+    circ.measure(prog.lower, "lower");
+    circ.measure(prog.helper, "helper");
+    circ.measure(prog.flag, "flag");
+    return prog;
+}
+
+std::uint64_t
+semiclassicalShorOutput(
+    const std::map<std::string, std::uint64_t> &measurements,
+    unsigned upper_bits)
+{
+    std::uint64_t output = 0;
+    for (unsigned l = 1; l <= upper_bits; ++l) {
+        const auto it = measurements.find("m_" + std::to_string(l));
+        fatal_if(it == measurements.end(), "missing phase bit m_", l);
+        output |= (it->second & 1) << (upper_bits - l);
+    }
+    return output;
+}
+
+ShorRunResult
+runShorFactoring(const ShorConfig &config, Rng &rng,
+                 unsigned max_attempts)
+{
+    ShorRunResult result;
+    const ShorProgram prog = buildShorProgram(config);
+
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        ++result.attempts;
+        auto record = circuit::runCircuit(prog.circuit, rng);
+        const std::uint64_t m = record.measurements.at("output");
+        result.measurements.push_back(m);
+
+        const auto factors = shorPostprocess(m, config.upperBits,
+                                             config.a, config.n);
+        if (factors.has_value()) {
+            result.factors = factors;
+            return result;
+        }
+    }
+    return result;
+}
+
+} // namespace qsa::algo

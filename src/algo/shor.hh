@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shor's factoring algorithm (Section 4 of the paper, Figure 2).
+ *
+ * The circuit follows the structure the paper debugs: an upper control
+ * register driving phase estimation, a lower target register holding
+ * the modular-exponentiation value, a Fourier-space helper register,
+ * and a comparison ancilla (Beauregard's construction [2]). Breakpoints
+ * are placed at the roadmap's assertion sites.
+ */
+
+#ifndef QSA_ALGO_SHOR_HH
+#define QSA_ALGO_SHOR_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "circuit/register.hh"
+#include "common/rng.hh"
+
+namespace qsa::algo
+{
+
+/** Configuration for the Shor circuit builder. */
+struct ShorConfig
+{
+    /** Number to factor. */
+    std::uint64_t n = 15;
+
+    /** Trial base (coprime to n). */
+    std::uint64_t a = 7;
+
+    /** Upper (phase estimation) register width t. */
+    unsigned upperBits = 3;
+
+    /**
+     * Initial value of the lower target register. The algorithm needs
+     * 1; the paper's bug type 1 is loading something else.
+     */
+    std::uint64_t lowerInit = 1;
+
+    /**
+     * Per-iteration (a^(2^k) mod N, modular inverse) pairs. Leave
+     * empty to compute the correct Table 2 values; override to inject
+     * the paper's bug type 6 (e.g. (7, 12) instead of (7, 13)).
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+};
+
+/** A built Shor program plus handles to its quantum variables. */
+struct ShorProgram
+{
+    circuit::Circuit circuit;
+
+    /** Phase-estimation control register (the algorithm output). */
+    circuit::QubitRegister upper;
+
+    /** Modular exponentiation target register. */
+    circuit::QubitRegister lower;
+
+    /** Fourier-space helper register (must end in |0>). */
+    circuit::QubitRegister helper;
+
+    /** Comparison ancilla register (one qubit, must end in |0>). */
+    circuit::QubitRegister flag;
+
+    /** Configuration used to build the program. */
+    ShorConfig config;
+};
+
+/**
+ * Build the Shor program with breakpoints
+ *  - "init"       after register preparation (classical preconditions),
+ *  - "superposed" after the Hadamard wall on the upper register,
+ *  - "entangled"  after controlled modular exponentiation,
+ *  - "final"      after the inverse QFT,
+ * and measurements labelled "output" (upper), "lower", "helper",
+ * "flag".
+ */
+ShorProgram buildShorProgram(const ShorConfig &config = ShorConfig());
+
+/** Result of a full factoring run. */
+struct ShorRunResult
+{
+    /** Factors, when a run succeeded. */
+    std::optional<std::pair<std::uint64_t, std::uint64_t>> factors;
+
+    /** Raw upper-register measurements per attempt. */
+    std::vector<std::uint64_t> measurements;
+
+    /** Number of circuit executions performed. */
+    unsigned attempts = 0;
+};
+
+/**
+ * Execute the quantum+classical factoring loop: run the circuit, post-
+ * process the measurement, retry on the known-unlucky outcomes.
+ */
+ShorRunResult runShorFactoring(const ShorConfig &config, Rng &rng,
+                               unsigned max_attempts = 16);
+
+/**
+ * The one-control-qubit (semiclassical) Shor program — Beauregard's
+ * actual 2n+3-qubit construction [2] that the paper's implementation
+ * follows "to minimize the qubit cost". The upper register is
+ * replaced by a single recycled qubit: each phase bit is measured,
+ * the qubit is reset, and the next round's feedback rotations are
+ * classically conditioned on the recorded bits.
+ */
+struct SemiclassicalShorProgram
+{
+    circuit::Circuit circuit;
+
+    /** The single recycled control qubit. */
+    circuit::QubitRegister control;
+
+    /** Modular exponentiation target register. */
+    circuit::QubitRegister lower;
+
+    /** Fourier-space helper register. */
+    circuit::QubitRegister helper;
+
+    /** Comparison ancilla. */
+    circuit::QubitRegister flag;
+
+    /** Number of phase bits t (one measurement label "m_<l>" each). */
+    unsigned upperBits = 0;
+
+    ShorConfig config;
+};
+
+/** Build the semiclassical program (measurement labels "m_1".."m_t"). */
+SemiclassicalShorProgram
+buildSemiclassicalShorProgram(const ShorConfig &config = ShorConfig());
+
+/**
+ * Assemble the phase-estimation integer from a semiclassical run's
+ * measurement record (equivalent to the full-register "output").
+ */
+std::uint64_t semiclassicalShorOutput(
+    const std::map<std::string, std::uint64_t> &measurements,
+    unsigned upper_bits);
+
+} // namespace qsa::algo
+
+#endif // QSA_ALGO_SHOR_HH

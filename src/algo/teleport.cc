@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Teleportation program builder.
+ */
+
+#include "algo/teleport.hh"
+
+#include "common/logging.hh"
+
+namespace qsa::algo
+{
+
+TeleportProgram
+buildTeleportProgram(double theta, double phi)
+{
+    TeleportProgram prog;
+    auto &circ = prog.circuit;
+    prog.message = circ.addRegister("msg", 1);
+    prog.senderHalf = circ.addRegister("alice", 1);
+    prog.receiver = circ.addRegister("bob", 1);
+
+    const unsigned m = prog.message[0];
+    const unsigned a = prog.senderHalf[0];
+    const unsigned b = prog.receiver[0];
+
+    // Payload preparation on the message qubit.
+    circ.prepZ(m, 0);
+    circ.ry(m, theta);
+    circ.rz(m, phi);
+
+    // Shared Bell pair between sender and receiver — the entangled
+    // *initial condition* the protocol requires (Section 4.1).
+    circ.prepZ(a, 0);
+    circ.prepZ(b, 0);
+    circ.h(a);
+    circ.cnot(a, b);
+    circ.breakpoint("pair_ready");
+
+    // Sender's Bell-basis rotation.
+    circ.cnot(m, a);
+    circ.h(m);
+    circ.breakpoint("bell_measured");
+
+    // Deferred-measurement corrections: X^a then Z^m on the receiver.
+    circ.cnot(a, b);
+    circ.cz(m, b);
+    circ.breakpoint("corrected");
+
+    // Verification: undo the payload preparation on the receiver; a
+    // successful teleport returns it to |0>.
+    circ.rz(b, -phi);
+    circ.ry(b, -theta);
+    circ.breakpoint("verified");
+
+    circ.measure(prog.receiver, "received");
+    return prog;
+}
+
+SuperdenseProgram
+buildSuperdenseProgram(unsigned message)
+{
+    fatal_if(message > 3, "superdense coding carries two bits");
+
+    SuperdenseProgram prog;
+    prog.message = message;
+    auto &circ = prog.circuit;
+    prog.sender = circ.addRegister("alice", 1);
+    prog.receiver = circ.addRegister("bob", 1);
+
+    const unsigned a = prog.sender[0];
+    const unsigned b = prog.receiver[0];
+
+    // Pre-shared Bell pair (the entangled precondition).
+    circ.prepZ(a, 0);
+    circ.prepZ(b, 0);
+    circ.h(a);
+    circ.cnot(a, b);
+    circ.breakpoint("pair_ready");
+
+    // Alice encodes two bits with a local Pauli on her half.
+    if (message & 1)
+        circ.x(a);
+    if (message & 2)
+        circ.z(a);
+    circ.breakpoint("encoded");
+
+    // Bob decodes with a Bell-basis measurement.
+    circ.cnot(a, b);
+    circ.h(a);
+    circ.breakpoint("decoded");
+
+    // Bit order: the X-encoded bit lands on Bob's qubit, the Z bit
+    // on Alice's; measure both under one label, LSB = X bit.
+    circ.measureQubits({b, a}, "received");
+    return prog;
+}
+
+} // namespace qsa::algo

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quantum teleportation — the "quantum communications protocols often
+ * need entangled states as initial conditions" use case of
+ * Section 4.1: the entanglement assertion serves as a *precondition*
+ * check on the shared Bell pair before the protocol consumes it.
+ *
+ * The protocol is built in its coherent (deferred-measurement) form:
+ * the Pauli corrections are applied as controlled gates from the
+ * sender's qubits instead of classically-controlled gates after a
+ * measurement. By the deferred measurement principle the final state
+ * of the receiver qubit is identical.
+ */
+
+#ifndef QSA_ALGO_TELEPORT_HH
+#define QSA_ALGO_TELEPORT_HH
+
+#include "circuit/circuit.hh"
+
+namespace qsa::algo
+{
+
+/** Handles for the teleportation program. */
+struct TeleportProgram
+{
+    circuit::Circuit circuit;
+
+    /** Message qubit (sender's payload). */
+    circuit::QubitRegister message;
+
+    /** Sender's half of the Bell pair. */
+    circuit::QubitRegister senderHalf;
+
+    /** Receiver's qubit. */
+    circuit::QubitRegister receiver;
+};
+
+/**
+ * Build the teleportation program.
+ *
+ * The payload is prepared as Ry(theta) Rz(phi) |0>. Breakpoints:
+ *  - "pair_ready"    after Bell-pair creation (the entangled-state
+ *    *precondition* — assert_entangled(senderHalf, receiver)),
+ *  - "bell_measured" after the sender's Bell-basis rotation,
+ *  - "corrected"     after the controlled corrections,
+ *  - "verified"      after appending the inverse payload preparation
+ *    on the receiver qubit, which returns it to |0> exactly when
+ *    teleportation worked (assert_classical(receiver, 0)).
+ *
+ * @param theta payload Ry angle
+ * @param phi payload Rz angle
+ */
+TeleportProgram buildTeleportProgram(double theta, double phi);
+
+/** Handles for the superdense-coding program. */
+struct SuperdenseProgram
+{
+    circuit::Circuit circuit;
+
+    /** Sender's half of the Bell pair. */
+    circuit::QubitRegister sender;
+
+    /** Receiver's half. */
+    circuit::QubitRegister receiver;
+
+    /** The two classical bits being transmitted. */
+    unsigned message = 0;
+};
+
+/**
+ * Superdense coding: two classical bits ride on one qubit of a
+ * pre-shared Bell pair. Breakpoints "pair_ready" (entangled
+ * precondition) and "decoded"; measurement "received" must equal the
+ * message — a classical postcondition assertion.
+ *
+ * @param message two-bit value to transmit (0..3)
+ */
+SuperdenseProgram buildSuperdenseProgram(unsigned message);
+
+} // namespace qsa::algo
+
+#endif // QSA_ALGO_TELEPORT_HH

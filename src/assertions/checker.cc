@@ -1,0 +1,335 @@
+/**
+ * @file
+ * AssertionChecker implementation.
+ */
+
+#include "assertions/checker.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/executor.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "stats/histogram.hh"
+
+namespace qsa::assertions
+{
+
+std::string
+assertionKindName(AssertionKind kind)
+{
+    switch (kind) {
+      case AssertionKind::Classical: return "classical";
+      case AssertionKind::Superposition: return "superposition";
+      case AssertionKind::Entangled: return "entangled";
+      case AssertionKind::Product: return "product";
+      case AssertionKind::Distribution: return "distribution";
+    }
+    panic("unknown assertion kind");
+}
+
+AssertionChecker::AssertionChecker(const circuit::Circuit &prog,
+                                   const CheckConfig &cfg)
+    : program(prog), config(cfg)
+{
+    fatal_if(config.ensembleSize == 0,
+             "ensemble size must be positive");
+}
+
+void
+AssertionChecker::validateSpec(const AssertionSpec &spec) const
+{
+    const auto labels = program.breakpointLabels();
+    fatal_if(std::find(labels.begin(), labels.end(), spec.breakpoint) ==
+                 labels.end(),
+             "program has no breakpoint labelled '", spec.breakpoint,
+             "'");
+    fatal_if(spec.regA.width() == 0, "assertion on an empty register");
+    if (spec.kind == AssertionKind::Entangled ||
+        spec.kind == AssertionKind::Product) {
+        fatal_if(spec.regB.width() == 0,
+                 "two-variable assertion needs a second register");
+    }
+    fatal_if(spec.alpha <= 0.0 || spec.alpha >= 1.0,
+             "alpha must lie strictly between 0 and 1");
+    if (spec.kind == AssertionKind::Classical ||
+        spec.kind == AssertionKind::Superposition ||
+        spec.kind == AssertionKind::Distribution) {
+        fatal_if(spec.regA.width() > 24,
+                 "register too wide for a dense goodness-of-fit test");
+    }
+    if (spec.kind == AssertionKind::Distribution) {
+        fatal_if(spec.expectedProbs.size() != pow2(spec.regA.width()),
+                 "expected distribution must have 2^width entries");
+        double total = 0.0;
+        for (double p : spec.expectedProbs) {
+            fatal_if(p < 0.0, "negative probability in distribution");
+            total += p;
+        }
+        fatal_if(std::abs(total - 1.0) > 1e-6,
+                 "expected distribution must sum to 1, got ", total);
+    }
+}
+
+void
+AssertionChecker::addAssertion(const AssertionSpec &spec)
+{
+    validateSpec(spec);
+    specs.push_back(spec);
+    if (specs.back().name.empty()) {
+        specs.back().name = assertionKindName(spec.kind) + "@" +
+                            spec.breakpoint;
+    }
+}
+
+void
+AssertionChecker::assertClassical(const std::string &breakpoint,
+                                  const circuit::QubitRegister &reg,
+                                  std::uint64_t value, double alpha)
+{
+    AssertionSpec spec;
+    spec.kind = AssertionKind::Classical;
+    spec.breakpoint = breakpoint;
+    spec.regA = reg;
+    spec.expectedValue = value;
+    spec.alpha = alpha;
+    addAssertion(spec);
+}
+
+void
+AssertionChecker::assertSuperposition(const std::string &breakpoint,
+                                      const circuit::QubitRegister &reg,
+                                      double alpha)
+{
+    AssertionSpec spec;
+    spec.kind = AssertionKind::Superposition;
+    spec.breakpoint = breakpoint;
+    spec.regA = reg;
+    spec.alpha = alpha;
+    addAssertion(spec);
+}
+
+void
+AssertionChecker::assertDistribution(const std::string &breakpoint,
+                                     const circuit::QubitRegister &reg,
+                                     const std::vector<double> &probs,
+                                     double alpha)
+{
+    AssertionSpec spec;
+    spec.kind = AssertionKind::Distribution;
+    spec.breakpoint = breakpoint;
+    spec.regA = reg;
+    spec.expectedProbs = probs;
+    spec.alpha = alpha;
+    addAssertion(spec);
+}
+
+void
+AssertionChecker::assertUniformSubset(
+    const std::string &breakpoint, const circuit::QubitRegister &reg,
+    const std::vector<std::uint64_t> &support, double alpha)
+{
+    fatal_if(support.empty(), "support set must be non-empty");
+    std::vector<double> probs(pow2(reg.width()), 0.0);
+    for (std::uint64_t v : support) {
+        fatal_if(v >= probs.size(), "support value ", v,
+                 " outside the register domain");
+        probs[v] = 1.0 / support.size();
+    }
+    assertDistribution(breakpoint, reg, probs, alpha);
+}
+
+void
+AssertionChecker::assertEntangled(const std::string &breakpoint,
+                                  const circuit::QubitRegister &reg_a,
+                                  const circuit::QubitRegister &reg_b,
+                                  double alpha)
+{
+    AssertionSpec spec;
+    spec.kind = AssertionKind::Entangled;
+    spec.breakpoint = breakpoint;
+    spec.regA = reg_a;
+    spec.regB = reg_b;
+    spec.alpha = alpha;
+    addAssertion(spec);
+}
+
+void
+AssertionChecker::assertProduct(const std::string &breakpoint,
+                                const circuit::QubitRegister &reg_a,
+                                const circuit::QubitRegister &reg_b,
+                                double alpha)
+{
+    AssertionSpec spec;
+    spec.kind = AssertionKind::Product;
+    spec.breakpoint = breakpoint;
+    spec.regA = reg_a;
+    spec.regB = reg_b;
+    spec.alpha = alpha;
+    addAssertion(spec);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+AssertionChecker::gatherEnsemble(const AssertionSpec &spec) const
+{
+    const bool two_vars = spec.kind == AssertionKind::Entangled ||
+                          spec.kind == AssertionKind::Product;
+
+    const circuit::Circuit sliced = program.prefixUpTo(spec.breakpoint);
+
+    // Joint measurement qubit list: regA bits first, then regB.
+    std::vector<unsigned> qubits = spec.regA.qubits();
+    if (two_vars) {
+        qubits.insert(qubits.end(), spec.regB.qubits().begin(),
+                      spec.regB.qubits().end());
+    }
+
+    const Rng master(config.seed);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+    pairs.reserve(config.ensembleSize);
+
+    auto split_value = [&](std::uint64_t joint) {
+        const std::uint64_t a = joint & lowMask(spec.regA.width());
+        const std::uint64_t b = two_vars
+                                    ? (joint >> spec.regA.width()) &
+                                          lowMask(spec.regB.width())
+                                    : 0;
+        return std::make_pair(a, b);
+    };
+
+    if (config.mode == EnsembleMode::Resimulate) {
+        for (std::size_t m = 0; m < config.ensembleSize; ++m) {
+            Rng rng = master.split(m);
+            auto record = circuit::runCircuit(sliced, rng);
+            const std::uint64_t joint =
+                record.state.measureQubits(qubits, rng);
+            pairs.push_back(split_value(joint));
+        }
+    } else {
+        Rng rng = master.split(0);
+        auto record = circuit::runCircuit(sliced, rng);
+        const std::vector<double> dist =
+            record.state.marginalProbs(qubits);
+        Rng sampler = master.split(1);
+        for (std::size_t m = 0; m < config.ensembleSize; ++m)
+            pairs.push_back(split_value(sampler.discrete(dist)));
+    }
+    return pairs;
+}
+
+AssertionOutcome
+AssertionChecker::check(const AssertionSpec &spec) const
+{
+    validateSpec(spec);
+
+    AssertionOutcome out;
+    out.spec = spec;
+    out.ensembleSize = config.ensembleSize;
+
+    const auto pairs = gatherEnsemble(spec);
+
+    std::vector<std::uint64_t> values_a;
+    values_a.reserve(pairs.size());
+    for (const auto &[a, b] : pairs) {
+        values_a.push_back(a);
+        ++out.countsA[a];
+        if (spec.kind == AssertionKind::Entangled ||
+            spec.kind == AssertionKind::Product)
+            ++out.jointCounts[{a, b}];
+    }
+
+    switch (spec.kind) {
+      case AssertionKind::Classical:
+      case AssertionKind::Superposition:
+      case AssertionKind::Distribution: {
+        const std::uint64_t domain = pow2(spec.regA.width());
+        const auto observed = stats::denseCounts(values_a, domain);
+        std::vector<double> expected;
+        if (spec.kind == AssertionKind::Classical) {
+            expected = stats::pointMassExpected(
+                domain, spec.expectedValue, (double)pairs.size());
+        } else if (spec.kind == AssertionKind::Superposition) {
+            expected =
+                stats::uniformExpected(domain, (double)pairs.size());
+        } else {
+            expected.resize(domain);
+            for (std::uint64_t v = 0; v < domain; ++v)
+                expected[v] = spec.expectedProbs[v] * pairs.size();
+        }
+        const auto res = config.useGTest
+                             ? stats::gTestGof(observed, expected)
+                             : stats::chiSquareGof(observed, expected);
+        out.pValue = res.pValue;
+        out.statistic = res.statistic;
+        out.df = res.df;
+        out.impossibleOutcome = res.impossibleOutcome;
+        out.passed = res.pValue > spec.alpha;
+        break;
+      }
+      case AssertionKind::Entangled:
+      case AssertionKind::Product: {
+        const auto table = stats::ContingencyTable::fromPairs(pairs);
+        const auto res =
+            config.useGTest
+                ? stats::independenceGTest(table)
+                : stats::independenceTest(table, config.yatesFor2x2);
+        out.pValue = res.pValue;
+        out.statistic = res.statistic;
+        out.df = res.df;
+        out.cramersV = res.cramersV;
+        out.contingencyC = res.contingencyC;
+        // Entangled: expect to *reject* independence. Product: expect
+        // to fail to reject.
+        if (spec.kind == AssertionKind::Entangled)
+            out.passed = res.pValue <= spec.alpha;
+        else
+            out.passed = res.pValue > spec.alpha;
+        break;
+      }
+    }
+    return out;
+}
+
+std::vector<AssertionOutcome>
+AssertionChecker::checkAll() const
+{
+    std::vector<AssertionOutcome> outcomes;
+    outcomes.reserve(specs.size());
+    for (const auto &spec : specs)
+        outcomes.push_back(check(spec));
+    return outcomes;
+}
+
+std::size_t
+autoPlaceScopeAssertions(AssertionChecker &checker,
+                         const circuit::Circuit &circ,
+                         const circuit::QubitRegister &reg_a,
+                         const circuit::QubitRegister &reg_b,
+                         double alpha)
+{
+    static const std::string computed = "_computed";
+    static const std::string uncomputed = "_uncomputed";
+
+    const auto labels = circ.breakpointLabels();
+    std::size_t placed = 0;
+    for (const auto &label : labels) {
+        if (label.size() <= computed.size() ||
+            label.compare(label.size() - computed.size(),
+                          computed.size(), computed) != 0)
+            continue;
+        const std::string stem =
+            label.substr(0, label.size() - computed.size());
+        const std::string partner = stem + uncomputed;
+        if (std::find(labels.begin(), labels.end(), partner) ==
+            labels.end())
+            continue;
+
+        checker.assertEntangled(label, reg_a, reg_b, alpha);
+        checker.assertProduct(partner, reg_a, reg_b, alpha);
+        placed += 2;
+    }
+    return placed;
+}
+
+} // namespace qsa::assertions

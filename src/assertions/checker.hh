@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The assertion checker: quantum breakpoints + ensemble simulation +
+ * statistical tests.
+ *
+ * Mirrors the paper's toolflow (Section 3.3): for each assertion the
+ * program is truncated at its breakpoint ("compiled into multiple
+ * versions"), an ensemble of executions is simulated, the truncating
+ * measurement is applied, and the outcome counts feed a chi-square
+ * test whose p-value decides the verdict.
+ */
+
+#ifndef QSA_ASSERTIONS_CHECKER_HH
+#define QSA_ASSERTIONS_CHECKER_HH
+
+#include <vector>
+
+#include "assertions/spec.hh"
+#include "circuit/circuit.hh"
+
+namespace qsa::assertions
+{
+
+/** See file comment. */
+class AssertionChecker
+{
+  public:
+    /**
+     * @param program the full instrumented program (with breakpoints)
+     * @param config ensemble/test configuration
+     */
+    AssertionChecker(const circuit::Circuit &program,
+                     const CheckConfig &config = CheckConfig());
+
+    /** @{ @name Assertion registration (Scaffold-style helpers) */
+
+    /** assert_classical(reg, width, value) at a breakpoint. */
+    void assertClassical(const std::string &breakpoint,
+                         const circuit::QubitRegister &reg,
+                         std::uint64_t value, double alpha = 0.05);
+
+    /** assert_superposition(reg, width) at a breakpoint. */
+    void assertSuperposition(const std::string &breakpoint,
+                             const circuit::QubitRegister &reg,
+                             double alpha = 0.05);
+
+    /**
+     * Extension: assert the register's outcomes follow an explicit
+     * probability vector (length 2^width, summing to ~1).
+     */
+    void assertDistribution(const std::string &breakpoint,
+                            const circuit::QubitRegister &reg,
+                            const std::vector<double> &probs,
+                            double alpha = 0.05);
+
+    /**
+     * Extension: assert the register reads a uniform superposition
+     * over exactly the given support values.
+     */
+    void assertUniformSubset(const std::string &breakpoint,
+                             const circuit::QubitRegister &reg,
+                             const std::vector<std::uint64_t> &support,
+                             double alpha = 0.05);
+
+    /** assert_entangled(regA, regB) at a breakpoint. */
+    void assertEntangled(const std::string &breakpoint,
+                         const circuit::QubitRegister &reg_a,
+                         const circuit::QubitRegister &reg_b,
+                         double alpha = 0.05);
+
+    /** assert_product(regA, regB) at a breakpoint. */
+    void assertProduct(const std::string &breakpoint,
+                       const circuit::QubitRegister &reg_a,
+                       const circuit::QubitRegister &reg_b,
+                       double alpha = 0.05);
+
+    /** Register a fully specified assertion. */
+    void addAssertion(const AssertionSpec &spec);
+
+    /** @} */
+
+    /** Registered assertions in registration order. */
+    const std::vector<AssertionSpec> &assertions() const { return specs; }
+
+    /** Check a single assertion spec against the program. */
+    AssertionOutcome check(const AssertionSpec &spec) const;
+
+    /** Check every registered assertion. */
+    std::vector<AssertionOutcome> checkAll() const;
+
+    /**
+     * Gather the measurement ensemble for one assertion without
+     * running the statistical test: returns (valueA, valueB) pairs
+     * (valueB is 0 for single-variable assertions). Exposed for the
+     * statistical-power ablation bench.
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    gatherEnsemble(const AssertionSpec &spec) const;
+
+  private:
+    circuit::Circuit program;
+    CheckConfig config;
+    std::vector<AssertionSpec> specs;
+
+    void validateSpec(const AssertionSpec &spec) const;
+};
+
+/**
+ * Mechanical assertion placement from ComputeScope structure (the
+ * paper's Section 5.1.1 claim that language syntax for reversible
+ * computation makes entanglement-assertion placement automatic): for
+ * every breakpoint pair "<label>_computed" / "<label>_uncomputed" in
+ * the checker's program, register
+ *  - assert_entangled(reg_a, reg_b) at "<label>_computed",
+ *  - assert_product(reg_a, reg_b) at "<label>_uncomputed".
+ *
+ * @return number of assertions registered
+ */
+std::size_t
+autoPlaceScopeAssertions(AssertionChecker &checker,
+                         const circuit::Circuit &circ,
+                         const circuit::QubitRegister &reg_a,
+                         const circuit::QubitRegister &reg_b,
+                         double alpha = 0.05);
+
+} // namespace qsa::assertions
+
+#endif // QSA_ASSERTIONS_CHECKER_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Exact breakpoint inspection implementation.
+ */
+
+#include "assertions/exact.hh"
+
+#include <cmath>
+
+#include "circuit/executor.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace qsa::assertions
+{
+
+namespace
+{
+
+/** Run the truncated program once and hand back the final state. */
+sim::StateVector
+stateAtBreakpoint(const circuit::Circuit &program,
+                  const std::string &breakpoint, std::uint64_t seed)
+{
+    const circuit::Circuit sliced = program.prefixUpTo(breakpoint);
+    Rng rng(seed);
+    return circuit::runCircuit(sliced, rng).state;
+}
+
+} // anonymous namespace
+
+std::vector<double>
+exactMarginal(const circuit::Circuit &program,
+              const std::string &breakpoint,
+              const circuit::QubitRegister &reg, std::uint64_t seed)
+{
+    const auto state = stateAtBreakpoint(program, breakpoint, seed);
+    return state.marginalProbs(reg.qubits());
+}
+
+std::vector<std::vector<double>>
+exactJoint(const circuit::Circuit &program, const std::string &breakpoint,
+           const circuit::QubitRegister &reg_a,
+           const circuit::QubitRegister &reg_b, std::uint64_t seed)
+{
+    const auto state = stateAtBreakpoint(program, breakpoint, seed);
+
+    std::vector<unsigned> qubits = reg_a.qubits();
+    qubits.insert(qubits.end(), reg_b.qubits().begin(),
+                  reg_b.qubits().end());
+    const auto joint_flat = state.marginalProbs(qubits);
+
+    const std::uint64_t dim_a = pow2(reg_a.width());
+    const std::uint64_t dim_b = pow2(reg_b.width());
+    std::vector<std::vector<double>> joint(
+        dim_a, std::vector<double>(dim_b, 0.0));
+    for (std::uint64_t a = 0; a < dim_a; ++a)
+        for (std::uint64_t b = 0; b < dim_b; ++b)
+            joint[a][b] = joint_flat[(b << reg_a.width()) | a];
+    return joint;
+}
+
+double
+exactPurity(const circuit::Circuit &program, const std::string &breakpoint,
+            const circuit::QubitRegister &reg, std::uint64_t seed)
+{
+    const auto state = stateAtBreakpoint(program, breakpoint, seed);
+    return state.subsystemPurity(reg.qubits());
+}
+
+double
+exactMutualInformation(const circuit::Circuit &program,
+                       const std::string &breakpoint,
+                       const circuit::QubitRegister &reg_a,
+                       const circuit::QubitRegister &reg_b,
+                       std::uint64_t seed)
+{
+    const auto joint = exactJoint(program, breakpoint, reg_a, reg_b,
+                                  seed);
+
+    const std::uint64_t dim_a = joint.size();
+    const std::uint64_t dim_b = joint.empty() ? 0 : joint[0].size();
+    std::vector<double> pa(dim_a, 0.0), pb(dim_b, 0.0);
+    for (std::uint64_t a = 0; a < dim_a; ++a) {
+        for (std::uint64_t b = 0; b < dim_b; ++b) {
+            pa[a] += joint[a][b];
+            pb[b] += joint[a][b];
+        }
+    }
+
+    double mi = 0.0;
+    for (std::uint64_t a = 0; a < dim_a; ++a) {
+        for (std::uint64_t b = 0; b < dim_b; ++b) {
+            const double p = joint[a][b];
+            if (p <= 0.0)
+                continue;
+            mi += p * std::log2(p / (pa[a] * pb[b]));
+        }
+    }
+    return std::max(0.0, mi);
+}
+
+} // namespace qsa::assertions

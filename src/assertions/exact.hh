@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Exact (infinite-ensemble) state inspection at breakpoints.
+ *
+ * The statistical assertions sample finite ensembles; these helpers
+ * compute the exact quantities the samples converge to. They serve as
+ * ground truth in tests, and benches print them next to the sampled
+ * statistics (e.g. Table 3's exact joint distribution).
+ */
+
+#ifndef QSA_ASSERTIONS_EXACT_HH
+#define QSA_ASSERTIONS_EXACT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "circuit/register.hh"
+
+namespace qsa::assertions
+{
+
+/**
+ * Exact outcome distribution of a register at a breakpoint.
+ * Entry v is the probability the register reads value v.
+ */
+std::vector<double> exactMarginal(const circuit::Circuit &program,
+                                  const std::string &breakpoint,
+                                  const circuit::QubitRegister &reg,
+                                  std::uint64_t seed = 0x51c0ffee);
+
+/**
+ * Exact joint outcome distribution of two registers at a breakpoint:
+ * result[a][b] = P(regA = a, regB = b).
+ */
+std::vector<std::vector<double>>
+exactJoint(const circuit::Circuit &program, const std::string &breakpoint,
+           const circuit::QubitRegister &reg_a,
+           const circuit::QubitRegister &reg_b,
+           std::uint64_t seed = 0x51c0ffee);
+
+/**
+ * Exact purity of a register's reduced density matrix at a breakpoint:
+ * 1 for a product state with the rest of the system, < 1 when
+ * entangled. Ground truth for Entangled/Product assertions.
+ */
+double exactPurity(const circuit::Circuit &program,
+                   const std::string &breakpoint,
+                   const circuit::QubitRegister &reg,
+                   std::uint64_t seed = 0x51c0ffee);
+
+/**
+ * Classical mutual information (bits) between the measurement
+ * distributions of two registers at a breakpoint; 0 iff the outcome
+ * distributions are independent.
+ */
+double exactMutualInformation(const circuit::Circuit &program,
+                              const std::string &breakpoint,
+                              const circuit::QubitRegister &reg_a,
+                              const circuit::QubitRegister &reg_b,
+                              std::uint64_t seed = 0x51c0ffee);
+
+} // namespace qsa::assertions
+
+#endif // QSA_ASSERTIONS_EXACT_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Assertion report rendering.
+ */
+
+#include "assertions/report.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace qsa::assertions
+{
+
+std::string
+renderReport(const std::vector<AssertionOutcome> &outcomes)
+{
+    AsciiTable t;
+    t.setHeader({"assertion", "kind", "breakpoint", "M", "stat", "df",
+                 "p-value", "verdict"});
+    for (const auto &o : outcomes) {
+        t.addRow({
+            o.spec.name,
+            assertionKindName(o.spec.kind),
+            o.spec.breakpoint,
+            std::to_string(o.ensembleSize),
+            std::isinf(o.statistic) ? "inf"
+                                    : AsciiTable::fmt(o.statistic, 3),
+            AsciiTable::fmt(o.df, 0),
+            AsciiTable::fmtP(o.pValue),
+            o.passed ? "PASS" : "FAIL",
+        });
+    }
+    return t.render();
+}
+
+std::string
+renderOutcomeLine(const AssertionOutcome &o)
+{
+    std::ostringstream os;
+    os << (o.passed ? "PASS " : "FAIL ") << o.spec.name << " ["
+       << assertionKindName(o.spec.kind) << " @ " << o.spec.breakpoint
+       << "] p=" << AsciiTable::fmtP(o.pValue) << " (M="
+       << o.ensembleSize << ")";
+    return os.str();
+}
+
+bool
+allPassed(const std::vector<AssertionOutcome> &outcomes)
+{
+    for (const auto &o : outcomes) {
+        if (!o.passed)
+            return false;
+    }
+    return true;
+}
+
+} // namespace qsa::assertions

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Human-readable assertion reports.
+ */
+
+#ifndef QSA_ASSERTIONS_REPORT_HH
+#define QSA_ASSERTIONS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "assertions/spec.hh"
+
+namespace qsa::assertions
+{
+
+/**
+ * Render a table of assertion outcomes: name, kind, breakpoint,
+ * ensemble size, statistic, df, p-value, verdict.
+ */
+std::string renderReport(const std::vector<AssertionOutcome> &outcomes);
+
+/** One-line summary of a single outcome. */
+std::string renderOutcomeLine(const AssertionOutcome &outcome);
+
+/** True when every assertion passed. */
+bool allPassed(const std::vector<AssertionOutcome> &outcomes);
+
+} // namespace qsa::assertions
+
+#endif // QSA_ASSERTIONS_REPORT_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Assertion specifications and results.
+ *
+ * Section 3.1 of the paper defines three assertion types on quantum
+ * state — classical, superposition, and entangled — plus the product-
+ * state counterpart of the entanglement assertion (Section 4.5). An
+ * AssertionSpec names a breakpoint, the quantum variable(s) under test,
+ * and the hypothesis parameters.
+ */
+
+#ifndef QSA_ASSERTIONS_SPEC_HH
+#define QSA_ASSERTIONS_SPEC_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/register.hh"
+#include "stats/chi2.hh"
+#include "stats/contingency.hh"
+
+namespace qsa::assertions
+{
+
+/** The statistical assertion types. */
+enum class AssertionKind
+{
+    /** Variable reads a single classical integer value. */
+    Classical,
+
+    /** Variable reads a uniform superposition over its domain. */
+    Superposition,
+
+    /** Two variables read correlated values (reject independence). */
+    Entangled,
+
+    /** Two variables read independent values (no entanglement). */
+    Product,
+
+    /**
+     * Variable reads a caller-specified outcome distribution
+     * (extension: generalises Superposition to non-uniform or
+     * subset-supported states, e.g. Shor's lower register being
+     * uniform over the order cycle {1, 7, 4, 13}).
+     */
+    Distribution,
+};
+
+/** Human-readable assertion kind name. */
+std::string assertionKindName(AssertionKind kind);
+
+/** One assertion: where to check, what to check, and against what. */
+struct AssertionSpec
+{
+    /** Assertion type. */
+    AssertionKind kind = AssertionKind::Classical;
+
+    /** Breakpoint label the program is truncated at. */
+    std::string breakpoint;
+
+    /** Primary quantum variable. */
+    circuit::QubitRegister regA;
+
+    /** Second variable for Entangled/Product assertions. */
+    circuit::QubitRegister regB;
+
+    /** Expected integer value for Classical assertions. */
+    std::uint64_t expectedValue = 0;
+
+    /**
+     * Expected outcome probabilities for Distribution assertions
+     * (length 2^regA.width(), summing to ~1).
+     */
+    std::vector<double> expectedProbs;
+
+    /** Significance level for the verdict. */
+    double alpha = 0.05;
+
+    /** Optional display name for reports. */
+    std::string name;
+};
+
+/** How ensemble members are produced. */
+enum class EnsembleMode
+{
+    /**
+     * Re-run the truncated program once per ensemble member with an
+     * independent random stream — the paper's methodology (one QX
+     * simulation per measurement, Section 3.3). Exact for every
+     * program, including ones with mid-circuit measurement.
+     */
+    Resimulate,
+
+    /**
+     * Run the truncated program once and sample measurement outcomes
+     * from the exact final distribution. Equivalent to Resimulate for
+     * programs whose only nondeterminism is the final measurement
+     * (true of all the paper's benchmarks) and orders of magnitude
+     * faster.
+     */
+    SampleFinalState,
+};
+
+/** Checker configuration. */
+struct CheckConfig
+{
+    /** Number of measurements per breakpoint. */
+    std::size_t ensembleSize = 256;
+
+    /** Ensemble generation mode. */
+    EnsembleMode mode = EnsembleMode::SampleFinalState;
+
+    /** Master seed; every ensemble member gets a split stream. */
+    std::uint64_t seed = 0x51c0ffee;
+
+    /** Yates continuity correction on 2x2 contingency tables. */
+    bool yatesFor2x2 = true;
+
+    /** Use the G-test instead of Pearson chi-square (ablation). */
+    bool useGTest = false;
+};
+
+/** Result of checking one assertion. */
+struct AssertionOutcome
+{
+    /** The spec that was checked. */
+    AssertionSpec spec;
+
+    /** p-value of the statistical test. */
+    double pValue = 1.0;
+
+    /** Test statistic. */
+    double statistic = 0.0;
+
+    /** Degrees of freedom. */
+    double df = 0.0;
+
+    /** Ensemble size actually used. */
+    std::size_t ensembleSize = 0;
+
+    /**
+     * Verdict: true when the observation is consistent with the
+     * asserted state class. Classical/Superposition/Product pass when
+     * p > alpha (independence or the hypothesised distribution cannot
+     * be rejected); Entangled passes when p <= alpha (independence is
+     * rejected, i.e. correlation was detected).
+     */
+    bool passed = false;
+
+    /** Observed counts of regA values. */
+    std::map<std::uint64_t, std::uint64_t> countsA;
+
+    /** Joint counts for Entangled/Product assertions. */
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+        jointCounts;
+
+    /** Effect sizes for contingency assertions. */
+    double cramersV = 0.0;
+    double contingencyC = 0.0;
+
+    /** True when a zero-probability outcome was observed (p = 0). */
+    bool impossibleOutcome = false;
+};
+
+} // namespace qsa::assertions
+
+#endif // QSA_ASSERTIONS_SPEC_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bug catalogue data.
+ */
+
+#include "bugs/bugs.hh"
+
+#include "common/logging.hh"
+
+namespace qsa::bugs
+{
+
+std::vector<BugInfo>
+bugCatalog()
+{
+    return {
+        {BugType::WrongInitialValue, "wrong-initial-value", "4.1",
+         "lower target register loaded with 0 instead of 1 (or the "
+         "superposition-creating Hadamards omitted)",
+         "classical / superposition precondition assertions"},
+        {BugType::FlippedRotation, "flipped-rotation", "4.2 / Table 1",
+         "controlled-rotation decomposition with the +/- angle halves "
+         "swapped: a rotation in the wrong direction",
+         "classical assertion on an adder unit-test output"},
+        {BugType::IterationBug, "iteration-bug", "4.3",
+         "two-dimensional adder loop with an off-by-one bound, a "
+         "wrong rotation-angle denominator, or swapped endianness",
+         "classical assertions on iteration inputs/outputs"},
+        {BugType::MisroutedControl, "misrouted-control", "4.4",
+         "replicated multi-control code passing ctrl1 twice instead "
+         "of ctrl0, ctrl1 (Listing 2, line 15)",
+         "entanglement assertion between control and target"},
+        {BugType::BrokenMirror, "broken-mirror", "4.5",
+         "uncompute path missing the angle negation / operation "
+         "reversal, leaving ancilla qubits entangled",
+         "product-state assertion after uncomputation"},
+        {BugType::WrongClassicalInput, "wrong-classical-input",
+         "4.6 / Table 3",
+         "supplying 12 instead of 13 as the modular inverse of 7 "
+         "mod 15",
+         "classical postcondition assertion on deallocated ancillas"},
+    };
+}
+
+const BugInfo &
+bugInfo(BugType type)
+{
+    static const std::vector<BugInfo> catalog = bugCatalog();
+    for (const auto &info : catalog) {
+        if (info.type == type)
+            return info;
+    }
+    panic("unknown bug type");
+}
+
+} // namespace qsa::bugs

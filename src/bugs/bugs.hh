@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The paper's bug taxonomy (Sections 4.1-4.6) as a machine-readable
+ * catalogue plus injectable buggy program variants.
+ *
+ * Each bug type is implemented the way the paper describes a
+ * programmer actually introducing it — a flipped sign, a misrouted
+ * control qubit, a forgotten negation in mirrored code, a wrong
+ * classical constant — so the statistical assertions can be shown
+ * catching the realistic artifact, not a synthetic corruption.
+ */
+
+#ifndef QSA_BUGS_BUGS_HH
+#define QSA_BUGS_BUGS_HH
+
+#include <string>
+#include <vector>
+
+namespace qsa::bugs
+{
+
+/** The six bug types of the paper's taxonomy. */
+enum class BugType
+{
+    /** Type 1: incorrect quantum initial values (Section 4.1). */
+    WrongInitialValue,
+
+    /** Type 2: incorrect operations/transformations (Section 4.2,
+     *  Table 1's flipped rotation decomposition). */
+    FlippedRotation,
+
+    /** Type 3: incorrect iterative composition (Section 4.3; loop
+     *  bounds, bit shifts, endianness, rotation angles). */
+    IterationBug,
+
+    /** Type 4: incorrect recursive composition — misrouted control
+     *  qubits in replicated controlled-operation code (Section 4.4). */
+    MisroutedControl,
+
+    /** Type 5: incorrect mirroring — broken uncomputation
+     *  (Section 4.5). */
+    BrokenMirror,
+
+    /** Type 6: incorrect classical input parameters (Section 4.6,
+     *  Table 3's wrong modular inverse). */
+    WrongClassicalInput,
+};
+
+/** Catalogue entry describing one bug type. */
+struct BugInfo
+{
+    BugType type;
+
+    /** Short identifier. */
+    std::string name;
+
+    /** Paper section introducing it. */
+    std::string paperSection;
+
+    /** What the mistake looks like in code. */
+    std::string description;
+
+    /** Which assertion kind catches it. */
+    std::string caughtBy;
+};
+
+/** The full catalogue, in paper order. */
+std::vector<BugInfo> bugCatalog();
+
+/** Catalogue entry lookup. */
+const BugInfo &bugInfo(BugType type);
+
+} // namespace qsa::bugs
+
+#endif // QSA_BUGS_BUGS_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Buggy-variant implementations.
+ */
+
+#include "bugs/injectors.hh"
+
+#include <cmath>
+
+#include "algo/arith.hh"
+#include "algo/qft.hh"
+#include "common/logging.hh"
+
+namespace qsa::bugs
+{
+
+std::string
+table1VariantName(Table1Variant variant)
+{
+    switch (variant) {
+      case Table1Variant::CorrectDropA:
+        return "correct, operation A unneeded";
+      case Table1Variant::CorrectDropC:
+        return "correct, operation C unneeded";
+      case Table1Variant::IncorrectFlipped:
+        return "incorrect, angles flipped";
+    }
+    panic("unknown Table 1 variant");
+}
+
+void
+appendCPhaseDecomposed(circuit::Circuit &circ, unsigned ctrl,
+                       unsigned tgt, double angle,
+                       Table1Variant variant)
+{
+    const double half = angle / 2.0;
+    switch (variant) {
+      case Table1Variant::CorrectDropA:
+        // Rz(q1,+a/2) C; CNOT; Rz(q1,-a/2) B; CNOT; Rz(q0,+a/2) D.
+        circ.phase(tgt, +half);
+        circ.cnot(ctrl, tgt);
+        circ.phase(tgt, -half);
+        circ.cnot(ctrl, tgt);
+        circ.phase(ctrl, +half);
+        break;
+      case Table1Variant::CorrectDropC:
+        // CNOT; Rz(q1,-a/2) B; CNOT; Rz(q1,+a/2) A; Rz(q0,+a/2) D.
+        circ.cnot(ctrl, tgt);
+        circ.phase(tgt, -half);
+        circ.cnot(ctrl, tgt);
+        circ.phase(tgt, +half);
+        circ.phase(ctrl, +half);
+        break;
+      case Table1Variant::IncorrectFlipped:
+        // Rz(q1,-a/2); CNOT; Rz(q1,+a/2); CNOT; Rz(q0,+a/2):
+        // a rotation in the wrong direction.
+        circ.phase(tgt, -half);
+        circ.cnot(ctrl, tgt);
+        circ.phase(tgt, +half);
+        circ.cnot(ctrl, tgt);
+        circ.phase(ctrl, +half);
+        break;
+    }
+}
+
+void
+phiAddDecomposed(circuit::Circuit &circ, const circuit::QubitRegister &b,
+                 std::uint64_t a, unsigned ctrl, Table1Variant variant)
+{
+    const unsigned width = b.width();
+    for (int b_indx = width - 1; b_indx >= 0; --b_indx) {
+        for (int a_indx = b_indx; a_indx >= 0; --a_indx) {
+            if ((a >> a_indx) & 1) {
+                const double angle =
+                    M_PI / std::pow(2.0, b_indx - a_indx);
+                appendCPhaseDecomposed(circ, ctrl, b[b_indx], angle,
+                                       variant);
+            }
+        }
+    }
+}
+
+std::string
+iterationBugName(IterationBug bug)
+{
+    switch (bug) {
+      case IterationBug::InnerOffByOne:
+        return "inner loop off by one";
+      case IterationBug::WrongAngleDenominator:
+        return "wrong angle denominator";
+      case IterationBug::EndianSwapped:
+        return "endian-swapped target index";
+    }
+    panic("unknown iteration bug");
+}
+
+void
+phiAddIterationBug(circuit::Circuit &circ,
+                   const circuit::QubitRegister &b, std::uint64_t a,
+                   const std::vector<unsigned> &controls,
+                   IterationBug bug)
+{
+    const unsigned width = b.width();
+    for (int b_indx = width - 1; b_indx >= 0; --b_indx) {
+        const int a_lo = bug == IterationBug::InnerOffByOne ? 1 : 0;
+        for (int a_indx = b_indx; a_indx >= a_lo; --a_indx) {
+            if ((a >> a_indx) & 1) {
+                double denom_exp = b_indx - a_indx;
+                if (bug == IterationBug::WrongAngleDenominator)
+                    denom_exp += 1.0;
+                const double angle = M_PI / std::pow(2.0, denom_exp);
+
+                unsigned target = b[b_indx];
+                if (bug == IterationBug::EndianSwapped)
+                    target = b[width - 1 - b_indx];
+
+                circ.controlledGate(circuit::GateKind::Phase, controls,
+                                    target, angle);
+            }
+        }
+    }
+}
+
+void
+cModMulMisrouted(circuit::Circuit &circ, unsigned ctrl,
+                 const circuit::QubitRegister &x,
+                 const circuit::QubitRegister &b, std::uint64_t a,
+                 std::uint64_t n_mod, unsigned zero_anc)
+{
+    fatal_if(b.width() != x.width() + 1,
+             "helper register must have one more qubit than x");
+    (void)ctrl; // the whole point: the control is never routed in
+
+    algo::qft(circ, b);
+    for (unsigned i = 0; i < x.width(); ++i) {
+        const std::uint64_t addend = (a << i) % n_mod;
+        // Correct code passes {ctrl, x[i]}; the replicated-switch bug
+        // passes the same qubit twice, which is semantically a single
+        // control on x[i] alone.
+        std::vector<unsigned> controls{x[i]};
+        algo::phiAddModN(circ, b, addend, n_mod, zero_anc, controls);
+    }
+    algo::iqft(circ, b);
+}
+
+void
+cUaBrokenMirror(circuit::Circuit &circ, unsigned ctrl,
+                const circuit::QubitRegister &x,
+                const circuit::QubitRegister &b, std::uint64_t a,
+                std::uint64_t a_inv, std::uint64_t n_mod,
+                unsigned zero_anc)
+{
+    algo::cModMul(circ, ctrl, x, b, a, n_mod, zero_anc);
+    for (unsigned i = 0; i < x.width(); ++i)
+        circ.cswap(ctrl, x[i], b[i]);
+    // BUG: forward multiplier with a^-1 instead of the adjoint of the
+    // multiplier — b accumulates a^-1 * x instead of being cleared.
+    algo::cModMul(circ, ctrl, x, b, a_inv, n_mod, zero_anc);
+}
+
+void
+phiSubForgotNegate(circuit::Circuit &circ,
+                   const circuit::QubitRegister &b, std::uint64_t a,
+                   const std::vector<unsigned> &controls)
+{
+    // Iterates in mirrored order like a correct inverse adder, but
+    // the author forgot the minus sign on every angle.
+    const unsigned width = b.width();
+    for (int b_indx = 0; b_indx < (int)width; ++b_indx) {
+        for (int a_indx = 0; a_indx <= b_indx; ++a_indx) {
+            if ((a >> a_indx) & 1) {
+                const double angle =
+                    M_PI / std::pow(2.0, b_indx - a_indx); // no '-'
+                circ.controlledGate(circuit::GateKind::Phase, controls,
+                                    b[b_indx], angle);
+            }
+        }
+    }
+}
+
+} // namespace qsa::bugs

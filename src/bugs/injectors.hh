@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Buggy (and reference-correct) program variants.
+ *
+ * Table 1's three decomposition columns live here together so the
+ * Table 1 bench can compare them; the remaining builders are the
+ * "what the programmer actually typed" versions of bug types 2-5.
+ * Types 1 and 6 are data bugs injected through ShorConfig.
+ */
+
+#ifndef QSA_BUGS_INJECTORS_HH
+#define QSA_BUGS_INJECTORS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "circuit/register.hh"
+
+namespace qsa::bugs
+{
+
+/** The three code variants of Table 1. */
+enum class Table1Variant
+{
+    /** Column 1: correct, operation A unneeded. */
+    CorrectDropA,
+
+    /** Column 2: correct, operation C unneeded. */
+    CorrectDropC,
+
+    /** Column 3: incorrect, angles flipped. */
+    IncorrectFlipped,
+};
+
+/** Display name matching the paper's column headers. */
+std::string table1VariantName(Table1Variant variant);
+
+/**
+ * Append a controlled-phase(angle) built from single-qubit phases and
+ * CNOTs per the chosen Table 1 column (Figure 3's decomposition).
+ */
+void appendCPhaseDecomposed(circuit::Circuit &circ, unsigned ctrl,
+                            unsigned tgt, double angle,
+                            Table1Variant variant);
+
+/**
+ * Single-controlled Draper adder whose controlled rotations are
+ * *decomposed* per the Table 1 variant instead of using the native
+ * cphase — the unit-test harness of Listing 3 then catches the
+ * flipped variant with a classical output assertion.
+ */
+void phiAddDecomposed(circuit::Circuit &circ,
+                      const circuit::QubitRegister &b, std::uint64_t a,
+                      unsigned ctrl, Table1Variant variant);
+
+/** Iteration bugs for the adder (bug type 3). */
+enum class IterationBug
+{
+    /** Inner loop runs a_indx > 0 instead of >= 0 (drops a term). */
+    InnerOffByOne,
+
+    /** Angle denominator off by a factor of two. */
+    WrongAngleDenominator,
+
+    /** Target register indexed MSB-first (endian confusion). */
+    EndianSwapped,
+};
+
+/** Display name for an iteration bug. */
+std::string iterationBugName(IterationBug bug);
+
+/** Listing 2's adder with the chosen iteration mistake. */
+void phiAddIterationBug(circuit::Circuit &circ,
+                        const circuit::QubitRegister &b, std::uint64_t a,
+                        const std::vector<unsigned> &controls,
+                        IterationBug bug);
+
+/**
+ * Bug type 4: Listing 4's controlled modular multiplier with the
+ * control routing mistake of Section 4.4 — the replicated ccRz call
+ * uses ctrl1 twice, so the outer control qubit never gates the
+ * addition (semantically the AND of a qubit with itself).
+ */
+void cModMulMisrouted(circuit::Circuit &circ, unsigned ctrl,
+                      const circuit::QubitRegister &x,
+                      const circuit::QubitRegister &b, std::uint64_t a,
+                      std::uint64_t n_mod, unsigned zero_anc);
+
+/**
+ * Bug type 5: an in-place controlled modular multiply whose uncompute
+ * half forgets the mirroring — it *re-applies* the forward multiplier
+ * with a^-1 instead of appending its adjoint, so the helper register
+ * is not returned to |0>.
+ */
+void cUaBrokenMirror(circuit::Circuit &circ, unsigned ctrl,
+                     const circuit::QubitRegister &x,
+                     const circuit::QubitRegister &b, std::uint64_t a,
+                     std::uint64_t a_inv, std::uint64_t n_mod,
+                     unsigned zero_anc);
+
+/**
+ * Bug type 5 (small form): an "inverse" adder whose author forgot to
+ * negate the rotation angles — adds instead of subtracting.
+ */
+void phiSubForgotNegate(circuit::Circuit &circ,
+                        const circuit::QubitRegister &b, std::uint64_t a,
+                        const std::vector<unsigned> &controls);
+
+} // namespace qsa::bugs
+
+#endif // QSA_BUGS_INJECTORS_HH

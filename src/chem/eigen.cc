@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Jacobi eigensolver and evolution-operator construction.
+ */
+
+#include "chem/eigen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace qsa::chem
+{
+
+EigenSystem
+jacobiEigenSolve(const std::vector<double> &matrix, std::size_t n,
+                 double tol)
+{
+    panic_if(matrix.size() != n * n, "matrix size mismatch");
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = r + 1; c < n; ++c)
+            panic_if(std::fabs(matrix[r * n + c] - matrix[c * n + r]) >
+                         1e-9,
+                     "matrix is not symmetric");
+
+    std::vector<double> a = matrix;             // working copy
+    std::vector<double> v(n * n, 0.0);          // accumulated rotations
+    for (std::size_t i = 0; i < n; ++i)
+        v[i * n + i] = 1.0;
+
+    auto off_diagonal_norm = [&]() {
+        double s = 0.0;
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = r + 1; c < n; ++c)
+                s += a[r * n + c] * a[r * n + c];
+        return std::sqrt(s);
+    };
+
+    const int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (off_diagonal_norm() < tol)
+            break;
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a[p * n + q];
+                if (std::fabs(apq) < tol * 1e-3)
+                    continue;
+
+                const double app = a[p * n + p];
+                const double aqq = a[q * n + q];
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t =
+                    (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                // A <- J^T A J applied to rows/cols p and q.
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a[k * n + p];
+                    const double akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a[p * n + k];
+                    const double aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors (columns of V).
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v[k * n + p];
+                    const double vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Collect and sort.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) {
+                  return a[i * n + i] < a[j * n + j];
+              });
+
+    EigenSystem sys;
+    sys.values.reserve(n);
+    sys.vectors.reserve(n);
+    for (std::size_t k : order) {
+        sys.values.push_back(a[k * n + k]);
+        std::vector<double> vec(n);
+        for (std::size_t i = 0; i < n; ++i)
+            vec[i] = v[i * n + k];
+        sys.vectors.push_back(std::move(vec));
+    }
+    return sys;
+}
+
+std::vector<double>
+toRealSymmetric(const PauliOperator &op, double tol)
+{
+    const sim::CMatrix m = op.toMatrix();
+    const std::size_t n = m.dim();
+    std::vector<double> real(n * n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            panic_if(std::fabs(m.at(r, c).imag()) > tol,
+                     "operator matrix is not real");
+            real[r * n + c] = m.at(r, c).real();
+        }
+    }
+    return real;
+}
+
+EigenSystem
+diagonalize(const PauliOperator &op)
+{
+    const std::size_t n = std::size_t(1) << op.numQubits();
+    return jacobiEigenSolve(toRealSymmetric(op), n);
+}
+
+sim::CMatrix
+evolutionOperator(const PauliOperator &hamiltonian, double time,
+                  double e_ref)
+{
+    const EigenSystem sys = diagonalize(hamiltonian);
+    const std::size_t n = sys.values.size();
+
+    sim::CMatrix u(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const sim::Complex phase =
+            std::exp(sim::Complex(0.0,
+                                  -(sys.values[k] - e_ref) * time));
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                u.at(r, c) += phase * sys.vectors[k][r] *
+                              sys.vectors[k][c];
+    }
+    return u;
+}
+
+double
+groundStateEnergy(const PauliOperator &hamiltonian)
+{
+    return diagonalize(hamiltonian).values.front();
+}
+
+} // namespace qsa::chem

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dense real-symmetric eigensolver (cyclic Jacobi) and the exact
+ * time-evolution unitaries built from it.
+ *
+ * Used as the FCI ground truth for the chemistry case study and to
+ * construct exact controlled-U gates for iterative phase estimation,
+ * against which the Trotterised circuits are validated (the paper's
+ * Section 5.2.3 convergence checks).
+ */
+
+#ifndef QSA_CHEM_EIGEN_HH
+#define QSA_CHEM_EIGEN_HH
+
+#include <vector>
+
+#include "chem/pauli.hh"
+#include "sim/matrix.hh"
+
+namespace qsa::chem
+{
+
+/** Eigendecomposition of a real symmetric matrix. */
+struct EigenSystem
+{
+    /** Eigenvalues in ascending order. */
+    std::vector<double> values;
+
+    /**
+     * Eigenvectors: vectors[k] is the (normalised) eigenvector for
+     * values[k].
+     */
+    std::vector<std::vector<double>> vectors;
+};
+
+/**
+ * Diagonalise a real symmetric matrix (row-major, dimension n) with
+ * the cyclic Jacobi method.
+ */
+EigenSystem jacobiEigenSolve(const std::vector<double> &matrix,
+                             std::size_t n, double tol = 1e-13);
+
+/**
+ * Convert a Hermitian Pauli operator with a real matrix representation
+ * into a real symmetric matrix; panics if any entry has an imaginary
+ * part above tol (molecular Hamiltonians from real orbitals are real).
+ */
+std::vector<double> toRealSymmetric(const PauliOperator &op,
+                                    double tol = 1e-9);
+
+/** Eigendecomposition of a (real-representable) Pauli operator. */
+EigenSystem diagonalize(const PauliOperator &op);
+
+/**
+ * Exact evolution operator exp(-i (H - e_ref) t) as a dense unitary,
+ * via the eigendecomposition.
+ */
+sim::CMatrix evolutionOperator(const PauliOperator &hamiltonian,
+                               double time, double e_ref = 0.0);
+
+/** Ground-state (lowest) eigenvalue convenience wrapper. */
+double groundStateEnergy(const PauliOperator &hamiltonian);
+
+} // namespace qsa::chem
+
+#endif // QSA_CHEM_EIGEN_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Jordan-Wigner transformation implementation.
+ */
+
+#include "chem/fermion.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::chem
+{
+
+namespace
+{
+
+/** Z string on qubits below p. */
+std::uint32_t
+zString(unsigned p)
+{
+    return static_cast<std::uint32_t>(lowMask(p));
+}
+
+} // anonymous namespace
+
+PauliOperator
+jwAnnihilation(unsigned num_qubits, unsigned p)
+{
+    panic_if(p >= num_qubits, "orbital index out of range");
+    const std::uint32_t s = zString(p);
+    const std::uint32_t xp = 1u << p;
+    // a_p = Z_{<p} (X_p + i Y_p)/2 = Z_{<p} (X - X Z)_p / 2.
+    PauliOperator a =
+        PauliOperator::term(num_qubits, xp, s, 0.5)
+            .add(PauliOperator::term(num_qubits, xp, s | xp, -0.5));
+    return a;
+}
+
+PauliOperator
+jwCreation(unsigned num_qubits, unsigned p)
+{
+    panic_if(p >= num_qubits, "orbital index out of range");
+    const std::uint32_t s = zString(p);
+    const std::uint32_t xp = 1u << p;
+    // a+_p = Z_{<p} (X_p - i Y_p)/2 = Z_{<p} (X + X Z)_p / 2.
+    PauliOperator a =
+        PauliOperator::term(num_qubits, xp, s, 0.5)
+            .add(PauliOperator::term(num_qubits, xp, s | xp, 0.5));
+    return a;
+}
+
+PauliOperator
+jwNumber(unsigned num_qubits, unsigned p)
+{
+    return jwCreation(num_qubits, p).mul(jwAnnihilation(num_qubits, p));
+}
+
+PauliOperator
+buildQubitHamiltonian(const MolecularIntegrals &ints)
+{
+    const unsigned n_spatial = ints.numSpatial;
+    const unsigned n_so = 2 * n_spatial;
+    fatal_if(n_spatial == 0, "no orbitals");
+    fatal_if(ints.core.size() != n_spatial, "core integral shape");
+    fatal_if(ints.eri.size() != n_spatial, "eri shape");
+
+    // Cache the ladder operators.
+    std::vector<PauliOperator> create, destroy;
+    for (unsigned p = 0; p < n_so; ++p) {
+        create.push_back(jwCreation(n_so, p));
+        destroy.push_back(jwAnnihilation(n_so, p));
+    }
+
+    PauliOperator h =
+        PauliOperator::identity(n_so, ints.nuclearRepulsion);
+
+    // One-electron part: h_pq a+_p a_q with spin conservation.
+    for (unsigned p = 0; p < n_so; ++p) {
+        for (unsigned q = 0; q < n_so; ++q) {
+            if (p % 2 != q % 2)
+                continue;
+            const double hval = ints.core[p / 2][q / 2];
+            if (hval == 0.0)
+                continue;
+            h = h.add(create[p].mul(destroy[q]).scale(hval));
+        }
+    }
+
+    // Two-electron part:
+    // 1/2 sum_pqrs <pq|rs> a+_p a+_q a_s a_r, with
+    // <pq|rs> = (pr|qs)_chemist * delta(sp, sr) * delta(sq, ss).
+    for (unsigned p = 0; p < n_so; ++p) {
+        for (unsigned q = 0; q < n_so; ++q) {
+            for (unsigned r = 0; r < n_so; ++r) {
+                if (p % 2 != r % 2)
+                    continue;
+                for (unsigned s = 0; s < n_so; ++s) {
+                    if (q % 2 != s % 2)
+                        continue;
+                    const double v =
+                        ints.eri[p / 2][r / 2][q / 2][s / 2];
+                    if (v == 0.0)
+                        continue;
+                    PauliOperator term = create[p]
+                                             .mul(create[q])
+                                             .mul(destroy[s])
+                                             .mul(destroy[r])
+                                             .scale(0.5 * v);
+                    h = h.add(term);
+                }
+            }
+        }
+    }
+    return h.pruned();
+}
+
+} // namespace qsa::chem

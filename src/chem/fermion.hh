@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Second quantization and the Jordan-Wigner transformation.
+ *
+ * This replaces the data-file route the paper took (LIQUi|>'s
+ * h2_sto3g_4.dat): given molecular spin-orbital integrals we build the
+ * fermionic Hamiltonian
+ *   H = sum_pq h_pq a+_p a_q
+ *     + 1/2 sum_pqrs <pq|rs> a+_p a+_q a_s a_r
+ * and map it onto qubits with the Jordan-Wigner encoding, following
+ * the procedure of Whitfield et al. [54].
+ */
+
+#ifndef QSA_CHEM_FERMION_HH
+#define QSA_CHEM_FERMION_HH
+
+#include <vector>
+
+#include "chem/pauli.hh"
+
+namespace qsa::chem
+{
+
+/** Jordan-Wigner annihilation operator a_p on num_qubits qubits. */
+PauliOperator jwAnnihilation(unsigned num_qubits, unsigned p);
+
+/** Jordan-Wigner creation operator a+_p. */
+PauliOperator jwCreation(unsigned num_qubits, unsigned p);
+
+/** Jordan-Wigner number operator n_p = a+_p a_p. */
+PauliOperator jwNumber(unsigned num_qubits, unsigned p);
+
+/**
+ * Spin-orbital integrals for a molecule with `numSpatial` spatial
+ * orbitals. Spin orbital p has spatial index p / 2 and spin p % 2
+ * (even = up, odd = down), matching Table 5's column order
+ * (bonding-up, bonding-down, antibonding-up, antibonding-down) for
+ * H2.
+ */
+struct MolecularIntegrals
+{
+    /** Number of spatial orbitals. */
+    unsigned numSpatial = 0;
+
+    /** Core (one-electron) integrals h[p][q], spatial indices. */
+    std::vector<std::vector<double>> core;
+
+    /**
+     * Two-electron repulsion integrals in *chemist* notation
+     * (pq|rs) = integral of p(1) q(1) 1/r12 r(2) s(2), spatial
+     * indices eri[p][q][r][s].
+     */
+    std::vector<std::vector<std::vector<std::vector<double>>>> eri;
+
+    /** Nuclear repulsion energy (added to the identity term). */
+    double nuclearRepulsion = 0.0;
+};
+
+/**
+ * Build the qubit Hamiltonian for the given integrals via
+ * Jordan-Wigner, on 2 * numSpatial qubits (one per spin orbital).
+ */
+PauliOperator buildQubitHamiltonian(const MolecularIntegrals &ints);
+
+} // namespace qsa::chem
+
+#endif // QSA_CHEM_FERMION_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Closed-form s-Gaussian integrals (Szabo & Ostlund A.9-A.41).
+ */
+
+#include "chem/gaussian.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/specfun.hh"
+
+namespace qsa::chem
+{
+
+double
+distanceSquared(const Vec3 &a, const Vec3 &b)
+{
+    double d2 = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        const double d = a[i] - b[i];
+        d2 += d * d;
+    }
+    return d2;
+}
+
+double
+boysF0(double t)
+{
+    if (t < 1e-12) {
+        // Series: F0(t) = 1 - t/3 + t^2/10 - ...
+        return 1.0 - t / 3.0;
+    }
+    return 0.5 * std::sqrt(M_PI / t) *
+           stats::errorFunction(std::sqrt(t));
+}
+
+ContractedGaussian
+sto3gHydrogen(const Vec3 &center)
+{
+    ContractedGaussian g;
+    g.center = center;
+    // Standard STO-3G hydrogen (zeta = 1.24 scaling folded in).
+    g.exponents = {3.425250914, 0.6239137298, 0.1688554040};
+    g.coefficients = {0.1543289673, 0.5353281423, 0.4446345422};
+
+    // Renormalise the contraction so <g|g> = 1 exactly.
+    const double s = overlap(g, g);
+    const double scale = 1.0 / std::sqrt(s);
+    for (double &c : g.coefficients)
+        c *= scale;
+    return g;
+}
+
+namespace
+{
+
+/** Normalisation constant of an s primitive with exponent a. */
+double
+primNorm(double a)
+{
+    return std::pow(2.0 * a / M_PI, 0.75);
+}
+
+/** Gaussian product prefactor exp(-ab/(a+b) |A-B|^2). */
+double
+productPrefactor(double a, double b, const Vec3 &pa, const Vec3 &pb)
+{
+    return std::exp(-a * b / (a + b) * distanceSquared(pa, pb));
+}
+
+/** Gaussian product center (a A + b B) / (a + b). */
+Vec3
+productCenter(double a, double b, const Vec3 &pa, const Vec3 &pb)
+{
+    Vec3 p;
+    for (int i = 0; i < 3; ++i)
+        p[i] = (a * pa[i] + b * pb[i]) / (a + b);
+    return p;
+}
+
+/**
+ * Accumulate a two-index primitive integral over both contractions.
+ */
+template <typename Prim>
+double
+contract2(const ContractedGaussian &a, const ContractedGaussian &b,
+          Prim prim)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.exponents.size(); ++i) {
+        for (std::size_t j = 0; j < b.exponents.size(); ++j) {
+            const double na = primNorm(a.exponents[i]);
+            const double nb = primNorm(b.exponents[j]);
+            total += a.coefficients[i] * b.coefficients[j] * na * nb *
+                     prim(a.exponents[i], b.exponents[j]);
+        }
+    }
+    return total;
+}
+
+} // anonymous namespace
+
+double
+overlap(const ContractedGaussian &a, const ContractedGaussian &b)
+{
+    return contract2(a, b, [&](double ea, double eb) {
+        return std::pow(M_PI / (ea + eb), 1.5) *
+               productPrefactor(ea, eb, a.center, b.center);
+    });
+}
+
+double
+kinetic(const ContractedGaussian &a, const ContractedGaussian &b)
+{
+    return contract2(a, b, [&](double ea, double eb) {
+        const double mu = ea * eb / (ea + eb);
+        const double r2 = distanceSquared(a.center, b.center);
+        return mu * (3.0 - 2.0 * mu * r2) *
+               std::pow(M_PI / (ea + eb), 1.5) *
+               productPrefactor(ea, eb, a.center, b.center);
+    });
+}
+
+double
+nuclearAttraction(const ContractedGaussian &a,
+                  const ContractedGaussian &b, const Vec3 &nucleus,
+                  double z)
+{
+    return contract2(a, b, [&](double ea, double eb) {
+        const Vec3 p = productCenter(ea, eb, a.center, b.center);
+        const double t = (ea + eb) * distanceSquared(p, nucleus);
+        return -2.0 * M_PI * z / (ea + eb) *
+               productPrefactor(ea, eb, a.center, b.center) * boysF0(t);
+    });
+}
+
+double
+electronRepulsion(const ContractedGaussian &a,
+                  const ContractedGaussian &b,
+                  const ContractedGaussian &c,
+                  const ContractedGaussian &d)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.exponents.size(); ++i)
+    for (std::size_t j = 0; j < b.exponents.size(); ++j)
+    for (std::size_t k = 0; k < c.exponents.size(); ++k)
+    for (std::size_t l = 0; l < d.exponents.size(); ++l) {
+        const double ea = a.exponents[i], eb = b.exponents[j];
+        const double ec = c.exponents[k], ed = d.exponents[l];
+        const double p = ea + eb, q = ec + ed;
+
+        const Vec3 cp = productCenter(ea, eb, a.center, b.center);
+        const Vec3 cq = productCenter(ec, ed, c.center, d.center);
+        const double t =
+            p * q / (p + q) * distanceSquared(cp, cq);
+
+        const double prim =
+            2.0 * std::pow(M_PI, 2.5) /
+            (p * q * std::sqrt(p + q)) *
+            productPrefactor(ea, eb, a.center, b.center) *
+            productPrefactor(ec, ed, c.center, d.center) * boysF0(t);
+
+        total += a.coefficients[i] * b.coefficients[j] *
+                 c.coefficients[k] * d.coefficients[l] *
+                 primNorm(ea) * primNorm(eb) * primNorm(ec) *
+                 primNorm(ed) * prim;
+    }
+    return total;
+}
+
+} // namespace qsa::chem

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * s-type Gaussian orbital integrals and the STO-3G hydrogen basis.
+ *
+ * The paper obtained its H2 model from published data files; here the
+ * same numbers are computed from first principles. For 1s Gaussians
+ * the four integral classes (overlap, kinetic, nuclear attraction,
+ * electron repulsion) have closed forms involving only the Boys
+ * function F0 (Szabo & Ostlund, appendix A).
+ *
+ * All quantities in atomic units (bohr, hartree).
+ */
+
+#ifndef QSA_CHEM_GAUSSIAN_HH
+#define QSA_CHEM_GAUSSIAN_HH
+
+#include <array>
+#include <vector>
+
+namespace qsa::chem
+{
+
+/** A point in 3-space (bohr). */
+using Vec3 = std::array<double, 3>;
+
+/** Squared distance between two points. */
+double distanceSquared(const Vec3 &a, const Vec3 &b);
+
+/** Boys function F0(t) = (1/2) sqrt(pi/t) erf(sqrt(t)); F0(0) = 1. */
+double boysF0(double t);
+
+/**
+ * A normalised contracted s-type Gaussian basis function
+ * chi(r) = sum_i d_i (2 a_i / pi)^{3/4} exp(-a_i |r - C|^2).
+ */
+struct ContractedGaussian
+{
+    /** Center (bohr). */
+    Vec3 center{0.0, 0.0, 0.0};
+
+    /** Primitive exponents. */
+    std::vector<double> exponents;
+
+    /** Contraction coefficients (for unit-normalised primitives). */
+    std::vector<double> coefficients;
+};
+
+/**
+ * The STO-3G hydrogen basis function at `center` (standard exponents
+ * for the zeta = 1.24 scaled Slater orbital), renormalised so the
+ * self-overlap is exactly 1.
+ */
+ContractedGaussian sto3gHydrogen(const Vec3 &center);
+
+/** Overlap integral <a|b>. */
+double overlap(const ContractedGaussian &a, const ContractedGaussian &b);
+
+/** Kinetic energy integral <a| -nabla^2/2 |b>. */
+double kinetic(const ContractedGaussian &a, const ContractedGaussian &b);
+
+/**
+ * Nuclear attraction integral <a| -Z / |r - C| |b> for a nucleus of
+ * charge `z` at `nucleus`.
+ */
+double nuclearAttraction(const ContractedGaussian &a,
+                         const ContractedGaussian &b, const Vec3 &nucleus,
+                         double z);
+
+/** Two-electron repulsion integral (ab|cd) in chemist notation. */
+double electronRepulsion(const ContractedGaussian &a,
+                         const ContractedGaussian &b,
+                         const ContractedGaussian &c,
+                         const ContractedGaussian &d);
+
+/** Bohr radius in picometres (CODATA), for bond-length conversion. */
+constexpr double bohr_in_pm = 52.9177210903;
+
+} // namespace qsa::chem
+
+#endif // QSA_CHEM_GAUSSIAN_HH

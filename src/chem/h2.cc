@@ -1,0 +1,134 @@
+/**
+ * @file
+ * H2/STO-3G model construction.
+ */
+
+#include "chem/h2.hh"
+
+#include <cmath>
+
+#include "chem/gaussian.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::chem
+{
+
+H2Model
+buildH2Model(double bond_length_pm)
+{
+    fatal_if(bond_length_pm <= 0.0, "bond length must be positive");
+
+    H2Model model;
+    model.bondLength = bond_length_pm / bohr_in_pm;
+    const double r = model.bondLength;
+
+    const Vec3 nucleus_a{0.0, 0.0, 0.0};
+    const Vec3 nucleus_b{0.0, 0.0, r};
+    const ContractedGaussian chi1 = sto3gHydrogen(nucleus_a);
+    const ContractedGaussian chi2 = sto3gHydrogen(nucleus_b);
+
+    // --- AO integrals ----------------------------------------------------
+    const double s12 = overlap(chi1, chi2);
+    const double t11 = kinetic(chi1, chi1);
+    const double t12 = kinetic(chi1, chi2);
+    const double v11 = nuclearAttraction(chi1, chi1, nucleus_a, 1.0) +
+                       nuclearAttraction(chi1, chi1, nucleus_b, 1.0);
+    const double v12 = nuclearAttraction(chi1, chi2, nucleus_a, 1.0) +
+                       nuclearAttraction(chi1, chi2, nucleus_b, 1.0);
+    const double h11_ao = t11 + v11; // == h22 by symmetry
+    const double h12_ao = t12 + v12;
+
+    // --- Symmetry-adapted RHF orbitals -----------------------------------
+    // The D_inf_h symmetry fixes the MOs: sigma_g = (1+2)/norm,
+    // sigma_u = (1-2)/norm; SCF is already converged in this basis.
+    const double norm_g = 1.0 / std::sqrt(2.0 * (1.0 + s12));
+    const double norm_u = 1.0 / std::sqrt(2.0 * (1.0 - s12));
+    // MO coefficient matrix c[ao][mo].
+    const double c[2][2] = {{norm_g, norm_u}, {norm_g, -norm_u}};
+
+    // One-electron MO integrals (diagonal by symmetry).
+    const double h_g = (h11_ao + h12_ao) / (1.0 + s12);
+    const double h_u = (h11_ao - h12_ao) / (1.0 - s12);
+
+    // --- Two-electron integrals: AO then 4-index transform ----------------
+    const ContractedGaussian *ao[2] = {&chi1, &chi2};
+    double eri_ao[2][2][2][2];
+    for (int p = 0; p < 2; ++p)
+    for (int q = 0; q < 2; ++q)
+    for (int rr = 0; rr < 2; ++rr)
+    for (int ss = 0; ss < 2; ++ss)
+        eri_ao[p][q][rr][ss] =
+            electronRepulsion(*ao[p], *ao[q], *ao[rr], *ao[ss]);
+
+    model.integrals.numSpatial = 2;
+    model.integrals.core = {{h_g, 0.0}, {0.0, h_u}};
+    model.integrals.eri.assign(
+        2, std::vector<std::vector<std::vector<double>>>(
+               2, std::vector<std::vector<double>>(
+                      2, std::vector<double>(2, 0.0))));
+    for (int p = 0; p < 2; ++p)
+    for (int q = 0; q < 2; ++q)
+    for (int rr = 0; rr < 2; ++rr)
+    for (int ss = 0; ss < 2; ++ss) {
+        double acc = 0.0;
+        for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b)
+        for (int cc = 0; cc < 2; ++cc)
+        for (int d = 0; d < 2; ++d)
+            acc += c[a][p] * c[b][q] * c[cc][rr] * c[d][ss] *
+                   eri_ao[a][b][cc][d];
+        model.integrals.eri[p][q][rr][ss] = acc;
+    }
+
+    model.integrals.nuclearRepulsion = 1.0 / r;
+
+    // --- Qubit Hamiltonian and reference energies ------------------------
+    model.hamiltonian = buildQubitHamiltonian(model.integrals);
+    model.hartreeFockEnergy = 2.0 * h_g +
+                              model.integrals.eri[0][0][0][0] +
+                              model.integrals.nuclearRepulsion;
+    return model;
+}
+
+double
+determinantEnergy(const H2Model &model, std::uint32_t occupation)
+{
+    const auto &ints = model.integrals;
+    double e = ints.nuclearRepulsion;
+
+    // Slater-Condon rules for a diagonal element: sum of occupied core
+    // integrals plus Coulomb minus (same-spin) exchange pairs.
+    for (unsigned p = 0; p < 4; ++p) {
+        if (!getBit(occupation, p))
+            continue;
+        e += ints.core[p / 2][p / 2];
+        for (unsigned q = p + 1; q < 4; ++q) {
+            if (!getBit(occupation, q))
+                continue;
+            const unsigned sp = p / 2, sq = q / 2;
+            e += ints.eri[sp][sp][sq][sq]; // Coulomb J
+            if (p % 2 == q % 2)
+                e -= ints.eri[sp][sq][sq][sp]; // exchange K
+        }
+    }
+    return e;
+}
+
+std::vector<std::uint32_t>
+table5Assignments()
+{
+    // Table 5 rows, top to bottom. Bit p set = spin orbital p
+    // occupied (0 = bonding-up, 1 = bonding-down, 2 = antibonding-up,
+    // 3 = antibonding-down).
+    return {
+        0b1100, // E3: both electrons antibonding
+        0b0110, // E2: bonding-down + antibonding-up (opposite spins)
+        0b1001, // E2: bonding-up + antibonding-down (opposite spins)
+        0b0101, // E1: bonding-up + antibonding-up (same spin)
+        0b1010, // E1: bonding-down + antibonding-down (same spin)
+        0b0011, // G:  both electrons bonding
+    };
+}
+
+} // namespace qsa::chem

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The H2 / STO-3G model used by the paper's chemistry case study
+ * (Section 5.2, Table 5).
+ *
+ * Pipeline: STO-3G AO integrals -> symmetry-determined RHF molecular
+ * orbitals (sigma_g bonding, sigma_u antibonding) -> MO-basis spin-
+ * orbital integrals -> Jordan-Wigner qubit Hamiltonian on 4 qubits.
+ * Qubit order matches Table 5's columns:
+ *   qubit 0 = bonding up, 1 = bonding down,
+ *   qubit 2 = antibonding up, 3 = antibonding down.
+ */
+
+#ifndef QSA_CHEM_H2_HH
+#define QSA_CHEM_H2_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "chem/fermion.hh"
+#include "chem/pauli.hh"
+
+namespace qsa::chem
+{
+
+/** Everything the chemistry benchmarks need about the H2 model. */
+struct H2Model
+{
+    /** Bond length used (bohr). */
+    double bondLength = 0.0;
+
+    /** Molecular integrals (spatial orbital 0 = sigma_g, 1 = sigma_u). */
+    MolecularIntegrals integrals;
+
+    /** Jordan-Wigner Hamiltonian on 4 qubits (includes E_nuc). */
+    PauliOperator hamiltonian{4};
+
+    /** Restricted Hartree-Fock total energy (hartree). */
+    double hartreeFockEnergy = 0.0;
+};
+
+/**
+ * Build the H2 model at the given bond length.
+ *
+ * @param bond_length_pm internuclear distance in picometres; the
+ *        paper's Table 5 uses 73.48 pm
+ */
+H2Model buildH2Model(double bond_length_pm = 73.48);
+
+/**
+ * Expectation value <det| H |det> of a Slater determinant given as an
+ * occupation bit mask over the 4 spin orbitals (bit order as above) —
+ * the classical energies whose degeneracy pattern Table 5 reports.
+ */
+double determinantEnergy(const H2Model &model, std::uint32_t occupation);
+
+/** The six 2-electron occupation masks in Table 5's row order. */
+std::vector<std::uint32_t> table5Assignments();
+
+} // namespace qsa::chem
+
+#endif // QSA_CHEM_H2_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Pauli-operator implementation.
+ */
+
+#include "chem/pauli.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::chem
+{
+
+PauliOperator::PauliOperator(unsigned num_qubits) : nQubits(num_qubits)
+{
+    panic_if(num_qubits > 24, "PauliOperator limited to 24 qubits");
+}
+
+PauliOperator
+PauliOperator::identity(unsigned num_qubits, sim::Complex c)
+{
+    return term(num_qubits, 0, 0, c);
+}
+
+PauliOperator
+PauliOperator::term(unsigned num_qubits, std::uint32_t x,
+                    std::uint32_t z, sim::Complex c)
+{
+    PauliOperator op(num_qubits);
+    panic_if((x | z) >> num_qubits, "mask exceeds qubit count");
+    op.addTerm({x, z}, c);
+    return op;
+}
+
+void
+PauliOperator::addTerm(const PauliMask &mask, sim::Complex c)
+{
+    auto [it, inserted] = termMap.emplace(mask, c);
+    if (!inserted)
+        it->second += c;
+    if (std::abs(it->second) == 0.0)
+        termMap.erase(it);
+}
+
+PauliOperator
+PauliOperator::add(const PauliOperator &rhs) const
+{
+    panic_if(nQubits != rhs.nQubits, "qubit count mismatch in add");
+    PauliOperator out = *this;
+    for (const auto &[mask, c] : rhs.termMap)
+        out.addTerm(mask, c);
+    return out;
+}
+
+PauliOperator
+PauliOperator::mul(const PauliOperator &rhs) const
+{
+    panic_if(nQubits != rhs.nQubits, "qubit count mismatch in mul");
+    PauliOperator out(nQubits);
+    for (const auto &[m1, c1] : termMap) {
+        for (const auto &[m2, c2] : rhs.termMap) {
+            // (X^x1 Z^z1)(X^x2 Z^z2): commuting Z^z1 through X^x2
+            // picks up (-1)^{|z1 & x2|}.
+            const int sign =
+                popcount64(m1.z & m2.x) % 2 == 0 ? 1 : -1;
+            const PauliMask mask{m1.x ^ m2.x, m1.z ^ m2.z};
+            out.addTerm(mask, c1 * c2 * static_cast<double>(sign));
+        }
+    }
+    return out;
+}
+
+PauliOperator
+PauliOperator::scale(sim::Complex c) const
+{
+    PauliOperator out(nQubits);
+    if (std::abs(c) == 0.0)
+        return out;
+    for (const auto &[mask, coeff] : termMap)
+        out.termMap.emplace(mask, coeff * c);
+    return out;
+}
+
+PauliOperator
+PauliOperator::adjoint() const
+{
+    // (X^x Z^z)^dag = Z^z X^x = (-1)^{|x & z|} X^x Z^z.
+    PauliOperator out(nQubits);
+    for (const auto &[mask, coeff] : termMap) {
+        const int sign =
+            popcount64(mask.x & mask.z) % 2 == 0 ? 1 : -1;
+        out.addTerm(mask,
+                    std::conj(coeff) * static_cast<double>(sign));
+    }
+    return out;
+}
+
+PauliOperator
+PauliOperator::pruned(double tol) const
+{
+    PauliOperator out(nQubits);
+    for (const auto &[mask, coeff] : termMap) {
+        if (std::abs(coeff) > tol)
+            out.termMap.emplace(mask, coeff);
+    }
+    return out;
+}
+
+sim::CMatrix
+PauliOperator::toMatrix() const
+{
+    const std::uint64_t dim = pow2(nQubits);
+    sim::CMatrix m(dim);
+    for (const auto &[mask, coeff] : termMap) {
+        for (std::uint64_t col = 0; col < dim; ++col) {
+            // X^x Z^z |col> = (-1)^{|z & col|} |col ^ x>.
+            const int sign =
+                popcount64(mask.z & col) % 2 == 0 ? 1 : -1;
+            m.at(col ^ mask.x, col) +=
+                coeff * static_cast<double>(sign);
+        }
+    }
+    return m;
+}
+
+std::vector<PauliWord>
+PauliOperator::toWords(double tol) const
+{
+    std::vector<PauliWord> words;
+    words.reserve(termMap.size());
+    for (const auto &[mask, coeff] : termMap) {
+        PauliWord w;
+        w.letters.assign(nQubits, 'I');
+        unsigned num_y = 0;
+        for (unsigned q = 0; q < nQubits; ++q) {
+            const bool x = getBit(mask.x, q);
+            const bool z = getBit(mask.z, q);
+            if (x && z) {
+                w.letters[q] = 'Y';
+                ++num_y;
+            } else if (x) {
+                w.letters[q] = 'X';
+            } else if (z) {
+                w.letters[q] = 'Z';
+            }
+        }
+        // X Z = -i Y per Y letter: the conventional-word coefficient
+        // is coeff * i^{num_y}... derive: term = coeff * prod(XZ)
+        //   = coeff * (-i)^{num_y} * prod(Y) -> word coefficient is
+        // coeff * (-i)^{num_y}.
+        sim::Complex wc = coeff;
+        static const sim::Complex minus_i(0.0, -1.0);
+        for (unsigned k = 0; k < num_y % 4; ++k)
+            wc *= minus_i;
+        panic_if(std::abs(wc.imag()) > tol,
+                 "non-Hermitian operator cannot convert to real Pauli "
+                 "words (imag = ", wc.imag(), ")");
+        w.coefficient = wc.real();
+        words.push_back(std::move(w));
+    }
+    return words;
+}
+
+std::string
+PauliOperator::str() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &w : toWords(1e30)) { // tolerate complex for dump
+        if (!first)
+            os << " + ";
+        first = false;
+        os << "(" << w.coefficient << ")";
+        for (unsigned q = 0; q < nQubits; ++q) {
+            if (w.letters[q] != 'I')
+                os << " " << w.letters[q] << q;
+        }
+    }
+    if (first)
+        os << "0";
+    return os.str();
+}
+
+} // namespace qsa::chem

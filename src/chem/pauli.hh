@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Pauli-string algebra for qubit Hamiltonians.
+ *
+ * Terms are stored in the symplectic form X^x Z^z (bit masks x, z per
+ * qubit) with complex coefficients; Y appears implicitly as
+ * Y = i X Z. This makes products a pair of XORs plus a sign, which is
+ * all the Jordan-Wigner transformation needs.
+ */
+
+#ifndef QSA_CHEM_PAULI_HH
+#define QSA_CHEM_PAULI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/matrix.hh"
+#include "sim/types.hh"
+
+namespace qsa::chem
+{
+
+/** One Pauli word in mask form, coefficient excluded. */
+struct PauliMask
+{
+    /** X-part bit mask. */
+    std::uint32_t x = 0;
+
+    /** Z-part bit mask. */
+    std::uint32_t z = 0;
+
+    bool operator<(const PauliMask &o) const
+    {
+        return x != o.x ? x < o.x : z < o.z;
+    }
+    bool operator==(const PauliMask &o) const
+    {
+        return x == o.x && z == o.z;
+    }
+};
+
+/**
+ * A Pauli word in conventional I/X/Y/Z letters with a real
+ * coefficient — the form Trotterisation consumes.
+ */
+struct PauliWord
+{
+    /** Per-qubit letters, index 0 first; 'I', 'X', 'Y', or 'Z'. */
+    std::string letters;
+
+    /** Real coefficient (Hermitian operators only). */
+    double coefficient = 0.0;
+};
+
+/** A complex linear combination of Pauli strings. */
+class PauliOperator
+{
+  public:
+    /** Zero operator on num_qubits qubits. */
+    explicit PauliOperator(unsigned num_qubits = 0);
+
+    /** The identity scaled by `c`. */
+    static PauliOperator identity(unsigned num_qubits,
+                                  sim::Complex c = 1.0);
+
+    /** A single X^x Z^z term. */
+    static PauliOperator term(unsigned num_qubits, std::uint32_t x,
+                              std::uint32_t z, sim::Complex c);
+
+    /** Number of qubits. */
+    unsigned numQubits() const { return nQubits; }
+
+    /** Term map (mask -> coefficient); zero terms pruned. */
+    const std::map<PauliMask, sim::Complex> &terms() const
+    {
+        return termMap;
+    }
+
+    /** this + rhs. */
+    PauliOperator add(const PauliOperator &rhs) const;
+
+    /** this * rhs (operator product, phases tracked). */
+    PauliOperator mul(const PauliOperator &rhs) const;
+
+    /** this scaled by c. */
+    PauliOperator scale(sim::Complex c) const;
+
+    /** Hermitian conjugate. */
+    PauliOperator adjoint() const;
+
+    /** Remove terms with |coefficient| below tol. */
+    PauliOperator pruned(double tol = 1e-12) const;
+
+    /** Number of non-zero terms. */
+    std::size_t size() const { return termMap.size(); }
+
+    /** Dense matrix representation (dimension 2^n). */
+    sim::CMatrix toMatrix() const;
+
+    /**
+     * Decompose into conventional Pauli words with real coefficients;
+     * fails (panics) if any coefficient has an imaginary part above
+     * tol, i.e. if the operator is not Hermitian.
+     */
+    std::vector<PauliWord> toWords(double tol = 1e-9) const;
+
+    /** Human-readable dump ("(-0.2428) Z0 + ..."). */
+    std::string str() const;
+
+  private:
+    unsigned nQubits;
+    std::map<PauliMask, sim::Complex> termMap;
+
+    void addTerm(const PauliMask &mask, sim::Complex c);
+};
+
+} // namespace qsa::chem
+
+#endif // QSA_CHEM_PAULI_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trotterised time evolution circuits.
+ *
+ * exp(-i H t) is approximated by r repetitions of the first-order
+ * product formula prod_k exp(-i c_k P_k t / r) over the Hamiltonian's
+ * Pauli words. Each factor compiles to the textbook basis-change +
+ * CNOT-ladder + Rz pattern; controlled variants promote only the Rz
+ * (and the identity term's global phase, which becomes a physical
+ * controlled phase — forgetting it is a classic chemistry-program
+ * bug).
+ */
+
+#ifndef QSA_CHEM_TROTTER_HH
+#define QSA_CHEM_TROTTER_HH
+
+#include <vector>
+
+#include "chem/pauli.hh"
+#include "circuit/circuit.hh"
+
+namespace qsa::chem
+{
+
+/**
+ * Append exp(-i theta P) for one Pauli word to the circuit.
+ *
+ * @param circ target circuit
+ * @param word Pauli letters for the low qubits of `qubits`
+ * @param theta rotation angle
+ * @param qubits qubit indices word letter i refers to
+ * @param controls optional control qubits
+ */
+void appendPauliExponential(circuit::Circuit &circ,
+                            const std::string &word, double theta,
+                            const std::vector<unsigned> &qubits,
+                            const std::vector<unsigned> &controls = {});
+
+/**
+ * Append one first-order Trotter step exp(-i H dt) (approximately).
+ *
+ * @param circ target circuit
+ * @param hamiltonian operator whose words drive the factors
+ * @param dt step length
+ * @param qubits mapping from operator qubit i to circuit qubit
+ * @param controls optional control qubits (identity term included as
+ *        a controlled phase)
+ * @param e_ref energy shift: evolves under (H - e_ref)
+ */
+void appendTrotterStep(circuit::Circuit &circ,
+                       const PauliOperator &hamiltonian, double dt,
+                       const std::vector<unsigned> &qubits,
+                       const std::vector<unsigned> &controls = {},
+                       double e_ref = 0.0);
+
+/**
+ * Append exp(-i (H - e_ref) t) via `steps` first-order Trotter steps.
+ */
+void appendTrotterEvolution(circuit::Circuit &circ,
+                            const PauliOperator &hamiltonian,
+                            double time, unsigned steps,
+                            const std::vector<unsigned> &qubits,
+                            const std::vector<unsigned> &controls = {},
+                            double e_ref = 0.0);
+
+} // namespace qsa::chem
+
+#endif // QSA_CHEM_TROTTER_HH

@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Circuit implementation.
+ */
+
+#include "circuit/circuit.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::circuit
+{
+
+Circuit::Circuit(unsigned num_qubits) : nQubits(num_qubits)
+{
+}
+
+QubitRegister
+Circuit::addRegister(const std::string &name, unsigned width)
+{
+    fatal_if(width == 0, "register '", name, "' must have width > 0");
+    for (const auto &r : regs)
+        fatal_if(r.name() == name, "duplicate register name '", name, "'");
+
+    std::vector<unsigned> qubits(width);
+    for (unsigned i = 0; i < width; ++i)
+        qubits[i] = nQubits + i;
+    nQubits += width;
+
+    regs.emplace_back(name, std::move(qubits));
+    return regs.back();
+}
+
+const QubitRegister &
+Circuit::reg(const std::string &name) const
+{
+    for (const auto &r : regs) {
+        if (r.name() == name)
+            return r;
+    }
+    fatal("no register named '", name, "'");
+}
+
+void
+Circuit::checkQubit(unsigned q) const
+{
+    fatal_if(q >= nQubits, "qubit ", q, " out of range (circuit has ",
+             nQubits, " qubits)");
+}
+
+void
+Circuit::validate(const Instruction &inst) const
+{
+    for (unsigned q : inst.targets)
+        checkQubit(q);
+    for (unsigned q : inst.controls)
+        checkQubit(q);
+
+    std::set<unsigned> seen(inst.targets.begin(), inst.targets.end());
+    fatal_if(seen.size() != inst.targets.size(),
+             "duplicate target qubits in ", gateKindName(inst.kind));
+    for (unsigned c : inst.controls) {
+        fatal_if(seen.count(c), "control qubit ", c,
+                 " collides with a target in ", gateKindName(inst.kind));
+        fatal_if(!seen.insert(c).second, "duplicate control qubit ", c);
+    }
+
+    switch (inst.kind) {
+      case GateKind::Swap:
+        fatal_if(inst.targets.size() != 2, "swap needs two targets");
+        break;
+      case GateKind::Unitary:
+        fatal_if(inst.matrixId < 0 ||
+                     inst.matrixId >= static_cast<int>(matrices.size()),
+                 "unitary instruction with invalid matrix id");
+        fatal_if(matrices[inst.matrixId].dim() !=
+                     pow2(inst.targets.size()),
+                 "unitary dimension does not match target count");
+        break;
+      case GateKind::Measure:
+      case GateKind::Breakpoint:
+        fatal_if(!inst.controls.empty(), gateKindName(inst.kind),
+                 " cannot be controlled");
+        break;
+      case GateKind::PrepZ:
+        fatal_if(!inst.controls.empty(), "prepz cannot be controlled");
+        fatal_if(inst.targets.size() != 1, "prepz takes one target");
+        break;
+      default:
+        fatal_if(inst.targets.size() != 1, gateKindName(inst.kind),
+                 " takes exactly one target");
+        break;
+    }
+}
+
+void
+Circuit::append(const Instruction &inst)
+{
+    validate(inst);
+    insts.push_back(inst);
+}
+
+void
+Circuit::conditionLast(const std::string &label, std::uint64_t value)
+{
+    fatal_if(insts.empty(), "no instruction to condition");
+    Instruction &inst = insts.back();
+    fatal_if(inst.kind == GateKind::Breakpoint ||
+                 inst.kind == GateKind::Measure,
+             "cannot condition ", gateKindName(inst.kind));
+    fatal_if(label.empty(), "condition label must be non-empty");
+    inst.condLabel = label;
+    inst.condValue = value;
+}
+
+void
+Circuit::prepZ(unsigned q, unsigned bit)
+{
+    Instruction i;
+    i.kind = GateKind::PrepZ;
+    i.targets = {q};
+    i.bit = bit & 1;
+    append(i);
+}
+
+void
+Circuit::prepRegister(const QubitRegister &r, std::uint64_t value)
+{
+    for (unsigned i = 0; i < r.width(); ++i)
+        prepZ(r[i], static_cast<unsigned>((value >> i) & 1));
+}
+
+namespace
+{
+
+Instruction
+simpleGate(GateKind kind, unsigned q, double angle = 0.0)
+{
+    Instruction i;
+    i.kind = kind;
+    i.targets = {q};
+    i.angle = angle;
+    return i;
+}
+
+} // anonymous namespace
+
+void Circuit::h(unsigned q) { append(simpleGate(GateKind::H, q)); }
+void Circuit::x(unsigned q) { append(simpleGate(GateKind::X, q)); }
+void Circuit::y(unsigned q) { append(simpleGate(GateKind::Y, q)); }
+void Circuit::z(unsigned q) { append(simpleGate(GateKind::Z, q)); }
+void Circuit::s(unsigned q) { append(simpleGate(GateKind::S, q)); }
+void Circuit::sdg(unsigned q) { append(simpleGate(GateKind::Sdg, q)); }
+void Circuit::t(unsigned q) { append(simpleGate(GateKind::T, q)); }
+void Circuit::tdg(unsigned q) { append(simpleGate(GateKind::Tdg, q)); }
+
+void
+Circuit::rx(unsigned q, double angle)
+{
+    append(simpleGate(GateKind::Rx, q, angle));
+}
+
+void
+Circuit::ry(unsigned q, double angle)
+{
+    append(simpleGate(GateKind::Ry, q, angle));
+}
+
+void
+Circuit::rz(unsigned q, double angle)
+{
+    append(simpleGate(GateKind::Rz, q, angle));
+}
+
+void
+Circuit::phase(unsigned q, double angle)
+{
+    append(simpleGate(GateKind::Phase, q, angle));
+}
+
+void
+Circuit::controlledGate(GateKind kind,
+                        const std::vector<unsigned> &controls,
+                        unsigned target, double angle)
+{
+    Instruction i;
+    i.kind = kind;
+    i.controls = controls;
+    i.targets = {target};
+    i.angle = angle;
+    append(i);
+}
+
+void
+Circuit::cnot(unsigned ctrl, unsigned tgt)
+{
+    controlledGate(GateKind::X, {ctrl}, tgt);
+}
+
+void
+Circuit::ccnot(unsigned c0, unsigned c1, unsigned tgt)
+{
+    controlledGate(GateKind::X, {c0, c1}, tgt);
+}
+
+void
+Circuit::cz(unsigned ctrl, unsigned tgt)
+{
+    controlledGate(GateKind::Z, {ctrl}, tgt);
+}
+
+void
+Circuit::crz(unsigned ctrl, unsigned tgt, double angle)
+{
+    controlledGate(GateKind::Rz, {ctrl}, tgt, angle);
+}
+
+void
+Circuit::cphase(unsigned ctrl, unsigned tgt, double angle)
+{
+    controlledGate(GateKind::Phase, {ctrl}, tgt, angle);
+}
+
+void
+Circuit::ccphase(unsigned c0, unsigned c1, unsigned tgt, double angle)
+{
+    controlledGate(GateKind::Phase, {c0, c1}, tgt, angle);
+}
+
+void
+Circuit::swap(unsigned q0, unsigned q1)
+{
+    Instruction i;
+    i.kind = GateKind::Swap;
+    i.targets = {q0, q1};
+    append(i);
+}
+
+void
+Circuit::cswap(unsigned ctrl, unsigned q0, unsigned q1)
+{
+    Instruction i;
+    i.kind = GateKind::Swap;
+    i.controls = {ctrl};
+    i.targets = {q0, q1};
+    append(i);
+}
+
+void
+Circuit::unitary(const sim::CMatrix &u,
+                 const std::vector<unsigned> &qubits,
+                 const std::vector<unsigned> &controls)
+{
+    Instruction i;
+    i.kind = GateKind::Unitary;
+    i.targets = qubits;
+    i.controls = controls;
+    i.matrixId = addMatrix(u);
+    append(i);
+}
+
+void
+Circuit::measure(const QubitRegister &r, const std::string &label)
+{
+    measureQubits(r.qubits(), label);
+}
+
+void
+Circuit::measureQubits(const std::vector<unsigned> &qubits,
+                       const std::string &label)
+{
+    Instruction i;
+    i.kind = GateKind::Measure;
+    i.targets = qubits;
+    i.label = label;
+    append(i);
+}
+
+void
+Circuit::breakpoint(const std::string &label)
+{
+    fatal_if(label.empty(), "breakpoints need a label");
+    for (const auto &inst : insts)
+        fatal_if(inst.kind == GateKind::Breakpoint && inst.label == label,
+                 "duplicate breakpoint label '", label, "'");
+
+    Instruction i;
+    i.kind = GateKind::Breakpoint;
+    i.label = label;
+    append(i);
+}
+
+void
+Circuit::appendCircuit(const Circuit &other)
+{
+    fatal_if(other.nQubits > nQubits,
+             "appended circuit uses more qubits than the target");
+    for (Instruction inst : other.insts) {
+        if (inst.kind == GateKind::Unitary)
+            inst.matrixId = addMatrix(other.matrix(inst.matrixId));
+        append(inst);
+    }
+}
+
+void
+Circuit::appendControlled(const Circuit &other,
+                          const std::vector<unsigned> &controls)
+{
+    fatal_if(other.nQubits > nQubits,
+             "appended circuit uses more qubits than the target");
+    for (Instruction inst : other.insts) {
+        fatal_if(!gateKindInvertible(inst.kind) &&
+                     inst.kind != GateKind::Breakpoint,
+                 "cannot control non-unitary instruction ",
+                 gateKindName(inst.kind));
+        fatal_if(!inst.condLabel.empty(),
+                 "cannot add quantum controls to a classically-"
+                 "conditioned instruction");
+        if (inst.kind == GateKind::Breakpoint)
+            continue; // markers do not survive wrapping
+        if (inst.kind == GateKind::Unitary)
+            inst.matrixId = addMatrix(other.matrix(inst.matrixId));
+        inst.controls.insert(inst.controls.end(), controls.begin(),
+                             controls.end());
+        append(inst);
+    }
+}
+
+Circuit
+Circuit::inverse() const
+{
+    Circuit inv(nQubits);
+    inv.regs = regs;
+
+    for (auto it = insts.rbegin(); it != insts.rend(); ++it) {
+        Instruction inst = *it;
+        fatal_if(!gateKindInvertible(inst.kind),
+                 "cannot invert non-unitary instruction ",
+                 gateKindName(inst.kind));
+        fatal_if(!inst.condLabel.empty(),
+                 "cannot invert a classically-conditioned instruction");
+
+        switch (inst.kind) {
+          case GateKind::S:
+            inst.kind = GateKind::Sdg;
+            break;
+          case GateKind::Sdg:
+            inst.kind = GateKind::S;
+            break;
+          case GateKind::T:
+            inst.kind = GateKind::Tdg;
+            break;
+          case GateKind::Tdg:
+            inst.kind = GateKind::T;
+            break;
+          case GateKind::Rx:
+          case GateKind::Ry:
+          case GateKind::Rz:
+          case GateKind::Phase:
+            inst.angle = -inst.angle;
+            break;
+          case GateKind::Unitary:
+            inst.matrixId =
+                inv.addMatrix(matrix(inst.matrixId).adjoint());
+            break;
+          default:
+            break; // self-inverse (H, X, Y, Z, Swap)
+        }
+        inv.append(inst);
+    }
+    return inv;
+}
+
+const sim::CMatrix &
+Circuit::matrix(int id) const
+{
+    panic_if(id < 0 || id >= static_cast<int>(matrices.size()),
+             "invalid matrix id ", id);
+    return matrices[id];
+}
+
+int
+Circuit::addMatrix(const sim::CMatrix &m)
+{
+    matrices.push_back(m);
+    return static_cast<int>(matrices.size()) - 1;
+}
+
+std::vector<std::string>
+Circuit::breakpointLabels() const
+{
+    std::vector<std::string> labels;
+    for (const auto &inst : insts) {
+        if (inst.kind == GateKind::Breakpoint)
+            labels.push_back(inst.label);
+    }
+    return labels;
+}
+
+Circuit
+Circuit::prefixUpTo(const std::string &bp_label) const
+{
+    Circuit prefix(nQubits);
+    prefix.regs = regs;
+    for (const auto &inst : insts) {
+        if (inst.kind == GateKind::Breakpoint && inst.label == bp_label)
+            return prefix;
+        Instruction copy = inst;
+        if (copy.kind == GateKind::Unitary)
+            copy.matrixId = prefix.addMatrix(matrix(inst.matrixId));
+        prefix.append(copy);
+    }
+    fatal("no breakpoint labelled '", bp_label, "'");
+}
+
+Circuit
+Circuit::sliceRange(std::size_t begin, std::size_t end) const
+{
+    fatal_if(begin > end || end > insts.size(),
+             "invalid instruction range [", begin, ", ", end, ")");
+    Circuit slice(nQubits);
+    slice.regs = regs;
+    for (std::size_t i = begin; i < end; ++i) {
+        Instruction copy = insts[i];
+        if (copy.kind == GateKind::Unitary)
+            copy.matrixId = slice.addMatrix(matrix(copy.matrixId));
+        slice.append(copy);
+    }
+    return slice;
+}
+
+void
+Circuit::truncate(std::size_t new_size)
+{
+    fatal_if(new_size > insts.size(), "cannot truncate upward");
+    insts.resize(new_size);
+}
+
+std::size_t
+Circuit::depth() const
+{
+    std::vector<std::size_t> ready(nQubits, 0);
+    std::size_t depth = 0;
+    for (const auto &inst : insts) {
+        if (inst.kind == GateKind::Breakpoint)
+            continue;
+        std::size_t slot = 0;
+        for (unsigned q : inst.targets)
+            slot = std::max(slot, ready[q]);
+        for (unsigned q : inst.controls)
+            slot = std::max(slot, ready[q]);
+        ++slot;
+        for (unsigned q : inst.targets)
+            ready[q] = slot;
+        for (unsigned q : inst.controls)
+            ready[q] = slot;
+        depth = std::max(depth, slot);
+    }
+    return depth;
+}
+
+std::map<std::string, std::size_t>
+Circuit::gateCounts() const
+{
+    std::map<std::string, std::size_t> counts;
+    for (const auto &inst : insts) {
+        std::string key = gateKindName(inst.kind);
+        if (!inst.controls.empty())
+            key = std::string(inst.controls.size(), 'c') + key;
+        ++counts[key];
+    }
+    return counts;
+}
+
+} // namespace qsa::circuit

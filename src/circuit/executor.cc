@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Executor implementation: the interpreter mapping IR instructions to
+ * state-vector operations.
+ */
+
+#include "circuit/executor.hh"
+
+#include "common/logging.hh"
+#include "sim/gates.hh"
+
+namespace qsa::circuit
+{
+
+namespace
+{
+
+/** Gate matrix for a parameterised/fixed single-qubit kind. */
+sim::Mat2
+gateMatrix(const Instruction &inst)
+{
+    using namespace sim::gates;
+    switch (inst.kind) {
+      case GateKind::H: return h();
+      case GateKind::X: return x();
+      case GateKind::Y: return y();
+      case GateKind::Z: return z();
+      case GateKind::S: return s();
+      case GateKind::Sdg: return sdg();
+      case GateKind::T: return t();
+      case GateKind::Tdg: return tdg();
+      case GateKind::Rx: return rx(inst.angle);
+      case GateKind::Ry: return ry(inst.angle);
+      case GateKind::Rz: return rz(inst.angle);
+      case GateKind::Phase: return phase(inst.angle);
+      default:
+        panic("no 2x2 matrix for ", gateKindName(inst.kind));
+    }
+}
+
+} // anonymous namespace
+
+void
+runCircuitOn(const Circuit &circ, sim::StateVector &state,
+             std::map<std::string, std::uint64_t> &measurements,
+             Rng &rng)
+{
+    fatal_if(state.numQubits() < circ.numQubits(),
+             "state too small for circuit: ", state.numQubits(), " < ",
+             circ.numQubits());
+
+    for (const Instruction &inst : circ.instructions()) {
+        if (!inst.condLabel.empty()) {
+            const auto it = measurements.find(inst.condLabel);
+            fatal_if(it == measurements.end(),
+                     "conditional instruction references unmeasured "
+                     "label '", inst.condLabel, "'");
+            if (it->second != inst.condValue)
+                continue;
+        }
+        switch (inst.kind) {
+          case GateKind::PrepZ:
+            state.prepZ(inst.targets[0], inst.bit, rng);
+            break;
+          case GateKind::Swap:
+            state.applyControlledSwap(inst.controls, inst.targets[0],
+                                      inst.targets[1]);
+            break;
+          case GateKind::Unitary:
+            state.applyControlledUnitary(circ.matrix(inst.matrixId),
+                                         inst.controls, inst.targets);
+            break;
+          case GateKind::Measure:
+            measurements[inst.label] =
+                state.measureQubits(inst.targets, rng);
+            break;
+          case GateKind::Breakpoint:
+            break; // markers are inert during full execution
+          default:
+            state.applyControlled(gateMatrix(inst), inst.controls,
+                                  inst.targets[0]);
+            break;
+        }
+    }
+}
+
+ExecutionRecord
+runCircuit(const Circuit &circ, Rng &rng)
+{
+    fatal_if(circ.numQubits() == 0, "cannot run a circuit with no qubits");
+    ExecutionRecord record(circ.numQubits());
+    runCircuitOn(circ, record.state, record.measurements, rng);
+    return record;
+}
+
+} // namespace qsa::circuit

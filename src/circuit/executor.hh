@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Circuit execution on the state-vector simulator.
+ */
+
+#ifndef QSA_CIRCUIT_EXECUTOR_HH
+#define QSA_CIRCUIT_EXECUTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "circuit/circuit.hh"
+#include "common/rng.hh"
+#include "sim/statevector.hh"
+
+namespace qsa::circuit
+{
+
+/** Outcome of one full program execution. */
+struct ExecutionRecord
+{
+    /** Final quantum state after the last instruction. */
+    sim::StateVector state;
+
+    /** Measurement outcomes keyed by measure label. */
+    std::map<std::string, std::uint64_t> measurements;
+
+    explicit ExecutionRecord(unsigned num_qubits) : state(num_qubits) {}
+};
+
+/**
+ * Execute every instruction of `circ` starting from |0...0>.
+ *
+ * @param circ program to execute
+ * @param rng randomness source for measurements and resets
+ */
+ExecutionRecord runCircuit(const Circuit &circ, Rng &rng);
+
+/**
+ * Execute instructions onto an existing state (must have at least the
+ * circuit's qubit count). Measurement outcomes with labels already in
+ * `measurements` are overwritten.
+ */
+void runCircuitOn(const Circuit &circ, sim::StateVector &state,
+                  std::map<std::string, std::uint64_t> &measurements,
+                  Rng &rng);
+
+} // namespace qsa::circuit
+
+#endif // QSA_CIRCUIT_EXECUTOR_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Gate-kind helpers.
+ */
+
+#include "circuit/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace qsa::circuit
+{
+
+std::string
+gateKindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::PrepZ: return "prepz";
+      case GateKind::H: return "h";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::T: return "t";
+      case GateKind::Tdg: return "tdg";
+      case GateKind::Rx: return "rx";
+      case GateKind::Ry: return "ry";
+      case GateKind::Rz: return "rz";
+      case GateKind::Phase: return "u1";
+      case GateKind::Swap: return "swap";
+      case GateKind::Unitary: return "unitary";
+      case GateKind::Measure: return "measure";
+      case GateKind::Breakpoint: return "breakpoint";
+    }
+    panic("unknown gate kind");
+}
+
+bool
+gateKindHasAngle(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Rx:
+      case GateKind::Ry:
+      case GateKind::Rz:
+      case GateKind::Phase:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+gateKindInvertible(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::PrepZ:
+      case GateKind::Measure:
+      case GateKind::Breakpoint:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace qsa::circuit

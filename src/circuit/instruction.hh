@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Circuit intermediate representation: one instruction.
+ *
+ * Controlled gates are not separate opcodes; every instruction carries a
+ * (possibly empty) control-qubit list. This directly models the paper's
+ * observation that "controlled operations correspond to using recursion
+ * to compose basic operations" (Section 4.4, Figure 4): adding a control
+ * is a structural wrapper, not a new gate.
+ */
+
+#ifndef QSA_CIRCUIT_INSTRUCTION_HH
+#define QSA_CIRCUIT_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qsa::circuit
+{
+
+/** Base operation kinds (controls are orthogonal, see Instruction). */
+enum class GateKind
+{
+    PrepZ,      ///< reset target to |bit> (non-unitary)
+    H,          ///< Hadamard
+    X,          ///< Pauli X (with 1 control: CNOT; 2: Toffoli)
+    Y,          ///< Pauli Y
+    Z,          ///< Pauli Z (with 1 control: CZ)
+    S,          ///< S phase gate
+    Sdg,        ///< S dagger
+    T,          ///< T gate
+    Tdg,        ///< T dagger
+    Rx,         ///< rotation about X by angle
+    Ry,         ///< rotation about Y by angle
+    Rz,         ///< rotation about Z by angle (true rotation)
+    Phase,      ///< diag(1, e^{i angle}) ("u1"; cPhase/ccPhase via
+                ///< controls — the workhorse of the Fourier arithmetic)
+    Swap,       ///< swap two targets (with controls: Fredkin)
+    Unitary,    ///< dense matrix from the circuit's side table
+    Measure,    ///< projective measurement, outcome recorded by label
+    Breakpoint, ///< assertion site marker (no-op when executed)
+};
+
+/** Human-readable mnemonic for a gate kind. */
+std::string gateKindName(GateKind kind);
+
+/** True for kinds that take an angle parameter. */
+bool gateKindHasAngle(GateKind kind);
+
+/** True for kinds invertible as unitaries. */
+bool gateKindInvertible(GateKind kind);
+
+/** One IR instruction. */
+struct Instruction
+{
+    /** Base operation. */
+    GateKind kind = GateKind::X;
+
+    /** Control qubits (all must read |1> for the base op to fire). */
+    std::vector<unsigned> controls;
+
+    /**
+     * Target qubits: one for single-qubit kinds, two for Swap, k for
+     * Unitary (LSB first), any number for Measure/PrepZ/Breakpoint.
+     */
+    std::vector<unsigned> targets;
+
+    /** Rotation/phase angle for Rx/Ry/Rz/Phase. */
+    double angle = 0.0;
+
+    /** Prepared bit value for PrepZ. */
+    unsigned bit = 0;
+
+    /** Index into the circuit's dense-matrix table for Unitary. */
+    int matrixId = -1;
+
+    /** Breakpoint label or measurement record name. */
+    std::string label;
+
+    /**
+     * Classical condition: when `condLabel` is non-empty the
+     * instruction only executes if the recorded measurement outcome
+     * under that label equals `condValue` — OpenQASM's
+     * `if (c == v)` and the mechanism behind semiclassical circuits
+     * such as Beauregard's one-control-qubit Shor [2].
+     */
+    std::string condLabel;
+
+    /** Value the condition register must hold. */
+    std::uint64_t condValue = 0;
+};
+
+} // namespace qsa::circuit
+
+#endif // QSA_CIRCUIT_INSTRUCTION_HH

@@ -1,0 +1,544 @@
+/**
+ * @file
+ * OpenQASM 2.0 dialect emitter and recursive-descent parser.
+ */
+
+#include "circuit/qasm.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace qsa::circuit
+{
+
+namespace
+{
+
+/** Format an angle with full round-trip precision. */
+std::string
+fmtAngle(double angle)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", angle);
+    return buf;
+}
+
+/** Map a qubit index to "reg[i]" under the circuit's register layout. */
+std::string
+qubitRef(const Circuit &circ, unsigned q)
+{
+    unsigned base = 0;
+    for (const auto &r : circ.registers()) {
+        // Registers are allocated consecutively by construction.
+        if (q >= base && q < base + r.width())
+            return r.name() + "[" + std::to_string(q - base) + "]";
+        base += r.width();
+    }
+    return "q[" + std::to_string(q) + "]";
+}
+
+/** True when declared registers exactly tile the qubit space. */
+bool
+registersCoverSpace(const Circuit &circ)
+{
+    unsigned base = 0;
+    for (const auto &r : circ.registers())
+        base += r.width();
+    return base == circ.numQubits() && base > 0;
+}
+
+/** Sanitise a measurement label into a classical register name. */
+std::string
+cregName(const std::string &label)
+{
+    std::string out = "m_";
+    for (char ch : label)
+        out += std::isalnum(static_cast<unsigned char>(ch)) ? ch : '_';
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+toQasm(const Circuit &circ)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+
+    const bool named = registersCoverSpace(circ);
+    if (named) {
+        for (const auto &r : circ.registers())
+            os << "qreg " << r.name() << "[" << r.width() << "];\n";
+    } else {
+        os << "qreg q[" << circ.numQubits() << "];\n";
+    }
+
+    // Declare one classical register per measurement label.
+    for (const auto &inst : circ.instructions()) {
+        if (inst.kind == GateKind::Measure) {
+            os << "creg " << cregName(inst.label) << "["
+               << inst.targets.size() << "];\n";
+        }
+    }
+
+    for (const auto &inst : circ.instructions()) {
+        switch (inst.kind) {
+          case GateKind::PrepZ:
+            os << "// qsa.prepz " << inst.targets[0] << " " << inst.bit
+               << "\n";
+            continue;
+          case GateKind::Breakpoint:
+            os << "// qsa.breakpoint " << inst.label << "\n";
+            continue;
+          case GateKind::Measure:
+            for (std::size_t i = 0; i < inst.targets.size(); ++i) {
+                os << "measure " << qubitRef(circ, inst.targets[i])
+                   << " -> " << cregName(inst.label) << "[" << i
+                   << "];\n";
+            }
+            continue;
+          case GateKind::Unitary:
+            fatal("dense unitary instructions have no QASM form");
+          default:
+            break;
+        }
+
+        if (!inst.condLabel.empty()) {
+            os << "if(" << cregName(inst.condLabel) << "=="
+               << inst.condValue << ") ";
+        }
+        std::string name(inst.controls.size(), 'c');
+        name += gateKindName(inst.kind);
+        os << name;
+        if (gateKindHasAngle(inst.kind))
+            os << "(" << fmtAngle(inst.angle) << ")";
+        os << " ";
+
+        bool first = true;
+        for (unsigned c : inst.controls) {
+            os << (first ? "" : ",") << qubitRef(circ, c);
+            first = false;
+        }
+        for (unsigned t : inst.targets) {
+            os << (first ? "" : ",") << qubitRef(circ, t);
+            first = false;
+        }
+        os << ";\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/**
+ * Minimal arithmetic expression parser for angle parameters:
+ * expr := term (('+'|'-') term)*, term := factor (('*'|'/') factor)*,
+ * factor := number | 'pi' | '-' factor | '(' expr ')'.
+ */
+class ExprParser
+{
+  public:
+    explicit ExprParser(std::string text) : s(std::move(text)), pos(0)
+    {
+    }
+
+    double
+    parse()
+    {
+        const double v = expr();
+        skipSpace();
+        fatal_if(pos != s.size(), "trailing characters in angle '", s,
+                 "'");
+        return v;
+    }
+
+  private:
+    const std::string s;
+    std::size_t pos;
+
+    void
+    skipSpace()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char ch)
+    {
+        skipSpace();
+        if (pos < s.size() && s[pos] == ch) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    double
+    expr()
+    {
+        double v = term();
+        while (true) {
+            if (consume('+'))
+                v += term();
+            else if (consume('-'))
+                v -= term();
+            else
+                return v;
+        }
+    }
+
+    double
+    term()
+    {
+        double v = factor();
+        while (true) {
+            if (consume('*'))
+                v *= factor();
+            else if (consume('/'))
+                v /= factor();
+            else
+                return v;
+        }
+    }
+
+    double
+    factor()
+    {
+        skipSpace();
+        if (consume('-'))
+            return -factor();
+        if (consume('(')) {
+            const double v = expr();
+            fatal_if(!consume(')'), "unbalanced parens in angle '", s,
+                     "'");
+            return v;
+        }
+        if (s.compare(pos, 2, "pi") == 0) {
+            pos += 2;
+            return M_PI;
+        }
+        std::size_t used = 0;
+        const double v = std::stod(s.substr(pos), &used);
+        fatal_if(used == 0, "bad number in angle '", s, "'");
+        pos += used;
+        return v;
+    }
+};
+
+/** Split "a,b,c" into trimmed pieces. */
+std::vector<std::string>
+splitList(const std::string &text, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : text) {
+        if (ch == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    out.push_back(cur);
+    for (auto &piece : out) {
+        while (!piece.empty() && std::isspace(
+                   static_cast<unsigned char>(piece.front())))
+            piece.erase(piece.begin());
+        while (!piece.empty() && std::isspace(
+                   static_cast<unsigned char>(piece.back())))
+            piece.pop_back();
+    }
+    return out;
+}
+
+/** Parsed "name[index]" reference. */
+struct RegRef
+{
+    std::string name;
+    unsigned index;
+};
+
+RegRef
+parseRef(const std::string &text)
+{
+    const auto lb = text.find('[');
+    const auto rb = text.find(']');
+    fatal_if(lb == std::string::npos || rb == std::string::npos ||
+                 rb < lb,
+             "bad qubit reference '", text, "'");
+    RegRef ref;
+    ref.name = text.substr(0, lb);
+    while (!ref.name.empty() && std::isspace(
+               static_cast<unsigned char>(ref.name.front())))
+        ref.name.erase(ref.name.begin());
+    while (!ref.name.empty() && std::isspace(
+               static_cast<unsigned char>(ref.name.back())))
+        ref.name.pop_back();
+    ref.index = std::stoul(text.substr(lb + 1, rb - lb - 1));
+    return ref;
+}
+
+/**
+ * Base gate kind lookup; returns false for unknown names. No base
+ * mnemonic starts with 'c', so control prefixes strip unambiguously.
+ */
+bool
+tryKindFromName(const std::string &name, GateKind &kind)
+{
+    if (name == "h") { kind = GateKind::H; return true; }
+    if (name == "x") { kind = GateKind::X; return true; }
+    if (name == "y") { kind = GateKind::Y; return true; }
+    if (name == "z") { kind = GateKind::Z; return true; }
+    if (name == "s") { kind = GateKind::S; return true; }
+    if (name == "sdg") { kind = GateKind::Sdg; return true; }
+    if (name == "t") { kind = GateKind::T; return true; }
+    if (name == "tdg") { kind = GateKind::Tdg; return true; }
+    if (name == "rx") { kind = GateKind::Rx; return true; }
+    if (name == "ry") { kind = GateKind::Ry; return true; }
+    if (name == "rz") { kind = GateKind::Rz; return true; }
+    if (name == "u1") { kind = GateKind::Phase; return true; }
+    if (name == "swap") { kind = GateKind::Swap; return true; }
+    return false;
+}
+
+} // anonymous namespace
+
+Circuit
+fromQasm(const std::string &text)
+{
+    Circuit circ;
+    std::map<std::string, unsigned> reg_base; // register name -> offset
+    std::map<std::string, std::string> creg_label; // creg -> label
+    // Pending measurement targets per label (rebuilt into one Measure
+    // instruction per label, in first-seen order).
+    std::map<std::string, std::vector<std::pair<unsigned, unsigned>>>
+        pending_measures;
+    std::vector<std::string> pending_order;
+
+    auto resolve = [&](const std::string &ref_text) -> unsigned {
+        const RegRef ref = parseRef(ref_text);
+        auto it = reg_base.find(ref.name);
+        fatal_if(it == reg_base.end(), "unknown register '", ref.name,
+                 "'");
+        return it->second + ref.index;
+    };
+
+    auto flush_measures = [&]() {
+        for (const auto &label : pending_order) {
+            const auto &targets = pending_measures.at(label);
+            std::vector<unsigned> qubits(targets.size());
+            for (const auto &[cbit, qubit] : targets) {
+                fatal_if(cbit >= qubits.size(),
+                         "classical bit out of range in measure");
+                qubits[cbit] = qubit;
+            }
+            circ.measureQubits(qubits, label);
+        }
+        pending_measures.clear();
+        pending_order.clear();
+    };
+
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        // Pragmas first; then strip comments.
+        if (line.rfind("// qsa.prepz", 0) == 0) {
+            flush_measures();
+            std::istringstream ls(line.substr(12));
+            unsigned qubit = 0, bit = 0;
+            ls >> qubit >> bit;
+            circ.prepZ(qubit, bit);
+            continue;
+        }
+        if (line.rfind("// qsa.breakpoint", 0) == 0) {
+            flush_measures();
+            std::istringstream ls(line.substr(17));
+            std::string label;
+            ls >> label;
+            circ.breakpoint(label);
+            continue;
+        }
+        const auto comment = line.find("//");
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+
+        // Statements end with ';'.
+        std::string stmt;
+        for (char ch : line) {
+            if (ch != ';') {
+                stmt += ch;
+                continue;
+            }
+            // Trim.
+            while (!stmt.empty() && std::isspace(
+                       static_cast<unsigned char>(stmt.front())))
+                stmt.erase(stmt.begin());
+            while (!stmt.empty() && std::isspace(
+                       static_cast<unsigned char>(stmt.back())))
+                stmt.pop_back();
+            if (stmt.empty() || stmt.rfind("OPENQASM", 0) == 0 ||
+                stmt.rfind("include", 0) == 0 ||
+                stmt.rfind("barrier", 0) == 0) {
+                stmt.clear();
+                continue;
+            }
+
+            // Adjacent measure lines group into one Measure
+            // instruction; anything else flushes the group so program
+            // order is preserved.
+            if (stmt.rfind("measure", 0) != 0)
+                flush_measures();
+
+            if (stmt.rfind("qreg", 0) == 0) {
+                const RegRef ref = parseRef(stmt.substr(5));
+                reg_base[ref.name] = circ.numQubits();
+                circ.addRegister(ref.name, ref.index);
+                stmt.clear();
+                continue;
+            }
+            if (stmt.rfind("creg", 0) == 0) {
+                const RegRef ref = parseRef(stmt.substr(5));
+                std::string label = ref.name;
+                if (label.rfind("m_", 0) == 0)
+                    label = label.substr(2);
+                creg_label[ref.name] = label;
+                stmt.clear();
+                continue;
+            }
+            if (stmt.rfind("measure", 0) == 0) {
+                const auto arrow = stmt.find("->");
+                fatal_if(arrow == std::string::npos,
+                         "measure without '->'");
+                const unsigned qubit =
+                    resolve(stmt.substr(8, arrow - 8));
+                const RegRef cref =
+                    parseRef(stmt.substr(arrow + 2));
+                auto it = creg_label.find(cref.name);
+                fatal_if(it == creg_label.end(), "unknown creg '",
+                         cref.name, "'");
+                if (!pending_measures.count(it->second))
+                    pending_order.push_back(it->second);
+                pending_measures[it->second].emplace_back(cref.index,
+                                                          qubit);
+                stmt.clear();
+                continue;
+            }
+
+            // Optional classical condition prefix "if(creg==v)".
+            std::string cond_label;
+            std::uint64_t cond_value = 0;
+            if (stmt.rfind("if(", 0) == 0) {
+                const auto eq = stmt.find("==");
+                const auto close = stmt.find(')');
+                fatal_if(eq == std::string::npos ||
+                             close == std::string::npos || close < eq,
+                         "malformed if condition");
+                std::string creg = stmt.substr(3, eq - 3);
+                auto lit = creg_label.find(creg);
+                fatal_if(lit == creg_label.end(), "unknown creg '",
+                         creg, "' in condition");
+                cond_label = lit->second;
+                cond_value =
+                    std::stoull(stmt.substr(eq + 2, close - eq - 2));
+                stmt = stmt.substr(close + 1);
+                while (!stmt.empty() && std::isspace(
+                           static_cast<unsigned char>(stmt.front())))
+                    stmt.erase(stmt.begin());
+            }
+
+            // Gate statement: name[(params)] operands.
+            std::size_t name_end = 0;
+            while (name_end < stmt.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(stmt[name_end])) ||
+                    stmt[name_end] == '_'))
+                ++name_end;
+            std::string name = stmt.substr(0, name_end);
+            std::size_t rest = name_end;
+
+            double angle = 0.0;
+            if (rest < stmt.size() && stmt[rest] == '(') {
+                const auto close = stmt.find(')', rest);
+                fatal_if(close == std::string::npos,
+                         "unbalanced parameter list");
+                ExprParser ep(stmt.substr(rest + 1, close - rest - 1));
+                angle = ep.parse();
+                rest = close + 1;
+            }
+
+            // Strip 'c' control prefixes: no base mnemonic starts
+            // with 'c', so the first non-'c' position starts the base
+            // name ("ccu1" -> 2 controls, "u1").
+            unsigned num_controls = 0;
+            while (num_controls < name.size() &&
+                   name[num_controls] == 'c')
+                ++num_controls;
+
+            GateKind kind;
+            std::string base = name.substr(num_controls);
+            if (!tryKindFromName(base, kind)) {
+                // Names like "cswap" keep a leading 'c' in the base
+                // only if the full string is itself a gate; retry with
+                // fewer stripped prefixes before giving up.
+                bool found = false;
+                for (unsigned k = num_controls; k-- > 0;) {
+                    base = name.substr(k);
+                    if (tryKindFromName(base, kind)) {
+                        num_controls = k;
+                        found = true;
+                        break;
+                    }
+                }
+                fatal_if(!found, "unsupported QASM gate '", name, "'");
+            }
+            const auto operands = splitList(stmt.substr(rest), ',');
+            fatal_if(operands.size() < num_controls + 1,
+                     "not enough operands for gate");
+
+            Instruction inst;
+            inst.kind = kind;
+            inst.angle = angle;
+            inst.condLabel = cond_label;
+            inst.condValue = cond_value;
+            for (unsigned i = 0; i < num_controls; ++i)
+                inst.controls.push_back(resolve(operands[i]));
+            for (std::size_t i = num_controls; i < operands.size(); ++i)
+                inst.targets.push_back(resolve(operands[i]));
+            circ.append(inst);
+            stmt.clear();
+        }
+    }
+
+    flush_measures();
+    return circ;
+}
+
+void
+saveQasmFile(const Circuit &circ, const std::string &path)
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open '", path, "' for writing");
+    out << toQasm(circ);
+    fatal_if(!out, "write to '", path, "' failed");
+}
+
+Circuit
+loadQasmFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open '", path, "' for reading");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromQasm(buffer.str());
+}
+
+} // namespace qsa::circuit

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * OpenQASM 2.0 emission and parsing.
+ *
+ * The paper's toolflow compiles Scaffold programs with assertions into
+ * "multiple versions of OpenQASM", one per breakpoint (Section 3.3).
+ * This module keeps that interchange step: circuits serialise to an
+ * OpenQASM-2.0 dialect and parse back.
+ *
+ * Dialect notes (all extensions are either standard-tool conventions or
+ * comment pragmas, so stock OpenQASM consumers still read the files):
+ *  - multi-controlled gates use repeated 'c' prefixes (ccx, ccu1, ...),
+ *  - PrepZ is a `// qsa.prepz <qubit> <bit>` pragma (semantically
+ *    reset + optional x, but kept exact for IR round-tripping),
+ *  - breakpoints are `// qsa.breakpoint <label>` pragmas,
+ *  - measurements use one classical register per measure label.
+ * Dense Unitary instructions have no QASM form and fail emission.
+ */
+
+#ifndef QSA_CIRCUIT_QASM_HH
+#define QSA_CIRCUIT_QASM_HH
+
+#include <string>
+
+#include "circuit/circuit.hh"
+
+namespace qsa::circuit
+{
+
+/** Serialise a circuit to the OpenQASM dialect described above. */
+std::string toQasm(const Circuit &circ);
+
+/**
+ * Parse the OpenQASM dialect back into a circuit.
+ *
+ * Supports the subset toQasm emits plus numeric angle expressions with
+ * +, -, *, /, parentheses, and the constant pi.
+ */
+Circuit fromQasm(const std::string &text);
+
+/** Write a circuit to a QASM file (fatal on I/O failure). */
+void saveQasmFile(const Circuit &circ, const std::string &path);
+
+/** Read a circuit from a QASM file (fatal on I/O failure). */
+Circuit loadQasmFile(const std::string &path);
+
+} // namespace qsa::circuit
+
+#endif // QSA_CIRCUIT_QASM_HH

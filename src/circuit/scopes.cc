@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Structural scope implementations.
+ */
+
+#include "circuit/scopes.hh"
+
+#include "common/logging.hh"
+
+namespace qsa::circuit
+{
+
+ComputeScope::ComputeScope(Circuit &c, const std::string &l)
+    : circ(c), label(l), computeBegin(c.size()), computeEnd(c.size())
+{
+}
+
+void
+ComputeScope::endCompute()
+{
+    panic_if(computeClosed, "endCompute() called twice");
+    computeClosed = true;
+    computeEnd = circ.size();
+    if (!label.empty())
+        circ.breakpoint(label + "_computed");
+}
+
+void
+ComputeScope::uncompute()
+{
+    if (uncomputed)
+        return;
+    if (!computeClosed)
+        endCompute();
+    uncomputed = true;
+
+    const Circuit compute_block =
+        circ.sliceRange(computeBegin, computeEnd);
+    circ.appendCircuit(compute_block.inverse());
+    if (!label.empty())
+        circ.breakpoint(label + "_uncomputed");
+}
+
+ComputeScope::~ComputeScope()
+{
+    uncompute();
+}
+
+ControlScope::ControlScope(Circuit &c, std::vector<unsigned> ctrls)
+    : circ(c), controls(std::move(ctrls)), begin(c.size())
+{
+    fatal_if(controls.empty(), "control scope needs control qubits");
+}
+
+void
+ControlScope::close()
+{
+    if (closed)
+        return;
+    closed = true;
+
+    const Circuit body = circ.sliceRange(begin, circ.size());
+    circ.truncate(begin);
+    circ.appendControlled(body, controls);
+}
+
+ControlScope::~ControlScope()
+{
+    close();
+}
+
+} // namespace qsa::circuit

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Out-of-line bit helpers.
+ */
+
+#include "common/bits.hh"
+
+namespace qsa
+{
+
+std::uint64_t
+extractBits(std::uint64_t basis, const std::vector<unsigned> &bits)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        v |= getBit(basis, bits[i]) << i;
+    return v;
+}
+
+std::uint64_t
+depositBits(std::uint64_t basis, const std::vector<unsigned> &bits,
+            std::uint64_t value)
+{
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        basis = setBit(basis, bits[i], getBit(value, i));
+    return basis;
+}
+
+} // namespace qsa

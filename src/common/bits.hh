@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared across the simulator, the circuit IR,
+ * and the arithmetic benchmark programs.
+ *
+ * Conventions used throughout the library:
+ *  - Qubit index 0 is the least significant bit of a register value
+ *    (little endian), matching the Scaffold listings in the paper where
+ *    `PrepZ(reg[i], (v >> i) & 1)` loads integer v.
+ *  - Basis-state indices are `std::uint64_t`; the library supports up to
+ *    QSA's practical simulation limit of ~30 qubits, far beyond the
+ *    benchmark circuits (<= 14 qubits).
+ */
+
+#ifndef QSA_COMMON_BITS_HH
+#define QSA_COMMON_BITS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace qsa
+{
+
+/** Return the b-th bit (0 = LSB) of x. */
+constexpr std::uint64_t
+getBit(std::uint64_t x, unsigned b)
+{
+    return (x >> b) & 1ull;
+}
+
+/** Return x with the b-th bit set to v (v must be 0 or 1). */
+constexpr std::uint64_t
+setBit(std::uint64_t x, unsigned b, std::uint64_t v)
+{
+    return (x & ~(1ull << b)) | ((v & 1ull) << b);
+}
+
+/** Return x with the b-th bit flipped. */
+constexpr std::uint64_t
+flipBit(std::uint64_t x, unsigned b)
+{
+    return x ^ (1ull << b);
+}
+
+/** Return 2^n as an unsigned 64-bit value. */
+constexpr std::uint64_t
+pow2(unsigned n)
+{
+    return 1ull << n;
+}
+
+/** Return a mask with the low n bits set. */
+constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~0ull : (1ull << n) - 1ull;
+}
+
+/** Population count. */
+constexpr unsigned
+popcount64(std::uint64_t x)
+{
+    unsigned c = 0;
+    while (x) {
+        x &= x - 1;
+        ++c;
+    }
+    return c;
+}
+
+/** Number of bits needed to represent x (0 needs 1 bit). */
+constexpr unsigned
+bitWidth(std::uint64_t x)
+{
+    unsigned w = 1;
+    while (x >>= 1)
+        ++w;
+    return w;
+}
+
+/**
+ * Extract the value encoded on a list of (qubit) bit positions of a
+ * basis-state index. Position i of `bits` contributes bit i of the
+ * result, i.e. `bits[0]` is the LSB of the extracted value.
+ *
+ * @param basis full basis-state index
+ * @param bits bit positions, LSB first
+ * @return packed value
+ */
+std::uint64_t extractBits(std::uint64_t basis,
+                          const std::vector<unsigned> &bits);
+
+/**
+ * Inverse of extractBits: scatter the low bits of `value` into the given
+ * bit positions of `basis` (other bits unchanged).
+ */
+std::uint64_t depositBits(std::uint64_t basis,
+                          const std::vector<unsigned> &bits,
+                          std::uint64_t value);
+
+/** Reverse the low n bits of x (bit 0 <-> bit n-1, ...). */
+constexpr std::uint64_t
+reverseBits(std::uint64_t x, unsigned n)
+{
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < n; ++i)
+        r = (r << 1) | ((x >> i) & 1ull);
+    return r;
+}
+
+} // namespace qsa
+
+#endif // QSA_COMMON_BITS_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Logging sinks. panic() throws in unit-test builds would complicate
+ * death tests; instead both fatal() and panic() terminate, and gtest
+ * death tests assert on the printed prefix.
+ */
+
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace qsa
+{
+
+void
+informMessage(const std::string &msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+void
+warnMessage(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+fatalMessage(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+panicMessage(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+} // namespace qsa

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal status/error reporting in the spirit of gem5's logging.hh.
+ *
+ * Severity model:
+ *  - inform(): normal operating messages.
+ *  - warn():   something questionable but survivable.
+ *  - fatal():  user error (bad configuration/arguments); exits cleanly.
+ *  - panic():  library bug (a condition that should never happen);
+ *              aborts so a debugger/core dump sees the state.
+ */
+
+#ifndef QSA_COMMON_LOGGING_HH
+#define QSA_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace qsa
+{
+
+/** @{ @name Message sinks (printf-free, ostream-based). */
+void informMessage(const std::string &msg);
+void warnMessage(const std::string &msg);
+[[noreturn]] void fatalMessage(const std::string &msg);
+[[noreturn]] void panicMessage(const std::string &msg);
+/** @} */
+
+/** Concatenate any streamable arguments into a string. */
+template <typename... Args>
+std::string
+messageString(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/** Informative message the user should see but not worry about. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    informMessage(messageString(std::forward<Args>(args)...));
+}
+
+/** Possible-misbehaviour message. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    warnMessage(messageString(std::forward<Args>(args)...));
+}
+
+/** Unrecoverable user error: print and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    fatalMessage(messageString(std::forward<Args>(args)...));
+}
+
+/** Library bug: print and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    panicMessage(messageString(std::forward<Args>(args)...));
+}
+
+/** panic() when a should-never-happen condition holds. */
+template <typename Cond, typename... Args>
+void
+panic_if(const Cond &cond, Args &&...args)
+{
+    if (cond)
+        panicMessage(messageString(std::forward<Args>(args)...));
+}
+
+/** fatal() when a user-facing precondition is violated. */
+template <typename Cond, typename... Args>
+void
+fatal_if(const Cond &cond, Args &&...args)
+{
+    if (cond)
+        fatalMessage(messageString(std::forward<Args>(args)...));
+}
+
+} // namespace qsa
+
+#endif // QSA_COMMON_LOGGING_HH

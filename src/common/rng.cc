@@ -1,0 +1,116 @@
+/**
+ * @file
+ * xoshiro256** implementation (public-domain algorithm by Blackman &
+ * Vigna) plus SplitMix64 seed expansion.
+ */
+
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qsa
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seedValue(seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    panic_if(bound == 0, "uniformInt bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = ~0ull - (~0ull % bound + 1) % bound;
+    std::uint64_t x;
+    do {
+        x = next();
+    } while (x > limit);
+    return x % bound;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        panic_if(w < 0.0 || std::isnan(w),
+                 "discrete() weights must be non-negative");
+        total += w;
+    }
+    panic_if(total <= 0.0, "discrete() weights must have a positive sum");
+
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0)
+            return i;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split(std::uint64_t child_index) const
+{
+    // Mix the parent seed with the child index through SplitMix64 twice
+    // so adjacent children are decorrelated.
+    std::uint64_t sm = seedValue ^ (0xd1b54a32d192ed03ull * (child_index + 1));
+    std::uint64_t child_seed = splitMix64(sm);
+    child_seed ^= splitMix64(sm);
+    return Rng(child_seed);
+}
+
+} // namespace qsa

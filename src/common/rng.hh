@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic, splittable random number generation.
+ *
+ * The assertion checker simulates *ensembles* of program executions; the
+ * paper ran each ensemble member as an independent QX simulation on a
+ * cluster. To keep those ensembles reproducible and independent we use a
+ * counter-based seeding scheme: a master seed is expanded with SplitMix64
+ * into per-run seeds, each of which initialises an independent
+ * xoshiro256** stream.
+ */
+
+#ifndef QSA_COMMON_RNG_HH
+#define QSA_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace qsa
+{
+
+/**
+ * SplitMix64 step: maps a 64-bit state to a well-mixed 64-bit output and
+ * advances the state. Used for seed expansion only.
+ */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** pseudo-random generator (Blackman & Vigna).
+ *
+ * Small, fast, and of far higher quality than needed for sampling
+ * measurement outcomes; chosen so ensembles are identical across
+ * platforms (std::mt19937 distributions are not portable).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) without modulo bias. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Bernoulli draw: true with probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Sample an index from an (unnormalised) weight vector.
+     * Weights must be non-negative with a positive sum.
+     */
+    std::size_t discrete(const std::vector<double> &weights);
+
+    /**
+     * Derive an independent child generator; the i-th child of a given
+     * parent is deterministic. Used to give every ensemble member its
+     * own stream, mirroring independent simulator invocations.
+     */
+    Rng split(std::uint64_t child_index) const;
+
+  private:
+    /** xoshiro256** state. */
+    std::uint64_t s[4];
+
+    /** Seed material retained for split(). */
+    std::uint64_t seedValue;
+
+    static std::uint64_t rotl(std::uint64_t x, int k);
+};
+
+} // namespace qsa
+
+#endif // QSA_COMMON_RNG_HH

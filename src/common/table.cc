@@ -1,0 +1,109 @@
+/**
+ * @file
+ * AsciiTable implementation.
+ */
+
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace qsa
+{
+
+void
+AsciiTable::setHeader(const std::vector<std::string> &h)
+{
+    header = h;
+}
+
+void
+AsciiTable::addRow(const std::vector<std::string> &row)
+{
+    rows.push_back(row);
+}
+
+void
+AsciiTable::addSeparator()
+{
+    separators.push_back(rows.size());
+}
+
+std::vector<std::size_t>
+AsciiTable::columnWidths() const
+{
+    std::size_t cols = header.size();
+    for (const auto &r : rows)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> widths(cols, 0);
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = std::max(widths[c], header[c].size());
+    for (const auto &r : rows) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+    return widths;
+}
+
+std::string
+AsciiTable::render() const
+{
+    const auto widths = columnWidths();
+
+    auto render_line = [&widths](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string cell = c < cells.size() ? cells[c] : "";
+            os << "| " << std::left << std::setw((int)widths[c]) << cell
+               << " ";
+        }
+        os << "|\n";
+        return os.str();
+    };
+
+    auto render_rule = [&widths]() {
+        std::ostringstream os;
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            os << "+" << std::string(widths[c] + 2, '-');
+        os << "+\n";
+        return os.str();
+    };
+
+    std::ostringstream os;
+    os << render_rule();
+    if (!header.empty()) {
+        os << render_line(header);
+        os << render_rule();
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (std::find(separators.begin(), separators.end(), i) !=
+            separators.end() && i != 0) {
+            os << render_rule();
+        }
+        os << render_line(rows[i]);
+    }
+    os << render_rule();
+    return os.str();
+}
+
+std::string
+AsciiTable::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+AsciiTable::fmtP(double v)
+{
+    if (v < 0.0)
+        v = 0.0;
+    if (v > 1.0)
+        v = 1.0;
+    return fmt(v, 4);
+}
+
+} // namespace qsa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark output.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures;
+ * AsciiTable renders them with aligned columns so the output reads like
+ * the paper's artifact.
+ */
+
+#ifndef QSA_COMMON_TABLE_HH
+#define QSA_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qsa
+{
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   AsciiTable t;
+ *   t.setHeader({"k", "a", "a^-1"});
+ *   t.addRow({"0", "7", "13"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class AsciiTable
+{
+  public:
+    /** Set the (single) header row. */
+    void setHeader(const std::vector<std::string> &header);
+
+    /** Append one data row; ragged rows are padded with blanks. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Append a horizontal separator at the current position. */
+    void addSeparator();
+
+    /** Render the table to a string, one trailing newline included. */
+    std::string render() const;
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows.size(); }
+
+    /** Format a double with fixed precision (helper for callers). */
+    static std::string fmt(double v, int precision = 4);
+
+    /** Format a probability/p-value: fixed 4 digits, "0.0000" floor. */
+    static std::string fmtP(double v);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::size_t> separators;
+
+    std::vector<std::size_t> columnWidths() const;
+};
+
+} // namespace qsa
+
+#endif // QSA_COMMON_TABLE_HH

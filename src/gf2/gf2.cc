@@ -1,0 +1,158 @@
+/**
+ * @file
+ * GF(2^k) implementation.
+ */
+
+#include "gf2/gf2.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::gf2
+{
+
+namespace
+{
+
+/** Carry-less multiplication of two polynomials over GF(2). */
+std::uint64_t
+clmul(std::uint32_t a, std::uint32_t b)
+{
+    std::uint64_t acc = 0;
+    std::uint64_t shifted = a;
+    while (b) {
+        if (b & 1)
+            acc ^= shifted;
+        shifted <<= 1;
+        b >>= 1;
+    }
+    return acc;
+}
+
+} // anonymous namespace
+
+bool
+Field::isIrreducible(std::uint32_t poly, unsigned degree)
+{
+    if (degree == 0 || getBit(poly, degree) == 0)
+        return false;
+
+    // Trial division by every polynomial of degree 1..degree/2.
+    for (std::uint32_t d = 2; d < (1u << (degree / 2 + 1)); ++d) {
+        if (d < 2)
+            continue;
+        const unsigned dd = bitWidth(d) - 1;
+        if (dd == 0 || dd > degree / 2)
+            continue;
+
+        // Polynomial long division poly mod d.
+        std::uint64_t rem = poly;
+        while (bitWidth(rem) - 1 >= dd && rem != 0) {
+            const unsigned shift = (bitWidth(rem) - 1) - dd;
+            rem ^= (std::uint64_t)d << shift;
+        }
+        if (rem == 0)
+            return false;
+    }
+    return true;
+}
+
+Field::Field(unsigned degree, std::uint32_t modulus) : k(degree)
+{
+    fatal_if(degree == 0 || degree > 16,
+             "GF(2^k) supported for 1 <= k <= 16, got k = ", degree);
+
+    if (modulus == 0) {
+        // Default: the numerically smallest irreducible polynomial of
+        // the requested degree (deterministic and cheap at k <= 16).
+        for (std::uint32_t cand = (1u << degree) + 1;
+             cand < (2u << degree); cand += 2) {
+            if (isIrreducible(cand, degree)) {
+                modulus = cand;
+                break;
+            }
+        }
+        panic_if(modulus == 0, "no irreducible polynomial found");
+    }
+
+    mod = modulus;
+    fatal_if(bitWidth(mod) != k + 1, "modulus degree must equal ", k);
+    fatal_if(!isIrreducible(mod, k), "modulus polynomial ", mod,
+             " is reducible");
+}
+
+std::uint32_t
+Field::add(std::uint32_t a, std::uint32_t b) const
+{
+    return (a ^ b) & lowMask(k);
+}
+
+std::uint32_t
+Field::reduce(std::uint64_t value) const
+{
+    // Reduce from the top: degree of the product is at most 2k - 2.
+    for (int bit = 2 * (int)k - 2; bit >= (int)k; --bit) {
+        if (value & (1ull << bit))
+            value ^= (std::uint64_t)mod << (bit - k);
+    }
+    return static_cast<std::uint32_t>(value & lowMask(k));
+}
+
+std::uint32_t
+Field::mul(std::uint32_t a, std::uint32_t b) const
+{
+    panic_if(a >= order() || b >= order(), "element out of field");
+    return reduce(clmul(a, b));
+}
+
+std::uint32_t
+Field::square(std::uint32_t a) const
+{
+    return mul(a, a);
+}
+
+std::uint32_t
+Field::pow(std::uint32_t a, std::uint64_t e) const
+{
+    std::uint32_t result = 1;
+    std::uint32_t base = a;
+    while (e) {
+        if (e & 1)
+            result = mul(result, base);
+        base = mul(base, base);
+        e >>= 1;
+    }
+    return result;
+}
+
+std::uint32_t
+Field::inverse(std::uint32_t a) const
+{
+    fatal_if(a == 0, "zero has no multiplicative inverse");
+    return pow(a, order() - 2);
+}
+
+std::uint32_t
+Field::sqrt(std::uint32_t a) const
+{
+    // Squaring is the Frobenius map x -> x^2, a field automorphism of
+    // GF(2^k); its inverse is x -> x^(2^(k-1)).
+    return pow(a, 1ull << (k - 1));
+}
+
+std::vector<std::uint32_t>
+Field::squaringMatrixRows() const
+{
+    // Column j of S is square(x^j); convert to row masks.
+    std::vector<std::uint32_t> rows(k, 0);
+    for (unsigned j = 0; j < k; ++j) {
+        const std::uint32_t col = square(1u << j);
+        for (unsigned i = 0; i < k; ++i) {
+            if (getBit(col, i))
+                rows[i] |= 1u << j;
+        }
+    }
+    return rows;
+}
+
+} // namespace qsa::gf2

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Arithmetic in the binary Galois fields GF(2^k).
+ *
+ * The paper's Grover case study searches for "the square root of a
+ * number in a Galois field" (Section 5.1.2). This module provides the
+ * classical arithmetic — carry-less multiplication modulo an
+ * irreducible polynomial — and, crucially for the oracle construction,
+ * the fact that squaring in GF(2^k) is *linear* over GF(2) (the
+ * Frobenius endomorphism), so the reversible squaring circuit is a pure
+ * CNOT network derived from a bit matrix.
+ */
+
+#ifndef QSA_GF2_GF2_HH
+#define QSA_GF2_GF2_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace qsa::gf2
+{
+
+/**
+ * The field GF(2^k) represented by polynomials over GF(2) modulo an
+ * irreducible polynomial. Elements are k-bit integers whose bit i is
+ * the coefficient of x^i.
+ */
+class Field
+{
+  public:
+    /**
+     * @param degree field extension degree k (1 <= k <= 16)
+     * @param modulus irreducible polynomial of degree k, bit k set
+     *        (e.g. 0b10011 = x^4 + x + 1 for GF(16)); pass 0 to use a
+     *        built-in irreducible polynomial for the degree
+     */
+    explicit Field(unsigned degree, std::uint32_t modulus = 0);
+
+    /** Extension degree k. */
+    unsigned degree() const { return k; }
+
+    /** Field size 2^k. */
+    std::uint32_t order() const { return 1u << k; }
+
+    /** The modulus polynomial. */
+    std::uint32_t modulus() const { return mod; }
+
+    /** Field addition (XOR). */
+    std::uint32_t add(std::uint32_t a, std::uint32_t b) const;
+
+    /** Field multiplication (carry-less product reduced mod modulus). */
+    std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+
+    /** Squaring (Frobenius endomorphism; linear over GF(2)). */
+    std::uint32_t square(std::uint32_t a) const;
+
+    /** Exponentiation by squaring. */
+    std::uint32_t pow(std::uint32_t a, std::uint64_t e) const;
+
+    /** Multiplicative inverse of a != 0 (a^(2^k - 2)). */
+    std::uint32_t inverse(std::uint32_t a) const;
+
+    /**
+     * Unique square root: squaring is a bijection in GF(2^k), and
+     * sqrt(a) = a^(2^(k-1)).
+     */
+    std::uint32_t sqrt(std::uint32_t a) const;
+
+    /**
+     * The k x k GF(2) matrix S of the squaring map: column j holds
+     * square(x^j), so square(a) = S a over GF(2). Row i is returned as
+     * a bit mask over the input bits — exactly the CNOT fan-in list
+     * the reversible oracle needs.
+     */
+    std::vector<std::uint32_t> squaringMatrixRows() const;
+
+    /** True when the polynomial is irreducible over GF(2). */
+    static bool isIrreducible(std::uint32_t poly, unsigned degree);
+
+  private:
+    unsigned k;
+    std::uint32_t mod;
+
+    /** Reduce a carry-less product modulo the field polynomial. */
+    std::uint32_t reduce(std::uint64_t value) const;
+};
+
+} // namespace qsa::gf2
+
+#endif // QSA_GF2_GF2_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Umbrella header: include everything with one line.
+ *
+ * Library layout (see DESIGN.md for the full inventory):
+ *  - qsa::...        common utilities (bits, rng, logging, tables)
+ *  - qsa::stats      chi-square tests, contingency analysis
+ *  - qsa::sim        state-vector simulator, gates, dense matrices
+ *  - qsa::circuit    circuit IR, registers, executor, OpenQASM
+ *  - qsa::assertions statistical quantum assertions (the paper's core)
+ *  - qsa::gf2        binary Galois fields for the Grover oracle
+ *  - qsa::chem       Gaussian integrals .. Jordan-Wigner .. Trotter
+ *  - qsa::algo       QFT, arithmetic, Shor, Grover, IPEA, Bell
+ *  - qsa::bugs       the bug taxonomy and injectable variants
+ */
+
+#ifndef QSA_QSA_HH
+#define QSA_QSA_HH
+
+#include "algo/arith.hh"
+#include "algo/bell.hh"
+#include "algo/grover.hh"
+#include "algo/ipea.hh"
+#include "algo/numtheory.hh"
+#include "algo/oracles.hh"
+#include "algo/qft.hh"
+#include "algo/qpe.hh"
+#include "algo/shor.hh"
+#include "algo/teleport.hh"
+#include "assertions/checker.hh"
+#include "assertions/exact.hh"
+#include "assertions/report.hh"
+#include "bugs/bugs.hh"
+#include "bugs/injectors.hh"
+#include "chem/eigen.hh"
+#include "chem/fermion.hh"
+#include "chem/gaussian.hh"
+#include "chem/h2.hh"
+#include "chem/pauli.hh"
+#include "chem/trotter.hh"
+#include "circuit/circuit.hh"
+#include "circuit/executor.hh"
+#include "circuit/qasm.hh"
+#include "circuit/scopes.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "gf2/gf2.hh"
+#include "sim/gates.hh"
+#include "sim/matrix.hh"
+#include "sim/statevector.hh"
+#include "stats/chi2.hh"
+#include "stats/contingency.hh"
+#include "stats/histogram.hh"
+#include "stats/specfun.hh"
+
+#endif // QSA_QSA_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Gate matrix definitions.
+ */
+
+#include "sim/gates.hh"
+
+#include <cmath>
+
+namespace qsa::sim::gates
+{
+
+namespace
+{
+const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+const Complex i_unit(0.0, 1.0);
+} // anonymous namespace
+
+Mat2
+h()
+{
+    return Mat2{inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2};
+}
+
+Mat2
+x()
+{
+    return Mat2{0.0, 1.0, 1.0, 0.0};
+}
+
+Mat2
+y()
+{
+    return Mat2{0.0, -i_unit, i_unit, 0.0};
+}
+
+Mat2
+z()
+{
+    return Mat2{1.0, 0.0, 0.0, -1.0};
+}
+
+Mat2
+s()
+{
+    return Mat2{1.0, 0.0, 0.0, i_unit};
+}
+
+Mat2
+sdg()
+{
+    return Mat2{1.0, 0.0, 0.0, -i_unit};
+}
+
+Mat2
+t()
+{
+    return Mat2{1.0, 0.0, 0.0, std::exp(i_unit * (M_PI / 4.0))};
+}
+
+Mat2
+tdg()
+{
+    return Mat2{1.0, 0.0, 0.0, std::exp(-i_unit * (M_PI / 4.0))};
+}
+
+Mat2
+rx(double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s_ = std::sin(theta / 2.0);
+    return Mat2{c, -i_unit * s_, -i_unit * s_, c};
+}
+
+Mat2
+ry(double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s_ = std::sin(theta / 2.0);
+    return Mat2{c, -s_, s_, c};
+}
+
+Mat2
+rz(double theta)
+{
+    return Mat2{std::exp(-i_unit * (theta / 2.0)), 0.0, 0.0,
+                std::exp(i_unit * (theta / 2.0))};
+}
+
+Mat2
+phase(double theta)
+{
+    return Mat2{1.0, 0.0, 0.0, std::exp(i_unit * theta)};
+}
+
+Mat2
+identity()
+{
+    return Mat2{1.0, 0.0, 0.0, 1.0};
+}
+
+} // namespace qsa::sim::gates

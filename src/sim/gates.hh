@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Standard single-qubit gate matrices.
+ *
+ * Conventions (matching Nielsen & Chuang [35]):
+ *  - rz(theta)    = exp(-i theta Z / 2) = diag(e^{-i t/2}, e^{+i t/2})
+ *  - phase(theta) = diag(1, e^{i theta}) (the "u1" gate)
+ *
+ * rz and phase differ by a global phase e^{i theta / 2}. The difference
+ * is invisible for uncontrolled gates but decisive once controlled —
+ * exactly the class of subtlety Section 4.2 of the paper highlights
+ * (Table 1's "incorrect, angles flipped" bug). The Fourier-space
+ * arithmetic of Listings 2-4 requires the phase-gate semantics for its
+ * controlled rotations.
+ */
+
+#ifndef QSA_SIM_GATES_HH
+#define QSA_SIM_GATES_HH
+
+#include "sim/types.hh"
+
+namespace qsa::sim::gates
+{
+
+/** Hadamard. */
+Mat2 h();
+
+/** Pauli X. */
+Mat2 x();
+
+/** Pauli Y. */
+Mat2 y();
+
+/** Pauli Z. */
+Mat2 z();
+
+/** Phase gate S = diag(1, i). */
+Mat2 s();
+
+/** S dagger. */
+Mat2 sdg();
+
+/** T = diag(1, e^{i pi/4}). */
+Mat2 t();
+
+/** T dagger. */
+Mat2 tdg();
+
+/** Rotation about X by theta: exp(-i theta X / 2). */
+Mat2 rx(double theta);
+
+/** Rotation about Y by theta: exp(-i theta Y / 2). */
+Mat2 ry(double theta);
+
+/** Rotation about Z by theta: exp(-i theta Z / 2). */
+Mat2 rz(double theta);
+
+/** Phase ("u1") gate diag(1, e^{i theta}). */
+Mat2 phase(double theta);
+
+/** Identity. */
+Mat2 identity();
+
+} // namespace qsa::sim::gates
+
+#endif // QSA_SIM_GATES_HH

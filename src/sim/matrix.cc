@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Dense matrix implementation.
+ */
+
+#include "sim/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qsa::sim
+{
+
+CMatrix::CMatrix(std::size_t dim) : n(dim), data(dim * dim, Complex(0.0))
+{
+}
+
+CMatrix
+CMatrix::identity(std::size_t dim)
+{
+    CMatrix m(dim);
+    for (std::size_t i = 0; i < dim; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+CMatrix
+CMatrix::fromMat2(const Mat2 &g)
+{
+    CMatrix m(2);
+    m.at(0, 0) = g.a00;
+    m.at(0, 1) = g.a01;
+    m.at(1, 0) = g.a10;
+    m.at(1, 1) = g.a11;
+    return m;
+}
+
+Complex &
+CMatrix::at(std::size_t r, std::size_t c)
+{
+    panic_if(r >= n || c >= n, "matrix index out of range");
+    return data[r * n + c];
+}
+
+const Complex &
+CMatrix::at(std::size_t r, std::size_t c) const
+{
+    panic_if(r >= n || c >= n, "matrix index out of range");
+    return data[r * n + c];
+}
+
+CMatrix
+CMatrix::mul(const CMatrix &rhs) const
+{
+    panic_if(n != rhs.n, "matrix dimension mismatch in mul");
+    CMatrix out(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t k = 0; k < n; ++k) {
+            const Complex v = at(r, k);
+            if (v == Complex(0.0))
+                continue;
+            for (std::size_t c = 0; c < n; ++c)
+                out.at(r, c) += v * rhs.at(k, c);
+        }
+    }
+    return out;
+}
+
+CMatrix
+CMatrix::kron(const CMatrix &rhs) const
+{
+    CMatrix out(n * rhs.n);
+    for (std::size_t r1 = 0; r1 < n; ++r1)
+        for (std::size_t c1 = 0; c1 < n; ++c1)
+            for (std::size_t r2 = 0; r2 < rhs.n; ++r2)
+                for (std::size_t c2 = 0; c2 < rhs.n; ++c2)
+                    out.at(r1 * rhs.n + r2, c1 * rhs.n + c2) =
+                        at(r1, c1) * rhs.at(r2, c2);
+    return out;
+}
+
+CMatrix
+CMatrix::adjoint() const
+{
+    CMatrix out(n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            out.at(c, r) = std::conj(at(r, c));
+    return out;
+}
+
+CMatrix
+CMatrix::add(const CMatrix &rhs) const
+{
+    panic_if(n != rhs.n, "matrix dimension mismatch in add");
+    CMatrix out(n);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.data[i] = data[i] + rhs.data[i];
+    return out;
+}
+
+CMatrix
+CMatrix::scale(Complex factor) const
+{
+    CMatrix out(n);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.data[i] = data[i] * factor;
+    return out;
+}
+
+CMatrix
+CMatrix::controlled(unsigned num_controls) const
+{
+    CMatrix out = *this;
+    for (unsigned k = 0; k < num_controls; ++k) {
+        const std::size_t d = out.n;
+        CMatrix next = CMatrix::identity(2 * d);
+        for (std::size_t r = 0; r < d; ++r)
+            for (std::size_t c = 0; c < d; ++c)
+                next.at(d + r, d + c) = out.at(r, c);
+        out = next;
+    }
+    return out;
+}
+
+std::vector<Complex>
+CMatrix::apply(const std::vector<Complex> &state) const
+{
+    panic_if(state.size() != n, "state dimension mismatch in apply");
+    std::vector<Complex> out(n, Complex(0.0));
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            out[r] += at(r, c) * state[c];
+    return out;
+}
+
+double
+CMatrix::distance(const CMatrix &rhs) const
+{
+    panic_if(n != rhs.n, "matrix dimension mismatch in distance");
+    double d = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        d = std::max(d, std::abs(data[i] - rhs.data[i]));
+    return d;
+}
+
+double
+CMatrix::distanceUpToPhase(const CMatrix &rhs) const
+{
+    panic_if(n != rhs.n, "matrix dimension mismatch");
+
+    // Align the phase of the largest-magnitude entry of rhs.
+    std::size_t best = 0;
+    double best_mag = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const double mag = std::abs(rhs.data[i]);
+        if (mag > best_mag) {
+            best_mag = mag;
+            best = i;
+        }
+    }
+    if (best_mag < 1e-14 || std::abs(data[best]) < 1e-14)
+        return distance(rhs);
+
+    const Complex phase =
+        (data[best] / std::abs(data[best])) /
+        (rhs.data[best] / std::abs(rhs.data[best]));
+    return distance(rhs.scale(phase));
+}
+
+bool
+CMatrix::isUnitary(double tol) const
+{
+    return adjoint().mul(*this).distance(identity(n)) < tol;
+}
+
+} // namespace qsa::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dense complex matrices for multi-qubit unitaries.
+ *
+ * Used in three places:
+ *  - exact (non-Trotterized) time evolution for the chemistry benchmark,
+ *  - the dense reference simulator that cross-validates the fast
+ *    state-vector simulator (standing in for the paper's cross-language
+ *    validation against LIQUi|>, ProjectQ, and Q#),
+ *  - unitary-equivalence checks for Table 1 and Figure 4.
+ *
+ * Dimensions stay tiny (<= 2^6) so a simple row-major vector suffices.
+ */
+
+#ifndef QSA_SIM_MATRIX_HH
+#define QSA_SIM_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qsa::sim
+{
+
+/** Square, dense, row-major complex matrix. */
+class CMatrix
+{
+  public:
+    /** Zero matrix of the given dimension. */
+    explicit CMatrix(std::size_t dim = 0);
+
+    /** Identity matrix of the given dimension. */
+    static CMatrix identity(std::size_t dim);
+
+    /** Lift a single-qubit gate to a 2x2 CMatrix. */
+    static CMatrix fromMat2(const Mat2 &m);
+
+    /** Dimension (number of rows == columns). */
+    std::size_t dim() const { return n; }
+
+    /** Mutable element access. */
+    Complex &at(std::size_t r, std::size_t c);
+
+    /** Const element access. */
+    const Complex &at(std::size_t r, std::size_t c) const;
+
+    /** Matrix product this * rhs. */
+    CMatrix mul(const CMatrix &rhs) const;
+
+    /** Kronecker product this (x) rhs. */
+    CMatrix kron(const CMatrix &rhs) const;
+
+    /** Conjugate transpose. */
+    CMatrix adjoint() const;
+
+    /** Sum. */
+    CMatrix add(const CMatrix &rhs) const;
+
+    /** Scale by a complex factor. */
+    CMatrix scale(Complex factor) const;
+
+    /**
+     * Controlled version: identity on the first 2^k "control = not all
+     * ones" block, this matrix when all k new control qubits (prepended
+     * as high-order bits) are 1.
+     */
+    CMatrix controlled(unsigned num_controls = 1) const;
+
+    /** Apply to a state vector (dim must match). */
+    std::vector<Complex> apply(const std::vector<Complex> &state) const;
+
+    /** Max-norm distance between two matrices. */
+    double distance(const CMatrix &rhs) const;
+
+    /**
+     * Distance up to a global phase: min over phases of the max-norm
+     * distance; implemented by aligning the largest-magnitude entry.
+     */
+    double distanceUpToPhase(const CMatrix &rhs) const;
+
+    /** True when unitary within tol. */
+    bool isUnitary(double tol = 1e-9) const;
+
+  private:
+    std::size_t n;
+    std::vector<Complex> data;
+};
+
+} // namespace qsa::sim
+
+#endif // QSA_SIM_MATRIX_HH

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * State-vector simulator implementation.
+ */
+
+#include "sim/statevector.hh"
+
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qsa::sim
+{
+
+namespace
+{
+/** Practical cap: 2^28 amplitudes is 4 GiB of doubles. */
+constexpr unsigned max_qubits = 28;
+} // anonymous namespace
+
+StateVector::StateVector(unsigned num_qubits) : nQubits(num_qubits)
+{
+    fatal_if(num_qubits == 0, "state vector needs at least one qubit");
+    fatal_if(num_qubits > max_qubits, "refusing to allocate ",
+             num_qubits, " qubits (limit ", max_qubits, ")");
+    amps.assign(pow2(num_qubits), Complex(0.0));
+    amps[0] = Complex(1.0);
+}
+
+Complex
+StateVector::amp(std::uint64_t basis) const
+{
+    panic_if(basis >= dim(), "basis index out of range");
+    return amps[basis];
+}
+
+void
+StateVector::setBasisState(std::uint64_t basis)
+{
+    panic_if(basis >= dim(), "basis index out of range");
+    std::fill(amps.begin(), amps.end(), Complex(0.0));
+    amps[basis] = Complex(1.0);
+}
+
+void
+StateVector::applyGate(const Mat2 &gate, unsigned target)
+{
+    panic_if(target >= nQubits, "gate target out of range");
+
+    const std::uint64_t stride = pow2(target);
+    const std::uint64_t d = dim();
+    for (std::uint64_t base = 0; base < d; base += 2 * stride) {
+        for (std::uint64_t off = 0; off < stride; ++off) {
+            const std::uint64_t i0 = base + off;
+            const std::uint64_t i1 = i0 + stride;
+            const Complex a0 = amps[i0];
+            const Complex a1 = amps[i1];
+            amps[i0] = gate.a00 * a0 + gate.a01 * a1;
+            amps[i1] = gate.a10 * a0 + gate.a11 * a1;
+        }
+    }
+}
+
+void
+StateVector::applyControlled(const Mat2 &gate,
+                             const std::vector<unsigned> &controls,
+                             unsigned target)
+{
+    if (controls.empty()) {
+        applyGate(gate, target);
+        return;
+    }
+
+    panic_if(target >= nQubits, "gate target out of range");
+    std::uint64_t cmask = 0;
+    for (unsigned c : controls) {
+        panic_if(c >= nQubits, "control qubit out of range");
+        panic_if(c == target, "control equals target");
+        cmask |= pow2(c);
+    }
+
+    const std::uint64_t tmask = pow2(target);
+    const std::uint64_t d = dim();
+    for (std::uint64_t i0 = 0; i0 < d; ++i0) {
+        if ((i0 & tmask) || (i0 & cmask) != cmask)
+            continue;
+        const std::uint64_t i1 = i0 | tmask;
+        const Complex a0 = amps[i0];
+        const Complex a1 = amps[i1];
+        amps[i0] = gate.a00 * a0 + gate.a01 * a1;
+        amps[i1] = gate.a10 * a0 + gate.a11 * a1;
+    }
+}
+
+void
+StateVector::applySwap(unsigned q0, unsigned q1)
+{
+    applyControlledSwap({}, q0, q1);
+}
+
+void
+StateVector::applyControlledSwap(const std::vector<unsigned> &controls,
+                                 unsigned q0, unsigned q1)
+{
+    panic_if(q0 >= nQubits || q1 >= nQubits, "swap qubit out of range");
+    panic_if(q0 == q1, "swap requires distinct qubits");
+
+    std::uint64_t cmask = 0;
+    for (unsigned c : controls) {
+        panic_if(c >= nQubits, "control qubit out of range");
+        panic_if(c == q0 || c == q1, "control equals swap target");
+        cmask |= pow2(c);
+    }
+
+    const std::uint64_t m0 = pow2(q0);
+    const std::uint64_t m1 = pow2(q1);
+    const std::uint64_t d = dim();
+    for (std::uint64_t i = 0; i < d; ++i) {
+        // Visit each swapped pair once: q0 set, q1 clear.
+        if (!(i & m0) || (i & m1) || (i & cmask) != cmask)
+            continue;
+        const std::uint64_t j = (i & ~m0) | m1;
+        std::swap(amps[i], amps[j]);
+    }
+}
+
+void
+StateVector::applyUnitary(const CMatrix &u,
+                          const std::vector<unsigned> &qubits)
+{
+    applyControlledUnitary(u, {}, qubits);
+}
+
+void
+StateVector::applyControlledUnitary(const CMatrix &u,
+                                    const std::vector<unsigned> &controls,
+                                    const std::vector<unsigned> &qubits)
+{
+    const unsigned k = qubits.size();
+    panic_if(u.dim() != pow2(k), "unitary dimension mismatch");
+    for (unsigned q : qubits)
+        panic_if(q >= nQubits, "unitary qubit out of range");
+
+    std::uint64_t cmask = 0;
+    for (unsigned c : controls) {
+        panic_if(c >= nQubits, "control qubit out of range");
+        cmask |= pow2(c);
+    }
+    std::uint64_t qmask = 0;
+    for (unsigned q : qubits)
+        qmask |= pow2(q);
+    panic_if(cmask & qmask, "controls overlap unitary targets");
+
+    const std::uint64_t sub = pow2(k);
+    std::vector<Complex> in(sub), out(sub);
+    const std::uint64_t d = dim();
+
+    for (std::uint64_t base = 0; base < d; ++base) {
+        // Enumerate each coset once: all target bits clear in base.
+        if (base & qmask)
+            continue;
+        if ((base & cmask) != cmask)
+            continue;
+
+        for (std::uint64_t v = 0; v < sub; ++v)
+            in[v] = amps[depositBits(base, qubits, v)];
+        for (std::uint64_t r = 0; r < sub; ++r) {
+            Complex acc(0.0);
+            for (std::uint64_t c = 0; c < sub; ++c)
+                acc += u.at(r, c) * in[c];
+            out[r] = acc;
+        }
+        for (std::uint64_t v = 0; v < sub; ++v)
+            amps[depositBits(base, qubits, v)] = out[v];
+    }
+}
+
+unsigned
+StateVector::measureQubit(unsigned qubit, Rng &rng)
+{
+    panic_if(qubit >= nQubits, "measured qubit out of range");
+
+    const double p1 = probabilityOne(qubit);
+    const unsigned outcome = rng.bernoulli(p1) ? 1 : 0;
+    collapse(qubit, outcome, outcome ? p1 : 1.0 - p1);
+    return outcome;
+}
+
+std::uint64_t
+StateVector::measureQubits(const std::vector<unsigned> &qubits, Rng &rng)
+{
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        value |= static_cast<std::uint64_t>(measureQubit(qubits[i], rng))
+                 << i;
+    return value;
+}
+
+void
+StateVector::prepZ(unsigned qubit, unsigned bit, Rng &rng)
+{
+    const unsigned current = measureQubit(qubit, rng);
+    if (current != (bit & 1))
+        applyGate(Mat2{0.0, 1.0, 1.0, 0.0}, qubit);
+}
+
+double
+StateVector::probabilityOne(unsigned qubit) const
+{
+    panic_if(qubit >= nQubits, "qubit out of range");
+    const std::uint64_t mask = pow2(qubit);
+    double p1 = 0.0;
+    for (std::uint64_t i = 0; i < dim(); ++i) {
+        if (i & mask)
+            p1 += std::norm(amps[i]);
+    }
+    return std::min(1.0, std::max(0.0, p1));
+}
+
+std::vector<double>
+StateVector::marginalProbs(const std::vector<unsigned> &qubits) const
+{
+    for (unsigned q : qubits)
+        panic_if(q >= nQubits, "qubit out of range");
+
+    std::vector<double> probs(pow2(qubits.size()), 0.0);
+    for (std::uint64_t i = 0; i < dim(); ++i) {
+        const double p = std::norm(amps[i]);
+        if (p == 0.0)
+            continue;
+        probs[extractBits(i, qubits)] += p;
+    }
+    return probs;
+}
+
+CMatrix
+StateVector::reducedDensityMatrix(
+    const std::vector<unsigned> &qubits) const
+{
+    const unsigned k = qubits.size();
+    panic_if(k > 16, "reduced density matrix too large");
+    for (unsigned q : qubits)
+        panic_if(q >= nQubits, "qubit out of range");
+
+    std::uint64_t qmask = 0;
+    for (unsigned q : qubits)
+        qmask |= pow2(q);
+
+    const std::uint64_t sub = pow2(k);
+    CMatrix rho(sub);
+    const std::uint64_t d = dim();
+    for (std::uint64_t base = 0; base < d; ++base) {
+        if (base & qmask)
+            continue; // enumerate environment configurations once
+        for (std::uint64_t r = 0; r < sub; ++r) {
+            const Complex ar = amps[depositBits(base, qubits, r)];
+            if (ar == Complex(0.0))
+                continue;
+            for (std::uint64_t c = 0; c < sub; ++c) {
+                const Complex ac = amps[depositBits(base, qubits, c)];
+                rho.at(r, c) += ar * std::conj(ac);
+            }
+        }
+    }
+    return rho;
+}
+
+double
+StateVector::subsystemPurity(const std::vector<unsigned> &qubits) const
+{
+    const CMatrix rho = reducedDensityMatrix(qubits);
+    double purity = 0.0;
+    for (std::size_t r = 0; r < rho.dim(); ++r)
+        for (std::size_t c = 0; c < rho.dim(); ++c)
+            purity += std::norm(rho.at(r, c));
+    return purity;
+}
+
+double
+StateVector::norm() const
+{
+    double s = 0.0;
+    for (const Complex &a : amps)
+        s += std::norm(a);
+    return s;
+}
+
+Complex
+StateVector::innerProduct(const StateVector &other) const
+{
+    panic_if(dim() != other.dim(), "state dimension mismatch");
+    Complex acc(0.0);
+    for (std::uint64_t i = 0; i < dim(); ++i)
+        acc += std::conj(amps[i]) * other.amps[i];
+    return acc;
+}
+
+double
+StateVector::fidelity(const StateVector &other) const
+{
+    return std::norm(innerProduct(other));
+}
+
+void
+StateVector::normalize()
+{
+    const double n = std::sqrt(norm());
+    panic_if(n < 1e-12, "cannot normalise a zero state");
+    for (Complex &a : amps)
+        a /= n;
+}
+
+void
+StateVector::collapse(unsigned qubit, unsigned value, double prob)
+{
+    // Guard against collapsing onto a zero-probability branch due to
+    // floating-point round-off.
+    panic_if(prob < 1e-15, "collapse onto zero-probability branch");
+
+    const std::uint64_t mask = pow2(qubit);
+    const double scale = 1.0 / std::sqrt(prob);
+    for (std::uint64_t i = 0; i < dim(); ++i) {
+        const bool bit = (i & mask) != 0;
+        if (bit != static_cast<bool>(value))
+            amps[i] = Complex(0.0);
+        else
+            amps[i] *= scale;
+    }
+}
+
+} // namespace qsa::sim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small dense 2x2 helpers.
+ */
+
+#include "sim/types.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsa::sim
+{
+
+Mat2
+matMul(const Mat2 &lhs, const Mat2 &rhs)
+{
+    return Mat2{
+        lhs.a00 * rhs.a00 + lhs.a01 * rhs.a10,
+        lhs.a00 * rhs.a01 + lhs.a01 * rhs.a11,
+        lhs.a10 * rhs.a00 + lhs.a11 * rhs.a10,
+        lhs.a10 * rhs.a01 + lhs.a11 * rhs.a11,
+    };
+}
+
+Mat2
+matAdjoint(const Mat2 &m)
+{
+    return Mat2{
+        std::conj(m.a00), std::conj(m.a10),
+        std::conj(m.a01), std::conj(m.a11),
+    };
+}
+
+double
+matDistance(const Mat2 &a, const Mat2 &b)
+{
+    return std::max({std::abs(a.a00 - b.a00), std::abs(a.a01 - b.a01),
+                     std::abs(a.a10 - b.a10), std::abs(a.a11 - b.a11)});
+}
+
+bool
+matIsUnitary(const Mat2 &m, double tol)
+{
+    const Mat2 prod = matMul(matAdjoint(m), m);
+    const Mat2 identity{1.0, 0.0, 0.0, 1.0};
+    return matDistance(prod, identity) < tol;
+}
+
+} // namespace qsa::sim

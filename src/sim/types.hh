@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Core numeric types for the state-vector simulator.
+ */
+
+#ifndef QSA_SIM_TYPES_HH
+#define QSA_SIM_TYPES_HH
+
+#include <complex>
+
+namespace qsa::sim
+{
+
+/** Amplitude type used throughout the simulator. */
+using Complex = std::complex<double>;
+
+/** A 2x2 single-qubit gate matrix, row major. */
+struct Mat2
+{
+    Complex a00, a01;
+    Complex a10, a11;
+};
+
+/** Matrix product of two single-qubit gates (lhs applied after rhs). */
+Mat2 matMul(const Mat2 &lhs, const Mat2 &rhs);
+
+/** Conjugate transpose of a single-qubit gate. */
+Mat2 matAdjoint(const Mat2 &m);
+
+/** Max-norm distance between two single-qubit gates. */
+double matDistance(const Mat2 &a, const Mat2 &b);
+
+/** True when m is unitary to within tol. */
+bool matIsUnitary(const Mat2 &m, double tol = 1e-10);
+
+} // namespace qsa::sim
+
+#endif // QSA_SIM_TYPES_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Chi-square distribution functions and goodness-of-fit tests.
+ *
+ * These are the statistical primitives behind the paper's
+ * assert_classical and assert_superposition checks (Sections 3.1 and
+ * 4.1): an ensemble of measurement outcomes is binned and compared
+ * against the hypothesised distribution with a chi-square test; a small
+ * p-value rejects the hypothesis and fires the assertion.
+ */
+
+#ifndef QSA_STATS_CHI2_HH
+#define QSA_STATS_CHI2_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace qsa::stats
+{
+
+/** Chi-square cumulative distribution function with df degrees. */
+double chiSquareCdf(double x, double df);
+
+/** Chi-square survival function (p-value of statistic x). */
+double chiSquareSf(double x, double df);
+
+/**
+ * Chi-square quantile: smallest x with CDF(x) >= p (bisection; used by
+ * the statistical-power ablation to derive rejection thresholds).
+ */
+double chiSquareQuantile(double p, double df);
+
+/**
+ * Result of a chi-square test.
+ *
+ * When the hypothesised distribution puts zero probability on a bin
+ * that was nevertheless observed, the statistic is infinite and the
+ * p-value is exactly 0 (the convention NR's chsone enforces by erroring
+ * out; here it is a well-defined rejection, which is precisely the case
+ * "measured a value the classical assertion forbids").
+ */
+struct Chi2Result
+{
+    /** Chi-square statistic (may be +infinity, see above). */
+    double statistic = 0.0;
+
+    /** Degrees of freedom used for the p-value. */
+    double df = 0.0;
+
+    /** Survival-function p-value in [0, 1]. */
+    double pValue = 1.0;
+
+    /** Number of bins that actually entered the statistic. */
+    std::size_t usedBins = 0;
+
+    /** True when any observed count fell in a zero-expected bin. */
+    bool impossibleOutcome = false;
+};
+
+/**
+ * One-sample chi-square goodness-of-fit test (NR chsone semantics).
+ *
+ * Bins with expected == 0 and observed == 0 are skipped. Bins with
+ * expected == 0 but observed > 0 make the test reject with p = 0.
+ *
+ * @param observed observed counts per bin
+ * @param expected expected counts per bin (same total as observed for a
+ *        meaningful test; not enforced)
+ * @param constraints number of model constraints subtracted from the
+ *        degrees of freedom (1 when expected was normalised to the
+ *        sample size, per NR)
+ */
+Chi2Result chiSquareGof(const std::vector<double> &observed,
+                        const std::vector<double> &expected,
+                        int constraints = 1);
+
+/**
+ * Two-sample chi-square test for identical parent distributions (NR
+ * chstwo): bins empty in both samples are skipped.
+ */
+Chi2Result chiSquareTwoSample(const std::vector<double> &sample1,
+                              const std::vector<double> &sample2,
+                              int constraints = 1);
+
+/**
+ * G-test (log-likelihood ratio) alternative to chiSquareGof with the
+ * same bin conventions; used by the statistics ablation bench.
+ */
+Chi2Result gTestGof(const std::vector<double> &observed,
+                    const std::vector<double> &expected,
+                    int constraints = 1);
+
+/** Expected counts for a uniform distribution over num_bins bins. */
+std::vector<double> uniformExpected(std::size_t num_bins, double total);
+
+/**
+ * Expected counts for a point-mass (classical value) distribution.
+ *
+ * @param num_bins domain size
+ * @param value bin carrying all the mass
+ * @param total ensemble size
+ */
+std::vector<double> pointMassExpected(std::size_t num_bins,
+                                      std::uint64_t value, double total);
+
+} // namespace qsa::stats
+
+#endif // QSA_STATS_CHI2_HH

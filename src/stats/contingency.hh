@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Contingency-table analysis for entanglement and product-state
+ * assertions.
+ *
+ * Section 4.4 of the paper: measurements of two quantum variables are
+ * cross-tabulated; a chi-square independence test with a small p-value
+ * rejects independence, i.e. the variables were correlated and hence
+ * entangled. Section 4.5 uses the same analysis with the opposite
+ * expectation (a large p-value is consistent with a product state).
+ *
+ * The paper's quoted 2x2 p-values (0.0005 for a perfectly correlated
+ * table at ensemble size 16) correspond to the Yates continuity
+ * correction, which this module applies to 2x2 tables by default.
+ */
+
+#ifndef QSA_STATS_CONTINGENCY_HH
+#define QSA_STATS_CONTINGENCY_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "stats/chi2.hh"
+
+namespace qsa::stats
+{
+
+/**
+ * A two-way table of outcome counts. Row/column categories are the
+ * observed values of the two measured quantum variables; the builder
+ * compacts the (possibly huge) value domains down to the values that
+ * actually occurred, as the paper's tool does when it "maps the
+ * measurement results into columns and rows of a contingency table
+ * automatically".
+ */
+class ContingencyTable
+{
+  public:
+    /** Build from paired observations (value_a, value_b). */
+    static ContingencyTable
+    fromPairs(const std::vector<std::pair<std::uint64_t,
+                                          std::uint64_t>> &pairs);
+
+    /**
+     * Build from a dense joint-count matrix whose rows/cols are labelled
+     * with explicit category values.
+     */
+    static ContingencyTable
+    fromCounts(const std::vector<std::uint64_t> &row_labels,
+               const std::vector<std::uint64_t> &col_labels,
+               const std::vector<std::vector<double>> &counts);
+
+    /** Number of row categories. */
+    std::size_t numRows() const { return rowLabels.size(); }
+
+    /** Number of column categories. */
+    std::size_t numCols() const { return colLabels.size(); }
+
+    /** Total observation count. */
+    double total() const;
+
+    /** Count in cell (r, c) by index. */
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Row category labels (sorted, as observed). */
+    const std::vector<std::uint64_t> &rows() const { return rowLabels; }
+
+    /** Column category labels (sorted, as observed). */
+    const std::vector<std::uint64_t> &cols() const { return colLabels; }
+
+  private:
+    std::vector<std::uint64_t> rowLabels;
+    std::vector<std::uint64_t> colLabels;
+    std::vector<std::vector<double>> cells;
+};
+
+/** Result of a chi-square independence test on a contingency table. */
+struct IndependenceResult
+{
+    /** Chi-square statistic (Yates-corrected when applied). */
+    double statistic = 0.0;
+
+    /** Degrees of freedom (nr - 1)(nc - 1) over non-empty rows/cols. */
+    double df = 0.0;
+
+    /** p-value; <= alpha rejects independence (=> entangled). */
+    double pValue = 1.0;
+
+    /** Cramér's V effect size in [0, 1]. */
+    double cramersV = 0.0;
+
+    /** Pearson contingency coefficient C in [0, 1). */
+    double contingencyC = 0.0;
+
+    /** Whether the Yates continuity correction was applied. */
+    bool yatesApplied = false;
+
+    /**
+     * Degenerate tables (a single non-empty row or column) carry no
+     * dependence information; df == 0 and pValue == 1 in that case.
+     */
+    bool degenerate = false;
+};
+
+/**
+ * Pearson chi-square test of independence.
+ *
+ * @param table the contingency table
+ * @param yates_for_2x2 apply the continuity correction when the
+ *        non-degenerate table is exactly 2x2 (the paper's configuration)
+ */
+IndependenceResult independenceTest(const ContingencyTable &table,
+                                    bool yates_for_2x2 = true);
+
+/**
+ * G-test of independence (log-likelihood ratio), same table handling;
+ * used by the statistics ablation bench.
+ */
+IndependenceResult independenceGTest(const ContingencyTable &table);
+
+} // namespace qsa::stats
+
+#endif // QSA_STATS_CONTINGENCY_HH

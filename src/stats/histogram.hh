@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Histogram helpers to turn measurement ensembles into binned counts.
+ */
+
+#ifndef QSA_STATS_HISTOGRAM_HH
+#define QSA_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace qsa::stats
+{
+
+/** Sparse counts of each distinct outcome. */
+std::map<std::uint64_t, std::uint64_t>
+countOutcomes(const std::vector<std::uint64_t> &outcomes);
+
+/**
+ * Dense per-value counts over the domain [0, domain).
+ *
+ * @param outcomes observed values; each must be < domain
+ * @param domain domain size (2^width for a width-qubit register)
+ */
+std::vector<double> denseCounts(const std::vector<std::uint64_t> &outcomes,
+                                std::uint64_t domain);
+
+/** Normalise counts to frequencies (empty input yields empty output). */
+std::vector<double> toFrequencies(const std::vector<double> &counts);
+
+} // namespace qsa::stats
+
+#endif // QSA_STATS_HISTOGRAM_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Special functions needed by the chi-square machinery.
+ *
+ * The paper computes p-values with Numerical Recipes-style routines
+ * [42]; this module provides the same building blocks implemented from
+ * scratch: log-gamma and the regularized incomplete gamma functions
+ * P(a, x) and Q(a, x). The chi-square survival function is
+ * Q(df / 2, x / 2).
+ */
+
+#ifndef QSA_STATS_SPECFUN_HH
+#define QSA_STATS_SPECFUN_HH
+
+namespace qsa::stats
+{
+
+/**
+ * Natural log of the gamma function for x > 0 (Lanczos approximation,
+ * |relative error| < 2e-10 over the domain used here).
+ */
+double lnGamma(double x);
+
+/**
+ * Regularized lower incomplete gamma function P(a, x), a > 0, x >= 0.
+ * Series expansion for x < a + 1, continued fraction otherwise.
+ */
+double gammaP(double a, double x);
+
+/** Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x). */
+double gammaQ(double a, double x);
+
+/** Error function computed via gammaP(1/2, x^2). */
+double errorFunction(double x);
+
+/** Complementary error function. */
+double errorFunctionC(double x);
+
+} // namespace qsa::stats
+
+#endif // QSA_STATS_SPECFUN_HH

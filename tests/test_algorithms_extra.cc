@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the additional algorithm substrates: Bernstein-Vazirani,
+ * Deutsch-Jozsa, W states, and superdense coding — each paired with
+ * the assertion type that validates it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/bell.hh"
+#include "algo/oracles.hh"
+#include "algo/teleport.hh"
+#include "assertions/checker.hh"
+#include "assertions/exact.hh"
+#include "assertions/report.hh"
+#include "circuit/executor.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace qsa;
+
+// --- Bernstein-Vazirani --------------------------------------------------------
+
+class BvSecrets : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BvSecrets, RecoversSecretDeterministically)
+{
+    const std::uint64_t secret = GetParam();
+    const auto prog = algo::buildBernsteinVazirani(5, secret);
+
+    const auto probs =
+        assertions::exactMarginal(prog.circuit, "final", prog.q);
+    EXPECT_NEAR(probs[secret], 1.0, 1e-9);
+}
+
+TEST_P(BvSecrets, ClassicalAssertionValidatesOutput)
+{
+    const std::uint64_t secret = GetParam();
+    const auto prog = algo::buildBernsteinVazirani(5, secret);
+
+    assertions::AssertionChecker checker(prog.circuit);
+    checker.assertSuperposition("superposed", prog.q);
+    checker.assertClassical("final", prog.q, secret);
+    EXPECT_TRUE(assertions::allPassed(checker.checkAll()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Secrets, BvSecrets,
+                         ::testing::Values(0ull, 1ull, 0b10110ull,
+                                           0b11111ull, 0b01010ull));
+
+TEST(BernsteinVazirani, WrongSecretAssertionFails)
+{
+    const auto prog = algo::buildBernsteinVazirani(4, 0b1011);
+    assertions::AssertionChecker checker(prog.circuit);
+    checker.assertClassical("final", prog.q, 0b1010);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_FALSE(o.passed);
+    EXPECT_EQ(o.pValue, 0.0);
+}
+
+// --- Deutsch-Jozsa --------------------------------------------------------------
+
+TEST(DeutschJozsa, ConstantOraclesReadZero)
+{
+    for (unsigned bit : {0u, 1u}) {
+        const auto prog = algo::buildDeutschJozsaConstant(4, bit);
+        assertions::AssertionChecker checker(prog.circuit);
+        checker.assertClassical("final", prog.q, 0);
+        EXPECT_TRUE(checker.check(checker.assertions()[0]).passed)
+            << "constant bit " << bit;
+    }
+}
+
+TEST(DeutschJozsa, BalancedOraclesNeverReadZero)
+{
+    for (std::uint64_t mask : {0b0001ull, 0b1010ull, 0b1111ull}) {
+        const auto prog = algo::buildDeutschJozsaBalanced(4, mask);
+        const auto probs =
+            assertions::exactMarginal(prog.circuit, "final", prog.q);
+        EXPECT_NEAR(probs[0], 0.0, 1e-12) << "mask " << mask;
+
+        // The "is it constant?" assertion correctly rejects.
+        assertions::AssertionChecker checker(prog.circuit);
+        checker.assertClassical("final", prog.q, 0);
+        EXPECT_FALSE(checker.check(checker.assertions()[0]).passed);
+    }
+}
+
+// --- W states ---------------------------------------------------------------------
+
+class WWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WWidths, UniformOverOneHotValues)
+{
+    const unsigned n = GetParam();
+    circuit::Circuit circ;
+    const auto q = circ.addRegister("q", n);
+    algo::appendWState(circ, q);
+    circ.breakpoint("done");
+
+    const auto probs = assertions::exactMarginal(circ, "done", q);
+    for (std::uint64_t v = 0; v < pow2(n); ++v) {
+        const double expected =
+            popcount64(v) == 1 ? 1.0 / n : 0.0;
+        EXPECT_NEAR(probs[v], expected, 1e-9) << "value " << v;
+    }
+}
+
+TEST_P(WWidths, DistributionAssertionValidatesWState)
+{
+    const unsigned n = GetParam();
+    circuit::Circuit circ;
+    const auto q = circ.addRegister("q", n);
+    algo::appendWState(circ, q);
+    circ.breakpoint("done");
+
+    std::vector<std::uint64_t> one_hot;
+    for (unsigned i = 0; i < n; ++i)
+        one_hot.push_back(1ull << i);
+
+    assertions::AssertionChecker checker(circ);
+    checker.assertUniformSubset("done", q, one_hot);
+    EXPECT_TRUE(checker.check(checker.assertions()[0]).passed);
+}
+
+TEST_P(WWidths, EveryQubitIsEntangled)
+{
+    const unsigned n = GetParam();
+    if (n < 2)
+        GTEST_SKIP();
+    circuit::Circuit circ;
+    const auto q = circ.addRegister("q", n);
+    algo::appendWState(circ, q);
+    circ.breakpoint("done");
+
+    for (unsigned i = 0; i < n; ++i) {
+        EXPECT_LT(assertions::exactPurity(circ, "done",
+                                          q.slice(i, 1)),
+                  1.0 - 1e-6)
+            << "qubit " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WWidths,
+                         ::testing::Values(2u, 3u, 4u, 5u));
+
+// --- Superdense coding ---------------------------------------------------------------
+
+class SuperdenseMessages : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SuperdenseMessages, TwoBitsArriveExactly)
+{
+    const unsigned message = GetParam();
+    const auto prog = algo::buildSuperdenseProgram(message);
+
+    Rng rng(31 + message);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto rec = circuit::runCircuit(prog.circuit, rng);
+        EXPECT_EQ(rec.measurements.at("received"), message);
+    }
+}
+
+TEST_P(SuperdenseMessages, AssertionsValidateProtocol)
+{
+    const unsigned message = GetParam();
+    const auto prog = algo::buildSuperdenseProgram(message);
+
+    assertions::AssertionChecker checker(prog.circuit);
+    checker.assertEntangled("pair_ready", prog.sender, prog.receiver);
+    // After decoding both qubits are classical: the pair disentangled.
+    checker.assertProduct("decoded", prog.sender, prog.receiver);
+    EXPECT_TRUE(assertions::allPassed(checker.checkAll()))
+        << "message " << message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Messages, SuperdenseMessages,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST(Superdense, BrokenPairCorruptsMessage)
+{
+    // Without the CNOT in pair creation the channel degrades: the
+    // received value is no longer deterministic.
+    circuit::Circuit circ;
+    const auto alice = circ.addRegister("alice", 1);
+    const auto bob = circ.addRegister("bob", 1);
+    circ.prepZ(alice[0], 0);
+    circ.prepZ(bob[0], 0);
+    circ.h(alice[0]); // BUG: missing cnot(alice, bob)
+    circ.breakpoint("pair_ready");
+    circ.x(alice[0]); // encode message 1
+    circ.cnot(alice[0], bob[0]);
+    circ.h(alice[0]);
+    circ.breakpoint("decoded");
+    circ.measureQubits({bob[0], alice[0]}, "received");
+
+    // The precondition assertion catches the broken pair.
+    assertions::AssertionChecker checker(circ);
+    checker.assertEntangled("pair_ready", alice, bob);
+    EXPECT_FALSE(checker.check(checker.assertions()[0]).passed);
+
+    // And the message is indeed garbled half the time.
+    Rng rng(77);
+    int wrong = 0;
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto rec = circuit::runCircuit(circ, rng);
+        wrong += rec.measurements.at("received") != 1u;
+    }
+    EXPECT_GT(wrong, 20);
+}
+
+} // anonymous namespace

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the statistical assertion checker: the four assertion
+ * types against known-good and known-bad states, both ensemble modes,
+ * exact inspection helpers, and the paper's quoted p-values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/bell.hh"
+#include "assertions/checker.hh"
+#include "assertions/exact.hh"
+#include "assertions/report.hh"
+
+namespace
+{
+
+using namespace qsa;
+using namespace qsa::assertions;
+using qsa::circuit::Circuit;
+using qsa::circuit::QubitRegister;
+
+/** Bell program plus registers for the two halves. */
+struct BellFixture
+{
+    Circuit circ = algo::buildBellProgram();
+    QubitRegister q0 = circ.reg("q").slice(0, 1, "q0");
+    QubitRegister q1 = circ.reg("q").slice(1, 1, "q1");
+};
+
+TEST(Checker, ClassicalPassesOnPreparedValue)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertClassical("classical", f.circ.reg("q"), 0);
+    const auto outcomes = checker.checkAll();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].passed);
+    EXPECT_NEAR(outcomes[0].pValue, 1.0, 1e-9);
+}
+
+TEST(Checker, ClassicalFailsOnWrongValue)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertClassical("classical", f.circ.reg("q"), 3);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_FALSE(o.passed);
+    EXPECT_EQ(o.pValue, 0.0);
+    EXPECT_TRUE(o.impossibleOutcome);
+}
+
+TEST(Checker, ClassicalFailsOnSuperposedState)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    // After the H the state is no longer classical 0.
+    checker.assertClassical("superposition", f.q0, 0);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_FALSE(o.passed);
+    EXPECT_EQ(o.pValue, 0.0);
+}
+
+TEST(Checker, SuperpositionPassesAfterH)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertSuperposition("superposition", f.q0);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_TRUE(o.passed);
+    EXPECT_GT(o.pValue, 0.05);
+}
+
+TEST(Checker, SuperpositionFailsOnClassicalState)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertSuperposition("classical", f.circ.reg("q"));
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_FALSE(o.passed);
+    EXPECT_LT(o.pValue, 1e-6);
+}
+
+TEST(Checker, EntangledDetectsBellPair)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertEntangled("entangled", f.q0, f.q1);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_TRUE(o.passed);
+    EXPECT_LE(o.pValue, 0.05);
+    EXPECT_GT(o.cramersV, 0.9);
+}
+
+TEST(Checker, EntangledFailsBeforeCnot)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    // After only the H the qubits are independent.
+    checker.assertEntangled("superposition", f.q0, f.q1);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_FALSE(o.passed);
+    EXPECT_GT(o.pValue, 0.05);
+}
+
+TEST(Checker, ProductPassesBeforeCnot)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertProduct("superposition", f.q0, f.q1);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_TRUE(o.passed);
+}
+
+TEST(Checker, ProductFailsOnBellPair)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertProduct("entangled", f.q0, f.q1);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_FALSE(o.passed);
+    EXPECT_LE(o.pValue, 0.05);
+}
+
+TEST(Checker, PaperQuotedBellPValueAtEnsemble16)
+{
+    // Section 4.4: a perfectly correlated 2x2 table at ensemble size
+    // 16 yields p ~ 0.0005 with the Yates correction. Finite samples
+    // occasionally split 7/9, so accept the small family of exact
+    // Yates p-values near it.
+    BellFixture f;
+    CheckConfig cfg;
+    cfg.ensembleSize = 16;
+    AssertionChecker checker(f.circ, cfg);
+    checker.assertEntangled("entangled", f.q0, f.q1);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_TRUE(o.passed);
+    EXPECT_LT(o.pValue, 0.005);
+}
+
+TEST(Checker, ResimulateModeMatchesSampling)
+{
+    BellFixture f;
+
+    CheckConfig fast;
+    fast.mode = EnsembleMode::SampleFinalState;
+    CheckConfig slow;
+    slow.mode = EnsembleMode::Resimulate;
+    slow.ensembleSize = fast.ensembleSize = 128;
+
+    for (const auto &cfg : {fast, slow}) {
+        AssertionChecker checker(f.circ, cfg);
+        checker.assertEntangled("entangled", f.q0, f.q1);
+        checker.assertClassical("classical", f.circ.reg("q"), 0);
+        checker.assertSuperposition("superposition", f.q0);
+        const auto outcomes = checker.checkAll();
+        EXPECT_TRUE(allPassed(outcomes));
+    }
+}
+
+TEST(Checker, GTestModeWorks)
+{
+    BellFixture f;
+    CheckConfig cfg;
+    cfg.useGTest = true;
+    AssertionChecker checker(f.circ, cfg);
+    checker.assertEntangled("entangled", f.q0, f.q1);
+    checker.assertProduct("superposition", f.q0, f.q1);
+    EXPECT_TRUE(allPassed(checker.checkAll()));
+}
+
+TEST(Checker, UnknownBreakpointRejected)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    EXPECT_EXIT(
+        checker.assertClassical("nope", f.q0, 0),
+        ::testing::ExitedWithCode(1), "no breakpoint");
+}
+
+TEST(Checker, GatherEnsembleShape)
+{
+    BellFixture f;
+    CheckConfig cfg;
+    cfg.ensembleSize = 64;
+    AssertionChecker checker(f.circ, cfg);
+    checker.assertEntangled("entangled", f.q0, f.q1);
+    const auto pairs =
+        checker.gatherEnsemble(checker.assertions()[0]);
+    EXPECT_EQ(pairs.size(), 64u);
+    for (const auto &[a, b] : pairs)
+        EXPECT_EQ(a, b); // Bell: perfectly correlated
+}
+
+TEST(Checker, DeterministicAcrossRuns)
+{
+    BellFixture f;
+    CheckConfig cfg;
+    cfg.seed = 1234;
+    AssertionChecker c1(f.circ, cfg), c2(f.circ, cfg);
+    c1.assertEntangled("entangled", f.q0, f.q1);
+    c2.assertEntangled("entangled", f.q0, f.q1);
+    const auto o1 = c1.check(c1.assertions()[0]);
+    const auto o2 = c2.check(c2.assertions()[0]);
+    EXPECT_EQ(o1.pValue, o2.pValue);
+    EXPECT_EQ(o1.statistic, o2.statistic);
+}
+
+// --- Exact inspection ------------------------------------------------------
+
+TEST(Exact, MarginalBellHalves)
+{
+    BellFixture f;
+    const auto probs = exactMarginal(f.circ, "entangled", f.q0);
+    ASSERT_EQ(probs.size(), 2u);
+    EXPECT_NEAR(probs[0], 0.5, 1e-12);
+    EXPECT_NEAR(probs[1], 0.5, 1e-12);
+}
+
+TEST(Exact, JointBellDistribution)
+{
+    BellFixture f;
+    const auto joint = exactJoint(f.circ, "entangled", f.q0, f.q1);
+    EXPECT_NEAR(joint[0][0], 0.5, 1e-12);
+    EXPECT_NEAR(joint[1][1], 0.5, 1e-12);
+    EXPECT_NEAR(joint[0][1], 0.0, 1e-12);
+    EXPECT_NEAR(joint[1][0], 0.0, 1e-12);
+}
+
+TEST(Exact, PurityTracksEntanglement)
+{
+    BellFixture f;
+    EXPECT_NEAR(exactPurity(f.circ, "superposition", f.q0), 1.0, 1e-12);
+    EXPECT_NEAR(exactPurity(f.circ, "entangled", f.q0), 0.5, 1e-12);
+}
+
+TEST(Exact, MutualInformationBell)
+{
+    BellFixture f;
+    EXPECT_NEAR(exactMutualInformation(f.circ, "entangled", f.q0, f.q1),
+                1.0, 1e-9); // one full bit
+    EXPECT_NEAR(exactMutualInformation(f.circ, "superposition", f.q0,
+                                       f.q1),
+                0.0, 1e-9);
+}
+
+// --- Reports ----------------------------------------------------------------
+
+TEST(Report, RendersVerdicts)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertClassical("classical", f.circ.reg("q"), 0);
+    checker.assertEntangled("entangled", f.q0, f.q1);
+    const auto outcomes = checker.checkAll();
+    const std::string report = renderReport(outcomes);
+    EXPECT_NE(report.find("classical"), std::string::npos);
+    EXPECT_NE(report.find("PASS"), std::string::npos);
+    EXPECT_NE(report.find("p-value"), std::string::npos);
+
+    const std::string line = renderOutcomeLine(outcomes[0]);
+    EXPECT_NE(line.find("PASS"), std::string::npos);
+}
+
+TEST(Report, AllPassedFalseOnFailure)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertClassical("classical", f.circ.reg("q"), 2); // wrong
+    EXPECT_FALSE(allPassed(checker.checkAll()));
+}
+
+// --- GHZ generalisation -----------------------------------------------------
+
+class GhzWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GhzWidths, EntanglementDetectedAtEveryWidth)
+{
+    const unsigned width = GetParam();
+    Circuit circ;
+    const auto q = circ.addRegister("q", width);
+    algo::appendGhz(circ, q);
+    circ.breakpoint("done");
+
+    const auto half_a = q.slice(0, width / 2, "a");
+    const auto half_b =
+        q.slice(width / 2, width - width / 2, "b");
+
+    AssertionChecker checker(circ);
+    checker.assertEntangled("done", half_a, half_b);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_TRUE(o.passed) << "width " << width;
+
+    EXPECT_NEAR(exactPurity(circ, "done", half_a), 0.5, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GhzWidths,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+} // anonymous namespace

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Bug-taxonomy tests: every injected bug type must (a) change program
+ * behaviour the way the paper describes and (b) be caught by the
+ * assertion type the paper prescribes — while the correct variants
+ * pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algo/arith.hh"
+#include "algo/numtheory.hh"
+#include "algo/qft.hh"
+#include "algo/shor.hh"
+#include "assertions/checker.hh"
+#include "assertions/exact.hh"
+#include "assertions/report.hh"
+#include "bugs/bugs.hh"
+#include "bugs/injectors.hh"
+#include "circuit/executor.hh"
+#include "common/rng.hh"
+#include "sim/matrix.hh"
+
+namespace
+{
+
+using namespace qsa;
+using namespace qsa::bugs;
+using qsa::circuit::Circuit;
+using qsa::circuit::QubitRegister;
+
+TEST(Catalog, HasAllSixTypes)
+{
+    const auto catalog = bugCatalog();
+    EXPECT_EQ(catalog.size(), 6u);
+    EXPECT_EQ(bugInfo(BugType::MisroutedControl).paperSection, "4.4");
+    EXPECT_EQ(bugInfo(BugType::WrongClassicalInput).name,
+              "wrong-classical-input");
+}
+
+// --- Table 1: rotation decompositions (bug type 2) ---------------------------
+
+/** Dense 4x4 unitary of a 2-qubit circuit builder. */
+sim::CMatrix
+unitaryOf(const std::function<void(Circuit &)> &build)
+{
+    sim::CMatrix u(4);
+    for (std::uint64_t col = 0; col < 4; ++col) {
+        Circuit circ(2);
+        build(circ);
+        Rng rng(1);
+        sim::StateVector state(2);
+        state.setBasisState(col);
+        std::map<std::string, std::uint64_t> meas;
+        circuit::runCircuitOn(circ, state, meas, rng);
+        for (std::uint64_t row = 0; row < 4; ++row)
+            u.at(row, col) = state.amp(row);
+    }
+    return u;
+}
+
+TEST(Table1, CorrectVariantsMatchNativeCPhase)
+{
+    const double angle = 2.0 * M_PI / 8.0;
+    const auto reference = unitaryOf(
+        [&](Circuit &c) { c.cphase(0, 1, angle); });
+
+    for (auto variant : {Table1Variant::CorrectDropA,
+                         Table1Variant::CorrectDropC}) {
+        const auto u = unitaryOf([&](Circuit &c) {
+            appendCPhaseDecomposed(c, 0, 1, angle, variant);
+        });
+        EXPECT_LT(u.distance(reference), 1e-12)
+            << table1VariantName(variant);
+    }
+}
+
+TEST(Table1, FlippedVariantIsWrongOperation)
+{
+    const double angle = 2.0 * M_PI / 8.0;
+    const auto reference = unitaryOf(
+        [&](Circuit &c) { c.cphase(0, 1, angle); });
+    const auto u = unitaryOf([&](Circuit &c) {
+        appendCPhaseDecomposed(c, 0, 1, angle,
+                               Table1Variant::IncorrectFlipped);
+    });
+    // Not equal even up to global phase: wrong direction of rotation.
+    EXPECT_GT(u.distanceUpToPhase(reference), 0.1);
+}
+
+/** Listing 3's harness with a decomposed adder variant. */
+std::uint64_t
+decomposedAdderResult(Table1Variant variant)
+{
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 1);
+    const auto b = circ.addRegister("b", 5);
+    circ.prepRegister(ctrl, 1);
+    circ.prepRegister(b, 12);
+    algo::qft(circ, b);
+    phiAddDecomposed(circ, b, 13, ctrl[0], variant);
+    algo::iqft(circ, b);
+    circ.measure(b, "b");
+    Rng rng(3);
+    return circuit::runCircuit(circ, rng).measurements.at("b");
+}
+
+TEST(Table1, AdderHarnessSeparatesVariants)
+{
+    EXPECT_EQ(decomposedAdderResult(Table1Variant::CorrectDropA), 25u);
+    EXPECT_EQ(decomposedAdderResult(Table1Variant::CorrectDropC), 25u);
+    EXPECT_NE(decomposedAdderResult(Table1Variant::IncorrectFlipped),
+              25u);
+}
+
+TEST(Table1, AssertionCatchesFlippedVariant)
+{
+    // The paper: "the output assertion returns p-value = 0.0".
+    for (auto variant : {Table1Variant::CorrectDropA,
+                         Table1Variant::IncorrectFlipped}) {
+        Circuit circ;
+        const auto ctrl = circ.addRegister("ctrl", 1);
+        const auto b = circ.addRegister("b", 5);
+        circ.prepRegister(ctrl, 1);
+        circ.prepRegister(b, 12);
+        algo::qft(circ, b);
+        phiAddDecomposed(circ, b, 13, ctrl[0], variant);
+        algo::iqft(circ, b);
+        circ.breakpoint("done");
+
+        assertions::AssertionChecker checker(circ);
+        checker.assertClassical("done", b, 25);
+        const auto o = checker.check(checker.assertions()[0]);
+        if (variant == Table1Variant::CorrectDropA) {
+            EXPECT_TRUE(o.passed);
+            EXPECT_NEAR(o.pValue, 1.0, 1e-9);
+        } else {
+            EXPECT_FALSE(o.passed);
+            EXPECT_EQ(o.pValue, 0.0);
+        }
+    }
+}
+
+// --- Bug type 3: iteration bugs ------------------------------------------------
+
+class IterationBugs : public ::testing::TestWithParam<IterationBug>
+{
+};
+
+TEST_P(IterationBugs, BreaksAdditionAndIsCaught)
+{
+    const IterationBug bug = GetParam();
+
+    Circuit circ;
+    const auto b = circ.addRegister("b", 5);
+    circ.prepRegister(b, 12);
+    algo::qft(circ, b);
+    phiAddIterationBug(circ, b, 13, {}, bug);
+    algo::iqft(circ, b);
+    circ.breakpoint("done");
+
+    assertions::AssertionChecker checker(circ);
+    checker.assertClassical("done", b, 25);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_FALSE(o.passed) << iterationBugName(bug);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBugs, IterationBugs,
+    ::testing::Values(IterationBug::InnerOffByOne,
+                      IterationBug::WrongAngleDenominator,
+                      IterationBug::EndianSwapped));
+
+// --- Bug type 4: misrouted controls (Listing 4 harness) -------------------------
+
+/** Build the Listing 4 test harness around a multiplier builder. */
+struct ModMulHarness
+{
+    Circuit circ;
+    QubitRegister ctrl, x, b, anc;
+
+    template <typename Builder>
+    explicit ModMulHarness(Builder build_multiplier)
+    {
+        ctrl = circ.addRegister("ctrl", 1);
+        x = circ.addRegister("x", 4);
+        b = circ.addRegister("b", 5);
+        anc = circ.addRegister("anc", 1);
+
+        // Listing 4: control in superposition, x = 6, b = 7.
+        circ.prepRegister(ctrl, 1);
+        circ.h(ctrl[0]);
+        circ.prepRegister(x, 6);
+        circ.prepRegister(b, 7);
+        circ.prepRegister(anc, 0);
+
+        build_multiplier(circ, ctrl[0], x, b, anc[0]);
+        circ.breakpoint("after_mul");
+    }
+};
+
+TEST(MisroutedControl, CorrectMultiplierEntangles)
+{
+    ModMulHarness h([](Circuit &c, unsigned ctrl,
+                       const QubitRegister &x, const QubitRegister &b,
+                       unsigned anc) {
+        algo::cModMul(c, ctrl, x, b, 7, 15, anc);
+    });
+
+    assertions::CheckConfig cfg;
+    cfg.ensembleSize = 16; // the paper's ensemble size
+    assertions::AssertionChecker checker(h.circ, cfg);
+    checker.assertEntangled("after_mul", h.ctrl, h.b);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_TRUE(o.passed);
+    EXPECT_LT(o.pValue, 0.005); // paper quotes 0.0005
+}
+
+TEST(MisroutedControl, BuggyMultiplierFailsEntanglementAssertion)
+{
+    ModMulHarness h([](Circuit &c, unsigned ctrl,
+                       const QubitRegister &x, const QubitRegister &b,
+                       unsigned anc) {
+        cModMulMisrouted(c, ctrl, x, b, 7, 15, anc);
+    });
+
+    // Ground truth: with the control never routed in, the control
+    // qubit stays in a product state with everything else.
+    EXPECT_NEAR(assertions::exactPurity(h.circ, "after_mul", h.ctrl),
+                1.0, 1e-9);
+
+    assertions::CheckConfig cfg;
+    cfg.ensembleSize = 16;
+    assertions::AssertionChecker checker(h.circ, cfg);
+    checker.assertEntangled("after_mul", h.ctrl, h.b);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_FALSE(o.passed); // p-value not significant (paper: 0.121)
+    EXPECT_GT(o.pValue, 0.05);
+}
+
+// --- Bug type 5: broken mirroring -----------------------------------------------
+
+TEST(BrokenMirror, CorrectUaReturnsProductState)
+{
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 1);
+    const auto x = circ.addRegister("x", 4);
+    const auto b = circ.addRegister("b", 5);
+    const auto anc = circ.addRegister("anc", 1);
+    circ.prepRegister(ctrl, 1);
+    circ.h(ctrl[0]);
+    circ.prepRegister(x, 6);
+    circ.prepRegister(b, 0);
+    circ.prepRegister(anc, 0);
+    algo::cUa(circ, ctrl[0], x, b, 7, 13, 15, anc[0]);
+    circ.breakpoint("after_ua");
+
+    assertions::AssertionChecker checker(circ);
+    checker.assertProduct("after_ua", ctrl, b);
+    checker.assertClassical("after_ua", b, 0);
+    EXPECT_TRUE(assertions::allPassed(checker.checkAll()));
+}
+
+TEST(BrokenMirror, ForgottenAdjointLeavesHelperDirty)
+{
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 1);
+    const auto x = circ.addRegister("x", 4);
+    const auto b = circ.addRegister("b", 5);
+    const auto anc = circ.addRegister("anc", 1);
+    circ.prepRegister(ctrl, 1);
+    circ.h(ctrl[0]);
+    circ.prepRegister(x, 6);
+    circ.prepRegister(b, 0);
+    circ.prepRegister(anc, 0);
+    cUaBrokenMirror(circ, ctrl[0], x, b, 7, 13, 15, anc[0]);
+    circ.breakpoint("after_ua");
+
+    assertions::AssertionChecker checker(circ);
+    checker.assertClassical("after_ua", b, 0);
+    const auto o = checker.check(checker.assertions()[0]);
+    EXPECT_FALSE(o.passed);
+    EXPECT_EQ(o.pValue, 0.0);
+}
+
+TEST(BrokenMirror, ForgottenNegationDoesNotInvert)
+{
+    // add(13) then "subtract"(13) with the forgotten negation: the
+    // result is 12 + 26 instead of 12.
+    Circuit circ;
+    const auto b = circ.addRegister("b", 5);
+    circ.prepRegister(b, 12);
+    algo::qft(circ, b);
+    algo::phiAdd(circ, b, 13);
+    phiSubForgotNegate(circ, b, 13, {});
+    algo::iqft(circ, b);
+    circ.measure(b, "b");
+
+    Rng rng(7);
+    const auto m = circuit::runCircuit(circ, rng).measurements.at("b");
+    EXPECT_NE(m, 12u);
+    EXPECT_EQ(m, (12 + 26) % 32);
+}
+
+// --- Bug types 1 & 6 through ShorConfig ------------------------------------------
+
+TEST(ShorBugs, WrongInitCaughtOnlyByInitAssertion)
+{
+    algo::ShorConfig config;
+    config.lowerInit = 0; // bug type 1
+    const auto prog = algo::buildShorProgram(config);
+
+    assertions::AssertionChecker checker(prog.circuit);
+    checker.assertClassical("init", prog.lower, 1);
+    checker.assertSuperposition("superposed", prog.upper);
+    const auto outcomes = checker.checkAll();
+    EXPECT_FALSE(outcomes[0].passed); // precondition violated
+    EXPECT_TRUE(outcomes[1].passed);  // superposition still fine
+}
+
+TEST(ShorBugs, WrongInverseBreaksFactoringReliability)
+{
+    // With the Table 3 bug the outputs are polluted; factoring
+    // becomes unreliable rather than impossible (the paper: "the
+    // algorithm still succeeds" when the ancillas collapse to 0).
+    algo::ShorConfig good;
+    algo::ShorConfig bad;
+    bad.pairs = algo::shorClassicalInputs(7, 15, 3);
+    bad.pairs[0].second = 12;
+
+    const auto good_prog = algo::buildShorProgram(good);
+    const auto bad_prog = algo::buildShorProgram(bad);
+
+    const auto good_out =
+        assertions::exactMarginal(good_prog.circuit, "final",
+                                  good_prog.upper);
+    const auto bad_out =
+        assertions::exactMarginal(bad_prog.circuit, "final",
+                                  bad_prog.upper);
+
+    // Correct run: odd outputs impossible. Buggy run: they leak in.
+    double good_odd = 0.0, bad_odd = 0.0;
+    for (std::uint64_t v = 1; v < 8; v += 2) {
+        good_odd += good_out[v];
+        bad_odd += bad_out[v];
+    }
+    EXPECT_NEAR(good_odd, 0.0, 1e-9);
+    EXPECT_GT(bad_odd, 0.05);
+}
+
+} // anonymous namespace

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Chemistry-stack tests: Gaussian integrals against published STO-3G
+ * values, Pauli algebra identities, Jordan-Wigner operator algebra,
+ * the H2 Hamiltonian against Whitfield et al.'s integrals, FCI
+ * energies, and Trotterised evolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/eigen.hh"
+#include "chem/fermion.hh"
+#include "chem/gaussian.hh"
+#include "chem/h2.hh"
+#include "chem/pauli.hh"
+#include "chem/trotter.hh"
+#include "circuit/executor.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "sim/gates.hh"
+#include "sim/statevector.hh"
+
+namespace
+{
+
+using namespace qsa;
+using namespace qsa::chem;
+
+// --- Gaussian integrals -----------------------------------------------------
+
+TEST(Gaussian, BoysFunctionLimits)
+{
+    EXPECT_NEAR(boysF0(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(boysF0(1e-14), 1.0, 1e-9);
+    // Large-t asymptote: F0(t) ~ (1/2) sqrt(pi/t).
+    EXPECT_NEAR(boysF0(100.0), 0.5 * std::sqrt(M_PI / 100.0), 1e-10);
+    // Reference value F0(1) = 0.746824...
+    EXPECT_NEAR(boysF0(1.0), 0.7468241328, 1e-9);
+}
+
+TEST(Gaussian, Sto3gSelfOverlapIsOne)
+{
+    const auto g = sto3gHydrogen({0, 0, 0});
+    EXPECT_NEAR(overlap(g, g), 1.0, 1e-12);
+}
+
+TEST(Gaussian, SzaboOstlundReferenceValues)
+{
+    // H2 at R = 1.4 bohr, STO-3G (zeta = 1.24): the classic textbook
+    // numbers (Szabo & Ostlund table 3.5 region): S12 = 0.6593,
+    // T11 = 0.7600, T12 = 0.2365.
+    const auto a = sto3gHydrogen({0, 0, 0});
+    const auto b = sto3gHydrogen({0, 0, 1.4});
+    EXPECT_NEAR(overlap(a, b), 0.6593, 2e-4);
+    EXPECT_NEAR(kinetic(a, a), 0.7600, 2e-4);
+    EXPECT_NEAR(kinetic(a, b), 0.2365, 2e-4);
+    // V11 (attraction to own nucleus) = -1.2266, to the other
+    // nucleus = -0.6538 (signs per our convention).
+    EXPECT_NEAR(nuclearAttraction(a, a, {0, 0, 0}, 1.0), -1.2266,
+                2e-4);
+    EXPECT_NEAR(nuclearAttraction(a, a, {0, 0, 1.4}, 1.0), -0.6538,
+                2e-4);
+    // ERIs: (11|11) = 0.7746, (11|22) = 0.5697, (12|12) = 0.2970,
+    // (11|12) = 0.4441 (S&O table 3.6).
+    EXPECT_NEAR(electronRepulsion(a, a, a, a), 0.7746, 2e-4);
+    EXPECT_NEAR(electronRepulsion(a, a, b, b), 0.5697, 2e-4);
+    EXPECT_NEAR(electronRepulsion(a, b, a, b), 0.2970, 2e-4);
+    EXPECT_NEAR(electronRepulsion(a, a, a, b), 0.4441, 2e-4);
+}
+
+// --- Pauli algebra ------------------------------------------------------------
+
+TEST(Pauli, MultiplicationPhases)
+{
+    // X Z = -Z X on the same qubit.
+    const auto x = PauliOperator::term(1, 1, 0, 1.0);
+    const auto z = PauliOperator::term(1, 0, 1, 1.0);
+    const auto xz = x.mul(z);
+    const auto zx = z.mul(x);
+    ASSERT_EQ(xz.size(), 1u);
+    const auto cx = xz.terms().begin()->second;
+    const auto cz = zx.terms().begin()->second;
+    EXPECT_NEAR(std::abs(cx + cz), 0.0, 1e-12);
+}
+
+TEST(Pauli, SquaresToIdentity)
+{
+    for (std::uint32_t x = 0; x < 4; ++x) {
+        for (std::uint32_t z = 0; z < 4; ++z) {
+            const auto p = PauliOperator::term(2, x, z, 1.0);
+            const auto sq = p.mul(p);
+            ASSERT_EQ(sq.size(), 1u);
+            const auto &[mask, coeff] = *sq.terms().begin();
+            EXPECT_EQ(mask.x, 0u);
+            EXPECT_EQ(mask.z, 0u);
+            // (X^x Z^z)^2 = +/- I; a valid sign either way, but the
+            // magnitude must be 1.
+            EXPECT_NEAR(std::abs(coeff), 1.0, 1e-12);
+        }
+    }
+}
+
+TEST(Pauli, ToMatrixMatchesKnownGates)
+{
+    // Y = i X Z: term (x=1, z=1, c=i) should be the Y matrix.
+    const auto y = PauliOperator::term(1, 1, 1, sim::Complex(0, 1));
+    const auto m = y.toMatrix();
+    EXPECT_NEAR(std::abs(m.at(0, 1) - sim::Complex(0, -1)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m.at(1, 0) - sim::Complex(0, 1)), 0.0, 1e-12);
+}
+
+TEST(Pauli, ToWordsRoundTripsCoefficients)
+{
+    // 0.5 Z0 + 0.25 X1 - 0.125 Y0 Y1 built in mask form.
+    auto op = PauliOperator::term(2, 0, 1, 0.5);
+    op = op.add(PauliOperator::term(2, 2, 0, 0.25));
+    // Y0 Y1 = (i X0 Z0)(i X1 Z1) = - (X both, Z both).
+    op = op.add(PauliOperator::term(2, 3, 3, 0.125));
+
+    const auto words = op.toWords();
+    ASSERT_EQ(words.size(), 3u);
+    for (const auto &w : words) {
+        if (w.letters == "ZI")
+            EXPECT_NEAR(w.coefficient, 0.5, 1e-12);
+        else if (w.letters == "IX")
+            EXPECT_NEAR(w.coefficient, 0.25, 1e-12);
+        else if (w.letters == "YY")
+            EXPECT_NEAR(w.coefficient, -0.125, 1e-12);
+        else
+            FAIL() << "unexpected word " << w.letters;
+    }
+}
+
+TEST(Pauli, AdjointOfHermitianIsItself)
+{
+    auto op = PauliOperator::term(2, 1, 1, sim::Complex(0, 1)); // Y
+    op = op.add(PauliOperator::term(2, 0, 2, 0.7));             // Z1
+    const auto adj = op.adjoint();
+    const auto diff = op.add(adj.scale(-1.0)).pruned();
+    EXPECT_EQ(diff.size(), 0u);
+}
+
+// --- Jordan-Wigner ------------------------------------------------------------
+
+TEST(JordanWigner, NumberOperator)
+{
+    // n_p = (I - Z_p) / 2.
+    const auto n0 = jwNumber(2, 0);
+    const auto m = n0.toMatrix();
+    for (std::uint64_t b = 0; b < 4; ++b) {
+        EXPECT_NEAR(m.at(b, b).real(), (double)(b & 1), 1e-12)
+            << "basis " << b;
+    }
+}
+
+TEST(JordanWigner, AnticommutationRelations)
+{
+    // {a_p, a+_q} = delta_pq, {a_p, a_q} = 0.
+    const unsigned n = 3;
+    for (unsigned p = 0; p < n; ++p) {
+        for (unsigned q = 0; q < n; ++q) {
+            const auto ap = jwAnnihilation(n, p);
+            const auto acq = jwCreation(n, q);
+            const auto anti =
+                ap.mul(acq).add(acq.mul(ap)).pruned();
+            if (p == q) {
+                ASSERT_EQ(anti.size(), 1u);
+                const auto &[mask, c] = *anti.terms().begin();
+                EXPECT_EQ(mask.x, 0u);
+                EXPECT_EQ(mask.z, 0u);
+                EXPECT_NEAR(std::abs(c - sim::Complex(1.0)), 0.0,
+                            1e-12);
+            } else {
+                EXPECT_EQ(anti.size(), 0u) << p << "," << q;
+            }
+
+            const auto aq = jwAnnihilation(n, q);
+            EXPECT_EQ(ap.mul(aq).add(aq.mul(ap)).pruned().size(), 0u);
+        }
+    }
+}
+
+TEST(JordanWigner, CreationPopulatesBasisState)
+{
+    // a+_1 a+_0 |0000> = |0011> (up to sign).
+    const auto op = jwCreation(4, 1).mul(jwCreation(4, 0));
+    const auto m = op.toMatrix();
+    EXPECT_NEAR(std::abs(m.at(0b0011, 0)), 1.0, 1e-12);
+}
+
+// --- H2 model -------------------------------------------------------------------
+
+TEST(H2, WhitfieldIntegralsAtEquilibrium)
+{
+    // Whitfield et al. [54] report for H2/STO-3G at R = 1.401 bohr:
+    // h11 = -1.252477, h22 = -0.475934 (MO core), (11|11) = 0.674493,
+    // (22|22) = 0.697397, (11|22) = 0.663472, (12|12) = 0.181287.
+    const auto model = buildH2Model(1.401 * bohr_in_pm);
+    const auto &ints = model.integrals;
+    EXPECT_NEAR(ints.core[0][0], -1.252477, 2e-3);
+    EXPECT_NEAR(ints.core[1][1], -0.475934, 2e-3);
+    EXPECT_NEAR(ints.eri[0][0][0][0], 0.674493, 2e-3);
+    EXPECT_NEAR(ints.eri[1][1][1][1], 0.697397, 2e-3);
+    EXPECT_NEAR(ints.eri[0][0][1][1], 0.663472, 2e-3);
+    EXPECT_NEAR(ints.eri[0][1][0][1], 0.181287, 2e-3);
+    EXPECT_NEAR(ints.nuclearRepulsion, 1.0 / 1.401, 1e-9);
+}
+
+TEST(H2, HartreeFockEnergyAtEquilibrium)
+{
+    // E_HF(total) = -1.1167 hartree at R = 1.401 bohr (textbook).
+    const auto model = buildH2Model(1.401 * bohr_in_pm);
+    EXPECT_NEAR(model.hartreeFockEnergy, -1.1167, 2e-3);
+}
+
+TEST(H2, FciGroundStateBelowHartreeFock)
+{
+    const auto model = buildH2Model();
+    const double fci = groundStateEnergy(model.hamiltonian);
+    EXPECT_LT(fci, model.hartreeFockEnergy);
+    // Correlation energy for H2/STO-3G is ~0.02 hartree.
+    EXPECT_NEAR(model.hartreeFockEnergy - fci, 0.020, 0.01);
+}
+
+TEST(H2, HamiltonianPreservesParticleNumber)
+{
+    // [H, N] = 0 where N = sum_p n_p.
+    const auto model = buildH2Model();
+    auto number_op = PauliOperator(4);
+    for (unsigned p = 0; p < 4; ++p)
+        number_op = number_op.add(jwNumber(4, p));
+    const auto hn = model.hamiltonian.mul(number_op);
+    const auto nh = number_op.mul(model.hamiltonian);
+    EXPECT_EQ(hn.add(nh.scale(-1.0)).pruned(1e-9).size(), 0u);
+}
+
+TEST(H2, DeterminantEnergiesMatchDiagonal)
+{
+    // <det|H|det> from Slater-Condon must equal the matching diagonal
+    // element of the dense Hamiltonian matrix.
+    const auto model = buildH2Model();
+    const auto m = model.hamiltonian.toMatrix();
+    for (std::uint32_t occ : table5Assignments()) {
+        EXPECT_NEAR(determinantEnergy(model, occ),
+                    m.at(occ, occ).real(), 1e-9)
+            << "occupation " << occ;
+    }
+}
+
+TEST(H2, Table5DegeneracyPattern)
+{
+    // Exactly four distinct determinant energies, with (0110, 1001)
+    // degenerate, (0101, 1010) degenerate, ordered G < E1 < E2 < E3.
+    const auto model = buildH2Model();
+    const double g = determinantEnergy(model, 0b0011);
+    const double e1a = determinantEnergy(model, 0b0101);
+    const double e1b = determinantEnergy(model, 0b1010);
+    const double e2a = determinantEnergy(model, 0b0110);
+    const double e2b = determinantEnergy(model, 0b1001);
+    const double e3 = determinantEnergy(model, 0b1100);
+
+    EXPECT_NEAR(e1a, e1b, 1e-10);
+    EXPECT_NEAR(e2a, e2b, 1e-10);
+    EXPECT_LT(g, e1a);
+    EXPECT_LT(e1a, e2a);
+    EXPECT_LT(e2a, e3);
+}
+
+TEST(H2, GroundStateDominatedByHartreeFock)
+{
+    const auto model = buildH2Model();
+    const auto sys = diagonalize(model.hamiltonian);
+    // The lowest eigenvector should be mostly |0011> (both bonding).
+    const auto &v = sys.vectors.front();
+    EXPECT_GT(std::fabs(v[0b0011]), 0.99);
+}
+
+// --- Eigensolver ---------------------------------------------------------------
+
+TEST(Eigen, KnownTwoByTwo)
+{
+    // [[2, 1], [1, 2]]: eigenvalues 1 and 3.
+    const auto sys = jacobiEigenSolve({2, 1, 1, 2}, 2);
+    EXPECT_NEAR(sys.values[0], 1.0, 1e-10);
+    EXPECT_NEAR(sys.values[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, ReconstructsMatrix)
+{
+    const std::vector<double> m{4, 1, 0.5, 1, 3, -1, 0.5, -1, 2};
+    const auto sys = jacobiEigenSolve(m, 3);
+    // Sum_k lambda_k v_k v_k^T must reproduce the input.
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            double acc = 0.0;
+            for (int k = 0; k < 3; ++k)
+                acc += sys.values[k] * sys.vectors[k][r] *
+                       sys.vectors[k][c];
+            EXPECT_NEAR(acc, m[r * 3 + c], 1e-9);
+        }
+    }
+}
+
+TEST(Eigen, EvolutionOperatorIsUnitaryAndCorrect)
+{
+    const auto model = buildH2Model();
+    const double t = 0.8, e_ref = 1.5;
+    const auto u = evolutionOperator(model.hamiltonian, t, e_ref);
+    EXPECT_TRUE(u.isUnitary(1e-8));
+
+    // Acting on an eigenvector must give the eigenphase.
+    const auto sys = diagonalize(model.hamiltonian);
+    std::vector<sim::Complex> v(16);
+    for (int i = 0; i < 16; ++i)
+        v[i] = sys.vectors[0][i];
+    const auto uv = u.apply(v);
+    const sim::Complex expected_phase =
+        std::exp(sim::Complex(0, -(sys.values[0] - e_ref) * t));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_NEAR(std::abs(uv[i] - expected_phase * v[i]), 0.0, 1e-8);
+}
+
+// --- Trotter ---------------------------------------------------------------------
+
+TEST(Trotter, SinglePauliExponentialExact)
+{
+    // exp(-i theta Z0 Z1) on |++>: compare against the dense matrix.
+    const double theta = 0.37;
+    const auto zz = PauliOperator::term(2, 0, 3, 1.0);
+
+    circuit::Circuit circ(2);
+    circ.h(0);
+    circ.h(1);
+    chem::appendPauliExponential(circ, "ZZ", theta, {0, 1});
+
+    Rng rng(1);
+    const auto state = circuit::runCircuit(circ, rng).state;
+
+    sim::StateVector ref(2);
+    ref.applyGate(sim::gates::h(), 0);
+    ref.applyGate(sim::gates::h(), 1);
+    const auto u = evolutionOperator(zz, theta);
+    ref.applyUnitary(u, {0, 1});
+
+    EXPECT_NEAR(state.fidelity(ref), 1.0, 1e-10);
+}
+
+TEST(Trotter, XAndYBasisChanges)
+{
+    for (const std::string word : {"XI", "IY", "XY", "YX", "YY"}) {
+        const double theta = 0.21;
+        // Build mask operator matching the word.
+        std::uint32_t x = 0, z = 0;
+        sim::Complex coeff = 1.0;
+        for (unsigned q = 0; q < 2; ++q) {
+            if (word[q] == 'X') {
+                x |= 1u << q;
+            } else if (word[q] == 'Y') {
+                x |= 1u << q;
+                z |= 1u << q;
+                coeff *= sim::Complex(0, 1); // Y = i XZ
+            }
+        }
+        const auto op = PauliOperator::term(2, x, z, coeff);
+
+        circuit::Circuit circ(2);
+        circ.h(0);
+        circ.t(1);
+        circ.h(1);
+        chem::appendPauliExponential(circ, word, theta, {0, 1});
+
+        Rng rng(2);
+        const auto state = circuit::runCircuit(circ, rng).state;
+
+        // P^2 = I for a Pauli word, so
+        // exp(-i theta P) = cos(theta) I - i sin(theta) P.
+        const auto u =
+            sim::CMatrix::identity(4).scale(std::cos(theta)).add(
+                op.toMatrix().scale(
+                    sim::Complex(0, -std::sin(theta))));
+
+        sim::StateVector ref(2);
+        ref.applyGate(sim::gates::h(), 0);
+        ref.applyGate(sim::gates::t(), 1);
+        ref.applyGate(sim::gates::h(), 1);
+        ref.applyUnitary(u, {0, 1});
+
+        EXPECT_NEAR(state.fidelity(ref), 1.0, 1e-10) << word;
+    }
+}
+
+TEST(Trotter, ConvergesToExactEvolution)
+{
+    const auto model = buildH2Model();
+    const double t = 0.4;
+    const auto exact_u = evolutionOperator(model.hamiltonian, t);
+
+    double prev_err = 1e9;
+    for (unsigned steps : {1u, 2u, 4u, 8u}) {
+        circuit::Circuit circ(4);
+        // Start from the HF determinant.
+        circ.x(0);
+        circ.x(1);
+        chem::appendTrotterEvolution(circ, model.hamiltonian, t, steps,
+                                     {0, 1, 2, 3});
+        Rng rng(3);
+        const auto state = circuit::runCircuit(circ, rng).state;
+
+        sim::StateVector ref(4);
+        ref.setBasisState(0b0011);
+        ref.applyUnitary(exact_u, {0, 1, 2, 3});
+
+        const double err = 1.0 - state.fidelity(ref);
+        EXPECT_LT(err, prev_err + 1e-12) << steps;
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 1e-4);
+}
+
+TEST(Trotter, ControlledIdentityPhaseMatters)
+{
+    // The identity term must become a controlled phase; dropping it
+    // shifts every estimated eigenvalue. Verify the controlled
+    // evolution of a pure identity operator phases the control.
+    const auto id_op = PauliOperator::identity(1, 0.9);
+    circuit::Circuit circ(2);
+    circ.h(1); // control in superposition
+    chem::appendTrotterStep(circ, id_op, 1.0, {0}, {1});
+
+    Rng rng(4);
+    const auto state = circuit::runCircuit(circ, rng).state;
+    // |0> branch amplitude unchanged; |1> branch picked up e^{-i 0.9}.
+    const double inv = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(state.amp(0b00) - sim::Complex(inv)), 0.0,
+                1e-12);
+    EXPECT_NEAR(std::abs(state.amp(0b10) -
+                         inv * std::exp(sim::Complex(0, -0.9))),
+                0.0, 1e-12);
+}
+
+} // anonymous namespace

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for src/common: bit utilities, RNG, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace qsa;
+
+TEST(Bits, GetSetFlip)
+{
+    EXPECT_EQ(getBit(0b1010, 1), 1u);
+    EXPECT_EQ(getBit(0b1010, 0), 0u);
+    EXPECT_EQ(setBit(0b1010, 0, 1), 0b1011u);
+    EXPECT_EQ(setBit(0b1010, 1, 0), 0b1000u);
+    EXPECT_EQ(setBit(0b1010, 1, 1), 0b1010u);
+    EXPECT_EQ(flipBit(0b1010, 3), 0b0010u);
+    EXPECT_EQ(flipBit(0b1010, 2), 0b1110u);
+}
+
+TEST(Bits, Pow2AndMasks)
+{
+    EXPECT_EQ(pow2(0), 1ull);
+    EXPECT_EQ(pow2(13), 8192ull);
+    EXPECT_EQ(lowMask(0), 0ull);
+    EXPECT_EQ(lowMask(4), 0xfull);
+    EXPECT_EQ(lowMask(64), ~0ull);
+}
+
+TEST(Bits, Popcount)
+{
+    EXPECT_EQ(popcount64(0), 0u);
+    EXPECT_EQ(popcount64(0b1011), 3u);
+    EXPECT_EQ(popcount64(~0ull), 64u);
+}
+
+TEST(Bits, BitWidth)
+{
+    EXPECT_EQ(bitWidth(0), 1u);
+    EXPECT_EQ(bitWidth(1), 1u);
+    EXPECT_EQ(bitWidth(2), 2u);
+    EXPECT_EQ(bitWidth(15), 4u);
+    EXPECT_EQ(bitWidth(16), 5u);
+}
+
+TEST(Bits, ExtractDepositRoundTrip)
+{
+    const std::vector<unsigned> bits{1, 3, 5};
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        const std::uint64_t basis = depositBits(0, bits, v);
+        EXPECT_EQ(extractBits(basis, bits), v);
+    }
+}
+
+TEST(Bits, DepositPreservesOtherBits)
+{
+    const std::vector<unsigned> bits{0, 2};
+    const std::uint64_t basis = depositBits(0b1010, bits, 0b11);
+    EXPECT_EQ(basis, 0b1111ull);
+}
+
+TEST(Bits, ExtractOrderMatters)
+{
+    const std::vector<unsigned> lsb_first{0, 1};
+    const std::vector<unsigned> msb_first{1, 0};
+    EXPECT_EQ(extractBits(0b01, lsb_first), 0b01ull);
+    EXPECT_EQ(extractBits(0b01, msb_first), 0b10ull);
+}
+
+TEST(Bits, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100ull);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011ull);
+    EXPECT_EQ(reverseBits(0b1011, 4), 0b1101ull);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniformInt(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues hit
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.bernoulli(0.3);
+    EXPECT_NEAR(heads / (double)n, 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng rng(23);
+    const std::vector<double> w{1.0, 0.0, 3.0};
+    std::map<std::size_t, int> counts;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.discrete(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[0] / (double)n, 0.25, 0.02);
+    EXPECT_NEAR(counts[2] / (double)n, 0.75, 0.02);
+}
+
+TEST(Rng, DiscreteSingleton)
+{
+    Rng rng(29);
+    const std::vector<double> w{0.0, 5.0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.discrete(w), 1u);
+}
+
+TEST(Rng, SplitStreamsIndependent)
+{
+    const Rng parent(99);
+    Rng c0 = parent.split(0);
+    Rng c1 = parent.split(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += c0.next() == c1.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitDeterministic)
+{
+    const Rng parent(99);
+    Rng a = parent.split(5);
+    Rng b = parent.split(5);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Table, RendersHeaderAndRows)
+{
+    AsciiTable t;
+    t.setHeader({"k", "value"});
+    t.addRow({"0", "7"});
+    t.addRow({"1", "49"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| k "), std::string::npos);
+    EXPECT_NE(out.find("| 49"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, PadsRaggedRows)
+{
+    AsciiTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(Table, FormatsDoubles)
+{
+    EXPECT_EQ(AsciiTable::fmt(0.125, 3), "0.125");
+    EXPECT_EQ(AsciiTable::fmt(1.0, 0), "1");
+    EXPECT_EQ(AsciiTable::fmtP(1.5), "1.0000");
+    EXPECT_EQ(AsciiTable::fmtP(-0.2), "0.0000");
+}
+
+} // anonymous namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit and property tests for GF(2^k) arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "gf2/gf2.hh"
+
+namespace
+{
+
+using namespace qsa;
+using qsa::gf2::Field;
+
+TEST(Gf2, IrreducibilityKnownPolynomials)
+{
+    EXPECT_TRUE(Field::isIrreducible(0b111, 2));   // x^2+x+1
+    EXPECT_TRUE(Field::isIrreducible(0b1011, 3));  // x^3+x+1
+    EXPECT_TRUE(Field::isIrreducible(0b10011, 4)); // x^4+x+1
+    EXPECT_FALSE(Field::isIrreducible(0b1001, 3)); // x^3+1=(x+1)(..)
+    EXPECT_FALSE(Field::isIrreducible(0b101, 2));  // x^2+1=(x+1)^2
+    EXPECT_FALSE(Field::isIrreducible(0b110, 2));  // no constant term
+}
+
+TEST(Gf2, Gf4MultiplicationTable)
+{
+    // GF(4) with x^2+x+1: elements 0,1,w=2,w+1=3; w*w = w+1,
+    // w*(w+1) = 1.
+    const Field f(2);
+    EXPECT_EQ(f.mul(2, 2), 3u);
+    EXPECT_EQ(f.mul(2, 3), 1u);
+    EXPECT_EQ(f.mul(3, 3), 2u);
+}
+
+TEST(Gf2, Gf16KnownProducts)
+{
+    // GF(16) with x^4+x+1: x^3 * x = x^4 = x + 1.
+    const Field f(4);
+    EXPECT_EQ(f.modulus(), 0b10011u);
+    EXPECT_EQ(f.mul(0b1000, 0b0010), 0b0011u);
+}
+
+class FieldDegrees : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FieldDegrees, FieldAxiomsHold)
+{
+    const Field f(GetParam());
+    const std::uint32_t n = f.order();
+
+    for (std::uint32_t a = 0; a < n; ++a) {
+        // Identity and zero.
+        EXPECT_EQ(f.mul(a, 1), a);
+        EXPECT_EQ(f.mul(a, 0), 0u);
+        EXPECT_EQ(f.add(a, a), 0u); // characteristic 2
+        // Inverses.
+        if (a != 0) {
+            const std::uint32_t inv = f.inverse(a);
+            EXPECT_EQ(f.mul(a, inv), 1u) << "a=" << a;
+        }
+    }
+}
+
+TEST_P(FieldDegrees, MultiplicationCommutesAndAssociates)
+{
+    const Field f(GetParam());
+    const std::uint32_t n = f.order();
+    // Sample systematically (full loops get big at k = 8).
+    const std::uint32_t step = n > 16 ? n / 13 + 1 : 1;
+    for (std::uint32_t a = 0; a < n; a += step) {
+        for (std::uint32_t b = 0; b < n; b += step) {
+            EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+            for (std::uint32_t c = 0; c < n; c += step) {
+                EXPECT_EQ(f.mul(a, f.mul(b, c)),
+                          f.mul(f.mul(a, b), c));
+                // Distributivity.
+                EXPECT_EQ(f.mul(a, f.add(b, c)),
+                          f.add(f.mul(a, b), f.mul(a, c)));
+            }
+        }
+    }
+}
+
+TEST_P(FieldDegrees, SquaringIsBijectiveAndSqrtInverts)
+{
+    const Field f(GetParam());
+    std::vector<bool> seen(f.order(), false);
+    for (std::uint32_t a = 0; a < f.order(); ++a) {
+        const std::uint32_t sq = f.square(a);
+        EXPECT_FALSE(seen[sq]) << "square collision at " << a;
+        seen[sq] = true;
+        EXPECT_EQ(f.sqrt(sq), a);
+        EXPECT_EQ(f.square(f.sqrt(a)), a);
+    }
+}
+
+TEST_P(FieldDegrees, FrobeniusIsLinear)
+{
+    const Field f(GetParam());
+    const std::uint32_t n = f.order();
+    const std::uint32_t step = n > 64 ? 7 : 1;
+    for (std::uint32_t a = 0; a < n; a += step)
+        for (std::uint32_t b = 0; b < n; b += step)
+            EXPECT_EQ(f.square(f.add(a, b)),
+                      f.add(f.square(a), f.square(b)));
+}
+
+TEST_P(FieldDegrees, SquaringMatrixMatchesSquare)
+{
+    const Field f(GetParam());
+    const auto rows = f.squaringMatrixRows();
+    ASSERT_EQ(rows.size(), f.degree());
+
+    for (std::uint32_t a = 0; a < f.order(); ++a) {
+        std::uint32_t via_matrix = 0;
+        for (unsigned i = 0; i < f.degree(); ++i) {
+            const unsigned parity = popcount64(rows[i] & a) & 1;
+            via_matrix |= parity << i;
+        }
+        EXPECT_EQ(via_matrix, f.square(a)) << "a=" << a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, FieldDegrees,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 8u));
+
+TEST(Gf2, DefaultModuliAreIrreducibleUpTo16)
+{
+    for (unsigned k = 1; k <= 16; ++k) {
+        const Field f(k);
+        EXPECT_TRUE(Field::isIrreducible(f.modulus(), k)) << "k=" << k;
+    }
+}
+
+TEST(Gf2, PowMatchesRepeatedMultiplication)
+{
+    const Field f(5);
+    for (std::uint32_t a = 1; a < f.order(); a += 3) {
+        std::uint32_t acc = 1;
+        for (unsigned e = 0; e < 10; ++e) {
+            EXPECT_EQ(f.pow(a, e), acc);
+            acc = f.mul(acc, a);
+        }
+    }
+}
+
+TEST(Gf2, FermatLittleTheorem)
+{
+    // a^(2^k - 1) = 1 for a != 0.
+    const Field f(6);
+    for (std::uint32_t a = 1; a < f.order(); ++a)
+        EXPECT_EQ(f.pow(a, f.order() - 1), 1u);
+}
+
+} // anonymous namespace

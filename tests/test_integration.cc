@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Heavier cross-module integration tests: a 16-qubit Shor instance
+ * beyond the paper's N = 15, the H2 dissociation curve through the
+ * full chemistry stack, and end-to-end QASM export of the benchmark
+ * programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/grover.hh"
+#include "algo/numtheory.hh"
+#include "algo/shor.hh"
+#include "assertions/checker.hh"
+#include "assertions/exact.hh"
+#include "chem/eigen.hh"
+#include "chem/h2.hh"
+#include "circuit/executor.hh"
+#include "circuit/qasm.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace qsa;
+
+TEST(ShorLarge, FactorsTwentyOne)
+{
+    // N = 21, a = 2 (order 6): a 16-qubit circuit. Phase read-out at
+    // 5 counting bits gives convergents identifying r = 6 often
+    // enough that a handful of attempts factors 21 = 3 x 7.
+    algo::ShorConfig config;
+    config.n = 21;
+    config.a = 2;
+    config.upperBits = 5;
+
+    // 5 counting + 5 lower + 6 helper + 1 flag.
+    const auto prog = algo::buildShorProgram(config);
+    EXPECT_EQ(prog.circuit.numQubits(), 17u);
+
+    // Helper register must come back clean even at this size.
+    const auto helper =
+        assertions::exactMarginal(prog.circuit, "final", prog.helper);
+    EXPECT_NEAR(helper[0], 1.0, 1e-6);
+
+    // Classical post-processing over the exact output distribution:
+    // at least a third of the probability mass yields the factors.
+    const auto output =
+        assertions::exactMarginal(prog.circuit, "final", prog.upper);
+    double success_mass = 0.0;
+    for (std::uint64_t m = 0; m < output.size(); ++m) {
+        if (output[m] < 1e-9)
+            continue;
+        const auto factors =
+            algo::shorPostprocess(m, config.upperBits, config.a,
+                                  config.n);
+        if (factors && factors->first * factors->second == 21)
+            success_mass += output[m];
+    }
+    EXPECT_GT(success_mass, 0.3);
+}
+
+TEST(ShorLarge, RoadmapAssertionsScale)
+{
+    algo::ShorConfig config;
+    config.n = 21;
+    config.a = 2;
+    config.upperBits = 3; // keep the ensemble checks quick
+
+    const auto prog = algo::buildShorProgram(config);
+    assertions::CheckConfig cfg;
+    cfg.ensembleSize = 64;
+    assertions::AssertionChecker checker(prog.circuit, cfg);
+    checker.assertClassical("init", prog.lower, 1);
+    checker.assertSuperposition("superposed", prog.upper);
+    checker.assertEntangled("entangled", prog.upper, prog.lower);
+    checker.assertClassical("final", prog.helper, 0);
+    for (const auto &o : checker.checkAll())
+        EXPECT_TRUE(o.passed) << o.spec.name;
+}
+
+TEST(Chemistry, DissociationCurveHasMinimumNearEquilibrium)
+{
+    // FCI energies along the H2 curve: the equilibrium region must
+    // beat both the compressed and stretched geometries.
+    const double e_short =
+        chem::groundStateEnergy(chem::buildH2Model(40.0).hamiltonian);
+    const double e_eq =
+        chem::groundStateEnergy(chem::buildH2Model(73.48).hamiltonian);
+    const double e_long =
+        chem::groundStateEnergy(chem::buildH2Model(150.0).hamiltonian);
+
+    EXPECT_LT(e_eq, e_short);
+    EXPECT_LT(e_eq, e_long);
+}
+
+TEST(Chemistry, DissociationLimitApproachesTwoHydrogenAtoms)
+{
+    // At large separation FCI tends to 2 x E(H, STO-3G) = 2 x
+    // (-0.46658) = -0.93316 hartree; Hartree-Fock famously does not.
+    const auto model = chem::buildH2Model(500.0);
+    const double fci = chem::groundStateEnergy(model.hamiltonian);
+    EXPECT_NEAR(fci, -0.93316, 2e-3);
+    EXPECT_GT(model.hartreeFockEnergy, fci + 0.1); // HF fails here
+}
+
+TEST(Chemistry, CorrelationEnergyGrowsWithStretch)
+{
+    // |E_FCI - E_HF| increases monotonically along the curve.
+    double prev = 0.0;
+    for (double r_pm : {60.0, 100.0, 150.0, 250.0}) {
+        const auto model = chem::buildH2Model(r_pm);
+        const double corr = model.hartreeFockEnergy -
+                            chem::groundStateEnergy(model.hamiltonian);
+        EXPECT_GT(corr, prev) << "R = " << r_pm;
+        prev = corr;
+    }
+}
+
+TEST(QasmExport, BenchmarkProgramsSerialise)
+{
+    // The Shor and Grover programs round-trip through the QASM
+    // dialect with identical text on re-emission.
+    const auto shor = algo::buildShorProgram(algo::ShorConfig());
+    const std::string shor_text = circuit::toQasm(shor.circuit);
+    EXPECT_EQ(circuit::toQasm(circuit::fromQasm(shor_text)),
+              shor_text);
+
+    algo::GroverConfig gconf;
+    const auto grover = algo::buildGroverProgram(gconf);
+    const std::string grover_text = circuit::toQasm(grover.circuit);
+    EXPECT_EQ(circuit::toQasm(circuit::fromQasm(grover_text)),
+              grover_text);
+}
+
+TEST(QasmExport, ParsedShorStillFactorsFifteen)
+{
+    // Full pipeline: build -> serialise -> parse -> simulate.
+    const auto prog = algo::buildShorProgram(algo::ShorConfig());
+    const auto parsed =
+        circuit::fromQasm(circuit::toQasm(prog.circuit));
+
+    Rng rng(77);
+    bool factored = false;
+    for (int attempt = 0; attempt < 8 && !factored; ++attempt) {
+        const auto rec = circuit::runCircuit(parsed, rng);
+        const auto f = algo::shorPostprocess(
+            rec.measurements.at("output"), 3, 7, 15);
+        factored = f.has_value() && f->first * f->second == 15;
+    }
+    EXPECT_TRUE(factored);
+}
+
+} // anonymous namespace

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Property-based tests over randomised inputs.
+ *
+ * The centrepiece is the dense reference simulator: each random
+ * circuit is also executed by building its full 2^n x 2^n unitary
+ * column by column through an independent code path and applying it
+ * with dense algebra. This stands in for the paper's cross-language
+ * validation against LIQUi|>, ProjectQ, and Q# (Section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/arith.hh"
+#include "algo/numtheory.hh"
+#include "algo/qft.hh"
+#include "assertions/checker.hh"
+#include "chem/pauli.hh"
+#include "circuit/executor.hh"
+#include "circuit/qasm.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "sim/gates.hh"
+#include "stats/chi2.hh"
+
+namespace
+{
+
+using namespace qsa;
+using qsa::circuit::Circuit;
+using qsa::circuit::GateKind;
+
+/** Append a random unitary instruction drawn from the full gate set. */
+void
+appendRandomGate(Circuit &circ, Rng &rng, unsigned n)
+{
+    const unsigned pick = rng.uniformInt(12);
+    const unsigned q = rng.uniformInt(n);
+    const double angle = (rng.uniform() - 0.5) * 4.0 * M_PI;
+
+    auto other = [&](unsigned avoid) {
+        unsigned o;
+        do {
+            o = rng.uniformInt(n);
+        } while (o == avoid);
+        return o;
+    };
+
+    switch (pick) {
+      case 0: circ.h(q); break;
+      case 1: circ.x(q); break;
+      case 2: circ.y(q); break;
+      case 3: circ.z(q); break;
+      case 4: circ.s(q); break;
+      case 5: circ.t(q); break;
+      case 6: circ.rx(q, angle); break;
+      case 7: circ.ry(q, angle); break;
+      case 8: circ.rz(q, angle); break;
+      case 9: circ.phase(q, angle); break;
+      case 10:
+        if (n >= 2)
+            circ.cnot(other(q), q);
+        else
+            circ.h(q);
+        break;
+      default:
+        if (n >= 2)
+            circ.cphase(other(q), q, angle);
+        else
+            circ.phase(q, angle);
+        break;
+    }
+}
+
+/** Build a random unitary circuit. */
+Circuit
+randomCircuit(std::uint64_t seed, unsigned n, unsigned gates)
+{
+    Rng rng(seed);
+    Circuit circ(n);
+    for (unsigned g = 0; g < gates; ++g)
+        appendRandomGate(circ, rng, n);
+    return circ;
+}
+
+/** Dense unitary of a circuit, built through the dense code path. */
+sim::CMatrix
+denseUnitary(const Circuit &circ, unsigned n)
+{
+    const std::uint64_t dim = pow2(n);
+    sim::CMatrix u(dim);
+    for (std::uint64_t col = 0; col < dim; ++col) {
+        sim::StateVector state(n);
+        state.setBasisState(col);
+        std::map<std::string, std::uint64_t> meas;
+        Rng rng(1);
+        circuit::runCircuitOn(circ, state, meas, rng);
+        for (std::uint64_t row = 0; row < dim; ++row)
+            u.at(row, col) = state.amp(row);
+    }
+    return u;
+}
+
+class RandomSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomSeeds, InverseCancelsCircuit)
+{
+    const unsigned n = 4;
+    const Circuit circ = randomCircuit(GetParam(), n, 40);
+
+    Circuit round(n);
+    round.appendCircuit(circ);
+    round.appendCircuit(circ.inverse());
+
+    Rng rng(7);
+    const auto rec = circuit::runCircuit(round, rng);
+    EXPECT_NEAR(std::abs(rec.state.amp(0)), 1.0, 1e-9);
+}
+
+TEST_P(RandomSeeds, CircuitUnitaryIsUnitary)
+{
+    const unsigned n = 3;
+    const Circuit circ = randomCircuit(GetParam(), n, 25);
+    EXPECT_TRUE(denseUnitary(circ, n).isUnitary(1e-8));
+}
+
+TEST_P(RandomSeeds, DenseReferenceMatchesSimulator)
+{
+    // Cross-validation: fast simulator vs dense matrix application on
+    // a random input state.
+    const unsigned n = 4;
+    const Circuit circ = randomCircuit(GetParam(), n, 30);
+    const auto u = denseUnitary(circ, n);
+
+    // Random product input state.
+    Rng rng(GetParam() ^ 0xfeed);
+    sim::StateVector fast(n);
+    std::vector<sim::Complex> dense(pow2(n), 0.0);
+    dense[0] = 1.0;
+    for (unsigned q = 0; q < n; ++q) {
+        const double theta = rng.uniform() * M_PI;
+        fast.applyGate(sim::gates::ry(theta), q);
+        // Mirror with dense algebra.
+        sim::CMatrix ry2 = sim::CMatrix::fromMat2(
+            sim::gates::ry(theta));
+        sim::CMatrix full = sim::CMatrix::identity(1);
+        for (unsigned k = n; k-- > 0;) {
+            full = full.kron(k == q ? ry2 : sim::CMatrix::identity(2));
+        }
+        dense = full.apply(dense);
+    }
+
+    std::map<std::string, std::uint64_t> meas;
+    Rng rng2(1);
+    circuit::runCircuitOn(circ, fast, meas, rng2);
+    dense = u.apply(dense);
+
+    for (std::uint64_t i = 0; i < pow2(n); ++i) {
+        EXPECT_NEAR(std::abs(fast.amp(i) - dense[i]), 0.0, 1e-8)
+            << "amplitude " << i;
+    }
+}
+
+TEST_P(RandomSeeds, QasmRoundTripPreservesUnitary)
+{
+    const unsigned n = 3;
+    const Circuit circ = randomCircuit(GetParam(), n, 20);
+    const Circuit parsed = circuit::fromQasm(circuit::toQasm(circ));
+    EXPECT_LT(denseUnitary(circ, n).distance(denseUnitary(parsed, n)),
+              1e-9);
+}
+
+TEST_P(RandomSeeds, ControlledWrapMatchesDenseControl)
+{
+    // appendControlled(circ, {ctrl}) == dense controlled unitary.
+    const unsigned n = 3; // circuit acts on qubits 0..2, control = 3
+    const Circuit base = randomCircuit(GetParam(), n, 15);
+
+    Circuit wrapped(n + 1);
+    wrapped.appendControlled(base, {n});
+
+    // Dense: controlled() prepends the control as the high bit, which
+    // matches qubit index n being the control.
+    const auto u_controlled = denseUnitary(base, n).controlled();
+    const auto u_wrapped = denseUnitary(wrapped, n + 1);
+    EXPECT_LT(u_wrapped.distance(u_controlled), 1e-8);
+}
+
+TEST_P(RandomSeeds, PhiAddRandomOperands)
+{
+    Rng rng(GetParam());
+    const unsigned width = 2 + rng.uniformInt(4); // 2..5
+    const std::uint64_t a = rng.uniformInt(pow2(width));
+    const std::uint64_t b_val = rng.uniformInt(pow2(width));
+
+    Circuit circ;
+    const auto b = circ.addRegister("b", width);
+    circ.prepRegister(b, b_val);
+    algo::qft(circ, b);
+    algo::phiAdd(circ, b, a);
+    algo::iqft(circ, b);
+    circ.measure(b, "b");
+
+    Rng run_rng(3);
+    EXPECT_EQ(circuit::runCircuit(circ, run_rng).measurements.at("b"),
+              (a + b_val) & lowMask(width));
+}
+
+TEST_P(RandomSeeds, ModularAdderRandomOperands)
+{
+    Rng rng(GetParam());
+    const std::uint64_t n_mod = 3 + rng.uniformInt(13); // 3..15
+    const unsigned n_bits = bitWidth(n_mod);
+    const std::uint64_t a = rng.uniformInt(n_mod);
+    const std::uint64_t b_val = rng.uniformInt(n_mod);
+
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 2);
+    const auto b = circ.addRegister("b", n_bits + 1);
+    const auto anc = circ.addRegister("anc", 1);
+    circ.prepRegister(ctrl, 3);
+    circ.prepRegister(b, b_val);
+    circ.prepRegister(anc, 0);
+    algo::qft(circ, b);
+    algo::phiAddModN(circ, b, a, n_mod, anc[0], {ctrl[0], ctrl[1]});
+    algo::iqft(circ, b);
+    circ.measure(b, "b");
+    circ.measure(anc, "anc");
+
+    Rng run_rng(5);
+    const auto rec = circuit::runCircuit(circ, run_rng);
+    EXPECT_EQ(rec.measurements.at("b"), (a + b_val) % n_mod)
+        << "a=" << a << " b=" << b_val << " N=" << n_mod;
+    EXPECT_EQ(rec.measurements.at("anc"), 0u);
+}
+
+TEST_P(RandomSeeds, PauliAlgebraAssociativeAndDistributive)
+{
+    Rng rng(GetParam());
+    auto random_op = [&](unsigned terms) {
+        chem::PauliOperator op(3);
+        for (unsigned t = 0; t < terms; ++t) {
+            op = op.add(chem::PauliOperator::term(
+                3, rng.uniformInt(8), rng.uniformInt(8),
+                sim::Complex(rng.uniform() - 0.5,
+                             rng.uniform() - 0.5)));
+        }
+        return op;
+    };
+    const auto a = random_op(3), b = random_op(3), c = random_op(2);
+
+    // (ab)c == a(bc)
+    const auto lhs = a.mul(b).mul(c);
+    const auto rhs = a.mul(b.mul(c));
+    EXPECT_LT(lhs.add(rhs.scale(-1.0)).pruned(1e-10).size(), 1u);
+
+    // a(b + c) == ab + ac
+    const auto dist_l = a.mul(b.add(c));
+    const auto dist_r = a.mul(b).add(a.mul(c));
+    EXPECT_LT(dist_l.add(dist_r.scale(-1.0)).pruned(1e-10).size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSeeds,
+                         ::testing::Values(11ull, 23ull, 37ull, 59ull,
+                                           71ull, 97ull, 113ull,
+                                           131ull));
+
+// --- Statistical calibration ---------------------------------------------------
+
+TEST(Calibration, Chi2FalsePositiveRateNearAlpha)
+{
+    // Under the null (truly uniform data) the chi-square test should
+    // reject at roughly the significance level.
+    Rng rng(2718);
+    const int trials = 400;
+    const std::size_t bins = 8, m = 160;
+    int rejections = 0;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> counts(bins, 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            counts[rng.uniformInt(bins)] += 1.0;
+        const auto res = stats::chiSquareGof(
+            counts, stats::uniformExpected(bins, m));
+        rejections += res.pValue <= 0.05;
+    }
+    const double rate = (double)rejections / trials;
+    EXPECT_GT(rate, 0.01);
+    EXPECT_LT(rate, 0.11);
+}
+
+TEST(Calibration, PValuesRoughlyUniformUnderNull)
+{
+    // Kolmogorov-style coarse check: under the null, p-values land in
+    // each third of [0,1] with roughly equal frequency.
+    Rng rng(314159);
+    const int trials = 600;
+    const std::size_t bins = 6, m = 120;
+    int low = 0, mid = 0, high = 0;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> counts(bins, 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            counts[rng.uniformInt(bins)] += 1.0;
+        const double p =
+            stats::chiSquareGof(counts,
+                                stats::uniformExpected(bins, m))
+                .pValue;
+        if (p < 1.0 / 3.0)
+            ++low;
+        else if (p < 2.0 / 3.0)
+            ++mid;
+        else
+            ++high;
+    }
+    EXPECT_NEAR(low / (double)trials, 1.0 / 3.0, 0.1);
+    EXPECT_NEAR(mid / (double)trials, 1.0 / 3.0, 0.1);
+    EXPECT_NEAR(high / (double)trials, 1.0 / 3.0, 0.1);
+}
+
+TEST(Calibration, EntangledAssertionFalseNegativeRateSmall)
+{
+    // On a true Bell pair at M = 64, the entanglement assertion
+    // should essentially never miss.
+    circuit::Circuit circ;
+    const auto q = circ.addRegister("q", 2);
+    circ.h(q[0]);
+    circ.cnot(q[0], q[1]);
+    circ.breakpoint("bp");
+    const auto q0 = q.slice(0, 1, "q0");
+    const auto q1 = q.slice(1, 1, "q1");
+
+    int misses = 0;
+    for (unsigned t = 0; t < 50; ++t) {
+        assertions::CheckConfig cfg;
+        cfg.ensembleSize = 64;
+        cfg.seed = 9000 + t;
+        assertions::AssertionChecker checker(circ, cfg);
+        checker.assertEntangled("bp", q0, q1);
+        misses += !checker.check(checker.assertions()[0]).passed;
+    }
+    EXPECT_EQ(misses, 0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Tests for the QFT and the Fourier-space arithmetic (Listings 1-3):
+ * round trips, exhaustive adder checks, modular adder/multiplier
+ * behaviour on classical inputs, and the Listing 3 harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/arith.hh"
+#include "algo/numtheory.hh"
+#include "algo/qft.hh"
+#include "circuit/executor.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace qsa;
+using namespace qsa::algo;
+using qsa::circuit::Circuit;
+using qsa::circuit::QubitRegister;
+using qsa::circuit::runCircuit;
+
+constexpr double tol = 1e-9;
+
+/** Run a circuit and return the measured value of a register. */
+std::uint64_t
+runAndMeasure(Circuit &circ, const QubitRegister &r,
+              std::uint64_t seed = 42)
+{
+    circ.measure(r, "result");
+    Rng rng(seed);
+    return runCircuit(circ, rng).measurements.at("result");
+}
+
+// --- Listing 1: QFT test harness -------------------------------------------
+
+TEST(Qft, RoundTripRestoresClassicalValue)
+{
+    // The exact program of Listing 1: prepare 5, QFT, iQFT, expect 5.
+    Circuit circ;
+    const auto reg = circ.addRegister("reg", 4);
+    for (unsigned i = 0; i < 4; ++i)
+        circ.prepZ(reg[i], (i + 1) % 2); // 0b0101
+    qft(circ, reg);
+    iqft(circ, reg);
+    EXPECT_EQ(runAndMeasure(circ, reg), 5u);
+}
+
+class QftValues
+    : public ::testing::TestWithParam<std::tuple<unsigned,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(QftValues, RoundTripIsIdentityForAllValues)
+{
+    const auto [width, value] = GetParam();
+    Circuit circ;
+    const auto reg = circ.addRegister("reg", width);
+    circ.prepRegister(reg, value);
+    qft(circ, reg);
+    iqft(circ, reg);
+    EXPECT_EQ(runAndMeasure(circ, reg), value & lowMask(width));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QftValues,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(0ull, 1ull, 5ull, 12ull,
+                                         31ull)),
+    [](const auto &info) {
+        return "w" + std::to_string(std::get<0>(info.param)) + "_v" +
+               std::to_string(std::get<1>(info.param)) + "_i" +
+               std::to_string(info.index);
+    });
+
+TEST(Qft, ProducesUniformMagnitudes)
+{
+    // Superposition postcondition of Listing 1: after QFT of a basis
+    // state every outcome is equally likely.
+    Circuit circ;
+    const auto reg = circ.addRegister("reg", 4);
+    circ.prepRegister(reg, 5);
+    qft(circ, reg);
+
+    Rng rng(1);
+    const auto rec = runCircuit(circ, rng);
+    const auto probs = rec.state.marginalProbs(reg.qubits());
+    for (double p : probs)
+        EXPECT_NEAR(p, 1.0 / 16.0, tol);
+}
+
+TEST(Qft, BitReversalMatchesDftConvention)
+{
+    // With bit reversal the QFT of |b> has amplitudes
+    // exp(2 pi i b k / 2^n) / sqrt(2^n) at position k.
+    const unsigned n = 3;
+    const std::uint64_t b = 5;
+    Circuit circ;
+    const auto reg = circ.addRegister("reg", n);
+    circ.prepRegister(reg, b);
+    qft(circ, reg, /*bit_reversal=*/true);
+
+    Rng rng(1);
+    const auto rec = runCircuit(circ, rng);
+    const double inv = 1.0 / std::sqrt(8.0);
+    for (std::uint64_t k = 0; k < 8; ++k) {
+        const double phase = 2.0 * M_PI * b * k / 8.0;
+        const sim::Complex expected =
+            inv * std::exp(sim::Complex(0.0, phase));
+        EXPECT_NEAR(std::abs(rec.state.amp(k) - expected), 0.0, tol)
+            << "k=" << k;
+    }
+}
+
+TEST(Qft, ApproximateQftCloseToExact)
+{
+    // Dropping the smallest rotations barely moves the state.
+    const unsigned n = 5;
+    Circuit exact_c, approx_c;
+    const auto r1 = exact_c.addRegister("r", n);
+    const auto r2 = approx_c.addRegister("r", n);
+    exact_c.prepRegister(r1, 19);
+    approx_c.prepRegister(r2, 19);
+    qft(exact_c, r1);
+    approximateQft(approx_c, r2, 3);
+
+    Rng rng1(1), rng2(1);
+    const auto s1 = runCircuit(exact_c, rng1).state;
+    const auto s2 = runCircuit(approx_c, rng2).state;
+    EXPECT_GT(s1.fidelity(s2), 0.98);
+}
+
+// --- Listing 2/3: the controlled adder --------------------------------------
+
+TEST(PhiAdd, Listing3Harness)
+{
+    // The paper's unit test verbatim: b = 12, a = 13, expect 25
+    // (width 5 so nothing overflows).
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 2);
+    const auto b = circ.addRegister("b", 5);
+    circ.prepRegister(ctrl, 0);
+    circ.prepRegister(b, 12);
+
+    qft(circ, b);
+    phiAdd(circ, b, 13);
+    iqft(circ, b);
+
+    EXPECT_EQ(runAndMeasure(circ, b), 25u);
+}
+
+class AdderExhaustive
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(AdderExhaustive, AddsModulo16)
+{
+    const auto [a, b_val] = GetParam();
+    Circuit circ;
+    const auto b = circ.addRegister("b", 4);
+    circ.prepRegister(b, b_val);
+    qft(circ, b);
+    phiAdd(circ, b, a);
+    iqft(circ, b);
+    EXPECT_EQ(runAndMeasure(circ, b), (a + b_val) % 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdderExhaustive,
+    ::testing::Combine(::testing::Values(0ull, 1ull, 7ull, 11ull,
+                                         15ull),
+                       ::testing::Values(0ull, 1ull, 6ull, 15ull)));
+
+TEST(PhiAdd, SubtractionMirrorsAddition)
+{
+    Circuit circ;
+    const auto b = circ.addRegister("b", 5);
+    circ.prepRegister(b, 25);
+    qft(circ, b);
+    phiAdd(circ, b, 13, {}, -1);
+    iqft(circ, b);
+    EXPECT_EQ(runAndMeasure(circ, b), 12u);
+}
+
+TEST(PhiAdd, SingleControlGates)
+{
+    for (unsigned ctrl_val : {0u, 1u}) {
+        Circuit circ;
+        const auto c = circ.addRegister("c", 1);
+        const auto b = circ.addRegister("b", 4);
+        circ.prepRegister(c, ctrl_val);
+        circ.prepRegister(b, 3);
+        qft(circ, b);
+        phiAdd(circ, b, 5, {c[0]});
+        iqft(circ, b);
+        EXPECT_EQ(runAndMeasure(circ, b), ctrl_val ? 8u : 3u);
+    }
+}
+
+TEST(PhiAdd, DoubleControlRequiresBoth)
+{
+    for (unsigned cv = 0; cv < 4; ++cv) {
+        Circuit circ;
+        const auto c = circ.addRegister("c", 2);
+        const auto b = circ.addRegister("b", 4);
+        circ.prepRegister(c, cv);
+        circ.prepRegister(b, 6);
+        qft(circ, b);
+        phiAdd(circ, b, 7, {c[0], c[1]});
+        iqft(circ, b);
+        EXPECT_EQ(runAndMeasure(circ, b), cv == 3 ? 13u : 6u)
+            << "controls " << cv;
+    }
+}
+
+TEST(PhiAdd, ControlInSuperpositionEntangles)
+{
+    // Superposed control -> the sum register becomes correlated with
+    // the control (the recursion pattern's entanglement signature).
+    Circuit circ;
+    const auto c = circ.addRegister("c", 1);
+    const auto b = circ.addRegister("b", 3);
+    circ.prepRegister(c, 0);
+    circ.h(c[0]);
+    circ.prepRegister(b, 1);
+    qft(circ, b);
+    phiAdd(circ, b, 2, {c[0]});
+    iqft(circ, b);
+
+    Rng rng(3);
+    const auto rec = runCircuit(circ, rng);
+    const auto joint = rec.state.marginalProbs({c[0], b[0], b[1], b[2]});
+    // (c=0, b=1) and (c=1, b=3), each with probability 1/2.
+    EXPECT_NEAR(joint[0b0010], 0.5, tol);
+    EXPECT_NEAR(joint[0b0111], 0.5, tol);
+}
+
+// --- Modular adder -----------------------------------------------------------
+
+class ModAdder
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(ModAdder, AddsModuloN)
+{
+    const std::uint64_t n_mod = 15;
+    const auto [a, b_val] = GetParam();
+
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 2);
+    const auto b = circ.addRegister("b", 5); // 4 bits + overflow
+    const auto anc = circ.addRegister("anc", 1);
+    circ.prepRegister(ctrl, 3); // both controls on
+    circ.prepRegister(b, b_val);
+    circ.prepRegister(anc, 0);
+
+    qft(circ, b);
+    phiAddModN(circ, b, a, n_mod, anc[0], {ctrl[0], ctrl[1]});
+    iqft(circ, b);
+
+    circ.measure(b, "b");
+    circ.measure(anc, "anc");
+    Rng rng(9);
+    const auto rec = runCircuit(circ, rng);
+    EXPECT_EQ(rec.measurements.at("b"), (a + b_val) % n_mod);
+    EXPECT_EQ(rec.measurements.at("anc"), 0u)
+        << "comparison ancilla must be restored";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModAdder,
+    ::testing::Combine(::testing::Values(0ull, 1ull, 7ull, 8ull, 14ull),
+                       ::testing::Values(0ull, 1ull, 7ull, 14ull)));
+
+TEST(ModAdder, ControlOffLeavesRegister)
+{
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 2);
+    const auto b = circ.addRegister("b", 5);
+    const auto anc = circ.addRegister("anc", 1);
+    circ.prepRegister(ctrl, 1); // only one of two controls
+    circ.prepRegister(b, 9);
+    circ.prepRegister(anc, 0);
+
+    qft(circ, b);
+    phiAddModN(circ, b, 7, 15, anc[0], {ctrl[0], ctrl[1]});
+    iqft(circ, b);
+    EXPECT_EQ(runAndMeasure(circ, b), 9u);
+}
+
+// --- Modular multiplier (Listing 4 semantics) -------------------------------
+
+class ModMul : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ModMul, ComputesAXPlusB)
+{
+    const std::uint64_t n_mod = 15;
+    const std::uint64_t a = GetParam();
+    const std::uint64_t x_val = 6, b_val = 7;
+
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 1);
+    const auto x = circ.addRegister("x", 4);
+    const auto b = circ.addRegister("b", 5);
+    const auto anc = circ.addRegister("anc", 1);
+    circ.prepRegister(ctrl, 1);
+    circ.prepRegister(x, x_val);
+    circ.prepRegister(b, b_val);
+    circ.prepRegister(anc, 0);
+
+    cModMul(circ, ctrl[0], x, b, a, n_mod, anc[0]);
+
+    circ.measure(x, "x");
+    circ.measure(b, "b");
+    Rng rng(11);
+    const auto rec = runCircuit(circ, rng);
+    EXPECT_EQ(rec.measurements.at("x"), x_val);
+    EXPECT_EQ(rec.measurements.at("b"), (a * x_val + b_val) % n_mod);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ModMul,
+                         ::testing::Values(1ull, 2ull, 7ull, 13ull));
+
+TEST(ModMul, InverseClearsHelper)
+{
+    // Listing 4's mirror check: multiply then inverse-multiply by the
+    // modular inverse returns b to zero.
+    const std::uint64_t n_mod = 15, a = 7, x_val = 6;
+
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 1);
+    const auto x = circ.addRegister("x", 4);
+    const auto b = circ.addRegister("b", 5);
+    const auto anc = circ.addRegister("anc", 1);
+    circ.prepRegister(ctrl, 1);
+    circ.prepRegister(x, x_val);
+    circ.prepRegister(b, 0);
+    circ.prepRegister(anc, 0);
+
+    cModMul(circ, ctrl[0], x, b, a, n_mod, anc[0]); // b = ax
+    // x and b entangled-free here for classical inputs; swap halves.
+    for (unsigned i = 0; i < 4; ++i)
+        circ.cswap(ctrl[0], x[i], b[i]);
+    cModMulInverse(circ, ctrl[0], x, b, *modInverse(a, n_mod), n_mod,
+                   anc[0]);
+
+    circ.measure(x, "x");
+    circ.measure(b, "b");
+    Rng rng(13);
+    const auto rec = runCircuit(circ, rng);
+    EXPECT_EQ(rec.measurements.at("x"), a * x_val % n_mod);
+    EXPECT_EQ(rec.measurements.at("b"), 0u);
+}
+
+class CUaExhaustive : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CUaExhaustive, InPlaceModularMultiply)
+{
+    const std::uint64_t n_mod = 15, a = 7;
+    const std::uint64_t x_val = GetParam();
+
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 1);
+    const auto x = circ.addRegister("x", 4);
+    const auto b = circ.addRegister("b", 5);
+    const auto anc = circ.addRegister("anc", 1);
+    circ.prepRegister(ctrl, 1);
+    circ.prepRegister(x, x_val);
+    circ.prepRegister(b, 0);
+    circ.prepRegister(anc, 0);
+
+    cUa(circ, ctrl[0], x, b, a, *modInverse(a, n_mod), n_mod, anc[0]);
+
+    circ.measure(x, "x");
+    circ.measure(b, "b");
+    circ.measure(anc, "anc");
+    Rng rng(17);
+    const auto rec = runCircuit(circ, rng);
+    EXPECT_EQ(rec.measurements.at("x"), a * x_val % n_mod);
+    EXPECT_EQ(rec.measurements.at("b"), 0u);
+    EXPECT_EQ(rec.measurements.at("anc"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllResidues, CUaExhaustive,
+                         ::testing::Values(1ull, 2ull, 4ull, 7ull, 8ull,
+                                           11ull, 13ull, 14ull));
+
+TEST(CUa, ControlOffIsIdentity)
+{
+    const std::uint64_t n_mod = 15, a = 7;
+    Circuit circ;
+    const auto ctrl = circ.addRegister("ctrl", 1);
+    const auto x = circ.addRegister("x", 4);
+    const auto b = circ.addRegister("b", 5);
+    const auto anc = circ.addRegister("anc", 1);
+    circ.prepRegister(ctrl, 0);
+    circ.prepRegister(x, 6);
+    circ.prepRegister(b, 0);
+    circ.prepRegister(anc, 0);
+
+    cUa(circ, ctrl[0], x, b, a, 13, n_mod, anc[0]);
+
+    circ.measure(x, "x");
+    circ.measure(b, "b");
+    Rng rng(19);
+    const auto rec = runCircuit(circ, rng);
+    EXPECT_EQ(rec.measurements.at("x"), 6u);
+    EXPECT_EQ(rec.measurements.at("b"), 0u);
+}
+
+// --- Classical number theory -------------------------------------------------
+
+TEST(NumTheory, GcdAndInverse)
+{
+    EXPECT_EQ(gcd(12, 18), 6u);
+    EXPECT_EQ(gcd(7, 15), 1u);
+    EXPECT_EQ(*modInverse(7, 15), 13u);
+    EXPECT_EQ(*modInverse(4, 15), 4u);
+    EXPECT_FALSE(modInverse(6, 15).has_value());
+}
+
+TEST(NumTheory, PowMod)
+{
+    EXPECT_EQ(powMod(7, 0, 15), 1u);
+    EXPECT_EQ(powMod(7, 2, 15), 4u);
+    EXPECT_EQ(powMod(7, 4, 15), 1u);
+    EXPECT_EQ(powMod(2, 10, 1000), 24u);
+}
+
+TEST(NumTheory, MultiplicativeOrder)
+{
+    EXPECT_EQ(multiplicativeOrder(7, 15), 4u);
+    EXPECT_EQ(multiplicativeOrder(4, 15), 2u);
+    EXPECT_EQ(multiplicativeOrder(2, 15), 4u);
+}
+
+TEST(NumTheory, Table2ClassicalInputs)
+{
+    // Table 2 of the paper, verbatim.
+    const auto pairs = shorClassicalInputs(7, 15, 4);
+    ASSERT_EQ(pairs.size(), 4u);
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>
+        expected{{7, 13}, {4, 4}, {1, 1}, {1, 1}};
+    EXPECT_EQ(pairs, expected);
+}
+
+TEST(NumTheory, ContinuedFractions)
+{
+    // 6/8 = 3/4: convergents 0/1, 1/1, 3/4.
+    const auto conv = continuedFractionConvergents(6, 8);
+    ASSERT_GE(conv.size(), 2u);
+    EXPECT_EQ(conv.back().first, 3u);
+    EXPECT_EQ(conv.back().second, 4u);
+}
+
+TEST(NumTheory, ShorPostprocess)
+{
+    // Measurement 2 with t = 3: phase 1/4 -> order 4 -> factors 3, 5.
+    const auto f2 = shorPostprocess(2, 3, 7, 15);
+    ASSERT_TRUE(f2.has_value());
+    EXPECT_EQ(f2->first * f2->second, 15u);
+
+    const auto f6 = shorPostprocess(6, 3, 7, 15);
+    ASSERT_TRUE(f6.has_value());
+    EXPECT_EQ(f6->first * f6->second, 15u);
+
+    EXPECT_FALSE(shorPostprocess(0, 3, 7, 15).has_value());
+}
+
+} // anonymous namespace

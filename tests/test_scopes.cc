@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the ProjectQ-style structural scopes (Section 5.1,
+ * Table 4) and the automatic assertion placement they enable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/grover.hh"
+#include "assertions/checker.hh"
+#include "assertions/exact.hh"
+#include "assertions/report.hh"
+#include "circuit/executor.hh"
+#include "circuit/scopes.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "gf2/gf2.hh"
+#include "sim/gates.hh"
+
+namespace
+{
+
+using namespace qsa;
+using qsa::circuit::Circuit;
+using qsa::circuit::ComputeScope;
+using qsa::circuit::ControlScope;
+
+TEST(ComputeScopeTest, UncomputesScratchAutomatically)
+{
+    Circuit circ;
+    const auto q = circ.addRegister("q", 2);
+    const auto work = circ.addRegister("work", 1);
+    circ.h(q[0]);
+    circ.h(q[1]);
+    {
+        ComputeScope scope(circ, "and");
+        circ.ccnot(q[0], q[1], work[0]); // compute AND into scratch
+        scope.endCompute();
+        circ.z(work[0]); // action: phase flip on the AND
+    } // scratch uncomputed here
+    circ.breakpoint("done");
+
+    // The work qubit must be |0> and unentangled afterwards.
+    const auto probs = assertions::exactMarginal(circ, "done", work);
+    EXPECT_NEAR(probs[0], 1.0, 1e-12);
+    EXPECT_NEAR(assertions::exactPurity(circ, "done", work), 1.0,
+                1e-12);
+
+    // And the breakpoints exist for assertion placement.
+    const auto labels = circ.breakpointLabels();
+    EXPECT_NE(std::find(labels.begin(), labels.end(), "and_computed"),
+              labels.end());
+    EXPECT_NE(std::find(labels.begin(), labels.end(),
+                        "and_uncomputed"),
+              labels.end());
+}
+
+TEST(ComputeScopeTest, MatchesManualMirror)
+{
+    // Scope-built circuit equals hand-mirrored circuit exactly.
+    auto build_scoped = [] {
+        Circuit circ(3);
+        {
+            ComputeScope scope(circ);
+            circ.h(0);
+            circ.cnot(0, 1);
+            circ.t(1);
+            scope.endCompute();
+            circ.cz(1, 2);
+        }
+        return circ;
+    };
+    auto build_manual = [] {
+        Circuit circ(3);
+        circ.h(0);
+        circ.cnot(0, 1);
+        circ.t(1);
+        circ.cz(1, 2);
+        circ.tdg(1);
+        circ.cnot(0, 1);
+        circ.h(0);
+        return circ;
+    };
+
+    Rng ra(1), rb(1);
+    const auto sa = circuit::runCircuit(build_scoped(), ra).state;
+    const auto sb = circuit::runCircuit(build_manual(), rb).state;
+    EXPECT_NEAR(sa.fidelity(sb), 1.0, 1e-12);
+}
+
+TEST(ComputeScopeTest, ExplicitUncomputeIsIdempotent)
+{
+    Circuit circ(2);
+    ComputeScope scope(circ);
+    circ.x(0);
+    scope.endCompute();
+    circ.z(0);
+    scope.uncompute();
+    const std::size_t size_after = circ.size();
+    scope.uncompute(); // no-op
+    EXPECT_EQ(circ.size(), size_after);
+}
+
+TEST(ControlScopeTest, WrapsBodyWithControls)
+{
+    // X inside a control scope == CNOT.
+    Circuit scoped(2);
+    {
+        ControlScope ctrl(scoped, {0});
+        scoped.x(1);
+    }
+    ASSERT_EQ(scoped.size(), 1u);
+    EXPECT_EQ(scoped.instructions()[0].controls.size(), 1u);
+
+    for (std::uint64_t input = 0; input < 4; ++input) {
+        sim::StateVector via(2), direct(2);
+        via.setBasisState(input);
+        direct.setBasisState(input);
+        std::map<std::string, std::uint64_t> meas;
+        Rng rng(1);
+        circuit::runCircuitOn(scoped, via, meas, rng);
+        direct.applyControlled(sim::gates::x(), {0}, 1);
+        EXPECT_NEAR(via.fidelity(direct), 1.0, 1e-12) << input;
+    }
+}
+
+TEST(ControlScopeTest, NestedScopesStackControls)
+{
+    // Control scopes nest into multi-controlled operations.
+    Circuit circ(3);
+    {
+        ControlScope outer(circ, {0});
+        {
+            ControlScope inner(circ, {1});
+            circ.x(2);
+        }
+    }
+    ASSERT_EQ(circ.size(), 1u);
+    EXPECT_EQ(circ.instructions()[0].controls.size(), 2u);
+
+    // Toffoli behaviour.
+    sim::StateVector sv(3);
+    sv.setBasisState(0b011);
+    std::map<std::string, std::uint64_t> meas;
+    Rng rng(1);
+    circuit::runCircuitOn(circ, sv, meas, rng);
+    EXPECT_NEAR(std::abs(sv.amp(0b111)), 1.0, 1e-12);
+}
+
+TEST(ScopedGrover, Table4RightColumnReproducesLeftColumn)
+{
+    // Rebuild the GF(2^3) Grover oracle iteration with scopes (the
+    // ProjectQ structure) and compare against the hand-built program.
+    const unsigned n = 3;
+    const gf2::Field field(n);
+    const std::uint32_t target = 0b101;
+
+    // Hand-built (Table 4 left column, as in algo::buildGroverProgram).
+    algo::GroverConfig config;
+    config.degree = n;
+    config.target = target;
+    config.iterations = 1;
+    const auto manual = algo::buildGroverProgram(config);
+
+    // Scope-built: compute work = x^2 xor ~target, flip, uncompute.
+    Circuit circ;
+    const auto q = circ.addRegister("q", n);
+    const auto work = circ.addRegister("work", n);
+    const auto chain = circ.addRegister("chain", n - 1);
+    circ.prepRegister(q, 0);
+    circ.prepRegister(work, 0);
+    circ.prepRegister(chain, 0);
+    for (unsigned j = 0; j < n; ++j)
+        circ.h(q[j]);
+
+    const auto rows = field.squaringMatrixRows();
+    {
+        ComputeScope oracle(circ, "oracle");
+        for (unsigned i = 0; i < n; ++i)
+            for (unsigned j = 0; j < n; ++j)
+                if (getBit(rows[i], j))
+                    circ.cnot(q[j], work[i]);
+        for (unsigned i = 0; i < n; ++i)
+            if (!getBit(target, i))
+                circ.x(work[i]);
+        oracle.endCompute();
+        // Action: phase flip on work == all-ones (n = 3: the AND of
+        // work[0], work[1] lands in chain[0]).
+        circ.ccnot(work[1], work[0], chain[0]);
+        circ.cz(chain[0], work[n - 1]);
+        circ.ccnot(work[1], work[0], chain[0]);
+    }
+    algo::appendDiffusion(circ, q, chain);
+    circ.breakpoint("iter_1");
+
+    const auto manual_probs = assertions::exactMarginal(
+        manual.circuit, "iter_1", manual.q);
+    const auto scoped_probs =
+        assertions::exactMarginal(circ, "iter_1", q);
+    for (std::uint64_t v = 0; v < 8; ++v)
+        EXPECT_NEAR(manual_probs[v], scoped_probs[v], 1e-9) << v;
+}
+
+TEST(AutoPlacement, RegistersPairedAssertions)
+{
+    // Scoped oracle program: autoPlaceScopeAssertions finds the pair
+    // of breakpoints and registers entangled + product assertions
+    // that pass.
+    Circuit circ;
+    const auto q = circ.addRegister("q", 2);
+    const auto work = circ.addRegister("work", 2);
+    for (unsigned j = 0; j < 2; ++j)
+        circ.h(q[j]);
+    {
+        ComputeScope scope(circ, "copy");
+        circ.cnot(q[0], work[0]);
+        circ.cnot(q[1], work[1]);
+        scope.endCompute();
+        circ.cz(work[0], work[1]);
+    }
+
+    assertions::AssertionChecker checker(circ);
+    const std::size_t placed =
+        assertions::autoPlaceScopeAssertions(checker, circ, q, work);
+    EXPECT_EQ(placed, 2u);
+
+    const auto outcomes = checker.checkAll();
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_TRUE(assertions::allPassed(outcomes));
+    EXPECT_EQ(outcomes[0].spec.kind,
+              assertions::AssertionKind::Entangled);
+    EXPECT_EQ(outcomes[1].spec.kind,
+              assertions::AssertionKind::Product);
+}
+
+TEST(AutoPlacement, NoScopesNoAssertions)
+{
+    Circuit circ;
+    const auto q = circ.addRegister("q", 2);
+    circ.h(q[0]);
+    circ.breakpoint("plain");
+
+    assertions::AssertionChecker checker(circ);
+    EXPECT_EQ(assertions::autoPlaceScopeAssertions(checker, circ, q,
+                                                   q.slice(0, 1)),
+              0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Unit tests for src/stats: special functions against known values,
+ * chi-square tests against textbook results, contingency tables
+ * against the paper's quoted p-values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/chi2.hh"
+#include "stats/contingency.hh"
+#include "stats/histogram.hh"
+#include "stats/specfun.hh"
+
+namespace
+{
+
+using namespace qsa::stats;
+
+// --- Special functions ---------------------------------------------------
+
+TEST(SpecFun, LnGammaKnownValues)
+{
+    // Gamma(1) = Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+    EXPECT_NEAR(lnGamma(1.0), 0.0, 1e-9);
+    EXPECT_NEAR(lnGamma(2.0), 0.0, 1e-9);
+    EXPECT_NEAR(lnGamma(5.0), std::log(24.0), 1e-9);
+    EXPECT_NEAR(lnGamma(0.5), 0.5 * std::log(M_PI), 1e-9);
+}
+
+TEST(SpecFun, LnGammaRecurrence)
+{
+    // Gamma(x + 1) = x Gamma(x).
+    for (double x = 0.3; x < 12.0; x += 0.7) {
+        EXPECT_NEAR(lnGamma(x + 1.0), std::log(x) + lnGamma(x), 1e-8)
+            << "x = " << x;
+    }
+}
+
+TEST(SpecFun, GammaPQComplementary)
+{
+    for (double a : {0.5, 1.0, 2.5, 10.0}) {
+        for (double x : {0.1, 1.0, 5.0, 20.0}) {
+            EXPECT_NEAR(gammaP(a, x) + gammaQ(a, x), 1.0, 1e-10)
+                << "a = " << a << " x = " << x;
+        }
+    }
+}
+
+TEST(SpecFun, GammaPExponentialSpecialCase)
+{
+    // P(1, x) = 1 - exp(-x).
+    for (double x : {0.0, 0.5, 1.0, 3.0, 10.0})
+        EXPECT_NEAR(gammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+}
+
+TEST(SpecFun, ErrorFunctionKnownValues)
+{
+    EXPECT_NEAR(errorFunction(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(errorFunction(1.0), 0.8427007929497149, 1e-9);
+    EXPECT_NEAR(errorFunction(-1.0), -0.8427007929497149, 1e-9);
+    EXPECT_NEAR(errorFunctionC(1.0), 1.0 - 0.8427007929497149, 1e-9);
+}
+
+// --- Chi-square distribution ---------------------------------------------
+
+TEST(Chi2Dist, KnownSurvivalValues)
+{
+    // df = 1: SF(3.841) ~ 0.05; df = 2: SF(5.991) ~ 0.05.
+    EXPECT_NEAR(chiSquareSf(3.841, 1), 0.05, 5e-4);
+    EXPECT_NEAR(chiSquareSf(5.991, 2), 0.05, 5e-4);
+    // df = 2 has closed form SF(x) = exp(-x/2).
+    for (double x : {0.5, 2.0, 7.0})
+        EXPECT_NEAR(chiSquareSf(x, 2), std::exp(-x / 2.0), 1e-10);
+}
+
+TEST(Chi2Dist, CdfSfComplementary)
+{
+    for (double df : {1.0, 3.0, 7.0}) {
+        for (double x : {0.5, 2.0, 10.0}) {
+            EXPECT_NEAR(chiSquareCdf(x, df) + chiSquareSf(x, df), 1.0,
+                        1e-10);
+        }
+    }
+}
+
+TEST(Chi2Dist, QuantileInvertsCdf)
+{
+    for (double df : {1.0, 4.0, 9.0}) {
+        for (double p : {0.05, 0.5, 0.95}) {
+            const double x = chiSquareQuantile(p, df);
+            EXPECT_NEAR(chiSquareCdf(x, df), p, 1e-8);
+        }
+    }
+}
+
+TEST(Chi2Dist, EdgeCases)
+{
+    EXPECT_DOUBLE_EQ(chiSquareSf(0.0, 3), 1.0);
+    EXPECT_DOUBLE_EQ(chiSquareCdf(-1.0, 3), 0.0);
+    EXPECT_DOUBLE_EQ(
+        chiSquareSf(std::numeric_limits<double>::infinity(), 3), 0.0);
+    EXPECT_DOUBLE_EQ(chiSquareQuantile(0.0, 5), 0.0);
+}
+
+// --- Goodness-of-fit -----------------------------------------------------
+
+TEST(Chi2Gof, PerfectFitGivesPValueOne)
+{
+    const std::vector<double> obs{25, 25, 25, 25};
+    const auto res = chiSquareGof(obs, uniformExpected(4, 100));
+    EXPECT_NEAR(res.statistic, 0.0, 1e-12);
+    EXPECT_NEAR(res.pValue, 1.0, 1e-12);
+    EXPECT_EQ(res.df, 3.0);
+}
+
+TEST(Chi2Gof, TextbookFairDie)
+{
+    // Classic fair-die data: observed vs 10 expected per face.
+    const std::vector<double> obs{5, 8, 9, 8, 10, 20};
+    const auto res = chiSquareGof(obs, uniformExpected(6, 60));
+    EXPECT_NEAR(res.statistic, 13.4, 1e-9);
+    EXPECT_EQ(res.df, 5.0);
+    EXPECT_NEAR(res.pValue, 0.0199, 3e-3);
+}
+
+TEST(Chi2Gof, ImpossibleOutcomeRejectsOutright)
+{
+    // Classical assertion semantics: any observation off the expected
+    // point mass is a zero-probability event -> p = 0.
+    const std::vector<double> obs{15, 1, 0, 0};
+    const auto res =
+        chiSquareGof(obs, pointMassExpected(4, 0, 16));
+    EXPECT_TRUE(res.impossibleOutcome);
+    EXPECT_EQ(res.pValue, 0.0);
+    EXPECT_TRUE(std::isinf(res.statistic));
+}
+
+TEST(Chi2Gof, PointMassAllOnValuePasses)
+{
+    const std::vector<double> obs{0, 16, 0, 0};
+    const auto res = chiSquareGof(obs, pointMassExpected(4, 1, 16));
+    EXPECT_FALSE(res.impossibleOutcome);
+    EXPECT_EQ(res.pValue, 1.0); // degenerate df, zero statistic
+}
+
+TEST(Chi2Gof, SkipsEmptyBins)
+{
+    const std::vector<double> obs{10, 0, 10};
+    const std::vector<double> exp{10, 0, 10};
+    const auto res = chiSquareGof(obs, exp);
+    EXPECT_EQ(res.usedBins, 2u);
+    EXPECT_EQ(res.df, 1.0);
+}
+
+TEST(Chi2Gof, DetectsConcentration)
+{
+    // Superposition assertion failure mode: all mass on one value when
+    // uniform was expected.
+    std::vector<double> obs(8, 0.0);
+    obs[3] = 64;
+    const auto res = chiSquareGof(obs, uniformExpected(8, 64));
+    EXPECT_LT(res.pValue, 1e-6);
+}
+
+TEST(Chi2Gof, GTestAgreesOnLargeSamples)
+{
+    const std::vector<double> obs{48, 52, 55, 45};
+    const auto chi = chiSquareGof(obs, uniformExpected(4, 200));
+    const auto g = gTestGof(obs, uniformExpected(4, 200));
+    EXPECT_NEAR(chi.statistic, g.statistic, 0.1);
+    EXPECT_NEAR(chi.pValue, g.pValue, 0.02);
+}
+
+TEST(Chi2Gof, TwoSampleIdenticalPasses)
+{
+    const std::vector<double> s1{10, 20, 30};
+    const auto res = chiSquareTwoSample(s1, s1);
+    EXPECT_NEAR(res.statistic, 0.0, 1e-12);
+    EXPECT_NEAR(res.pValue, 1.0, 1e-12);
+}
+
+TEST(Chi2Gof, TwoSampleDifferentRejects)
+{
+    const std::vector<double> s1{100, 0, 0};
+    const std::vector<double> s2{0, 0, 100};
+    const auto res = chiSquareTwoSample(s1, s2);
+    EXPECT_LT(res.pValue, 1e-10);
+}
+
+// --- Contingency tables --------------------------------------------------
+
+TEST(Contingency, PaperBellTablePValue)
+{
+    // Figure 1 / Section 4.4: perfectly correlated 2x2 table at
+    // ensemble size 16. With the Yates continuity correction the
+    // statistic is (|8-4|-0.5)^2/4 * 4 = 12.25 and the p-value is
+    // 0.000466 — the paper rounds this to 0.0005.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+    for (int i = 0; i < 8; ++i) {
+        pairs.emplace_back(0, 0);
+        pairs.emplace_back(1, 1);
+    }
+    const auto table = ContingencyTable::fromPairs(pairs);
+    const auto res = independenceTest(table);
+    EXPECT_TRUE(res.yatesApplied);
+    EXPECT_NEAR(res.statistic, 12.25, 1e-9);
+    EXPECT_NEAR(res.pValue, 0.000466, 5e-5);
+}
+
+TEST(Contingency, WithoutYatesMatchesRawChi2)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+    for (int i = 0; i < 8; ++i) {
+        pairs.emplace_back(0, 0);
+        pairs.emplace_back(1, 1);
+    }
+    const auto table = ContingencyTable::fromPairs(pairs);
+    const auto res = independenceTest(table, /*yates_for_2x2=*/false);
+    EXPECT_FALSE(res.yatesApplied);
+    EXPECT_NEAR(res.statistic, 16.0, 1e-9); // N for a perfect table
+}
+
+TEST(Contingency, IndependentTableAccepts)
+{
+    // Perfectly independent counts: chi2 = 0, p = 1.
+    const auto table = ContingencyTable::fromCounts(
+        {0, 1}, {0, 1}, {{10, 10}, {10, 10}});
+    const auto res = independenceTest(table);
+    EXPECT_NEAR(res.statistic, 0.0, 1e-12);
+    EXPECT_NEAR(res.pValue, 1.0, 1e-12);
+    EXPECT_NEAR(res.cramersV, 0.0, 1e-9);
+}
+
+TEST(Contingency, DegenerateSingleColumn)
+{
+    // A constant variable carries no dependence information.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+    for (int i = 0; i < 16; ++i)
+        pairs.emplace_back(i % 4, 0);
+    const auto res =
+        independenceTest(ContingencyTable::fromPairs(pairs));
+    EXPECT_TRUE(res.degenerate);
+    EXPECT_EQ(res.pValue, 1.0);
+}
+
+TEST(Contingency, LargerTableDf)
+{
+    // 3x4 table: df = 6.
+    const auto table = ContingencyTable::fromCounts(
+        {0, 1, 2}, {0, 1, 2, 3},
+        {{5, 5, 5, 5}, {5, 5, 5, 5}, {5, 5, 5, 5}});
+    const auto res = independenceTest(table);
+    EXPECT_EQ(res.df, 6.0);
+}
+
+TEST(Contingency, CramersVPerfectAssociation)
+{
+    const auto table = ContingencyTable::fromCounts(
+        {0, 1}, {0, 1}, {{50, 0}, {0, 50}});
+    const auto res = independenceTest(table, false);
+    EXPECT_NEAR(res.cramersV, 1.0, 1e-9);
+    EXPECT_NEAR(res.contingencyC, std::sqrt(0.5), 1e-9);
+}
+
+TEST(Contingency, GTestRejectsCorrelation)
+{
+    const auto table = ContingencyTable::fromCounts(
+        {0, 1}, {0, 1}, {{40, 2}, {3, 45}});
+    const auto res = independenceGTest(table);
+    EXPECT_LT(res.pValue, 1e-10);
+}
+
+TEST(Contingency, FromPairsCompactsLabels)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs{
+        {7, 100}, {7, 100}, {9, 100}, {9, 200}};
+    const auto table = ContingencyTable::fromPairs(pairs);
+    EXPECT_EQ(table.numRows(), 2u);
+    EXPECT_EQ(table.numCols(), 2u);
+    EXPECT_EQ(table.rows()[0], 7u);
+    EXPECT_EQ(table.cols()[1], 200u);
+    EXPECT_DOUBLE_EQ(table.at(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(table.at(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(table.total(), 4.0);
+}
+
+// --- Histograms -----------------------------------------------------------
+
+TEST(Histogram, CountsOutcomes)
+{
+    const std::vector<std::uint64_t> outcomes{1, 1, 2, 5, 5, 5};
+    const auto counts = countOutcomes(outcomes);
+    EXPECT_EQ(counts.at(1), 2u);
+    EXPECT_EQ(counts.at(2), 1u);
+    EXPECT_EQ(counts.at(5), 3u);
+    EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(Histogram, DenseCounts)
+{
+    const std::vector<std::uint64_t> outcomes{0, 3, 3};
+    const auto counts = denseCounts(outcomes, 4);
+    EXPECT_EQ(counts.size(), 4u);
+    EXPECT_DOUBLE_EQ(counts[0], 1.0);
+    EXPECT_DOUBLE_EQ(counts[1], 0.0);
+    EXPECT_DOUBLE_EQ(counts[3], 2.0);
+}
+
+TEST(Histogram, Frequencies)
+{
+    const auto freq = toFrequencies({1.0, 3.0});
+    EXPECT_DOUBLE_EQ(freq[0], 0.25);
+    EXPECT_DOUBLE_EQ(freq[1], 0.75);
+    const auto empty = toFrequencies({0.0, 0.0});
+    EXPECT_DOUBLE_EQ(empty[0], 0.0);
+}
+
+} // anonymous namespace
