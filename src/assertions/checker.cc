@@ -8,9 +8,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "circuit/executor.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "runtime/ensemble.hh"
 #include "stats/histogram.hh"
 
 namespace qsa::assertions
@@ -35,6 +35,18 @@ AssertionChecker::AssertionChecker(const circuit::Circuit &prog,
 {
     fatal_if(config.ensembleSize == 0,
              "ensemble size must be positive");
+    // Created eagerly so concurrent check() calls (BatchRunner fans
+    // them across a pool) never race on lazy initialisation.
+    engine = std::make_unique<runtime::EnsembleEngine>(
+        program, config.numThreads);
+}
+
+AssertionChecker::~AssertionChecker() = default;
+
+void
+AssertionChecker::clearRuntimeCache()
+{
+    engine->clearCache();
 }
 
 void
@@ -176,44 +188,32 @@ AssertionChecker::gatherEnsemble(const AssertionSpec &spec) const
     const bool two_vars = spec.kind == AssertionKind::Entangled ||
                           spec.kind == AssertionKind::Product;
 
-    const circuit::Circuit sliced = program.prefixUpTo(spec.breakpoint);
-
     // Joint measurement qubit list: regA bits first, then regB.
-    std::vector<unsigned> qubits = spec.regA.qubits();
+    runtime::EnsembleSpec request;
+    request.breakpoint = spec.breakpoint;
+    request.qubits = spec.regA.qubits();
     if (two_vars) {
-        qubits.insert(qubits.end(), spec.regB.qubits().begin(),
-                      spec.regB.qubits().end());
+        request.qubits.insert(request.qubits.end(),
+                              spec.regB.qubits().begin(),
+                              spec.regB.qubits().end());
     }
+    request.shots = config.ensembleSize;
+    request.mode = config.mode == EnsembleMode::Resimulate
+                       ? runtime::SampleMode::Resimulate
+                       : runtime::SampleMode::SampleFinalState;
+    request.seed = config.seed;
 
-    const Rng master(config.seed);
+    const auto joint_values = engine->gather(request);
+
     std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
-    pairs.reserve(config.ensembleSize);
-
-    auto split_value = [&](std::uint64_t joint) {
+    pairs.reserve(joint_values.size());
+    for (std::uint64_t joint : joint_values) {
         const std::uint64_t a = joint & lowMask(spec.regA.width());
         const std::uint64_t b = two_vars
                                     ? (joint >> spec.regA.width()) &
                                           lowMask(spec.regB.width())
                                     : 0;
-        return std::make_pair(a, b);
-    };
-
-    if (config.mode == EnsembleMode::Resimulate) {
-        for (std::size_t m = 0; m < config.ensembleSize; ++m) {
-            Rng rng = master.split(m);
-            auto record = circuit::runCircuit(sliced, rng);
-            const std::uint64_t joint =
-                record.state.measureQubits(qubits, rng);
-            pairs.push_back(split_value(joint));
-        }
-    } else {
-        Rng rng = master.split(0);
-        auto record = circuit::runCircuit(sliced, rng);
-        const std::vector<double> dist =
-            record.state.marginalProbs(qubits);
-        Rng sampler = master.split(1);
-        for (std::size_t m = 0; m < config.ensembleSize; ++m)
-            pairs.push_back(split_value(sampler.discrete(dist)));
+        pairs.emplace_back(a, b);
     }
     return pairs;
 }

@@ -13,10 +13,16 @@
 #ifndef QSA_ASSERTIONS_CHECKER_HH
 #define QSA_ASSERTIONS_CHECKER_HH
 
+#include <memory>
 #include <vector>
 
 #include "assertions/spec.hh"
 #include "circuit/circuit.hh"
+
+namespace qsa::runtime
+{
+class EnsembleEngine;
+} // namespace qsa::runtime
 
 namespace qsa::assertions
 {
@@ -31,6 +37,15 @@ class AssertionChecker
      */
     AssertionChecker(const circuit::Circuit &program,
                      const CheckConfig &config = CheckConfig());
+
+    ~AssertionChecker();
+
+    /**
+     * Non-copyable: the embedded runtime::EnsembleEngine is bound to
+     * this checker's program copy (and owns the prefix caches).
+     */
+    AssertionChecker(const AssertionChecker &) = delete;
+    AssertionChecker &operator=(const AssertionChecker &) = delete;
 
     /** @{ @name Assertion registration (Scaffold-style helpers) */
 
@@ -82,11 +97,24 @@ class AssertionChecker
     /** Registered assertions in registration order. */
     const std::vector<AssertionSpec> &assertions() const { return specs; }
 
-    /** Check a single assertion spec against the program. */
+    /**
+     * Check a single assertion spec against the program. Ensemble
+     * generation runs on the qsa::runtime pool selected by
+     * CheckConfig::numThreads; safe to call concurrently from several
+     * threads (BatchRunner does).
+     */
     AssertionOutcome check(const AssertionSpec &spec) const;
 
     /** Check every registered assertion. */
     std::vector<AssertionOutcome> checkAll() const;
+
+    /**
+     * Drop the runtime's cached truncated circuits and prefix states
+     * (a full statevector per checked breakpoint in SampleFinalState
+     * mode) — the relief valve for long-lived sessions sweeping many
+     * breakpoints. Results are unaffected; only recomputed.
+     */
+    void clearRuntimeCache();
 
     /**
      * Gather the measurement ensemble for one assertion without
@@ -101,6 +129,13 @@ class AssertionChecker
     circuit::Circuit program;
     CheckConfig config;
     std::vector<AssertionSpec> specs;
+
+    /**
+     * Ensemble-execution backend: shards trials across a thread pool
+     * and caches truncated-circuit prefixes (internally locked, so
+     * const check() calls may run concurrently).
+     */
+    std::unique_ptr<runtime::EnsembleEngine> engine;
 
     void validateSpec(const AssertionSpec &spec) const;
 };

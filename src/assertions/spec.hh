@@ -116,6 +116,14 @@ struct CheckConfig
     /** Master seed; every ensemble member gets a split stream. */
     std::uint64_t seed = 0x51c0ffee;
 
+    /**
+     * Worker threads for ensemble generation: 0 = the process-wide
+     * shared pool (hardware concurrency), 1 = serial, n = a dedicated
+     * pool of n threads. Outcomes are bit-identical for any value
+     * (qsa::runtime keys every trial's RNG stream by trial index).
+     */
+    unsigned numThreads = 0;
+
     /** Yates continuity correction on 2x2 contingency tables. */
     bool yatesFor2x2 = true;
 

@@ -105,12 +105,79 @@ Rng::discrete(const std::vector<double> &weights)
 Rng
 Rng::split(std::uint64_t child_index) const
 {
-    // Mix the parent seed with the child index through SplitMix64 twice
-    // so adjacent children are decorrelated.
-    std::uint64_t sm = seedValue ^ (0xd1b54a32d192ed03ull * (child_index + 1));
-    std::uint64_t child_seed = splitMix64(sm);
-    child_seed ^= splitMix64(sm);
-    return Rng(child_seed);
+    // Child seed = the child_index-th output of the SplitMix64 sequence
+    // started at the parent seed: mix(seed + (i + 1) * GAMMA). GAMMA is
+    // odd so the pre-mix state is injective in i, and the finalizer is a
+    // bijection, so distinct children get distinct seeds (see rng.hh).
+    std::uint64_t sm = seedValue + child_index * 0x9e3779b97f4a7c15ull;
+    return Rng(splitMix64(sm));
+}
+
+namespace
+{
+
+/**
+ * Shared jump-ahead walker: for each set bit of the polynomial, xor the
+ * running state into the accumulator, stepping the generator once per
+ * bit. Equivalent to multiplying by the jump polynomial in the
+ * generator's F2-linear transition ring.
+ */
+template <typename Step>
+void
+jumpWith(const std::uint64_t (&poly)[4], std::uint64_t (&s)[4], Step step)
+{
+    std::uint64_t acc[4] = {0, 0, 0, 0};
+    for (std::uint64_t word : poly) {
+        for (int bit = 0; bit < 64; ++bit) {
+            if (word & (1ull << bit)) {
+                for (int i = 0; i < 4; ++i)
+                    acc[i] ^= s[i];
+            }
+            step();
+        }
+    }
+    for (int i = 0; i < 4; ++i)
+        s[i] = acc[i];
+}
+
+} // anonymous namespace
+
+void
+Rng::jump()
+{
+    // Blackman & Vigna's 2^128 jump polynomial for xoshiro256**.
+    static const std::uint64_t poly[4] = {
+        0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull,
+        0xa9582618e03fc9aaull, 0x39abdc4529b1661cull};
+    jumpWith(poly, s, [this] { next(); });
+    // Re-key the split() derivation too: split() is keyed on the seed,
+    // not the xoshiro state, so without this a jumped generator would
+    // hand out the same children as its parent.
+    std::uint64_t sm = seedValue ^ 0x2545f4914f6cdd1dull;
+    seedValue = splitMix64(sm);
+}
+
+void
+Rng::longJump()
+{
+    // Blackman & Vigna's 2^192 long-jump polynomial for xoshiro256**.
+    static const std::uint64_t poly[4] = {
+        0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull,
+        0x77710069854ee241ull, 0x39109bb02acbe635ull};
+    jumpWith(poly, s, [this] { next(); });
+    // As in jump(), with a distinct tag so jump and longJump re-key
+    // differently.
+    std::uint64_t sm = seedValue ^ 0xda942042e4dd58b5ull;
+    seedValue = splitMix64(sm);
+}
+
+Rng
+Rng::jumped(unsigned count) const
+{
+    Rng r = *this;
+    for (unsigned i = 0; i < count; ++i)
+        r.jump();
+    return r;
 }
 
 } // namespace qsa

@@ -8,6 +8,23 @@
  * counter-based seeding scheme: a master seed is expanded with SplitMix64
  * into per-run seeds, each of which initialises an independent
  * xoshiro256** stream.
+ *
+ * Stream-splitting scheme (used by qsa::runtime to shard ensembles):
+ *
+ *  - split(i) derives the i-th child seed as the i-th output of the
+ *    SplitMix64 sequence started at the parent's seed, i.e.
+ *    mix(seed + (i + 1) * GAMMA) where mix is SplitMix64's finalizer.
+ *    GAMMA is odd, so seed + (i + 1) * GAMMA is injective in i modulo
+ *    2^64, and mix is a bijection — distinct child indices of the same
+ *    parent are GUARANTEED distinct seeds for any number of children
+ *    (in particular across >= 64 shards; the previous xor-of-two-
+ *    outputs derivation had no such guarantee).
+ *
+ *  - jump()/longJump() advance the generator by 2^128 / 2^192 steps in
+ *    O(1) (Blackman & Vigna's jump polynomials). Repeatedly jumping a
+ *    copy of one master stream yields provably non-overlapping
+ *    subsequences of length 2^128 (resp. 2^192) — the belt-and-braces
+ *    option when disjointness, not just distinctness, is required.
  */
 
 #ifndef QSA_COMMON_RNG_HH
@@ -58,10 +75,30 @@ class Rng
 
     /**
      * Derive an independent child generator; the i-th child of a given
-     * parent is deterministic. Used to give every ensemble member its
-     * own stream, mirroring independent simulator invocations.
+     * parent is deterministic, and distinct child indices are
+     * guaranteed distinct seeds (see the file comment for the scheme).
+     * Used to give every ensemble member its own stream, mirroring
+     * independent simulator invocations.
      */
     Rng split(std::uint64_t child_index) const;
+
+    /**
+     * Advance this generator by 2^128 steps of next() in O(1). Jumping
+     * a copy k times yields the k-th of 2^128 non-overlapping
+     * subsequences, each 2^128 values long. Also re-keys the seed that
+     * split() derives children from, so a jumped generator's children
+     * differ from its parent's.
+     */
+    void jump();
+
+    /** As jump(), but 2^192 steps (2^64 subsequences of 2^192). */
+    void longJump();
+
+    /**
+     * Copy of this generator jumped `count` times — the conventional
+     * way to hand shard k its own provably disjoint stream.
+     */
+    Rng jumped(unsigned count) const;
 
   private:
     /** xoshiro256** state. */

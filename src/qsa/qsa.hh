@@ -7,6 +7,7 @@
  *  - qsa::stats      chi-square tests, contingency analysis
  *  - qsa::sim        state-vector simulator, gates, dense matrices
  *  - qsa::circuit    circuit IR, registers, executor, OpenQASM
+ *  - qsa::runtime    parallel ensemble-execution engine (pool, batch)
  *  - qsa::assertions statistical quantum assertions (the paper's core)
  *  - qsa::gf2        binary Galois fields for the Grover oracle
  *  - qsa::chem       Gaussian integrals .. Jordan-Wigner .. Trotter
@@ -47,6 +48,9 @@
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "gf2/gf2.hh"
+#include "runtime/batch.hh"
+#include "runtime/ensemble.hh"
+#include "runtime/pool.hh"
 #include "sim/gates.hh"
 #include "sim/matrix.hh"
 #include "sim/statevector.hh"

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Batch assertion checking across the ensemble pool.
+ *
+ * Production debugging sessions check many assertions over many program
+ * variants (the bug-injection sweeps in bench/ are exactly that shape).
+ * BatchRunner fans every (program, assertion) pair across one thread
+ * pool at assertion granularity; each unit's ensemble generation then
+ * runs inline on the worker it landed on (nested parallelFor calls run
+ * inline — see pool.hh), so the pool is never oversubscribed and the
+ * fan-out cannot deadlock.
+ *
+ * Results are positionally identical — and numerically bit-identical —
+ * to checking each item serially with AssertionChecker::checkAll: both
+ * paths route through qsa::runtime's EnsembleEngine with the same
+ * per-trial stream derivation from CheckConfig::seed.
+ */
+
+#ifndef QSA_RUNTIME_BATCH_HH
+#define QSA_RUNTIME_BATCH_HH
+
+#include <memory>
+#include <vector>
+
+#include "assertions/checker.hh"
+#include "runtime/pool.hh"
+
+namespace qsa::runtime
+{
+
+/** One unit of batch work: a program plus the assertions to check. */
+struct BatchItem
+{
+    /** Program under test; must outlive the checkAll call. */
+    const circuit::Circuit *program = nullptr;
+
+    /** Assertions to check against it. */
+    std::vector<assertions::AssertionSpec> specs;
+
+    /**
+     * Ensemble/test configuration for this item. Note: numThreads is
+     * replaced by the batch's own scheduling — with several units,
+     * each unit's ensemble generation runs inline (serially) on the
+     * batch worker it lands on; with exactly one unit, the ensemble
+     * fans its trials across the runner's full concurrency instead.
+     * Outcomes are numThreads-invariant, so this changes nothing but
+     * scheduling.
+     */
+    assertions::CheckConfig config;
+};
+
+/** See file comment. */
+class BatchRunner
+{
+  public:
+    /**
+     * @param num_threads pool concurrency for the fan-out: 0 = the
+     *        process-wide shared pool, otherwise a dedicated pool.
+     */
+    explicit BatchRunner(unsigned num_threads = 0);
+
+    ~BatchRunner();
+
+    /**
+     * Check every spec of every item; result[i][j] is the outcome of
+     * items[i].specs[j].
+     */
+    std::vector<std::vector<assertions::AssertionOutcome>>
+    checkAll(const std::vector<BatchItem> &items);
+
+    /**
+     * Convenience fan-out: the same assertion list and configuration
+     * applied to many programs (e.g. one bug-injected variant each);
+     * result[i][j] is specs[j] checked on *programs[i].
+     */
+    std::vector<std::vector<assertions::AssertionOutcome>>
+    checkAll(const std::vector<const circuit::Circuit *> &programs,
+             const std::vector<assertions::AssertionSpec> &specs,
+             const assertions::CheckConfig &config =
+                 assertions::CheckConfig());
+
+    /** The pool the assertion units run on. */
+    ThreadPool &pool() { return *poolPtr; }
+
+  private:
+    std::unique_ptr<ThreadPool> ownedPool;
+    ThreadPool *poolPtr;
+};
+
+} // namespace qsa::runtime
+
+#endif // QSA_RUNTIME_BATCH_HH

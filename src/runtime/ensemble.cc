@@ -1,0 +1,291 @@
+/**
+ * @file
+ * EnsembleEngine implementation.
+ */
+
+#include "runtime/ensemble.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qsa::runtime
+{
+
+namespace
+{
+
+/** Contiguous trial range [lo, hi) of shard s out of num_shards. */
+std::pair<std::size_t, std::size_t>
+shardRange(std::size_t s, std::size_t num_shards, std::size_t n)
+{
+    const std::size_t base = n / num_shards;
+    const std::size_t rem = n % num_shards;
+    const std::size_t lo = s * base + std::min(s, rem);
+    return {lo, lo + base + (s < rem ? 1 : 0)};
+}
+
+} // anonymous namespace
+
+// --- CdfSampler ------------------------------------------------------------
+
+CdfSampler::CdfSampler(const std::vector<double> &probs)
+{
+    panic_if(probs.empty(), "CdfSampler needs a non-empty distribution");
+    cdf.resize(probs.size());
+    double running = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        panic_if(probs[i] < 0.0 || std::isnan(probs[i]),
+                 "CdfSampler weights must be non-negative");
+        running += probs[i];
+        cdf[i] = running;
+    }
+    panic_if(running <= 0.0,
+             "CdfSampler weights must have a positive sum");
+}
+
+std::size_t
+CdfSampler::sample(double u) const
+{
+    const double v = u * cdf.back();
+    std::size_t idx = static_cast<std::size_t>(
+        std::upper_bound(cdf.begin(), cdf.end(), v) - cdf.begin());
+    if (idx >= cdf.size()) {
+        // u * total rounded up to total itself; walk back to the last
+        // positive-width bin. upper_bound otherwise never lands on a
+        // zero-width (zero-probability) bin.
+        idx = cdf.size() - 1;
+        while (idx > 0 && cdf[idx] == cdf[idx - 1])
+            --idx;
+    }
+    return idx;
+}
+
+// --- EnsembleEngine --------------------------------------------------------
+
+EnsembleEngine::EnsembleEngine(const circuit::Circuit &prog,
+                               unsigned num_threads)
+    : program(&prog), numThreads(num_threads)
+{
+}
+
+ThreadPool &
+EnsembleEngine::pool()
+{
+    // Deferred so constructing an engine (or an AssertionChecker that
+    // never checks anything) spawns no threads and does not
+    // instantiate the shared pool.
+    std::call_once(poolOnce, [this] {
+        poolPtr = &ThreadPool::resolve(numThreads, ownedPool);
+    });
+    return *poolPtr;
+}
+
+std::shared_ptr<const circuit::Circuit>
+EnsembleEngine::prefix(const std::string &breakpoint)
+{
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = prefixCache.find(breakpoint);
+        if (it != prefixCache.end())
+            return it->second;
+    }
+    // Slice outside the lock (an O(#gates) circuit copy); racers may
+    // slice twice but the copies are identical and the first
+    // insertion wins.
+    auto built = std::make_shared<const circuit::Circuit>(
+        program->prefixUpTo(breakpoint));
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return prefixCache.emplace(breakpoint, std::move(built))
+        .first->second;
+}
+
+std::shared_ptr<const circuit::ExecutionRecord>
+EnsembleEngine::prefixState(const std::string &breakpoint,
+                            std::uint64_t seed)
+{
+    auto sliced = prefix(breakpoint);
+    const auto key = std::make_pair(breakpoint, seed);
+
+    // Find-or-claim under the lock, simulate outside it: concurrent
+    // gathers at distinct breakpoints run their prefix simulations in
+    // parallel; racers on the same key wait on the winner's future.
+    std::promise<std::shared_ptr<const circuit::ExecutionRecord>>
+        promise;
+    std::shared_future<std::shared_ptr<const circuit::ExecutionRecord>>
+        future;
+    bool claimed = false;
+    std::uint64_t claim_id = 0;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = stateCache.find(key);
+        if (it == stateCache.end()) {
+            future = promise.get_future().share();
+            claim_id = ++nextClaim;
+            stateCache.emplace(key, PrefixClaim{future, claim_id});
+            claimed = true;
+        } else {
+            future = it->second.future;
+        }
+    }
+    if (claimed) {
+        // The one prefix execution of SampleFinalState mode; stream
+        // split(0) per the layout in the file comment.
+        try {
+            Rng rng = Rng(seed).split(0);
+            promise.set_value(
+                std::make_shared<circuit::ExecutionRecord>(
+                    circuit::runCircuit(*sliced, rng)));
+        } catch (...) {
+            // Library errors fatal/panic rather than throw, but e.g.
+            // bad_alloc can still unwind here: hand racers the
+            // exception and drop the entry so later calls retry
+            // instead of hitting a broken promise forever.
+            promise.set_exception(std::current_exception());
+            {
+                // Evict only our own entry — a clearCache() plus
+                // re-claim may have installed a successor's live
+                // future under the same key.
+                std::lock_guard<std::mutex> lock(cacheMutex);
+                auto it = stateCache.find(key);
+                if (it != stateCache.end() &&
+                    it->second.claim == claim_id)
+                    stateCache.erase(it);
+            }
+            throw;
+        }
+    }
+    return future.get();
+}
+
+std::shared_ptr<const CdfSampler>
+EnsembleEngine::shotSampler(const EnsembleSpec &spec)
+{
+    const auto key =
+        std::make_tuple(spec.breakpoint, spec.seed, spec.qubits);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = samplerCache.find(key);
+        if (it != samplerCache.end())
+            return it->second;
+    }
+    // Build outside the lock; racers may build twice but the builds
+    // are identical and the first insertion wins.
+    auto record = prefixState(spec.breakpoint, spec.seed);
+    auto built = std::make_shared<const CdfSampler>(
+        record->state.marginalProbs(spec.qubits));
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return samplerCache.emplace(key, std::move(built)).first->second;
+}
+
+void
+EnsembleEngine::clearCache()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    prefixCache.clear();
+    stateCache.clear();
+    samplerCache.clear();
+}
+
+void
+EnsembleEngine::runTrials(const EnsembleSpec &spec,
+                          const circuit::Circuit &sliced,
+                          const CdfSampler *sampler, std::size_t lo,
+                          std::size_t hi, std::uint64_t *out) const
+{
+    const Rng master(spec.seed);
+    if (spec.mode == SampleMode::Resimulate) {
+        for (std::size_t m = lo; m < hi; ++m) {
+            // Trial streams are keyed by the global trial index, so
+            // shard boundaries cannot influence any outcome.
+            Rng rng = master.split(m);
+            auto record = circuit::runCircuit(sliced, rng);
+            out[m - lo] = record.state.measureQubits(spec.qubits, rng);
+        }
+    } else {
+        for (std::size_t m = lo; m < hi; ++m) {
+            Rng rng = master.split(m + 1);
+            out[m - lo] = sampler->sample(rng.uniform());
+        }
+    }
+}
+
+std::vector<std::uint64_t>
+EnsembleEngine::gather(const EnsembleSpec &spec)
+{
+    if (spec.shots == 0)
+        return {};
+
+    auto sliced = prefix(spec.breakpoint);
+    std::shared_ptr<const CdfSampler> sampler;
+    if (spec.mode == SampleMode::SampleFinalState)
+        sampler = shotSampler(spec);
+
+    std::vector<std::uint64_t> results(spec.shots);
+    // From inside a worker (e.g. a BatchRunner unit) or for a single
+    // shot the fan-out would run inline anyway — skip resolving a
+    // pool entirely.
+    if (ThreadPool::insideWorker() || spec.shots == 1) {
+        runTrials(spec, *sliced, sampler.get(), 0, spec.shots,
+                  results.data());
+        return results;
+    }
+    const std::size_t num_shards =
+        std::min<std::size_t>(pool().concurrency(), spec.shots);
+    pool().parallelFor(num_shards, [&](std::size_t s) {
+        const auto [lo, hi] = shardRange(s, num_shards, spec.shots);
+        runTrials(spec, *sliced, sampler.get(), lo, hi,
+                  results.data() + lo);
+    });
+    return results;
+}
+
+std::map<std::uint64_t, std::uint64_t>
+EnsembleEngine::gatherHistogram(const EnsembleSpec &spec)
+{
+    if (spec.shots == 0)
+        return {};
+
+    auto sliced = prefix(spec.breakpoint);
+    std::shared_ptr<const CdfSampler> sampler;
+    if (spec.mode == SampleMode::SampleFinalState)
+        sampler = shotSampler(spec);
+
+    const std::size_t num_shards =
+        ThreadPool::insideWorker()
+            ? 1
+            : std::min<std::size_t>(pool().concurrency(), spec.shots);
+    std::vector<std::map<std::uint64_t, std::uint64_t>> shard_hists(
+        num_shards);
+    auto run_shard = [&](std::size_t s) {
+        const auto [lo, hi] = shardRange(s, num_shards, spec.shots);
+        // Fold trials into the shard histogram in fixed-size chunks so
+        // peak memory really is O(distinct outcomes), not O(shots).
+        constexpr std::size_t chunk = 8192;
+        std::vector<std::uint64_t> buffer(std::min(chunk, hi - lo));
+        auto &hist = shard_hists[s];
+        for (std::size_t m = lo; m < hi; m += chunk) {
+            const std::size_t end = std::min(m + chunk, hi);
+            runTrials(spec, *sliced, sampler.get(), m, end,
+                      buffer.data());
+            for (std::size_t k = 0; k < end - m; ++k)
+                ++hist[buffer[k]];
+        }
+    };
+    if (num_shards == 1)
+        run_shard(0); // no pool to resolve for an inline gather
+    else
+        pool().parallelFor(num_shards, run_shard);
+
+    // Merge in shard order: deterministic regardless of which worker
+    // finished first (counts commute, but the convention is cheap and
+    // makes the reduction order part of the contract).
+    std::map<std::uint64_t, std::uint64_t> merged;
+    for (const auto &hist : shard_hists)
+        for (const auto &[value, count] : hist)
+            merged[value] += count;
+    return merged;
+}
+
+} // namespace qsa::runtime

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Sharded ensemble-execution engine.
+ *
+ * The paper's toolflow truncates the program at a breakpoint and runs
+ * an *ensemble* of independent executions whose outcome counts feed the
+ * chi-square machinery; the authors needed a cluster because ensembles
+ * dominate the cost. The EnsembleEngine reproduces that fan-out on a
+ * thread pool:
+ *
+ *  - the N trials are split into contiguous shards, one per available
+ *    worker, and each shard runs on its own thread;
+ *  - every trial m derives its own RNG stream from the master seed by
+ *    trial index (Rng::split(m), collision-free — see rng.hh), never
+ *    from the worker or shard it happens to land on, so results are
+ *    bit-identical for any thread count, including 1;
+ *  - per-shard results land in disjoint slices of a preallocated
+ *    trial-ordered buffer (and per-shard histograms are merged in
+ *    shard order), so the merge is deterministic by construction;
+ *  - in SampleFinalState mode the truncated circuit is simulated ONCE,
+ *    the final state is cached per (breakpoint, seed), and the N shots
+ *    are multinomial-sampled from the exact outcome distribution via
+ *    inverse-CDF binary search — re-running the circuit per shot is
+ *    reserved for Resimulate mode, which stays exact for programs with
+ *    mid-circuit measurement.
+ *
+ * RNG stream layout (fixed; part of the reproducibility contract):
+ *  - Resimulate: trial m uses Rng(seed).split(m) for both gate-level
+ *    randomness and the truncating measurement.
+ *  - SampleFinalState: the single prefix execution uses
+ *    Rng(seed).split(0); shot m draws its uniform from
+ *    Rng(seed).split(m + 1).
+ */
+
+#ifndef QSA_RUNTIME_ENSEMBLE_HH
+#define QSA_RUNTIME_ENSEMBLE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "circuit/executor.hh"
+#include "runtime/pool.hh"
+
+namespace qsa::runtime
+{
+
+/** How ensemble members are produced (assertions::EnsembleMode twin). */
+enum class SampleMode
+{
+    /** One truncated-circuit simulation per trial. */
+    Resimulate,
+
+    /** Simulate the prefix once, multinomial-sample the shots. */
+    SampleFinalState,
+};
+
+/** One ensemble request: where to truncate, what to measure, how. */
+struct EnsembleSpec
+{
+    /** Breakpoint label the program is truncated at. */
+    std::string breakpoint;
+
+    /** Joint measurement qubit list (qubits[i] packs as bit i). */
+    std::vector<unsigned> qubits;
+
+    /** Number of trials. */
+    std::size_t shots = 0;
+
+    /** Trial generation mode. */
+    SampleMode mode = SampleMode::SampleFinalState;
+
+    /** Master seed; every trial gets a split stream (see file comment). */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Inverse-CDF sampler over a fixed discrete distribution: O(domain)
+ * once to build, O(log domain) per draw — the multinomial shot sampler
+ * behind SampleFinalState mode (the linear scan in Rng::discrete is
+ * too slow at 2^width bins times millions of shots).
+ */
+class CdfSampler
+{
+  public:
+    /** @param probs unnormalised non-negative weights, positive sum. */
+    explicit CdfSampler(const std::vector<double> &probs);
+
+    /** Map a uniform [0, 1) draw to a bin index. */
+    std::size_t sample(double u) const;
+
+  private:
+    std::vector<double> cdf;
+};
+
+/**
+ * See file comment. An engine is bound to one program; it may be used
+ * concurrently from several threads (BatchRunner does), with the
+ * prefix caches protected internally.
+ */
+class EnsembleEngine
+{
+  public:
+    /**
+     * @param program the full instrumented program; must outlive the
+     *        engine (held by reference)
+     * @param num_threads worker threads for the shards: 0 = the
+     *        process-wide shared pool, otherwise a dedicated pool of
+     *        exactly that concurrency (1 = serial)
+     */
+    explicit EnsembleEngine(const circuit::Circuit &program,
+                            unsigned num_threads = 0);
+
+    /**
+     * Gather the ensemble: trial-ordered joint measurement outcomes
+     * (entry m is trial m's value, identical for any thread count).
+     */
+    std::vector<std::uint64_t> gather(const EnsembleSpec &spec);
+
+    /**
+     * As gather(), but fold each shard into a local histogram and merge
+     * the shard histograms in shard order — O(distinct outcomes)
+     * memory instead of O(shots), for huge ensembles.
+     */
+    std::map<std::uint64_t, std::uint64_t>
+    gatherHistogram(const EnsembleSpec &spec);
+
+    /**
+     * Drop the cached truncated circuits, prefix states, and shot
+     * samplers. The caches trade memory for speed — a prefix state is
+     * a full 2^n statevector per (breakpoint, seed) — so long-lived
+     * sessions that sweep many breakpoints can call this to bound
+     * the footprint.
+     */
+    void clearCache();
+
+    /**
+     * The pool the shards run on; resolved (and for a dedicated pool,
+     * spawned) on first use, so idle engines own no threads.
+     */
+    ThreadPool &pool();
+
+  private:
+    const circuit::Circuit *program;
+    unsigned numThreads;
+    std::once_flag poolOnce;
+    std::unique_ptr<ThreadPool> ownedPool;
+    ThreadPool *poolPtr = nullptr;
+
+    std::mutex cacheMutex;
+
+    /** Truncated circuits keyed by breakpoint label. */
+    std::map<std::string, std::shared_ptr<const circuit::Circuit>>
+        prefixCache;
+
+    /**
+     * One in-flight-or-done prefix simulation. A future so a cache
+     * miss simulates OUTSIDE the cache mutex: concurrent gathers at
+     * distinct breakpoints simulate in parallel, while racers on the
+     * same key wait for the one simulation instead of duplicating it.
+     * The claim id lets exception cleanup evict exactly its own entry
+     * (not a successor's, re-claimed after a clearCache()).
+     */
+    struct PrefixClaim
+    {
+        std::shared_future<
+            std::shared_ptr<const circuit::ExecutionRecord>>
+            future;
+        std::uint64_t claim = 0;
+    };
+
+    /** Prefix execution records keyed by (breakpoint, seed). */
+    std::map<std::pair<std::string, std::uint64_t>, PrefixClaim>
+        stateCache;
+
+    /** Next claim id for stateCache entries; guarded by cacheMutex. */
+    std::uint64_t nextClaim = 0;
+
+    /**
+     * Built CdfSamplers keyed by (breakpoint, seed, qubits): repeated
+     * gathers of the same request skip the O(2^n) marginalisation and
+     * CDF build, not just the prefix simulation.
+     */
+    std::map<std::tuple<std::string, std::uint64_t,
+                        std::vector<unsigned>>,
+             std::shared_ptr<const CdfSampler>>
+        samplerCache;
+
+    std::shared_ptr<const circuit::Circuit>
+    prefix(const std::string &breakpoint);
+
+    std::shared_ptr<const circuit::ExecutionRecord>
+    prefixState(const std::string &breakpoint, std::uint64_t seed);
+
+    std::shared_ptr<const CdfSampler>
+    shotSampler(const EnsembleSpec &spec);
+
+    /** Run trials [lo, hi) of `spec`, writing out[m] for each m. */
+    void runTrials(const EnsembleSpec &spec,
+                   const circuit::Circuit &sliced,
+                   const CdfSampler *sampler, std::size_t lo,
+                   std::size_t hi, std::uint64_t *out) const;
+};
+
+} // namespace qsa::runtime
+
+#endif // QSA_RUNTIME_ENSEMBLE_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ThreadPool implementation.
+ */
+
+#include "runtime/pool.hh"
+
+#include "common/logging.hh"
+
+namespace qsa::runtime
+{
+
+namespace
+{
+
+/**
+ * Set while the current thread is executing a parallelFor body on
+ * behalf of any pool; nested parallelFor calls detect it and run
+ * inline instead of re-entering a pool.
+ */
+thread_local bool inside_worker = false;
+
+} // anonymous namespace
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    workers.reserve(num_threads - 1);
+    for (unsigned i = 0; i + 1 < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return inside_worker;
+}
+
+void
+ThreadPool::drainJob(Job &job)
+{
+    while (true) {
+        const std::size_t i = job.next.fetch_add(1);
+        if (i >= job.n)
+            break;
+        // Letting an exception escape would leave the body and its
+        // output buffers dangling under the other workers; capture
+        // the first one instead and rethrow it from the poster once
+        // every claimed call has returned (see pool.hh). After a
+        // failure the remaining indices are skipped.
+        try {
+            if (!job.failed.load(std::memory_order_relaxed))
+                (*job.body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(job.errorMutex);
+            if (!job.error) {
+                job.error = std::current_exception();
+                job.failed.store(true, std::memory_order_relaxed);
+            }
+        }
+        if (job.completed.fetch_add(1) + 1 == job.n) {
+            // Take the mutex so the poster cannot check the predicate
+            // and block between our increment and our notify.
+            std::lock_guard<std::mutex> lock(job.doneMutex);
+            job.done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    inside_worker = true;
+    std::unique_lock<std::mutex> lock(poolMutex);
+    while (true) {
+        wake.wait(lock, [this] {
+            return stopping ||
+                   (current && current->next.load() < current->n);
+        });
+        if (stopping)
+            return;
+        auto job = current;
+        lock.unlock();
+        drainJob(*job);
+        lock.lock();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers.empty() || n == 1 || inside_worker) {
+        // Serial pool, trivial range, or a nested call from a worker:
+        // run inline (see the deadlock-freedom note in pool.hh).
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->body = &body;
+    job->n = n;
+
+    {
+        // Serialise posters: one job owns the pool at a time.
+        std::unique_lock<std::mutex> lock(poolMutex);
+        idle.wait(lock, [this] { return current == nullptr; });
+        current = job;
+    }
+    wake.notify_all();
+
+    // The poster works too, then blocks until the stragglers finish.
+    const bool was_inside = inside_worker;
+    inside_worker = true;
+    drainJob(*job);
+    inside_worker = was_inside;
+
+    {
+        std::unique_lock<std::mutex> lock(job->doneMutex);
+        job->done.wait(lock, [&] {
+            return job->completed.load() == job->n;
+        });
+    }
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        current.reset();
+    }
+    idle.notify_one();
+
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool &
+ThreadPool::resolve(unsigned num_threads,
+                    std::unique_ptr<ThreadPool> &owned)
+{
+    if (num_threads == 0)
+        return shared();
+    owned = std::make_unique<ThreadPool>(num_threads);
+    return *owned;
+}
+
+} // namespace qsa::runtime

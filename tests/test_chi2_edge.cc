@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Edge-case coverage for src/stats/chi2 and the Yates-corrected
+ * contingency machinery: bins with low expected counts, zero-expected
+ * bins, the 2x2 continuity correction on and off, and G-test vs
+ * Pearson agreement at large samples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hh"
+#include "stats/chi2.hh"
+#include "stats/contingency.hh"
+
+namespace
+{
+
+using namespace qsa::stats;
+
+// --- Low and zero expected counts -----------------------------------------
+
+TEST(Chi2Edge, LowExpectedCountsStayFiniteAndBounded)
+{
+    // Expected counts far below the rule-of-thumb 5 per bin: the test
+    // must still return a finite statistic and a p-value in [0, 1].
+    const std::vector<double> observed = {1, 0, 2, 0, 1, 0, 0, 0};
+    const std::vector<double> expected = {0.5, 0.5, 0.5, 0.5,
+                                          0.5, 0.5, 0.5, 0.5};
+    const auto res = chiSquareGof(observed, expected);
+    EXPECT_TRUE(std::isfinite(res.statistic));
+    EXPECT_GE(res.pValue, 0.0);
+    EXPECT_LE(res.pValue, 1.0);
+    EXPECT_EQ(res.usedBins, 8u);
+    EXPECT_EQ(res.df, 7.0);
+    EXPECT_FALSE(res.impossibleOutcome);
+}
+
+TEST(Chi2Edge, BothZeroBinsAreSkipped)
+{
+    // Bins empty in both observed and expected contribute nothing, to
+    // the statistic or to the degrees of freedom (NR chsone).
+    const std::vector<double> observed = {10, 0, 12, 0};
+    const std::vector<double> expected = {11, 0, 11, 0};
+    const auto res = chiSquareGof(observed, expected);
+    EXPECT_EQ(res.usedBins, 2u);
+    EXPECT_EQ(res.df, 1.0);
+}
+
+TEST(Chi2Edge, ImpossibleOutcomeRejectsWithZeroPValue)
+{
+    // Observation in a zero-expected bin: exactly the "classical
+    // assertion read a forbidden value" case; p must be exactly 0.
+    const std::vector<double> observed = {99, 1};
+    const std::vector<double> expected = {100, 0};
+    const auto res = chiSquareGof(observed, expected);
+    EXPECT_TRUE(res.impossibleOutcome);
+    EXPECT_EQ(res.pValue, 0.0);
+    EXPECT_TRUE(std::isinf(res.statistic));
+
+    const auto g = gTestGof(observed, expected);
+    EXPECT_TRUE(g.impossibleOutcome);
+    EXPECT_EQ(g.pValue, 0.0);
+}
+
+TEST(Chi2Edge, DegeneratePointMassHypothesis)
+{
+    // Every observation on the hypothesised point mass: zero degrees
+    // of freedom and nothing to reject.
+    const auto expected = pointMassExpected(4, 2, 100.0);
+    const std::vector<double> observed = {0, 0, 100, 0};
+    const auto res = chiSquareGof(observed, expected);
+    EXPECT_EQ(res.df, 0.0);
+    EXPECT_EQ(res.pValue, 1.0);
+}
+
+TEST(Chi2Edge, QuantileInvertsSurvival)
+{
+    for (double df : {1.0, 3.0, 10.0}) {
+        for (double p : {0.01, 0.05, 0.5, 0.95}) {
+            const double x = chiSquareQuantile(1.0 - p, df);
+            EXPECT_NEAR(chiSquareSf(x, df), p, 1e-8)
+                << "df " << df << " p " << p;
+        }
+    }
+}
+
+// --- Yates continuity correction on 2x2 tables ----------------------------
+
+/** The classic 2x2 example: cells {{10, 20}, {30, 40}}. */
+ContingencyTable
+textbookTable()
+{
+    return ContingencyTable::fromCounts({0, 1}, {0, 1},
+                                        {{10, 20}, {30, 40}});
+}
+
+TEST(YatesCorrection, KnownTwoByTwoStatistics)
+{
+    // Hand-computed: chi2 = n(ad - bc)^2 / (r1 r2 c1 c2) = 0.79365
+    // uncorrected; (|ad - bc| - n/2)^2 variant = 0.44643 with Yates.
+    const auto table = textbookTable();
+
+    const auto corrected = independenceTest(table, true);
+    EXPECT_TRUE(corrected.yatesApplied);
+    EXPECT_NEAR(corrected.statistic, 0.44643, 1e-4);
+    EXPECT_EQ(corrected.df, 1.0);
+
+    const auto plain = independenceTest(table, false);
+    EXPECT_FALSE(plain.yatesApplied);
+    EXPECT_NEAR(plain.statistic, 0.79365, 1e-4);
+    EXPECT_EQ(plain.df, 1.0);
+
+    // The correction is conservative: smaller statistic, larger p.
+    EXPECT_LT(corrected.statistic, plain.statistic);
+    EXPECT_GT(corrected.pValue, plain.pValue);
+}
+
+TEST(YatesCorrection, OnlyAppliesToTwoByTwo)
+{
+    // A 3x2 table must not be corrected even when the flag is on.
+    const auto table = ContingencyTable::fromCounts(
+        {0, 1, 2}, {0, 1}, {{10, 12}, {14, 9}, {8, 11}});
+    const auto res = independenceTest(table, true);
+    EXPECT_FALSE(res.yatesApplied);
+    EXPECT_EQ(res.df, 2.0);
+}
+
+TEST(YatesCorrection, PerfectCorrelationStillRejects)
+{
+    // The paper's ensemble-of-16 Bell pair: perfectly correlated 2x2
+    // table; Yates-corrected p-value quoted as ~0.0005.
+    const auto table = ContingencyTable::fromCounts({0, 1}, {0, 1},
+                                                    {{8, 0}, {0, 8}});
+    const auto res = independenceTest(table, true);
+    EXPECT_TRUE(res.yatesApplied);
+    EXPECT_LT(res.pValue, 0.001);
+    EXPECT_GT(res.pValue, 0.0001);
+}
+
+// --- G-test vs Pearson agreement ------------------------------------------
+
+TEST(GTestAgreement, LargeSampleGoodnessOfFit)
+{
+    // At large expected counts the G and Pearson statistics converge
+    // (both are asymptotically chi-square under the null). Draw a
+    // large multinomial close to uniform and compare.
+    const std::size_t bins = 16;
+    const double per_bin = 4000.0;
+    qsa::Rng rng(0x600d);
+    std::vector<double> observed(bins);
+    double total = 0.0;
+    for (auto &o : observed) {
+        // Uniform jitter of a few sigma around the expectation.
+        o = per_bin + std::floor((rng.uniform() - 0.5) * 120.0);
+        total += o;
+    }
+    const auto expected = uniformExpected(bins, total);
+
+    const auto pearson = chiSquareGof(observed, expected);
+    const auto g = gTestGof(observed, expected);
+    EXPECT_EQ(pearson.df, g.df);
+    EXPECT_NEAR(pearson.statistic, g.statistic,
+                0.02 * (1.0 + pearson.statistic));
+    EXPECT_NEAR(pearson.pValue, g.pValue, 0.01);
+}
+
+TEST(GTestAgreement, LargeSampleIndependence)
+{
+    // Same convergence for the independence variants: under the null
+    // (a genuinely independent 4x4 table) at large counts the two
+    // statistics and p-values must agree closely.
+    qsa::Rng rng(0xbead);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+    for (int i = 0; i < 40000; ++i)
+        pairs.emplace_back(rng.uniformInt(4), rng.uniformInt(4));
+    const auto table = ContingencyTable::fromPairs(pairs);
+    const auto pearson = independenceTest(table, false);
+    const auto g = independenceGTest(table);
+    EXPECT_EQ(pearson.df, g.df);
+    EXPECT_NEAR(pearson.statistic, g.statistic,
+                0.02 * (1.0 + pearson.statistic));
+    EXPECT_NEAR(pearson.pValue, g.pValue, 0.01);
+}
+
+} // anonymous namespace

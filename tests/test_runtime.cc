@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for qsa::runtime: the thread pool, the RNG splitting/jumping
+ * machinery it relies on, thread-count invariance of the ensemble
+ * engine, and batch-vs-serial equivalence of BatchRunner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "qsa/qsa.hh"
+
+namespace
+{
+
+using namespace qsa;
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    runtime::ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop)
+{
+    runtime::ThreadPool pool(4);
+    bool touched = false;
+    pool.parallelFor(0, [&](std::size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SerialPoolRunsInOrder)
+{
+    runtime::ThreadPool pool(1);
+    EXPECT_EQ(pool.concurrency(), 1u);
+    std::vector<std::size_t> order;
+    pool.parallelFor(16, [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 16u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    runtime::ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        // A worker body fanning out again must run inline, not wait
+        // for pool slots it may be occupying itself.
+        pool.parallelFor(8, [&](std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, BodyExceptionPropagatesAndPoolSurvives)
+{
+    runtime::ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [](std::size_t i) {
+                                      if (i == 10)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    // The job must not wedge the pool: later work still runs.
+    std::atomic<int> count{0};
+    pool.parallelFor(32, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations)
+{
+    runtime::ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    for (int round = 0; round < 50; ++round)
+        pool.parallelFor(10, [&](std::size_t i) { sum += (long)i; });
+    EXPECT_EQ(sum.load(), 50 * 45);
+}
+
+// --- Rng splitting and jumping --------------------------------------------
+
+TEST(RngSplit, MatchesDocumentedGammaStreamDerivation)
+{
+    // split(i) is documented (rng.hh) as seeding the child with the
+    // i-th output of the SplitMix64 sequence started at the parent
+    // seed. Recompute that by hand through the public splitMix64.
+    const std::uint64_t seed = 0x51c0ffee;
+    for (std::uint64_t i : {0ull, 1ull, 7ull, 63ull}) {
+        std::uint64_t sm = seed + i * 0x9e3779b97f4a7c15ull;
+        Rng expected{splitMix64(sm)};
+        Rng child = Rng(seed).split(i);
+        for (int k = 0; k < 4; ++k)
+            EXPECT_EQ(child.next(), expected.next());
+    }
+}
+
+TEST(RngSplit, ChildrenAreDistinctAcrossManyShards)
+{
+    // The satellite requirement: collision-free stream splitting for
+    // >= 64 shards. The derivation is injective in the child index, so
+    // the children's first outputs must all differ (xoshiro's first
+    // output is a bijective-ish hash of the seed; 4096 distinct seeds
+    // colliding here would be a real bug, not bad luck).
+    const Rng master(0xdeadbeef);
+    std::set<std::uint64_t> firsts;
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        Rng child = master.split(i);
+        firsts.insert(child.next());
+    }
+    EXPECT_EQ(firsts.size(), 4096u);
+}
+
+TEST(RngSplit, DeterministicPerIndex)
+{
+    const Rng master(123);
+    Rng a = master.split(42);
+    Rng b = master.split(42);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngJump, JumpedStreamsDiffer)
+{
+    Rng base(7);
+    Rng hopped(7);
+    hopped.jump();
+    std::set<std::uint64_t> base_vals;
+    for (int i = 0; i < 512; ++i)
+        base_vals.insert(base.next());
+    // Disjoint subsequences: none of the jumped stream's outputs
+    // should appear in the base stream's window.
+    for (int i = 0; i < 512; ++i)
+        EXPECT_EQ(base_vals.count(hopped.next()), 0u);
+}
+
+TEST(RngJump, JumpedCountComposes)
+{
+    Rng twice(99);
+    twice.jump();
+    twice.jump();
+    Rng composed = Rng(99).jumped(2);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(twice.next(), composed.next());
+
+    Rng far(99);
+    far.longJump();
+    Rng near(99);
+    near.jump();
+    EXPECT_NE(far.next(), near.next());
+}
+
+TEST(RngJump, JumpRekeysSplitDerivation)
+{
+    // Handing shard k a jumped copy and then splitting per trial must
+    // give different children than the parent's (split() is keyed on
+    // the seed, which jump()/longJump() re-key).
+    const Rng master(0x77);
+    Rng hop = master.jumped(1);
+    Rng hop2 = master.jumped(2);
+    Rng lj(0x77);
+    lj.longJump();
+    std::set<std::uint64_t> firsts;
+    for (const Rng &parent : {master, hop, hop2, lj})
+        for (std::uint64_t i = 0; i < 4; ++i)
+            firsts.insert(parent.split(i).next());
+    EXPECT_EQ(firsts.size(), 16u);
+}
+
+// --- CdfSampler ------------------------------------------------------------
+
+TEST(CdfSampler, NeverPicksZeroProbabilityBins)
+{
+    runtime::CdfSampler sampler({0.0, 0.25, 0.0, 0.75, 0.0});
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const std::size_t bin = sampler.sample(rng.uniform());
+        EXPECT_TRUE(bin == 1 || bin == 3) << "bin " << bin;
+    }
+    // Boundary draws must also land on positive-probability bins.
+    EXPECT_EQ(sampler.sample(0.0), 1u);
+    EXPECT_EQ(sampler.sample(0.25), 3u);
+}
+
+TEST(CdfSampler, MatchesExpectedFrequencies)
+{
+    runtime::CdfSampler sampler({1.0, 3.0});
+    Rng rng(5);
+    std::size_t ones = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        ones += sampler.sample(rng.uniform());
+    EXPECT_NEAR((double)ones / n, 0.75, 0.02);
+}
+
+// --- EnsembleEngine --------------------------------------------------------
+
+/** Bell-pair program with a breakpoint, the paper's Figure 1 shape. */
+circuit::Circuit
+bellProgram()
+{
+    circuit::Circuit circ;
+    auto a = circ.addRegister("a", 1);
+    auto b = circ.addRegister("b", 1);
+    circ.h(a[0]);
+    circ.cnot(a[0], b[0]);
+    circ.breakpoint("pair");
+    circ.measure(a, "ma");
+    circ.measure(b, "mb");
+    return circ;
+}
+
+/** Three-qubit GHZ chain with a breakpoint after the entangler. */
+circuit::Circuit
+ghzProgram()
+{
+    circuit::Circuit circ;
+    auto r = circ.addRegister("r", 3);
+    circ.h(r[0]);
+    circ.cnot(r[0], r[1]);
+    circ.cnot(r[1], r[2]);
+    circ.breakpoint("ghz");
+    return circ;
+}
+
+runtime::EnsembleSpec
+bellSpec(runtime::SampleMode mode)
+{
+    runtime::EnsembleSpec spec;
+    spec.breakpoint = "pair";
+    spec.qubits = {0, 1};
+    spec.shots = 512;
+    spec.mode = mode;
+    spec.seed = 0xabcdef;
+    return spec;
+}
+
+TEST(EnsembleEngine, ThreadCountInvariance)
+{
+    const auto program = bellProgram();
+    for (auto mode : {runtime::SampleMode::Resimulate,
+                      runtime::SampleMode::SampleFinalState}) {
+        const auto spec = bellSpec(mode);
+        runtime::EnsembleEngine serial(program, 1);
+        runtime::EnsembleEngine four(program, 4);
+        runtime::EnsembleEngine eight(program, 8);
+
+        const auto r1 = serial.gather(spec);
+        const auto r4 = four.gather(spec);
+        const auto r8 = eight.gather(spec);
+        EXPECT_EQ(r1, r4);
+        EXPECT_EQ(r1, r8);
+
+        EXPECT_EQ(serial.gatherHistogram(spec),
+                  eight.gatherHistogram(spec));
+    }
+}
+
+TEST(EnsembleEngine, HistogramMatchesGather)
+{
+    const auto program = ghzProgram();
+    runtime::EnsembleSpec spec;
+    spec.breakpoint = "ghz";
+    spec.qubits = {0, 1, 2};
+    spec.shots = 300;
+    spec.mode = runtime::SampleMode::Resimulate;
+    spec.seed = 42;
+
+    runtime::EnsembleEngine engine(program, 4);
+    const auto values = engine.gather(spec);
+    std::map<std::uint64_t, std::uint64_t> counted;
+    for (auto v : values)
+        ++counted[v];
+    EXPECT_EQ(counted, engine.gatherHistogram(spec));
+
+    // GHZ on |0..0>: only all-zeros and all-ones outcomes exist.
+    for (const auto &[value, count] : counted)
+        EXPECT_TRUE(value == 0 || value == 7) << "outcome " << value;
+}
+
+TEST(EnsembleEngine, CacheIsTransparent)
+{
+    const auto program = bellProgram();
+    runtime::EnsembleEngine engine(program, 2);
+    const auto spec = bellSpec(runtime::SampleMode::SampleFinalState);
+    const auto first = engine.gather(spec);   // cold: simulates prefix
+    const auto second = engine.gather(spec);  // warm: cached state
+    EXPECT_EQ(first, second);
+    engine.clearCache();
+    EXPECT_EQ(first, engine.gather(spec));
+}
+
+TEST(EnsembleEngine, ZeroShotsYieldsEmpty)
+{
+    const auto program = bellProgram();
+    runtime::EnsembleEngine engine(program, 2);
+    auto spec = bellSpec(runtime::SampleMode::Resimulate);
+    spec.shots = 0;
+    EXPECT_TRUE(engine.gather(spec).empty());
+    EXPECT_TRUE(engine.gatherHistogram(spec).empty());
+}
+
+// --- Checker-level invariance ---------------------------------------------
+
+TEST(CheckerRuntime, OutcomesInvariantUnderThreadCount)
+{
+    const auto program = bellProgram();
+    for (auto mode : {assertions::EnsembleMode::Resimulate,
+                      assertions::EnsembleMode::SampleFinalState}) {
+        std::vector<assertions::AssertionOutcome> per_thread_count;
+        for (unsigned threads : {1u, 4u, 8u}) {
+            assertions::CheckConfig cfg;
+            cfg.ensembleSize = 256;
+            cfg.mode = mode;
+            cfg.seed = 0x51c0ffee;
+            cfg.numThreads = threads;
+            assertions::AssertionChecker checker(program, cfg);
+            checker.assertEntangled("pair", program.reg("a"),
+                                    program.reg("b"));
+            per_thread_count.push_back(
+                checker.check(checker.assertions()[0]));
+        }
+        const auto &ref = per_thread_count.front();
+        EXPECT_TRUE(ref.passed);
+        for (const auto &outcome : per_thread_count) {
+            EXPECT_EQ(outcome.pValue, ref.pValue);
+            EXPECT_EQ(outcome.statistic, ref.statistic);
+            EXPECT_EQ(outcome.countsA, ref.countsA);
+            EXPECT_EQ(outcome.jointCounts, ref.jointCounts);
+        }
+    }
+}
+
+TEST(CheckerRuntime, ClearRuntimeCacheIsTransparent)
+{
+    const auto program = bellProgram();
+    assertions::CheckConfig cfg;
+    cfg.ensembleSize = 128;
+    assertions::AssertionChecker checker(program, cfg);
+    checker.assertSuperposition("pair", program.reg("a"));
+    const auto before = checker.check(checker.assertions()[0]);
+    checker.clearRuntimeCache();
+    const auto after = checker.check(checker.assertions()[0]);
+    EXPECT_EQ(before.pValue, after.pValue);
+    EXPECT_EQ(before.countsA, after.countsA);
+}
+
+// --- BatchRunner -----------------------------------------------------------
+
+TEST(BatchRunner, MatchesSerialCheckAll)
+{
+    const auto bell = bellProgram();
+
+    // A broken variant: the missing CNOT leaves the pair unentangled.
+    circuit::Circuit broken;
+    auto a = broken.addRegister("a", 1);
+    auto b = broken.addRegister("b", 1);
+    broken.h(a[0]);
+    broken.breakpoint("pair");
+    (void)b;
+
+    assertions::CheckConfig cfg;
+    cfg.ensembleSize = 256;
+    cfg.seed = 0xfeed;
+
+    std::vector<assertions::AssertionSpec> specs;
+    {
+        assertions::AssertionChecker proto(bell, cfg);
+        proto.assertEntangled("pair", bell.reg("a"), bell.reg("b"));
+        proto.assertSuperposition("pair", bell.reg("a"));
+        specs = proto.assertions();
+    }
+
+    runtime::BatchRunner runner(4);
+    const auto batch = runner.checkAll({&bell, &broken}, specs, cfg);
+    ASSERT_EQ(batch.size(), 2u);
+
+    std::size_t program_index = 0;
+    for (const circuit::Circuit *program :
+         {&bell, static_cast<const circuit::Circuit *>(&broken)}) {
+        assertions::AssertionChecker serial(*program, cfg);
+        for (const auto &spec : specs)
+            serial.addAssertion(spec);
+        const auto expected = serial.checkAll();
+        const auto &got = batch[program_index];
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t j = 0; j < expected.size(); ++j) {
+            EXPECT_EQ(got[j].pValue, expected[j].pValue);
+            EXPECT_EQ(got[j].statistic, expected[j].statistic);
+            EXPECT_EQ(got[j].passed, expected[j].passed);
+            EXPECT_EQ(got[j].countsA, expected[j].countsA);
+            EXPECT_EQ(got[j].jointCounts, expected[j].jointCounts);
+        }
+        ++program_index;
+    }
+
+    // Sanity on the verdicts themselves: the Bell pair is entangled,
+    // the broken variant is not.
+    EXPECT_TRUE(batch[0][0].passed);
+    EXPECT_FALSE(batch[1][0].passed);
+}
+
+TEST(BatchRunner, PerItemConfigsAreHonoured)
+{
+    const auto bell = bellProgram();
+
+    assertions::AssertionSpec spec;
+    spec.kind = assertions::AssertionKind::Superposition;
+    spec.breakpoint = "pair";
+    spec.regA = bell.reg("a");
+
+    runtime::BatchItem fast;
+    fast.program = &bell;
+    fast.specs = {spec};
+    fast.config.ensembleSize = 64;
+
+    runtime::BatchItem big = fast;
+    big.config.ensembleSize = 512;
+
+    runtime::BatchRunner runner(2);
+    const auto results = runner.checkAll({fast, big});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0][0].ensembleSize, 64u);
+    EXPECT_EQ(results[1][0].ensembleSize, 512u);
+}
+
+} // anonymous namespace
