@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Bug-localization cost: probes-per-localization and wall-clock for
+ * the adaptive binary search versus the exhaustive linear scan, over
+ * representative taxonomy defects (a flipped rotation deep in a
+ * decomposed adder, a misrouted control in a modular multiplier, and
+ * a wrong modular inverse in a controlled U_a).
+ *
+ * Run with --benchmark_counters_tabular=true; the "probes" and
+ * "measurements" counters are the headline numbers — the adaptive
+ * search needs O(log n) probes where the scan needs one per
+ * instruction boundary.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "qsa/qsa.hh"
+
+namespace
+{
+
+using namespace qsa;
+using circuit::Circuit;
+
+/** Table 1 flipped-rotation defect inside a decomposed adder. */
+std::pair<Circuit, Circuit>
+flippedAdderPair()
+{
+    std::pair<Circuit, Circuit> pair;
+    Circuit *circs[] = {&pair.first, &pair.second};
+    for (Circuit *circ : circs) {
+        const bool buggy = circ == &pair.first;
+        const auto ctrl = circ->addRegister("ctrl", 1);
+        const auto b = circ->addRegister("b", 5);
+        circ->prepRegister(ctrl, 1);
+        circ->prepRegister(b, 12);
+        algo::qft(*circ, b);
+        bugs::phiAddDecomposed(
+            *circ, b, 13, ctrl[0],
+            buggy ? bugs::Table1Variant::IncorrectFlipped
+                  : bugs::Table1Variant::CorrectDropA);
+        algo::iqft(*circ, b);
+    }
+    return pair;
+}
+
+/** Section 4.4 misrouted control in a controlled modular multiplier. */
+std::pair<Circuit, Circuit>
+misroutedPair()
+{
+    std::pair<Circuit, Circuit> pair;
+    Circuit *circs[] = {&pair.first, &pair.second};
+    for (Circuit *circ : circs) {
+        const bool buggy = circ == &pair.first;
+        const auto ctrl = circ->addRegister("ctrl", 1);
+        const auto x = circ->addRegister("x", 3);
+        const auto b = circ->addRegister("b", 4);
+        const auto anc = circ->addRegister("anc", 1);
+        circ->prepRegister(ctrl, 1);
+        circ->prepRegister(x, 6);
+        circ->prepRegister(b, 5);
+        circ->prepRegister(anc, 0);
+        circ->h(ctrl[0]);
+        if (buggy)
+            bugs::cModMulMisrouted(*circ, ctrl[0], x, b, 3, 7, anc[0]);
+        else
+            algo::cModMul(*circ, ctrl[0], x, b, 3, 7, anc[0]);
+    }
+    return pair;
+}
+
+/** Table 3 wrong modular inverse inside a controlled U_a. */
+std::pair<Circuit, Circuit>
+wrongInversePair()
+{
+    std::pair<Circuit, Circuit> pair;
+    Circuit *circs[] = {&pair.first, &pair.second};
+    for (Circuit *circ : circs) {
+        const bool buggy = circ == &pair.first;
+        const auto ctrl = circ->addRegister("ctrl", 1);
+        const auto x = circ->addRegister("x", 3);
+        const auto b = circ->addRegister("b", 4);
+        const auto anc = circ->addRegister("anc", 1);
+        circ->prepRegister(ctrl, 1);
+        circ->prepRegister(x, 6);
+        circ->prepRegister(b, 0);
+        circ->prepRegister(anc, 0);
+        circ->h(ctrl[0]);
+        algo::cUa(*circ, ctrl[0], x, b, 3, buggy ? 4 : 5, 7, anc[0]);
+    }
+    return pair;
+}
+
+std::pair<Circuit, Circuit>
+fixturePair(int which)
+{
+    switch (which) {
+      case 0: return flippedAdderPair();
+      case 1: return misroutedPair();
+      default: return wrongInversePair();
+    }
+}
+
+const char *
+fixtureName(int which)
+{
+    switch (which) {
+      case 0: return "flipped-adder";
+      case 1: return "misrouted-control";
+      default: return "wrong-inverse";
+    }
+}
+
+void
+runLocate(benchmark::State &state, locate::Strategy strategy)
+{
+    const auto pair = fixturePair((int)state.range(0));
+
+    locate::LocateConfig cfg;
+    cfg.strategy = strategy;
+    cfg.ensembleSize = 64;
+    cfg.maxEnsembleSize = 1024;
+    const locate::BugLocator locator(pair.first, pair.second, cfg);
+
+    std::size_t probes = 0;
+    std::size_t measurements = 0;
+    bool found = true;
+    for (auto _ : state) {
+        const auto report = locator.locate();
+        probes = report.probes.size();
+        measurements = report.totalMeasurements;
+        found = found && report.bugFound;
+        benchmark::DoNotOptimize(report);
+    }
+
+    state.SetLabel(std::string(fixtureName((int)state.range(0))) +
+                   (found ? "" : " [NOT FOUND]"));
+    state.counters["probes"] = (double)probes;
+    state.counters["measurements"] = (double)measurements;
+    state.counters["boundaries"] = (double)pair.first.size();
+}
+
+void
+BM_LocateAdaptive(benchmark::State &state)
+{
+    runLocate(state, locate::Strategy::AdaptiveBinarySearch);
+}
+BENCHMARK(BM_LocateAdaptive)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_LocateLinearScan(benchmark::State &state)
+{
+    runLocate(state, locate::Strategy::LinearScan);
+}
+BENCHMARK(BM_LocateLinearScan)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "circuit/scopes.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "runtime/ensemble.hh"
@@ -70,6 +71,15 @@ AssertionChecker::validateSpec(const AssertionSpec &spec) const
         spec.kind == AssertionKind::Distribution) {
         fatal_if(spec.regA.width() > 24,
                  "register too wide for a dense goodness-of-fit test");
+    }
+    if (spec.kind == AssertionKind::Classical) {
+        // Rejecting here (instead of panicking later inside
+        // stats::pointMassExpected mid-check) matches the
+        // assertUniformSubset error path.
+        fatal_if(spec.expectedValue >= pow2(spec.regA.width()),
+                 "classical expected value ", spec.expectedValue,
+                 " outside the register domain of ",
+                 pow2(spec.regA.width()), " values");
     }
     if (spec.kind == AssertionKind::Distribution) {
         fatal_if(spec.expectedProbs.size() != pow2(spec.regA.width()),
@@ -185,6 +195,13 @@ AssertionChecker::assertProduct(const std::string &breakpoint,
 std::vector<std::pair<std::uint64_t, std::uint64_t>>
 AssertionChecker::gatherEnsemble(const AssertionSpec &spec) const
 {
+    return gatherEnsemble(spec, config.ensembleSize);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+AssertionChecker::gatherEnsemble(const AssertionSpec &spec,
+                                 std::size_t ensemble_size) const
+{
     const bool two_vars = spec.kind == AssertionKind::Entangled ||
                           spec.kind == AssertionKind::Product;
 
@@ -197,7 +214,7 @@ AssertionChecker::gatherEnsemble(const AssertionSpec &spec) const
                               spec.regB.qubits().begin(),
                               spec.regB.qubits().end());
     }
-    request.shots = config.ensembleSize;
+    request.shots = ensemble_size;
     request.mode = config.mode == EnsembleMode::Resimulate
                        ? runtime::SampleMode::Resimulate
                        : runtime::SampleMode::SampleFinalState;
@@ -221,13 +238,42 @@ AssertionChecker::gatherEnsemble(const AssertionSpec &spec) const
 AssertionOutcome
 AssertionChecker::check(const AssertionSpec &spec) const
 {
+    return checkWithSize(spec, config.ensembleSize);
+}
+
+AssertionOutcome
+AssertionChecker::checkEscalated(const AssertionSpec &spec,
+                                 const EscalationPolicy &policy) const
+{
+    fatal_if(policy.initialSize == 0,
+             "escalation needs a positive initial ensemble size");
+    fatal_if(policy.maxSize < policy.initialSize,
+             "escalation cap below the initial ensemble size");
+
+    std::size_t size = policy.initialSize;
+    while (true) {
+        AssertionOutcome out = checkWithSize(spec, size);
+        if (!escalationInconclusive(policy, spec.kind, spec.alpha,
+                                    out.pValue) ||
+            size >= policy.maxSize)
+            return out;
+        size = std::min(policy.maxSize, size * 2);
+    }
+}
+
+AssertionOutcome
+AssertionChecker::checkWithSize(const AssertionSpec &spec,
+                                std::size_t ensemble_size) const
+{
     validateSpec(spec);
+    fatal_if(ensemble_size == 0, "ensemble size must be positive");
 
     AssertionOutcome out;
     out.spec = spec;
-    out.ensembleSize = config.ensembleSize;
+    out.ensembleSize = ensemble_size;
+    out.effectiveAlpha = spec.alpha;
 
-    const auto pairs = gatherEnsemble(spec);
+    const auto pairs = gatherEnsemble(spec, ensemble_size);
 
     std::vector<std::uint64_t> values_a;
     values_a.reserve(pairs.size());
@@ -298,7 +344,48 @@ AssertionChecker::checkAll() const
     outcomes.reserve(specs.size());
     for (const auto &spec : specs)
         outcomes.push_back(check(spec));
+    if (config.holmBonferroni)
+        applyHolmBonferroni(outcomes);
     return outcomes;
+}
+
+std::size_t
+applyHolmBonferroni(std::vector<AssertionOutcome> &outcomes)
+{
+    const std::size_t m = outcomes.size();
+    if (m == 0)
+        return 0;
+
+    std::vector<std::size_t> order(m);
+    for (std::size_t i = 0; i < m; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (outcomes[a].pValue != outcomes[b].pValue)
+                      return outcomes[a].pValue < outcomes[b].pValue;
+                  return a < b; // stable adjudication on ties
+              });
+
+    // Step down: rank i (0-based, smallest p first) tests against
+    // alpha / (m - i); the first non-rejection retains every later
+    // hypothesis as well.
+    std::size_t rejections = 0;
+    bool stopped = false;
+    for (std::size_t i = 0; i < m; ++i) {
+        AssertionOutcome &out = outcomes[order[i]];
+        const double threshold = out.spec.alpha / (m - i);
+        out.effectiveAlpha = threshold;
+        const bool rejected = !stopped && out.pValue <= threshold;
+        if (rejected)
+            ++rejections;
+        else
+            stopped = true;
+        if (out.spec.kind == AssertionKind::Entangled)
+            out.passed = rejected;
+        else
+            out.passed = !rejected;
+    }
+    return rejections;
 }
 
 std::size_t
@@ -306,29 +393,16 @@ autoPlaceScopeAssertions(AssertionChecker &checker,
                          const circuit::Circuit &circ,
                          const circuit::QubitRegister &reg_a,
                          const circuit::QubitRegister &reg_b,
-                         double alpha)
+                         double alpha, bool family_wise)
 {
-    static const std::string computed = "_computed";
-    static const std::string uncomputed = "_uncomputed";
-
-    const auto labels = circ.breakpointLabels();
     std::size_t placed = 0;
-    for (const auto &label : labels) {
-        if (label.size() <= computed.size() ||
-            label.compare(label.size() - computed.size(),
-                          computed.size(), computed) != 0)
-            continue;
-        const std::string stem =
-            label.substr(0, label.size() - computed.size());
-        const std::string partner = stem + uncomputed;
-        if (std::find(labels.begin(), labels.end(), partner) ==
-            labels.end())
-            continue;
-
-        checker.assertEntangled(label, reg_a, reg_b, alpha);
-        checker.assertProduct(partner, reg_a, reg_b, alpha);
+    for (const auto &pair : circuit::scopeBreakpointPairs(circ)) {
+        checker.assertEntangled(pair.computed, reg_a, reg_b, alpha);
+        checker.assertProduct(pair.uncomputed, reg_a, reg_b, alpha);
         placed += 2;
     }
+    if (family_wise && placed > 0)
+        checker.setHolmBonferroni(true);
     return placed;
 }
 

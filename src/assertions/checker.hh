@@ -105,8 +105,28 @@ class AssertionChecker
      */
     AssertionOutcome check(const AssertionSpec &spec) const;
 
-    /** Check every registered assertion. */
+    /**
+     * Sequential-testing variant of check(): starts at
+     * policy.initialSize measurements and doubles the ensemble while
+     * the verdict is inconclusive (p in (alpha, passThreshold)), up
+     * to policy.maxSize. Escalated rounds *extend* the earlier
+     * ensemble (trial streams are keyed by trial index), so this is a
+     * true sequential test — qsa::locate uses it so probes near the
+     * suspect boundary run on larger ensembles than exploratory ones.
+     */
+    AssertionOutcome checkEscalated(const AssertionSpec &spec,
+                                    const EscalationPolicy &policy) const;
+
+    /**
+     * Check every registered assertion. With
+     * CheckConfig::holmBonferroni the verdicts are re-adjudicated
+     * under Holm-Bonferroni family-wise error control
+     * (applyHolmBonferroni below).
+     */
     std::vector<AssertionOutcome> checkAll() const;
+
+    /** Toggle Holm-Bonferroni control for checkAll() after the fact. */
+    void setHolmBonferroni(bool enabled) { config.holmBonferroni = enabled; }
 
     /**
      * Drop the runtime's cached truncated circuits and prefix states
@@ -138,7 +158,36 @@ class AssertionChecker
     std::unique_ptr<runtime::EnsembleEngine> engine;
 
     void validateSpec(const AssertionSpec &spec) const;
+
+    /** check() with an explicit ensemble size (escalation rounds). */
+    AssertionOutcome checkWithSize(const AssertionSpec &spec,
+                                   std::size_t ensemble_size) const;
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    gatherEnsemble(const AssertionSpec &spec,
+                   std::size_t ensemble_size) const;
 };
+
+/**
+ * Holm-Bonferroni step-down family-wise error control over a set of
+ * outcomes checked together: the i-th smallest p-value (0-based rank
+ * i of m) must clear alpha / (m - i) to reject its null hypothesis,
+ * and the step-down stops at the first failure. `passed` is
+ * re-adjudicated in place per assertion kind (Entangled passes on
+ * rejection, everything else on non-rejection) and `effectiveAlpha`
+ * records each outcome's step-down threshold.
+ *
+ * Each rank is tested against its *own* spec's alpha. That is exact
+ * Holm when the family shares one alpha (the expected usage: an
+ * auto-placed set, a locator's probe batch); with heterogeneous
+ * alphas the early stop makes the procedure conservative — it only
+ * ever withholds rejections relative to running Holm per alpha
+ * group.
+ *
+ * @return number of null hypotheses rejected
+ */
+std::size_t
+applyHolmBonferroni(std::vector<AssertionOutcome> &outcomes);
 
 /**
  * Mechanical assertion placement from ComputeScope structure (the
@@ -149,6 +198,16 @@ class AssertionChecker
  *  - assert_entangled(reg_a, reg_b) at "<label>_computed",
  *  - assert_product(reg_a, reg_b) at "<label>_uncomputed".
  *
+ * Because the placement is mechanical, the set can get large and
+ * accumulate false alarms under per-assertion alpha; when
+ * `family_wise` is set (the default) and at least one pair is placed,
+ * the checker's Holm-Bonferroni control is switched on so checkAll()
+ * adjudicates the whole placed family together. Note the flag is
+ * checker-wide: assertions registered manually on the same checker
+ * join the corrected family (and Entangled assertions then need
+ * p <= alpha/rank to pass) — pass family_wise = false to keep
+ * per-assertion semantics.
+ *
  * @return number of assertions registered
  */
 std::size_t
@@ -156,7 +215,7 @@ autoPlaceScopeAssertions(AssertionChecker &checker,
                          const circuit::Circuit &circ,
                          const circuit::QubitRegister &reg_a,
                          const circuit::QubitRegister &reg_b,
-                         double alpha = 0.05);
+                         double alpha = 0.05, bool family_wise = true);
 
 } // namespace qsa::assertions
 

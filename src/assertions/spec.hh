@@ -129,7 +129,62 @@ struct CheckConfig
 
     /** Use the G-test instead of Pearson chi-square (ablation). */
     bool useGTest = false;
+
+    /**
+     * Opt-in Holm-Bonferroni family-wise error control across the
+     * assertions adjudicated together by checkAll(): per-assertion
+     * alpha alone lets false alarms accumulate over large auto-placed
+     * assertion sets (and over a bug locator's probe sequences).
+     * Off by default to preserve per-assertion semantics.
+     */
+    bool holmBonferroni = false;
 };
+
+/**
+ * Sequential-testing ensemble-size escalation policy: a check starts
+ * at initialSize measurements and doubles while the p-value is
+ * *inconclusive* — the hypothesis was not rejected (p > alpha) but the
+ * evidence for it is weak (p < passThreshold) — until the verdict is
+ * decisive or maxSize is reached. Because every trial m draws from the
+ * stream keyed by m (see runtime/ensemble.hh), an escalated ensemble
+ * extends the previous one rather than resampling it: the procedure
+ * is a genuine sequential test, deterministic for a given seed.
+ */
+struct EscalationPolicy
+{
+    /** Measurements for the first round. */
+    std::size_t initialSize = 64;
+
+    /** Ensemble-size cap; the last round's verdict is final. */
+    std::size_t maxSize = 2048;
+
+    /**
+     * Smallest p-value treated as decisively consistent with the
+     * hypothesis; p in (alpha, passThreshold) escalates.
+     */
+    double passThreshold = 0.30;
+};
+
+/**
+ * The escalation trigger, shared by every sequential-testing caller
+ * (AssertionChecker::checkEscalated and qsa::locate's batch-driven
+ * mirror probes). For most kinds a verdict is inconclusive when the
+ * hypothesis was not rejected but the evidence for it is weak
+ * (alpha < p < passThreshold). Entangled assertions invert the pass
+ * semantics — rejecting independence is the *passing* verdict and an
+ * underpowered ensemble yields a high p — so for them any
+ * not-yet-rejected p escalates: more measurements can still expose
+ * the correlation, and only the cap makes the failure final.
+ */
+inline bool
+escalationInconclusive(const EscalationPolicy &policy,
+                       AssertionKind kind, double alpha,
+                       double p_value)
+{
+    if (kind == AssertionKind::Entangled)
+        return p_value > alpha;
+    return p_value > alpha && p_value < policy.passThreshold;
+}
 
 /** Result of checking one assertion. */
 struct AssertionOutcome
@@ -148,6 +203,13 @@ struct AssertionOutcome
 
     /** Ensemble size actually used. */
     std::size_t ensembleSize = 0;
+
+    /**
+     * Significance threshold the verdict was adjudicated against:
+     * spec.alpha for a standalone check, the Holm-Bonferroni step-down
+     * threshold when family-wise control was applied.
+     */
+    double effectiveAlpha = 0.0;
 
     /**
      * Verdict: true when the observation is consistent with the

@@ -400,6 +400,35 @@ Circuit::breakpointLabels() const
     return labels;
 }
 
+std::size_t
+Circuit::breakpointPosition(const std::string &label) const
+{
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        if (insts[i].kind == GateKind::Breakpoint &&
+            insts[i].label == label)
+            return i;
+    }
+    fatal("no breakpoint labelled '", label, "'");
+}
+
+Circuit
+Circuit::withBoundaryBreakpoints(const std::string &prefix) const
+{
+    fatal_if(prefix.empty(), "boundary breakpoints need a label prefix");
+
+    Circuit out(nQubits);
+    out.regs = regs;
+    for (std::size_t k = 0; k < insts.size(); ++k) {
+        out.breakpoint(prefix + std::to_string(k));
+        Instruction copy = insts[k];
+        if (copy.kind == GateKind::Unitary)
+            copy.matrixId = out.addMatrix(matrix(copy.matrixId));
+        out.append(copy);
+    }
+    out.breakpoint(prefix + std::to_string(insts.size()));
+    return out;
+}
+
 Circuit
 Circuit::prefixUpTo(const std::string &bp_label) const
 {

@@ -155,6 +155,25 @@ class Circuit
     std::vector<std::string> breakpointLabels() const;
 
     /**
+     * Instruction index of the breakpoint with the given label (the
+     * number of instructions preceding the marker).
+     */
+    std::size_t breakpointPosition(const std::string &label) const;
+
+    /**
+     * Copy with a breakpoint "<prefix><k>" inserted at every
+     * instruction boundary k of *this* circuit: boundary k sits just
+     * before original instruction k, and boundary size() marks the
+     * end. Existing instructions (including their own breakpoints) are
+     * preserved, so one instrumented program exposes every boundary to
+     * the assertion checker at once — the programmatic counterpart of
+     * the paper's "insert breakpoints, recompile one truncated version
+     * each" loop, and the substrate qsa::locate probes.
+     */
+    Circuit withBoundaryBreakpoints(
+        const std::string &prefix = "qsa_boundary_") const;
+
+    /**
      * Copy of the circuit truncated just before the named breakpoint
      * (the "compile one version per breakpoint" transformation).
      */

@@ -5,10 +5,51 @@
 
 #include "circuit/scopes.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace qsa::circuit
 {
+
+const std::string &
+scopeComputedSuffix()
+{
+    static const std::string suffix = "_computed";
+    return suffix;
+}
+
+const std::string &
+scopeUncomputedSuffix()
+{
+    static const std::string suffix = "_uncomputed";
+    return suffix;
+}
+
+std::vector<ScopeBreakpointPair>
+scopeBreakpointPairs(const Circuit &circ)
+{
+    const std::string &computed = scopeComputedSuffix();
+    const std::string &uncomputed = scopeUncomputedSuffix();
+
+    const auto labels = circ.breakpointLabels();
+    std::vector<ScopeBreakpointPair> pairs;
+    for (const auto &label : labels) {
+        if (label.size() <= computed.size() ||
+            label.compare(label.size() - computed.size(),
+                          computed.size(), computed) != 0)
+            continue;
+        ScopeBreakpointPair pair;
+        pair.stem = label.substr(0, label.size() - computed.size());
+        pair.computed = label;
+        pair.uncomputed = pair.stem + uncomputed;
+        if (std::find(labels.begin(), labels.end(), pair.uncomputed) ==
+            labels.end())
+            continue;
+        pairs.push_back(std::move(pair));
+    }
+    return pairs;
+}
 
 ComputeScope::ComputeScope(Circuit &c, const std::string &l)
     : circ(c), label(l), computeBegin(c.size()), computeEnd(c.size())
@@ -22,7 +63,7 @@ ComputeScope::endCompute()
     computeClosed = true;
     computeEnd = circ.size();
     if (!label.empty())
-        circ.breakpoint(label + "_computed");
+        circ.breakpoint(label + scopeComputedSuffix());
 }
 
 void
@@ -38,7 +79,7 @@ ComputeScope::uncompute()
         circ.sliceRange(computeBegin, computeEnd);
     circ.appendCircuit(compute_block.inverse());
     if (!label.empty())
-        circ.breakpoint(label + "_uncomputed");
+        circ.breakpoint(label + scopeUncomputedSuffix());
 }
 
 ComputeScope::~ComputeScope()

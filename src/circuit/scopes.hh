@@ -70,6 +70,36 @@ class ComputeScope
     bool uncomputed = false;
 };
 
+/** Label suffix ComputeScope mints after the compute block. */
+const std::string &scopeComputedSuffix();
+
+/** Label suffix ComputeScope mints after the mirror. */
+const std::string &scopeUncomputedSuffix();
+
+/** A "<stem>_computed" / "<stem>_uncomputed" breakpoint pair. */
+struct ScopeBreakpointPair
+{
+    /** The scope label the pair was minted from. */
+    std::string stem;
+
+    /** "<stem>_computed" breakpoint label. */
+    std::string computed;
+
+    /** "<stem>_uncomputed" breakpoint label. */
+    std::string uncomputed;
+};
+
+/**
+ * Every complete ComputeScope breakpoint pair in the circuit, in
+ * program order of the "_computed" half. The one place the pairing rule
+ * lives: mechanical assertion placement
+ * (assertions::autoPlaceScopeAssertions) and scope-inherited
+ * localization predicates (locate::scopeDerivedPredicates) both
+ * resolve pairs through it.
+ */
+std::vector<ScopeBreakpointPair>
+scopeBreakpointPairs(const Circuit &circ);
+
 /**
  * Controlled-operations scope: everything appended while the scope is
  * alive is wrapped with the given control qubits at destruction —

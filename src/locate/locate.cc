@@ -1,0 +1,672 @@
+/**
+ * @file
+ * BugLocator implementation.
+ */
+
+#include "locate/locate.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "assertions/checker.hh"
+#include "circuit/executor.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "runtime/batch.hh"
+#include "sim/statevector.hh"
+
+namespace qsa::locate
+{
+
+namespace
+{
+
+/** Breakpoint label terminating a mirror-probe program. */
+const std::string kProbeLabel = "qsa_locate_probe";
+
+/** Boundary-breakpoint prefix for predicate probes. */
+const std::string kBoundaryPrefix = "qsa_locate_b";
+
+/** Probeable instruction: unitary gate or a no-op marker. */
+bool
+probeable(const circuit::Instruction &inst)
+{
+    if (!inst.condLabel.empty())
+        return false;
+    return circuit::gateKindInvertible(inst.kind) ||
+           inst.kind == circuit::GateKind::Breakpoint;
+}
+
+/** Per-boundary probe seed (escalation keeps the boundary's stream). */
+std::uint64_t
+seedFor(std::uint64_t master, std::size_t boundary)
+{
+    return master + 0x9e3779b97f4a7c15ULL * (boundary + 1);
+}
+
+assertions::CheckConfig
+baseConfig(const LocateConfig &cfg)
+{
+    assertions::CheckConfig cc;
+    cc.ensembleSize = cfg.ensembleSize;
+    cc.mode = assertions::EnsembleMode::SampleFinalState;
+    cc.seed = cfg.seed;
+    cc.numThreads = cfg.numThreads;
+    return cc;
+}
+
+ProbeRecord
+toRecord(std::size_t boundary,
+         const assertions::AssertionOutcome &out)
+{
+    ProbeRecord rec;
+    rec.boundary = boundary;
+    rec.kind = out.spec.kind;
+    rec.ensembleSize = out.ensembleSize;
+    rec.pValue = out.pValue;
+    rec.failed = !out.passed;
+    return rec;
+}
+
+/** Probes per LinearScan batch chunk (memory bound, see probeAll). */
+constexpr std::size_t kScanChunk = 64;
+
+/**
+ * Family-wise adjudication of a scanned probe family: Holm-Bonferroni
+ * over the probes with standard reject-to-fail semantics. Entangled
+ * probes stay at per-probe alpha — their *pass* is the rejection, so
+ * a step-down correction would make a correct entangled boundary
+ * harder to pass and could bracket defect-free code.
+ */
+std::vector<ProbeRecord>
+adjudicateFamily(const std::vector<std::size_t> &boundaries,
+                 std::vector<assertions::AssertionOutcome> outcomes,
+                 bool family_wise)
+{
+    if (family_wise) {
+        std::vector<std::size_t> index;
+        std::vector<assertions::AssertionOutcome> family;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (outcomes[i].spec.kind !=
+                assertions::AssertionKind::Entangled) {
+                index.push_back(i);
+                family.push_back(outcomes[i]);
+            }
+        }
+        assertions::applyHolmBonferroni(family);
+        for (std::size_t j = 0; j < index.size(); ++j)
+            outcomes[index[j]] = family[j];
+    }
+
+    std::vector<ProbeRecord> records;
+    records.reserve(boundaries.size());
+    for (std::size_t i = 0; i < boundaries.size(); ++i)
+        records.push_back(toRecord(boundaries[i], outcomes[i]));
+    return records;
+}
+
+/** Copy a circuit with breakpoint markers dropped (for inversion). */
+circuit::Circuit
+stripMarkers(const circuit::Circuit &c)
+{
+    circuit::Circuit out(c.numQubits());
+    for (const auto &inst : c.instructions()) {
+        if (inst.kind == circuit::GateKind::Breakpoint)
+            continue;
+        circuit::Instruction copy = inst;
+        if (copy.kind == circuit::GateKind::Unitary)
+            copy.matrixId = out.addMatrix(c.matrix(inst.matrixId));
+        out.append(copy);
+    }
+    return out;
+}
+
+/**
+ * One probe family: adjudicate a single boundary (with sequential
+ * escalation) or a whole boundary batch (with optional family-wise
+ * control).
+ */
+class Prober
+{
+  public:
+    virtual ~Prober() = default;
+
+    virtual ProbeRecord
+    probe(std::size_t boundary,
+          const assertions::EscalationPolicy &policy) = 0;
+
+    virtual std::vector<ProbeRecord>
+    probeAll(const std::vector<std::size_t> &boundaries,
+             bool family_wise) = 0;
+
+    /** Largest probeable boundary. */
+    virtual std::size_t hiBoundary() const = 0;
+};
+
+/**
+ * Mirror probes: suspect prefix followed by the adjoint of the
+ * reference prefix, asserted classically equal to the prep state. A
+ * single (adaptive) probe runs on its own checker so escalation
+ * rounds reuse the cached prefix statevector, with the ensemble
+ * fanned across the runtime pool; a LinearScan batch fans probe-wise
+ * through runtime::BatchRunner in bounded-memory chunks.
+ */
+class MirrorProber : public Prober
+{
+  public:
+    MirrorProber(const circuit::Circuit &suspect,
+                 const circuit::Circuit &reference,
+                 const LocateConfig &cfg)
+        : suspect(suspect), reference(reference), cfg(cfg),
+          runner(cfg.numThreads)
+    {
+        fatal_if(suspect.numQubits() != reference.numQubits(),
+                 "suspect and reference use different qubit spaces");
+        fatal_if(suspect.numQubits() == 0, "empty qubit space");
+        fatal_if(suspect.numQubits() > 24,
+                 "mirror probes assert on the full qubit space; ",
+                 suspect.numQubits(), " qubits is too wide — use "
+                 "locateByPredicates on a register instead");
+
+        std::vector<unsigned> qubits(suspect.numQubits());
+        for (unsigned q = 0; q < suspect.numQubits(); ++q)
+            qubits[q] = q;
+        allReg = circuit::QubitRegister("qsa_locate_all", qubits);
+
+        const auto &si = suspect.instructions();
+        const auto &ri = reference.instructions();
+        const std::size_t common = std::min(si.size(), ri.size());
+
+        // Common PrepZ prologue: boundaries at or below it compare
+        // against the reference's tracked classical state; boundaries
+        // above it get the adjoint-of-reference mirror appended.
+        prologue = 0;
+        while (prologue < common &&
+               si[prologue].kind == circuit::GateKind::PrepZ &&
+               ri[prologue].kind == circuit::GateKind::PrepZ)
+            ++prologue;
+
+        hi = common;
+        for (std::size_t i = prologue; i < common; ++i) {
+            if (!probeable(si[i]) || !probeable(ri[i])) {
+                hi = i;
+                break;
+            }
+        }
+        fatal_if(hi == 0, "no probeable instruction boundary (does "
+                 "the program start with a measurement?)");
+
+        // Exact semi-classical tracking of the reference prologue:
+        // the expected classical value at every boundary <= prologue.
+        sim::StateVector state(reference.numQubits());
+        std::map<std::string, std::uint64_t> meas;
+        Rng rng(cfg.seed);
+        refValues.push_back(basisValue(state));
+        for (std::size_t k = 0; k < prologue; ++k) {
+            const auto step = reference.sliceRange(k, k + 1);
+            circuit::runCircuitOn(step, state, meas, rng);
+            refValues.push_back(basisValue(state));
+        }
+    }
+
+    ProbeRecord
+    probe(std::size_t boundary,
+          const assertions::EscalationPolicy &policy) override
+    {
+        // One checker per probe program: escalated rounds then reuse
+        // its cached prefix statevector and only resample shots, and
+        // the boundary-keyed seed makes each round extend the earlier
+        // ensemble (sequential testing, deterministic).
+        const circuit::Circuit program = buildProbe(boundary);
+        auto cc = baseConfig(cfg);
+        cc.seed = seedFor(cfg.seed, boundary);
+        const assertions::AssertionChecker checker(program, cc);
+        return toRecord(boundary,
+                        checker.checkEscalated(specFor(boundary),
+                                               policy));
+    }
+
+    std::vector<ProbeRecord>
+    probeAll(const std::vector<std::size_t> &boundaries,
+             bool family_wise) override
+    {
+        // Chunked batches: each chunk's checkers (and their cached
+        // prefix statevectors — a full 2^n vector per probe) are
+        // dropped before the next chunk starts, bounding the scan's
+        // memory at kScanChunk prefixes.
+        std::vector<assertions::AssertionOutcome> outcomes;
+        outcomes.reserve(boundaries.size());
+        for (std::size_t base = 0; base < boundaries.size();
+             base += kScanChunk) {
+            const std::size_t end =
+                std::min(boundaries.size(), base + kScanChunk);
+            std::deque<circuit::Circuit> programs;
+            std::vector<runtime::BatchItem> items;
+            items.reserve(end - base);
+            for (std::size_t i = base; i < end; ++i) {
+                programs.push_back(buildProbe(boundaries[i]));
+                auto cc = baseConfig(cfg);
+                cc.seed = seedFor(cfg.seed, boundaries[i]);
+                items.push_back(
+                    {&programs.back(), {specFor(boundaries[i])}, cc});
+            }
+            for (const auto &per_item : runner.checkAll(items))
+                outcomes.push_back(per_item[0]);
+        }
+        return adjudicateFamily(boundaries, std::move(outcomes),
+                                family_wise);
+    }
+
+    std::size_t hiBoundary() const override { return hi; }
+
+  private:
+    const circuit::Circuit &suspect;
+    const circuit::Circuit &reference;
+    LocateConfig cfg;
+    runtime::BatchRunner runner;
+    circuit::QubitRegister allReg;
+    std::size_t prologue = 0;
+    std::size_t hi = 0;
+    std::vector<std::uint64_t> refValues;
+
+    static std::uint64_t
+    basisValue(const sim::StateVector &state)
+    {
+        const auto &amps = state.amplitudes();
+        for (std::uint64_t v = 0; v < amps.size(); ++v) {
+            if (std::norm(amps[v]) >= 1.0 - 1e-9)
+                return v;
+        }
+        panic("reference prologue state is not a basis state");
+    }
+
+    circuit::Circuit
+    buildProbe(std::size_t boundary) const
+    {
+        circuit::Circuit probe = suspect.sliceRange(0, boundary);
+        if (boundary > prologue) {
+            const circuit::Circuit seg = stripMarkers(
+                reference.sliceRange(prologue, boundary));
+            probe.appendCircuit(seg.inverse());
+        }
+        probe.breakpoint(kProbeLabel);
+        return probe;
+    }
+
+    assertions::AssertionSpec
+    specFor(std::size_t boundary) const
+    {
+        assertions::AssertionSpec spec;
+        spec.kind = assertions::AssertionKind::Classical;
+        spec.breakpoint = kProbeLabel;
+        spec.regA = allReg;
+        spec.expectedValue = refValues[std::min(boundary, prologue)];
+        spec.alpha = cfg.alpha;
+        spec.name = "mirror@" + std::to_string(boundary);
+        return spec;
+    }
+};
+
+/**
+ * Predicate probes: the suspect program instrumented at every
+ * boundary, one persistent checker (shared prefix caches), and the
+ * reference oracle's marginal predicate — or a scope-inherited
+ * entangled/product kind — per boundary.
+ */
+class PredicateProber : public Prober
+{
+  public:
+    PredicateProber(const circuit::Circuit &suspect,
+                    const circuit::Circuit &reference,
+                    const LocateConfig &cfg,
+                    const circuit::QubitRegister &reg_a,
+                    const circuit::QubitRegister *reg_b)
+        : cfg(cfg), regA(reg_a),
+          instrumented(suspect.withBoundaryBreakpoints(kBoundaryPrefix)),
+          oracle(reference, reg_a, cfg.seed),
+          checker(instrumented, baseConfig(cfg)), runner(cfg.numThreads)
+    {
+        fatal_if(suspect.numQubits() != reference.numQubits(),
+                 "suspect and reference use different qubit spaces");
+
+        const auto &si = suspect.instructions();
+        const auto &ri = reference.instructions();
+        hi = std::min(si.size(), ri.size());
+        for (std::size_t i = 0; i < hi; ++i) {
+            // Predicate probes survive mid-program resets (the
+            // reference oracle tracks them exactly) but not
+            // mid-circuit measurement — see the Resimulate note in
+            // locate.hh.
+            const bool blocked =
+                si[i].kind == circuit::GateKind::Measure ||
+                ri[i].kind == circuit::GateKind::Measure ||
+                !si[i].condLabel.empty() || !ri[i].condLabel.empty();
+            if (blocked) {
+                hi = i;
+                break;
+            }
+        }
+        fatal_if(hi == 0, "no probeable instruction boundary");
+
+        if (reg_b != nullptr) {
+            regB = *reg_b;
+            for (const auto &scoped : scopeDerivedPredicates(suspect))
+                scopeKinds[scoped.boundary] = scoped.kind;
+        }
+    }
+
+    ProbeRecord
+    probe(std::size_t boundary,
+          const assertions::EscalationPolicy &policy) override
+    {
+        return toRecord(boundary,
+                        checker.checkEscalated(specFor(boundary),
+                                               policy));
+    }
+
+    std::vector<ProbeRecord>
+    probeAll(const std::vector<std::size_t> &boundaries,
+             bool family_wise) override
+    {
+        // Chunked like the mirror scan: the per-chunk checker (and
+        // its one cached prefix statevector per probed breakpoint)
+        // is dropped before the next chunk starts.
+        std::vector<assertions::AssertionOutcome> outcomes;
+        outcomes.reserve(boundaries.size());
+        for (std::size_t base = 0; base < boundaries.size();
+             base += kScanChunk) {
+            const std::size_t end =
+                std::min(boundaries.size(), base + kScanChunk);
+            std::vector<assertions::AssertionSpec> specs;
+            specs.reserve(end - base);
+            for (std::size_t i = base; i < end; ++i)
+                specs.push_back(specFor(boundaries[i]));
+            const std::vector<runtime::BatchItem> items{
+                {&instrumented, specs, baseConfig(cfg)}};
+            const auto chunk = runner.checkAll(items)[0];
+            outcomes.insert(outcomes.end(), chunk.begin(),
+                            chunk.end());
+        }
+        return adjudicateFamily(boundaries, std::move(outcomes),
+                                family_wise);
+    }
+
+    std::size_t hiBoundary() const override { return hi; }
+
+  private:
+    LocateConfig cfg;
+    circuit::QubitRegister regA;
+    circuit::QubitRegister regB;
+    circuit::Circuit instrumented;
+    PredicateOracle oracle;
+    assertions::AssertionChecker checker;
+    runtime::BatchRunner runner;
+    std::map<std::size_t, assertions::AssertionKind> scopeKinds;
+    std::size_t hi = 0;
+
+    assertions::AssertionSpec
+    specFor(std::size_t boundary) const
+    {
+        const std::string label =
+            kBoundaryPrefix + std::to_string(boundary);
+        const auto scoped = scopeKinds.find(boundary);
+        if (scoped != scopeKinds.end()) {
+            assertions::AssertionSpec spec;
+            spec.kind = scoped->second;
+            spec.breakpoint = label;
+            spec.regA = regA;
+            spec.regB = regB;
+            spec.alpha = cfg.alpha;
+            spec.name = "scope@" + std::to_string(boundary);
+            return spec;
+        }
+        return oracle.specAt(boundary, label, cfg.alpha);
+    }
+};
+
+/** Shared search driver over either probe family. */
+LocalizationReport
+runSearch(Prober &prober, const LocateConfig &cfg)
+{
+    LocalizationReport report;
+    const std::size_t top = prober.hiBoundary();
+
+    const assertions::EscalationPolicy explore{
+        cfg.ensembleSize, cfg.maxEnsembleSize, 0.30};
+    const assertions::EscalationPolicy confirm{
+        cfg.maxEnsembleSize, cfg.maxEnsembleSize, 0.30};
+
+    const auto add = [&](const ProbeRecord &rec) {
+        report.probes.push_back(rec);
+        report.totalMeasurements += rec.ensembleSize;
+        return rec;
+    };
+
+    if (cfg.strategy == Strategy::LinearScan) {
+        std::vector<std::size_t> boundaries;
+        boundaries.reserve(top);
+        for (std::size_t k = 1; k <= top; ++k)
+            boundaries.push_back(k);
+        std::size_t first_failing = 0;
+        for (const auto &rec :
+             prober.probeAll(boundaries, cfg.holmBonferroni)) {
+            add(rec);
+            if (rec.failed && first_failing == 0)
+                first_failing = rec.boundary;
+        }
+        if (first_failing == 0)
+            return report; // no boundary rejected: nothing to bracket
+        report.bugFound = true;
+        report.firstFailing = first_failing;
+        report.lastPassing = first_failing - 1;
+        return report;
+    }
+
+    // Adaptive binary search. Boundary 0 (the empty prefix) passes by
+    // construction; the end boundary must fail for there to be
+    // anything to localize.
+    if (!add(prober.probe(top, explore)).failed)
+        return report;
+
+    std::size_t lo = 0;
+    std::size_t hi = top;
+    std::vector<char> passed(top + 1, 0);
+    passed[0] = 1;
+    std::set<std::size_t> failedSet{top};
+    // Escalated-ensemble verdicts already delivered (at most one
+    // confirmation per boundary, so the outer loop is bounded).
+    std::vector<char> confirmedPass(top + 1, 0);
+    std::vector<char> confirmedFail(top + 1, 0);
+    confirmedPass[0] = 1;
+    bool located = true;
+    while (true) {
+        while (hi - lo > 1) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (add(prober.probe(mid, explore)).failed) {
+                hi = mid;
+                failedSet.insert(mid);
+            } else {
+                lo = mid;
+                passed[mid] = 1;
+            }
+        }
+        // Re-adjudicate both sides of the converged bracket on the
+        // escalated ensemble: an exploratory pass can be a miss and
+        // an exploratory failure a false alarm.
+        if (!confirmedPass[lo]) {
+            if (add(prober.probe(lo, confirm)).failed) {
+                // Miss exposed: resume below the demoted boundary.
+                passed[lo] = 0;
+                failedSet.insert(lo);
+                confirmedFail[lo] = 1;
+                hi = lo;
+                lo = 0;
+                for (std::size_t b = 1; b < hi; ++b) {
+                    if (passed[b])
+                        lo = b;
+                }
+                continue;
+            }
+            confirmedPass[lo] = 1;
+        }
+        if (!confirmedFail[hi]) {
+            if (!add(prober.probe(hi, confirm)).failed) {
+                // False alarm exposed: resume above it, at the next
+                // boundary still believed failing.
+                failedSet.erase(hi);
+                passed[hi] = 1;
+                confirmedPass[hi] = 1;
+                lo = hi;
+                const auto next = failedSet.upper_bound(hi);
+                if (next == failedSet.end()) {
+                    located = false; // nothing failing survives
+                    break;
+                }
+                hi = *next;
+                continue;
+            }
+            confirmedFail[hi] = 1;
+        }
+        break;
+    }
+    if (!located)
+        return report;
+
+    report.bugFound = true;
+    report.lastPassing = lo;
+    report.firstFailing = hi;
+    return report;
+}
+
+/**
+ * A run whose probes all passed can still hide a defect in the
+ * trailing instructions one program has and the other lacks: every
+ * probe compares index-aligned prefixes, so a pure length mismatch is
+ * invisible to them. When the probeable range reached the full common
+ * length, blame the suffix.
+ */
+void
+resolveTailDivergence(LocalizationReport &report,
+                      const circuit::Circuit &suspect,
+                      const circuit::Circuit &reference,
+                      std::size_t probed_hi)
+{
+    const std::size_t common =
+        std::min(suspect.size(), reference.size());
+    if (report.bugFound || suspect.size() == reference.size() ||
+        probed_hi != common)
+        return;
+
+    report.bugFound = true;
+    report.lastPassing = common;
+    if (suspect.size() > reference.size()) {
+        // The extra trailing instructions are the defect.
+        report.firstFailing = suspect.size();
+    } else {
+        // The suspect ends early; there is no instruction to blame,
+        // so the bracket names the one-past-the-end position where
+        // the missing code belongs (keeping the firstFailing ==
+        // lastPassing + 1 bracket shape).
+        report.firstFailing = common + 1;
+        report.suspectGates =
+            "(program ends " +
+            std::to_string(reference.size() - suspect.size()) +
+            " instructions before the reference)";
+    }
+}
+
+/** Render the suspect instruction range into the report. */
+void
+annotate(LocalizationReport &report, const circuit::Circuit &suspect)
+{
+    if (!report.bugFound || !report.suspectGates.empty())
+        return;
+    std::ostringstream os;
+    const auto &insts = suspect.instructions();
+    for (std::size_t i = report.suspectBegin();
+         i < report.suspectEnd() && i < insts.size(); ++i) {
+        if (os.tellp() > 0)
+            os << "; ";
+        const auto &inst = insts[i];
+        os << std::string(inst.controls.size(), 'c')
+           << circuit::gateKindName(inst.kind);
+        os << "(";
+        for (std::size_t t = 0; t < inst.targets.size(); ++t)
+            os << (t ? "," : "") << inst.targets[t];
+        os << ")";
+    }
+    report.suspectGates = os.str();
+}
+
+} // anonymous namespace
+
+std::string
+LocalizationReport::summary() const
+{
+    std::ostringstream os;
+    if (!bugFound) {
+        os << "no statistically failing boundary in " << probes.size()
+           << " probes (" << totalMeasurements << " measurements)";
+        return os.str();
+    }
+    os << "bug bracketed in instructions [" << suspectBegin() << ", "
+       << suspectEnd() << ")";
+    if (!suspectGates.empty())
+        os << " {" << suspectGates << "}";
+    os << " after " << probes.size() << " probes ("
+       << totalMeasurements << " measurements)";
+    return os.str();
+}
+
+BugLocator::BugLocator(const circuit::Circuit &suspect,
+                       const circuit::Circuit &reference,
+                       const LocateConfig &config)
+    : suspect(suspect), reference(reference), config(config)
+{
+    fatal_if(config.ensembleSize == 0,
+             "probe ensemble size must be positive");
+    fatal_if(config.maxEnsembleSize < config.ensembleSize,
+             "escalation cap below the probe ensemble size");
+    fatal_if(config.alpha <= 0.0 || config.alpha >= 1.0,
+             "alpha must lie strictly between 0 and 1");
+}
+
+LocalizationReport
+BugLocator::locate() const
+{
+    MirrorProber prober(suspect, reference, config);
+    LocalizationReport report = runSearch(prober, config);
+    resolveTailDivergence(report, suspect, reference,
+                          prober.hiBoundary());
+    annotate(report, suspect);
+    return report;
+}
+
+LocalizationReport
+BugLocator::locateByPredicates(const circuit::QubitRegister &reg) const
+{
+    PredicateProber prober(suspect, reference, config, reg, nullptr);
+    LocalizationReport report = runSearch(prober, config);
+    resolveTailDivergence(report, suspect, reference,
+                          prober.hiBoundary());
+    annotate(report, suspect);
+    return report;
+}
+
+LocalizationReport
+BugLocator::locateByPredicates(const circuit::QubitRegister &reg_a,
+                               const circuit::QubitRegister &reg_b) const
+{
+    PredicateProber prober(suspect, reference, config, reg_a, &reg_b);
+    LocalizationReport report = runSearch(prober, config);
+    resolveTailDivergence(report, suspect, reference,
+                          prober.hiBoundary());
+    annotate(report, suspect);
+    return report;
+}
+
+} // namespace qsa::locate

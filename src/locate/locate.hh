@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Statistical bug localization (qsa::locate).
+ *
+ * The paper's assertions *detect* a bug at programmer-chosen
+ * breakpoints; the debugging loop its Section 5 case studies narrate —
+ * rerun with more assertions until the first failing one brackets the
+ * defect — is manual. BugLocator automates that loop as a statistical
+ * search over instruction boundaries, following the bug-locating-by-
+ * statistical-testing idea of Sato & Katsube (2024) and the mechanical
+ * assertion refinement of Rovara et al. (2024):
+ *
+ *  1. breakpoints are inserted programmatically at every instruction
+ *     boundary (Circuit::withBoundaryBreakpoints), or existing
+ *     ComputeScope labels are reused;
+ *  2. an expected-state predicate is derived per boundary from the
+ *     *reference* program — a classical value tracked by exact
+ *     semi-classical simulation, a distribution otherwise, or an
+ *     entangled/product kind inherited from scope structure
+ *     (locate/predicates.hh);
+ *  3. an adaptive binary search probes O(log n) boundaries, each
+ *     probe an ensemble assertion whose trials fan across the
+ *     qsa::runtime pool (LinearScan batches additionally fan
+ *     probe-wise through runtime::BatchRunner), so a single
+ *     localization run saturates the pool; both sides of the
+ *     converged bracket are re-adjudicated on escalated ensembles
+ *     (assertions::EscalationPolicy) before the verdict is final.
+ *
+ * Two probe families are offered:
+ *
+ *  - *Mirror probes* (locate()): the probe program is the suspect
+ *    prefix followed by the adjoint of the reference prefix, asserted
+ *    classically equal to the initial state. Any behavioural
+ *    divergence — including pure phase errors invisible to
+ *    computational-basis marginals — lowers the probe fidelity below
+ *    one, so the bracketed interval provably contains a diverging
+ *    instruction. Requires the compared region to be unitary.
+ *
+ *  - *Predicate probes* (locateByPredicates()): the suspect program is
+ *    instrumented at every boundary and each probe tests the oracle's
+ *    marginal predicate for one register. Cheaper per probe, tolerant
+ *    of mid-program resets (bug type 1 fixtures), blind to phase-only
+ *    divergence until it reaches the measured marginal.
+ *
+ * The LinearScan strategy checks *every* boundary in one batch under
+ * Holm-Bonferroni family-wise control — the statistically-sound
+ * exhaustive baseline bench_locate compares against: a scan cannot
+ * adjudicate "first failing" under family-wise control until the whole
+ * family's p-values exist, whereas the adaptive search needs
+ * exponentially fewer probes.
+ *
+ * Limitation: programs with mid-circuit *measurement* are not yet
+ * probeable past the first measure in either family (the boundary
+ * range is clamped); extending localization to semiclassical programs
+ * via the Resimulate ensemble mode is a ROADMAP item.
+ */
+
+#ifndef QSA_LOCATE_LOCATE_HH
+#define QSA_LOCATE_LOCATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assertions/spec.hh"
+#include "circuit/circuit.hh"
+#include "circuit/register.hh"
+#include "locate/predicates.hh"
+
+namespace qsa::locate
+{
+
+/** How the breakpoint sequence is searched. */
+enum class Strategy
+{
+    /** Bracket the first failing boundary in O(log n) probes. */
+    AdaptiveBinarySearch,
+
+    /** Probe every boundary in one batch (the exhaustive baseline). */
+    LinearScan,
+};
+
+/** Localization configuration. */
+struct LocateConfig
+{
+    /** Search strategy. */
+    Strategy strategy = Strategy::AdaptiveBinarySearch;
+
+    /** Measurements per exploratory probe. */
+    std::size_t ensembleSize = 64;
+
+    /**
+     * Measurements for confirmation probes at the converged bracket
+     * (and the escalation cap for inconclusive probes).
+     */
+    std::size_t maxEnsembleSize = 2048;
+
+    /** Per-probe significance level. */
+    double alpha = 0.01;
+
+    /** Master seed; probe ensembles derive per-boundary streams. */
+    std::uint64_t seed = 0x10ca7eb6;
+
+    /**
+     * Worker threads (CheckConfig::numThreads semantics: 0 = shared
+     * pool). Probe outcomes are bit-identical for any value.
+     */
+    unsigned numThreads = 0;
+
+    /**
+     * Holm-Bonferroni family-wise control over the LinearScan probe
+     * family (the adaptive search controls errors sequentially via
+     * escalation instead). Scope-inherited Entangled probes are
+     * exempt: their pass is the rejection, so the correction would
+     * cut the other way.
+     */
+    bool holmBonferroni = true;
+};
+
+/** Evidence from one probe: where, what, and how decisive. */
+struct ProbeRecord
+{
+    /** Instruction boundary probed. */
+    std::size_t boundary = 0;
+
+    /** Assertion kind of the probe. */
+    assertions::AssertionKind kind =
+        assertions::AssertionKind::Classical;
+
+    /** Measurements behind the final verdict (post escalation). */
+    std::size_t ensembleSize = 0;
+
+    /** p-value of the final adjudication. */
+    double pValue = 1.0;
+
+    /** True when the probe's assertion failed. */
+    bool failed = false;
+};
+
+/** Outcome of a localization run. */
+struct LocalizationReport
+{
+    /** True when a statistically failing boundary was bracketed. */
+    bool bugFound = false;
+
+    /** Largest probed boundary consistent with the reference. */
+    std::size_t lastPassing = 0;
+
+    /** Smallest probed boundary inconsistent with the reference. */
+    std::size_t firstFailing = 0;
+
+    /** Suspect instruction range [begin, end) in the tested program. */
+    std::size_t suspectBegin() const { return lastPassing; }
+    std::size_t suspectEnd() const { return firstFailing; }
+
+    /** Mnemonics of the suspect instruction range. */
+    std::string suspectGates;
+
+    /** Every probe adjudicated, in execution order. */
+    std::vector<ProbeRecord> probes;
+
+    /** Total measurements across the final probe adjudications. */
+    std::size_t totalMeasurements = 0;
+
+    /** One-paragraph human-readable account. */
+    std::string summary() const;
+};
+
+/**
+ * See file comment. A locator is bound to one (suspect, reference)
+ * program pair on the same qubit space.
+ */
+class BugLocator
+{
+  public:
+    /**
+     * @param suspect the program whose end-to-end assertion fails
+     * @param reference the trusted program it should agree with
+     * @param config search/ensemble configuration
+     */
+    BugLocator(const circuit::Circuit &suspect,
+               const circuit::Circuit &reference,
+               const LocateConfig &config = LocateConfig());
+
+    /**
+     * Localize with mirror probes over the full qubit space
+     * (phase-sensitive; the compared region must be unitary).
+     */
+    LocalizationReport locate() const;
+
+    /**
+     * Localize with boundary predicates on one register's outcome
+     * marginal (derived from the reference by the PredicateOracle).
+     */
+    LocalizationReport
+    locateByPredicates(const circuit::QubitRegister &reg) const;
+
+    /**
+     * As locateByPredicates(reg_a), additionally inheriting
+     * entangled/product probe kinds on (reg_a, reg_b) at ComputeScope
+     * boundaries of the suspect program.
+     */
+    LocalizationReport
+    locateByPredicates(const circuit::QubitRegister &reg_a,
+                       const circuit::QubitRegister &reg_b) const;
+
+  private:
+    circuit::Circuit suspect;
+    circuit::Circuit reference;
+    LocateConfig config;
+};
+
+} // namespace qsa::locate
+
+#endif // QSA_LOCATE_LOCATE_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * PredicateOracle implementation.
+ */
+
+#include "locate/predicates.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/executor.hh"
+#include "circuit/scopes.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace qsa::locate
+{
+
+namespace
+{
+
+/** Tolerance for classifying exact marginals. */
+constexpr double kProbTol = 1e-9;
+
+BoundaryPredicate
+classify(const std::vector<double> &probs)
+{
+    BoundaryPredicate pred;
+
+    std::size_t argmax = 0;
+    double maxp = 0.0;
+    for (std::size_t v = 0; v < probs.size(); ++v) {
+        if (probs[v] > maxp) {
+            maxp = probs[v];
+            argmax = v;
+        }
+    }
+    if (maxp >= 1.0 - kProbTol) {
+        pred.kind = assertions::AssertionKind::Classical;
+        pred.expectedValue = argmax;
+        return pred;
+    }
+
+    const double uniform = 1.0 / probs.size();
+    const bool is_uniform =
+        std::all_of(probs.begin(), probs.end(), [&](double p) {
+            return std::abs(p - uniform) <= kProbTol;
+        });
+    if (is_uniform) {
+        pred.kind = assertions::AssertionKind::Superposition;
+        return pred;
+    }
+
+    pred.kind = assertions::AssertionKind::Distribution;
+    pred.expectedProbs = probs;
+    return pred;
+}
+
+} // anonymous namespace
+
+PredicateOracle::PredicateOracle(const circuit::Circuit &reference,
+                                 const circuit::QubitRegister &r,
+                                 std::uint64_t seed)
+    : reg(r)
+{
+    fatal_if(reg.width() == 0,
+             "predicate oracle needs a non-empty register");
+    fatal_if(reg.width() > 24,
+             "register too wide for dense boundary predicates");
+
+    // One incremental pass: simulate instruction k, then record the
+    // register marginal as the boundary-(k+1) predicate.
+    sim::StateVector state(reference.numQubits());
+    std::map<std::string, std::uint64_t> measurements;
+    Rng rng(seed);
+
+    preds.reserve(reference.size() + 1);
+    preds.push_back(classify(state.marginalProbs(reg.qubits())));
+    for (std::size_t k = 0; k < reference.size(); ++k) {
+        const auto step = reference.sliceRange(k, k + 1);
+        circuit::runCircuitOn(step, state, measurements, rng);
+        preds.push_back(classify(state.marginalProbs(reg.qubits())));
+    }
+}
+
+const BoundaryPredicate &
+PredicateOracle::at(std::size_t boundary) const
+{
+    fatal_if(boundary >= preds.size(), "boundary ", boundary,
+             " beyond the reference program (", preds.size() - 1,
+             " instructions)");
+    return preds[boundary];
+}
+
+assertions::AssertionSpec
+PredicateOracle::specAt(std::size_t boundary,
+                        const std::string &breakpoint,
+                        double alpha) const
+{
+    const BoundaryPredicate &pred = at(boundary);
+
+    assertions::AssertionSpec spec;
+    spec.kind = pred.kind;
+    spec.breakpoint = breakpoint;
+    spec.regA = reg;
+    spec.expectedValue = pred.expectedValue;
+    spec.expectedProbs = pred.expectedProbs;
+    spec.alpha = alpha;
+    spec.name = "predicate@" + std::to_string(boundary);
+    return spec;
+}
+
+std::vector<ScopePredicate>
+scopeDerivedPredicates(const circuit::Circuit &circ)
+{
+    std::vector<ScopePredicate> scoped;
+    for (const auto &pair : circuit::scopeBreakpointPairs(circ)) {
+        ScopePredicate computed;
+        computed.kind = assertions::AssertionKind::Entangled;
+        computed.boundary = circ.breakpointPosition(pair.computed);
+        computed.label = pair.computed;
+        scoped.push_back(std::move(computed));
+
+        ScopePredicate uncomputed;
+        uncomputed.kind = assertions::AssertionKind::Product;
+        uncomputed.boundary = circ.breakpointPosition(pair.uncomputed);
+        uncomputed.label = pair.uncomputed;
+        scoped.push_back(std::move(uncomputed));
+    }
+
+    std::sort(scoped.begin(), scoped.end(),
+              [](const ScopePredicate &a, const ScopePredicate &b) {
+                  return a.boundary < b.boundary;
+              });
+    return scoped;
+}
+
+} // namespace qsa::locate

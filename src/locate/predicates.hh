@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Expected-state predicates for bug localization.
+ *
+ * A BugLocator probe asks "does the program under test still look
+ * like the reference program at boundary k?". The PredicateOracle
+ * answers the *reference* half of that question: one exact
+ * semi-classical simulation pass over the reference program captures,
+ * at every instruction boundary, what a statistical assertion on the
+ * probed register should expect — a classical point-mass value where
+ * the tracked state is classical, a uniform superposition where it is
+ * uniform, and an explicit outcome distribution otherwise.
+ *
+ * Scope structure is inherited separately: ComputeScope boundaries
+ * ("<label>_computed" / "<label>_uncomputed", see circuit/scopes.hh)
+ * name positions where the paper prescribes entangled / product
+ * assertions, and scopeDerivedPredicates maps those labels onto
+ * instruction boundaries so the locator can probe the inherited kind
+ * instead of a plain marginal.
+ */
+
+#ifndef QSA_LOCATE_PREDICATES_HH
+#define QSA_LOCATE_PREDICATES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assertions/spec.hh"
+#include "circuit/circuit.hh"
+#include "circuit/register.hh"
+
+namespace qsa::locate
+{
+
+/** What the reference program promises at one instruction boundary. */
+struct BoundaryPredicate
+{
+    /** Assertion kind the boundary supports (Classical /
+     *  Superposition / Distribution). */
+    assertions::AssertionKind kind =
+        assertions::AssertionKind::Classical;
+
+    /** Expected register value for Classical predicates. */
+    std::uint64_t expectedValue = 0;
+
+    /** Exact outcome distribution for Distribution predicates. */
+    std::vector<double> expectedProbs;
+};
+
+/**
+ * See file comment. Construction runs the reference program once,
+ * instruction by instruction, recording a predicate per boundary
+ * (boundary k is the state after the first k instructions); cost is
+ * one simulation plus one marginalisation per boundary.
+ */
+class PredicateOracle
+{
+  public:
+    /**
+     * @param reference the correct program
+     * @param reg register the predicates describe
+     * @param seed randomness for any mid-circuit collapse in the
+     *        reference (the paper's benchmark programs have none)
+     */
+    PredicateOracle(const circuit::Circuit &reference,
+                    const circuit::QubitRegister &reg,
+                    std::uint64_t seed = 0x51c0ffee);
+
+    /** Number of boundaries (reference instruction count + 1). */
+    std::size_t numBoundaries() const { return preds.size(); }
+
+    /** Predicate at a boundary. */
+    const BoundaryPredicate &at(std::size_t boundary) const;
+
+    /**
+     * Build the assertion spec testing this oracle's predicate at a
+     * boundary, bound to the given breakpoint label.
+     */
+    assertions::AssertionSpec specAt(std::size_t boundary,
+                                     const std::string &breakpoint,
+                                     double alpha) const;
+
+  private:
+    circuit::QubitRegister reg;
+    std::vector<BoundaryPredicate> preds;
+};
+
+/** A scope-inherited assertion kind at one instruction boundary. */
+struct ScopePredicate
+{
+    /** Instruction boundary the scope label marks. */
+    std::size_t boundary = 0;
+
+    /** Entangled at "<label>_computed", Product at "_uncomputed". */
+    assertions::AssertionKind kind =
+        assertions::AssertionKind::Entangled;
+
+    /** The breakpoint label the kind was inherited from. */
+    std::string label;
+};
+
+/**
+ * Map every ComputeScope breakpoint pair in `circ` to its inherited
+ * assertion kinds (the same pairing rule as autoPlaceScopeAssertions,
+ * but positional). Sorted by boundary.
+ */
+std::vector<ScopePredicate>
+scopeDerivedPredicates(const circuit::Circuit &circ);
+
+} // namespace qsa::locate
+
+#endif // QSA_LOCATE_PREDICATES_HH

@@ -9,6 +9,7 @@
  *  - qsa::circuit    circuit IR, registers, executor, OpenQASM
  *  - qsa::runtime    parallel ensemble-execution engine (pool, batch)
  *  - qsa::assertions statistical quantum assertions (the paper's core)
+ *  - qsa::locate     statistical bug localization over breakpoints
  *  - qsa::gf2        binary Galois fields for the Grover oracle
  *  - qsa::chem       Gaussian integrals .. Jordan-Wigner .. Trotter
  *  - qsa::algo       QFT, arithmetic, Shor, Grover, IPEA, Bell
@@ -48,6 +49,8 @@
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "gf2/gf2.hh"
+#include "locate/locate.hh"
+#include "locate/predicates.hh"
 #include "runtime/batch.hh"
 #include "runtime/ensemble.hh"
 #include "runtime/pool.hh"

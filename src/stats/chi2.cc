@@ -148,6 +148,24 @@ chiSquareTwoSample(const std::vector<double> &sample1,
     panic_if(sample1.size() != sample2.size(),
              "bin count mismatch between samples");
 
+    double total_r = 0.0;
+    double total_s = 0.0;
+    for (std::size_t i = 0; i < sample1.size(); ++i) {
+        panic_if(sample1[i] < 0.0 || sample2[i] < 0.0,
+                 "negative bin count");
+        total_r += sample1[i];
+        total_s += sample2[i];
+    }
+    panic_if(total_r == 0.0 || total_s == 0.0,
+             "two-sample test needs a positive total in each sample");
+
+    // NR §14.3 chstwo with unequal sample sizes: each bin contributes
+    // (sqrt(S/R) r - sqrt(R/S) s)^2 / (r + s). When R == S both
+    // ratios are exactly 1.0 and sqrt(1.0) is exact, so equal-N
+    // results stay bit-identical to the unscaled formula.
+    const double scale_r = std::sqrt(total_s / total_r);
+    const double scale_s = std::sqrt(total_r / total_s);
+
     Chi2Result res;
     double stat = 0.0;
     std::size_t used = 0;
@@ -156,7 +174,7 @@ chiSquareTwoSample(const std::vector<double> &sample1,
         const double s = sample2[i];
         if (r == 0.0 && s == 0.0)
             continue;
-        const double d = r - s;
+        const double d = scale_r * r - scale_s * s;
         stat += d * d / (r + s);
         ++used;
     }

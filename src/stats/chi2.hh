@@ -76,7 +76,14 @@ Chi2Result chiSquareGof(const std::vector<double> &observed,
 
 /**
  * Two-sample chi-square test for identical parent distributions (NR
- * chstwo): bins empty in both samples are skipped.
+ * chstwo): bins empty in both samples are skipped. Unequal sample
+ * totals R = sum(sample1), S = sum(sample2) are handled with the NR
+ * §14.3 scaling (sqrt(S/R) r - sqrt(R/S) s)^2 / (r + s); when R == S
+ * this reduces bit-identically to the equal-N formula.
+ *
+ * `constraints` follows NR's knstrn: pass 1 (the default) when the
+ * two totals are constrained to agree by construction, 0 when the
+ * samples were sized independently (one more degree of freedom).
  */
 Chi2Result chiSquareTwoSample(const std::vector<double> &sample1,
                               const std::vector<double> &sample2,

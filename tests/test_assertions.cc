@@ -301,4 +301,189 @@ TEST_P(GhzWidths, EntanglementDetectedAtEveryWidth)
 INSTANTIATE_TEST_SUITE_P(Widths, GhzWidths,
                          ::testing::Values(2u, 3u, 4u, 5u, 6u));
 
+// --- Spec validation at registration time ------------------------------------
+
+TEST(SpecValidation, OutOfDomainClassicalValueRejected)
+{
+    // Registration must reject the value, not panic later inside
+    // stats::pointMassExpected mid-check.
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    EXPECT_EXIT(checker.assertClassical("classical", f.q0, 2),
+                ::testing::ExitedWithCode(1),
+                "outside the register domain");
+    EXPECT_EXIT(checker.assertClassical("classical", f.circ.reg("q"), 4),
+                ::testing::ExitedWithCode(1),
+                "outside the register domain");
+    // The top of the domain is still accepted.
+    checker.assertClassical("classical", f.circ.reg("q"), 3);
+    EXPECT_EQ(checker.assertions().size(), 1u);
+}
+
+TEST(SpecValidation, UniformSubsetErrorPathConsistent)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    EXPECT_EXIT(checker.assertUniformSubset("classical", f.q0, {2}),
+                ::testing::ExitedWithCode(1),
+                "outside the register domain");
+}
+
+// --- Holm-Bonferroni family-wise control -------------------------------------
+
+/** Synthetic outcome with a chosen p-value. */
+AssertionOutcome
+syntheticOutcome(double p, AssertionKind kind, double alpha = 0.05)
+{
+    AssertionOutcome out;
+    out.spec.kind = kind;
+    out.spec.alpha = alpha;
+    out.pValue = p;
+    out.effectiveAlpha = alpha;
+    if (kind == AssertionKind::Entangled)
+        out.passed = p <= alpha;
+    else
+        out.passed = p > alpha;
+    return out;
+}
+
+TEST(HolmBonferroni, StepDownOrdering)
+{
+    // p = {0.01, 0.04, 0.04, 0.9} at alpha 0.05: rank 0 clears
+    // 0.05/4 = 0.0125, rank 1 misses 0.05/3, and the step-down stops
+    // — naive per-assertion alpha would have rejected three.
+    std::vector<AssertionOutcome> outcomes{
+        syntheticOutcome(0.04, AssertionKind::Classical),
+        syntheticOutcome(0.9, AssertionKind::Classical),
+        syntheticOutcome(0.01, AssertionKind::Classical),
+        syntheticOutcome(0.04, AssertionKind::Classical),
+    };
+    EXPECT_EQ(applyHolmBonferroni(outcomes), 1u);
+    EXPECT_TRUE(outcomes[0].passed);  // retained by the step-down
+    EXPECT_TRUE(outcomes[1].passed);
+    EXPECT_FALSE(outcomes[2].passed); // the one true rejection
+    EXPECT_TRUE(outcomes[3].passed);
+    EXPECT_NEAR(outcomes[2].effectiveAlpha, 0.05 / 4, 1e-12);
+    EXPECT_NEAR(outcomes[1].effectiveAlpha, 0.05 / 1, 1e-12);
+}
+
+TEST(HolmBonferroni, EntangledSemanticsInverted)
+{
+    // For Entangled assertions rejection of independence is the
+    // *passing* verdict: entanglement claims that squeak under the
+    // naive per-assertion alpha no longer clear the corrected bar.
+    std::vector<AssertionOutcome> outcomes{
+        syntheticOutcome(0.03, AssertionKind::Entangled),
+        syntheticOutcome(0.04, AssertionKind::Entangled),
+    };
+    EXPECT_TRUE(outcomes[0].passed); // naively significant...
+    EXPECT_EQ(applyHolmBonferroni(outcomes), 0u);
+    EXPECT_FALSE(outcomes[0].passed); // 0.03 > 0.05/2: step-down stops
+    EXPECT_FALSE(outcomes[1].passed);
+}
+
+TEST(HolmBonferroni, CheckAllAppliesWhenConfigured)
+{
+    BellFixture f;
+    CheckConfig cfg;
+    cfg.holmBonferroni = true;
+    AssertionChecker checker(f.circ, cfg);
+    checker.assertClassical("classical", f.circ.reg("q"), 0);
+    checker.assertEntangled("entangled", f.q0, f.q1);
+    const auto outcomes = checker.checkAll();
+    EXPECT_TRUE(allPassed(outcomes));
+    // The step-down thresholds were recorded: the smaller p-value was
+    // adjudicated against alpha / 2.
+    const double lo = std::min(outcomes[0].effectiveAlpha,
+                               outcomes[1].effectiveAlpha);
+    EXPECT_NEAR(lo, 0.05 / 2, 1e-12);
+}
+
+// --- Sequential-testing escalation hook --------------------------------------
+
+TEST(Escalation, DecisiveVerdictStopsAtInitialSize)
+{
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertClassical("classical", f.circ.reg("q"), 0);
+
+    EscalationPolicy policy;
+    policy.initialSize = 32;
+    policy.maxSize = 1024;
+    const auto out =
+        checker.checkEscalated(checker.assertions()[0], policy);
+    EXPECT_TRUE(out.passed);
+    EXPECT_EQ(out.ensembleSize, 32u); // p = 1: no escalation needed
+}
+
+TEST(Escalation, CapMatchesPlainCheckBitIdentically)
+{
+    BellFixture f;
+    CheckConfig cfg;
+    cfg.ensembleSize = 128;
+    AssertionChecker checker(f.circ, cfg);
+    checker.assertEntangled("entangled", f.q0, f.q1);
+
+    EscalationPolicy policy;
+    policy.initialSize = 128;
+    policy.maxSize = 128;
+    const auto escalated =
+        checker.checkEscalated(checker.assertions()[0], policy);
+    const auto plain = checker.check(checker.assertions()[0]);
+    EXPECT_EQ(escalated.pValue, plain.pValue);
+    EXPECT_EQ(escalated.statistic, plain.statistic);
+    EXPECT_EQ(escalated.ensembleSize, plain.ensembleSize);
+}
+
+TEST(Escalation, UnderpoweredEntangledAssertionEscalates)
+{
+    // An entangled assertion passes by *rejecting* independence; a
+    // tiny ensemble cannot reject at a strict alpha, so escalation
+    // must keep growing the ensemble until the correlation shows
+    // instead of declaring failure from weak evidence.
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+    checker.assertEntangled("entangled", f.q0, f.q1, 0.001);
+
+    EscalationPolicy policy;
+    policy.initialSize = 8;
+    policy.maxSize = 1024;
+    const auto out =
+        checker.checkEscalated(checker.assertions()[0], policy);
+    EXPECT_TRUE(out.passed);
+    EXPECT_GT(out.ensembleSize, 8u);
+}
+
+TEST(Escalation, InconclusiveProbeGrowsTheEnsemble)
+{
+    // A distribution hypothesis mildly off the true one: small
+    // ensembles land in the inconclusive band and escalate; the
+    // final verdict is decisive or at the cap, and deterministic.
+    Circuit circ;
+    const auto q = circ.addRegister("q", 1);
+    circ.h(q[0]);
+    circ.breakpoint("bp");
+
+    AssertionChecker checker(circ);
+    AssertionSpec spec;
+    spec.kind = AssertionKind::Distribution;
+    spec.breakpoint = "bp";
+    spec.regA = q;
+    spec.expectedProbs = {0.38, 0.62}; // truth is {0.5, 0.5}
+    spec.alpha = 0.01;
+
+    EscalationPolicy policy;
+    policy.initialSize = 64;
+    policy.maxSize = 4096;
+    const auto out = checker.checkEscalated(spec, policy);
+    EXPECT_GT(out.ensembleSize, 64u);
+    EXPECT_TRUE(out.pValue <= spec.alpha ||
+                out.pValue >= policy.passThreshold ||
+                out.ensembleSize == policy.maxSize);
+
+    const auto again = checker.checkEscalated(spec, policy);
+    EXPECT_EQ(out.ensembleSize, again.ensembleSize);
+    EXPECT_EQ(out.pValue, again.pValue);
+}
+
 } // anonymous namespace

@@ -190,6 +190,53 @@ TEST(Chi2Gof, TwoSampleDifferentRejects)
     EXPECT_LT(res.pValue, 1e-10);
 }
 
+TEST(Chi2Gof, TwoSampleUnequalTotalsKnownValues)
+{
+    // NR §14.3 unequal-N scaling, references precomputed externally.
+    // r = {10, 20, 30} (R = 60) vs s = {30, 30, 60} (S = 120): bin
+    // terms (sqrt(2)·r - s/sqrt(2))^2 / (r+s) = 50/40, 50/50, 0, so
+    // the statistic is exactly 2.25. Independently-sized samples (NR
+    // knstrn = 0) keep df = 3 bins:
+    // p = erfc(sqrt(x/2)) + sqrt(2x/pi) exp(-x/2) = 0.5221671895.
+    const auto res =
+        chiSquareTwoSample({10, 20, 30}, {30, 30, 60}, 0);
+    EXPECT_NEAR(res.statistic, 2.25, 1e-12);
+    EXPECT_EQ(res.df, 3.0);
+    EXPECT_NEAR(res.pValue, 0.5221671895353913, 1e-9);
+
+    // The default constraints = 1 (totals constrained equal by
+    // construction) on the same bins: df = 2,
+    // p = exp(-2.25/2) = 0.32465246735834974.
+    const auto con = chiSquareTwoSample({10, 20, 30}, {30, 30, 60});
+    EXPECT_EQ(con.df, 2.0);
+    EXPECT_NEAR(con.pValue, 0.32465246735834974, 1e-9);
+
+    // Two bins, r = {25, 35} (R = 60) vs s = {60, 40} (S = 100):
+    // statistic 5.061437908496732; with knstrn = 0, df = 2 and
+    // p = exp(-stat/2) = 0.07960176967759289.
+    const auto res2 = chiSquareTwoSample({25, 35}, {60, 40}, 0);
+    EXPECT_NEAR(res2.statistic, 5.061437908496732, 1e-9);
+    EXPECT_NEAR(res2.pValue, 0.07960176967759289, 1e-9);
+}
+
+TEST(Chi2Gof, TwoSampleProportionalSamplesPass)
+{
+    // The equal-N formula would reject identical *shapes* of unequal
+    // size; the scaled statistic is exactly zero for s = 3r.
+    const auto res =
+        chiSquareTwoSample({5, 10, 15}, {15, 30, 45});
+    EXPECT_NEAR(res.statistic, 0.0, 1e-12);
+    EXPECT_NEAR(res.pValue, 1.0, 1e-12);
+}
+
+TEST(Chi2Gof, TwoSampleEqualTotalsBitIdentical)
+{
+    // R == S must reproduce the unscaled formula bit for bit.
+    const auto res =
+        chiSquareTwoSample({10, 20, 30}, {12, 18, 30});
+    EXPECT_EQ(res.statistic, 4.0 / 22.0 + 4.0 / 38.0);
+}
+
 // --- Contingency tables --------------------------------------------------
 
 TEST(Contingency, PaperBellTablePValue)
