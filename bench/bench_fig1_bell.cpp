@@ -44,11 +44,10 @@ main()
     sweep.setHeader({"M", "n00", "n01", "n10", "n11", "chi2", "df",
                      "p-value", "verdict"});
     for (std::size_t m : {16u, 32u, 64u, 256u, 1024u}) {
-        assertions::CheckConfig cfg;
-        cfg.ensembleSize = m;
-        assertions::AssertionChecker checker(program, cfg);
-        checker.assertEntangled("entangled", q0, q1);
-        const auto o = checker.check(checker.assertions()[0]);
+        session::Session s(program);
+        s.ensembleSize(m);
+        const auto o =
+            s.at("entangled").expectEntangled(q0, q1).outcome();
 
         auto count = [&](unsigned a, unsigned b) {
             const auto it = o.jointCounts.find({a, b});
@@ -70,12 +69,12 @@ main()
     // --- Negative control: before the CNOT. --------------------------------
     std::cout << "negative control at breakpoint 'superposition' "
                  "(independent qubits):\n";
-    assertions::CheckConfig cfg;
-    cfg.ensembleSize = 1024;
-    assertions::AssertionChecker checker(program, cfg);
-    checker.assertEntangled("superposition", q0, q1);
-    checker.assertProduct("superposition", q0, q1);
-    std::cout << assertions::renderReport(checker.checkAll());
+    session::Session s(program);
+    s.ensembleSize(1024);
+    auto before_cnot = s.at("superposition");
+    before_cnot.expectEntangled(q0, q1);
+    before_cnot.expectProduct(q0, q1);
+    std::cout << s.report();
 
     return 0;
 }

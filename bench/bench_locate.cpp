@@ -9,11 +9,13 @@
  * Run with --benchmark_counters_tabular=true; the "probes" and
  * "measurements" counters are the headline numbers — the adaptive
  * search needs O(log n) probes where the scan needs one per
- * instruction boundary.
+ * instruction boundary. --json <path> writes the machine-readable
+ * BENCH_*.json record.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "benchjson_main.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -158,4 +160,4 @@ BENCHMARK(BM_LocateLinearScan)->Arg(0)->Arg(1)->Arg(2)
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+QSA_BENCHJSON_MAIN("bench_locate");

@@ -8,11 +8,13 @@
  * memory bandwidth saturates, with bit-identical histograms at every
  * thread count (the determinism contract of runtime/ensemble.hh).
  *
- * Run with --benchmark_counters_tabular=true for a shots/sec table.
+ * Run with --benchmark_counters_tabular=true for a shots/sec table,
+ * and with --json <path> for the machine-readable BENCH_*.json record.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "benchjson_main.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -136,4 +138,4 @@ BENCHMARK(BM_BatchFanout)
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+QSA_BENCHJSON_MAIN("bench_runtime_scaling");

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * google-benchmark glue for the qsa::benchjson trajectory files.
+ *
+ * Replace BENCHMARK_MAIN() with QSA_BENCHJSON_MAIN("bench_name") to
+ * accept `--json <path>` alongside the normal benchmark flags: runs
+ * print to the console exactly as before, and when the flag is given
+ * every run is additionally teed into one machine-readable JSON
+ * document (format: src/common/benchjson.hh). This header is
+ * bench-only on purpose — libqsa carries the renderer but never a
+ * benchmark-library dependency.
+ */
+
+#ifndef QSA_BENCH_BENCHJSON_MAIN_HH
+#define QSA_BENCH_BENCHJSON_MAIN_HH
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/benchjson.hh"
+
+namespace qsa::benchjson
+{
+
+/** Console output as usual, plus a Record per successful run. */
+class TeeReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const auto &run : runs) {
+            if (run.error_occurred)
+                continue;
+            Record rec;
+            rec.name = run.benchmark_name();
+            rec.label = run.report_label;
+            rec.iterations = run.iterations;
+            rec.realTime = run.GetAdjustedRealTime();
+            rec.cpuTime = run.GetAdjustedCPUTime();
+            rec.timeUnit = benchmark::GetTimeUnitString(run.time_unit);
+            for (const auto &[name, counter] : run.counters)
+                rec.counters.emplace_back(name, (double)counter.value);
+            records.push_back(std::move(rec));
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<Record> records;
+};
+
+/** The BENCHMARK_MAIN() body with --json teeing bolted on. */
+inline int
+benchMain(const std::string &bench_name, int argc, char **argv)
+{
+    const std::string json_path = extractJsonPath(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    TeeReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!json_path.empty())
+        write(json_path, bench_name, reporter.records);
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace qsa::benchjson
+
+#define QSA_BENCHJSON_MAIN(bench_name)                                \
+    int main(int argc, char **argv)                                   \
+    {                                                                 \
+        return qsa::benchjson::benchMain(bench_name, argc, argv);     \
+    }
+
+#endif // QSA_BENCH_BENCHJSON_MAIN_HH

@@ -4,7 +4,9 @@
  * a programmer replicates the controlled-adder code for a different
  * control count, misroutes a control qubit, and hunts the bug down
  * with entanglement assertions — then fixes it and watches the same
- * assertions go green.
+ * assertions go green. Driven through qsa::session: no breakpoints
+ * are placed in the program; the session addresses the boundary after
+ * the multiplier directly.
  */
 
 #include <iostream>
@@ -36,7 +38,6 @@ buildHarness(Multiplier multiplier, circuit::QubitRegister &ctrl_out,
     circ.prepRegister(anc, 0);
 
     multiplier(circ, ctrl[0], x, b, anc[0]);
-    circ.breakpoint("after_mul");
 
     ctrl_out = ctrl;
     b_out = b;
@@ -49,18 +50,30 @@ checkEntangled(const circuit::Circuit &circ,
                const circuit::QubitRegister &ctrl,
                const circuit::QubitRegister &b, const char *label)
 {
-    assertions::CheckConfig cfg;
-    cfg.ensembleSize = 16; // the ensemble size the paper quotes
-    assertions::AssertionChecker checker(circ, cfg);
-    checker.assertEntangled("after_mul", ctrl, b);
-    const auto o = checker.check(checker.assertions()[0]);
+    session::Session s(circ);
+    s.ensembleSize(16); // the ensemble size the paper quotes
+    auto &expect = s.after(circ.size()).expectEntangled(ctrl, b);
 
     std::cout << "  assert_entangled(ctrl, b) [" << label
-              << "]: p = " << AsciiTable::fmtP(o.pValue) << " -> "
-              << (o.passed ? "PASS (correlated, as expected)"
-                           : "FAIL (no correlation detected)")
+              << "]: p = " << AsciiTable::fmtP(expect.pValue())
+              << " -> "
+              << (expect.passed()
+                      ? "PASS (correlated, as expected)"
+                      : "FAIL (no correlation detected)")
               << "\n";
-    return o.passed;
+    return expect.passed();
+}
+
+/** Exact purity of a register at the end of the program. */
+double
+endPurity(const circuit::Circuit &circ,
+          const circuit::QubitRegister &reg)
+{
+    session::Session s(circ);
+    s.after(circ.size()); // instrument the end boundary
+    return assertions::exactPurity(
+        s.program(), session::Session::boundaryLabel(circ.size()),
+        reg);
 }
 
 } // anonymous namespace
@@ -91,9 +104,7 @@ main()
     std::cout << "multiplier: the bug must be in how the controls\n";
     std::cout << "are routed inside the multiplier.\n";
     std::cout << "Ground truth purity of ctrl: "
-              << AsciiTable::fmt(
-                     assertions::exactPurity(buggy, "after_mul", ctrl),
-                     4)
+              << AsciiTable::fmt(endPurity(buggy, ctrl), 4)
               << " (1.0 = unentangled)\n";
 
     std::cout << "\n== Step 2: fix the control routing ===============\n";
@@ -107,9 +118,7 @@ main()
 
     const bool fixed_passed = checkEntangled(fixed, ctrl, b, "fixed");
     std::cout << "Ground truth purity of ctrl: "
-              << AsciiTable::fmt(
-                     assertions::exactPurity(fixed, "after_mul", ctrl),
-                     4)
+              << AsciiTable::fmt(endPurity(fixed, ctrl), 4)
               << " (< 1.0 = entangled with the target)\n";
 
     std::cout << "\n== Step 3: verify the uncompute path (4.5) =======\n";
@@ -126,16 +135,14 @@ main()
     circ.prepRegister(anc2, 0);
     algo::cModMul(circ, c2[0], x2, b2, 7, 15, anc2[0]);
     algo::cModMulInverse(circ, c2[0], x2, b2, 7, 15, anc2[0]);
-    circ.breakpoint("after_inverse");
 
-    assertions::AssertionChecker checker(circ);
-    checker.assertProduct("after_inverse", c2, b2);
-    checker.assertClassical("after_inverse", b2, 7);
-    const auto outcomes = checker.checkAll();
-    std::cout << assertions::renderReport(outcomes);
+    session::Session s(circ);
+    auto after_inverse = s.after(circ.size());
+    after_inverse.expectProduct(c2, b2);
+    after_inverse.expectClassical(b2, 7);
+    std::cout << s.report();
 
-    const bool ok = !buggy_passed && fixed_passed &&
-                    assertions::allPassed(outcomes);
+    const bool ok = !buggy_passed && fixed_passed && s.allPassed();
     std::cout << (ok ? "\nbug caught, fix verified.\n"
                      : "\nunexpected assertion behaviour!\n");
     return ok ? 0 : 1;

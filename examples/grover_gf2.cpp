@@ -31,17 +31,16 @@ main()
               << prog.iterations << " Grover iterations\n\n";
 
     // --- Structural assertions (Section 5.1.3). ---------------------------
-    assertions::CheckConfig cfg;
-    cfg.ensembleSize = 256;
-    assertions::AssertionChecker checker(prog.circuit, cfg);
-    checker.assertClassical("init", prog.q, 0);
-    checker.assertSuperposition("superposed", prog.q);
-    checker.assertEntangled("oracle_computed", prog.q, prog.work);
-    checker.assertProduct("oracle_uncomputed", prog.q, prog.work);
-    checker.assertClassical("oracle_uncomputed", prog.work, 0);
+    session::Session s(prog.circuit);
+    s.ensembleSize(256);
+    s.at("init").expectClassical(prog.q, 0);
+    s.at("superposed").expectSuperposition(prog.q);
+    s.at("oracle_computed").expectEntangled(prog.q, prog.work);
+    auto uncomputed = s.at("oracle_uncomputed");
+    uncomputed.expectProduct(prog.q, prog.work);
+    uncomputed.expectClassical(prog.work, 0);
 
-    const auto outcomes = checker.checkAll();
-    std::cout << assertions::renderReport(outcomes) << "\n";
+    std::cout << s.report() << "\n";
 
     // --- Success probability per iteration. --------------------------------
     std::cout << "success probability after each iteration:\n";
@@ -69,5 +68,5 @@ main()
               << field.square(static_cast<std::uint32_t>(answer))
               << " (target " << config.target << ")\n";
 
-    return assertions::allPassed(outcomes) ? 0 : 1;
+    return s.allPassed() ? 0 : 1;
 }

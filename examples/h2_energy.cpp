@@ -4,7 +4,10 @@
  * case study. Builds the H2/STO-3G model from first-principles
  * integrals, reads the ground-state energy out with iterative phase
  * estimation (exact and Trotterised evolution), and compares against
- * Hartree-Fock and FCI.
+ * Hartree-Fock and FCI. A qsa::session plan validates the evolution
+ * circuit first: the Hartree-Fock preparation must be classical, and
+ * the Trotterised state's outcome distribution must match the exact
+ * marginal — statistical assertions guarding a numerical workload.
  */
 
 #include <cmath>
@@ -28,6 +31,32 @@ main()
 
     const double e_hf = model.hartreeFockEnergy;
     const double e_fci = groundStateEnergy(model.hamiltonian);
+
+    // --- Assert the Trotter evolution circuit before trusting it. --------
+    // |0011> is the Hartree-Fock determinant the IPEA runs start from.
+    {
+        circuit::Circuit evol;
+        const auto sys = evol.addRegister("sys", 4);
+        evol.prepRegister(sys, 0b0011);
+        const std::size_t prepared = evol.size();
+        appendTrotterEvolution(evol, model.hamiltonian, 1.2, 4,
+                               {0, 1, 2, 3});
+
+        session::Session s(evol);
+        s.ensembleSize(512);
+        s.after(prepared).expectClassical(sys, 0b0011);
+        s.after(evol.size())
+            .expectDistribution(
+                sys, assertions::exactMarginal(
+                         s.program(),
+                         session::Session::boundaryLabel(evol.size()),
+                         sys))
+            .named("trotter-evolved distribution");
+        std::cout << "evolution-circuit assertions:\n"
+                  << s.report() << "\n";
+        if (!s.allPassed())
+            return 1;
+    }
 
     // --- IPEA with exact controlled evolution. -----------------------------
     const double e_ref = 1.5, time = 1.2;

@@ -5,10 +5,11 @@
  * Section 4.6 injects a wrong modular inverse into Shor's algorithm
  * ((7, 12) instead of (7, 13)) and shows an output assertion catching
  * it; *finding* the defect was still the programmer's job. This
- * walkthrough hands that job to qsa::locate: the locator brackets the
+ * walkthrough hands that job to qsa::locate through the session
+ * facade: the same session that catches the failure brackets the
  * defective instruction range of the full Shor program with a handful
- * of mirror probes, then the exhaustive linear scan replays the same
- * verdict at every boundary to show what the adaptive search saved.
+ * of mirror probes (session.locate hands the program pair plus the
+ * session's seed, threading, and escalation policy to BugLocator).
  */
 
 #include <iostream>
@@ -37,20 +38,16 @@ main()
     // Step 1: an end-to-end assertion notices *that* something is
     // wrong — the helper register must return to |0> after every
     // controlled U_a, and with the wrong inverse it does not.
-    assertions::AssertionChecker checker(bad.circuit);
-    checker.assertClassical("final", bad.helper, 0);
-    const auto verdict = checker.check(checker.assertions()[0]);
+    session::Session s(bad.circuit);
+    auto &verdict = s.at("final").expectClassical(bad.helper, 0);
     std::cout << "end-to-end helper-cleared assertion: "
-              << (verdict.passed ? "PASS (unexpected!)" : "FAIL")
-              << " (p = " << verdict.pValue << ")\n\n";
+              << (verdict.passed() ? "PASS (unexpected!)" : "FAIL")
+              << " (p = " << verdict.pValue() << ")\n\n";
 
-    // Step 2: the locator finds *where*.
-    locate::LocateConfig cfg;
-    cfg.ensembleSize = 64;
-    cfg.maxEnsembleSize = 1024;
-
-    const locate::BugLocator locator(bad.circuit, good.circuit, cfg);
-    const auto report = locator.locate();
+    // Step 2: the same session hands off to the locator. The
+    // escalation policy doubles as the probe-ensemble schedule.
+    s.use(assertions::EscalationPolicy{64, 1024, 0.30});
+    const auto report = s.locate(good.circuit);
     std::cout << "adaptive search:  " << report.summary() << "\n";
 
     for (const auto &probe : report.probes) {

@@ -1,14 +1,18 @@
 /**
  * @file
- * Quickstart: the paper's Figure 1 example end to end.
+ * Quickstart: the paper's Figure 1 example end to end, driven through
+ * the qsa::session facade.
  *
- * Builds the two-qubit Bell program, registers one assertion of each
- * of the four statistical types at the appropriate breakpoints, runs
- * the ensemble checker, and prints the report.
+ * Writes the two-qubit Bell circuit with NO pre-placed breakpoints,
+ * addresses raw instruction boundaries with after() (the session
+ * instruments the circuit on demand), registers one assertion of each
+ * of the four statistical types with the fluent builders, and prints
+ * the report — the whole plan executes in one batched ensemble
+ * fan-out.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   ./build/example_quickstart
  */
 
 #include <iostream>
@@ -20,9 +24,15 @@ main()
 {
     using namespace qsa;
 
-    // --- 1. Write the quantum program (Figure 1). -----------------------
-    circuit::Circuit program = algo::buildBellProgram();
-    const auto q = program.reg("q");
+    // --- 1. Write the quantum program (Figure 1, no breakpoints). -------
+    circuit::Circuit program;
+    const auto q = program.addRegister("q", 2);
+    program.prepZ(q[0], 0);
+    program.prepZ(q[1], 0); // boundary 2: classical |00>
+    program.h(q[0]);        // boundary 3: q0 in superposition
+    program.cnot(q[0], q[1]); // boundary 4: the pair is entangled
+    program.measure(q, "m");
+
     const auto q0 = q.slice(0, 1, "q0");
     const auto q1 = q.slice(1, 1, "q1");
 
@@ -30,28 +40,28 @@ main()
               << " qubits, " << program.size() << " instructions)\n";
     std::cout << "OpenQASM:\n" << circuit::toQasm(program) << "\n";
 
-    // --- 2. Register statistical assertions at breakpoints. -------------
-    assertions::CheckConfig config;
-    config.ensembleSize = 256;
+    // --- 2. Register statistical assertions at boundaries. --------------
+    session::Session s(program);
+    s.ensembleSize(256);
 
-    assertions::AssertionChecker checker(program, config);
     // The initial state is classical |00>.
-    checker.assertClassical("classical", q, 0);
+    s.after(2).expectClassical(q, 0);
     // After the Hadamard, qubit 0 is in uniform superposition...
-    checker.assertSuperposition("superposition", q0);
+    s.after(3).expectSuperposition(q0);
     // ...and independent of qubit 1.
-    checker.assertProduct("superposition", q0, q1);
+    s.after(3).expectProduct(q0, q1);
     // After the CNOT the qubits are entangled.
-    checker.assertEntangled("entangled", q0, q1);
+    s.after(4).expectEntangled(q0, q1);
 
-    // --- 3. Check and report. --------------------------------------------
-    const auto outcomes = checker.checkAll();
-    std::cout << assertions::renderReport(outcomes);
+    // --- 3. Check and report (one batched run). --------------------------
+    std::cout << s.report();
 
     // --- 4. Exact (infinite-ensemble) ground truth. ----------------------
-    std::cout << "\nexact joint distribution at 'entangled':\n";
-    const auto joint =
-        assertions::exactJoint(program, "entangled", q0, q1);
+    // The session's resolved program exposes every boundary label, so
+    // the exact oracles work on it directly.
+    std::cout << "\nexact joint distribution after the CNOT:\n";
+    const auto joint = assertions::exactJoint(
+        s.program(), session::Session::boundaryLabel(4), q0, q1);
     AsciiTable t;
     t.setHeader({"P(q0, q1)", "q1=0", "q1=1"});
     for (unsigned a = 0; a < 2; ++a) {
@@ -61,9 +71,11 @@ main()
     }
     std::cout << t.render();
 
-    std::cout << "\npurity of q0 at 'entangled': "
-              << assertions::exactPurity(program, "entangled", q0)
+    std::cout << "\npurity of q0 after the CNOT: "
+              << assertions::exactPurity(
+                     s.program(), session::Session::boundaryLabel(4),
+                     q0)
               << " (0.5 = maximally entangled)\n";
 
-    return assertions::allPassed(outcomes) ? 0 : 1;
+    return s.allPassed() ? 0 : 1;
 }

@@ -39,22 +39,23 @@ main()
         std::cout << " " << gate << "=" << count;
     std::cout << "\n\n";
 
-    // --- Assertion roadmap (Figure 2). ------------------------------------
-    assertions::CheckConfig config;
-    config.ensembleSize = 128;
-    assertions::AssertionChecker checker(prog.circuit, config);
+    // --- Assertion roadmap (Figure 2), one session plan. ------------------
+    session::Session s(prog.circuit);
+    s.ensembleSize(128);
 
-    checker.assertClassical("init", prog.upper, 0);
-    checker.assertClassical("init", prog.lower, 1);
-    checker.assertClassical("init", prog.helper, 0);
-    checker.assertSuperposition("superposed", prog.upper);
-    checker.assertClassical("superposed", prog.lower, 1);
-    checker.assertEntangled("entangled", prog.upper, prog.lower);
-    checker.assertProduct("entangled", prog.upper, prog.helper);
-    checker.assertClassical("final", prog.helper, 0);
+    auto init = s.at("init");
+    init.expectClassical(prog.upper, 0);
+    init.expectClassical(prog.lower, 1);
+    init.expectClassical(prog.helper, 0);
+    auto superposed = s.at("superposed");
+    superposed.expectSuperposition(prog.upper);
+    superposed.expectClassical(prog.lower, 1);
+    auto entangled = s.at("entangled");
+    entangled.expectEntangled(prog.upper, prog.lower);
+    entangled.expectProduct(prog.upper, prog.helper);
+    s.at("final").expectClassical(prog.helper, 0);
 
-    const auto outcomes = checker.checkAll();
-    std::cout << assertions::renderReport(outcomes) << "\n";
+    std::cout << s.report() << "\n";
 
     // --- Exact output distribution. -----------------------------------------
     std::cout << "exact P(output) at 'final' (N&C p.235 expects "
@@ -84,5 +85,5 @@ main()
         std::cout << "factoring failed (unlucky measurements)\n";
     }
 
-    return assertions::allPassed(outcomes) && result.factors ? 0 : 1;
+    return s.allPassed() && result.factors ? 0 : 1;
 }

@@ -23,19 +23,18 @@ main()
               << prog.circuit.size() << " instructions, depth "
               << prog.circuit.depth() << "\n\n";
 
-    assertions::CheckConfig cfg;
-    cfg.ensembleSize = 128;
-    assertions::AssertionChecker checker(prog.circuit, cfg);
+    // The builder instruments semantic breakpoints; the session
+    // addresses them by label.
+    session::Session s(prog.circuit);
+    s.ensembleSize(128);
 
     // Precondition: the shared Bell pair must be entangled.
-    checker.assertEntangled("pair_ready", prog.senderHalf,
-                            prog.receiver);
+    s.at("pair_ready").expectEntangled(prog.senderHalf, prog.receiver);
     // Postcondition: undoing the payload preparation on Bob's qubit
     // returns it to |0> exactly when the payload arrived intact.
-    checker.assertClassical("verified", prog.receiver, 0);
+    s.at("verified").expectClassical(prog.receiver, 0);
 
-    const auto outcomes = checker.checkAll();
-    std::cout << assertions::renderReport(outcomes);
+    std::cout << s.report();
 
     std::cout << "\nBob's qubit P(0) at 'verified': "
               << AsciiTable::fmt(
@@ -43,5 +42,5 @@ main()
                                                prog.receiver)[0],
                      6)
               << "\n";
-    return assertions::allPassed(outcomes) ? 0 : 1;
+    return s.allPassed() ? 0 : 1;
 }

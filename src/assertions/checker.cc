@@ -11,6 +11,7 @@
 #include "circuit/scopes.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "runtime/batch.hh"
 #include "runtime/ensemble.hh"
 #include "stats/histogram.hh"
 
@@ -51,13 +52,8 @@ AssertionChecker::clearRuntimeCache()
 }
 
 void
-AssertionChecker::validateSpec(const AssertionSpec &spec) const
+validateSpecShape(const AssertionSpec &spec)
 {
-    const auto labels = program.breakpointLabels();
-    fatal_if(std::find(labels.begin(), labels.end(), spec.breakpoint) ==
-                 labels.end(),
-             "program has no breakpoint labelled '", spec.breakpoint,
-             "'");
     fatal_if(spec.regA.width() == 0, "assertion on an empty register");
     if (spec.kind == AssertionKind::Entangled ||
         spec.kind == AssertionKind::Product) {
@@ -86,6 +82,8 @@ AssertionChecker::validateSpec(const AssertionSpec &spec) const
                  "expected distribution must have 2^width entries");
         double total = 0.0;
         for (double p : spec.expectedProbs) {
+            fatal_if(!std::isfinite(p),
+                     "non-finite probability in distribution");
             fatal_if(p < 0.0, "negative probability in distribution");
             total += p;
         }
@@ -95,14 +93,47 @@ AssertionChecker::validateSpec(const AssertionSpec &spec) const
 }
 
 void
+validateSpec(const circuit::Circuit &program, const AssertionSpec &spec)
+{
+    fatal_if(!program.hasBreakpoint(spec.breakpoint),
+             "program has no breakpoint labelled '", spec.breakpoint,
+             "'");
+    validateSpecShape(spec);
+}
+
+void
+AssertionChecker::validateSpec(const AssertionSpec &spec) const
+{
+    assertions::validateSpec(program, spec);
+}
+
+std::vector<double>
+uniformSubsetProbs(unsigned width,
+                   const std::vector<std::uint64_t> &support)
+{
+    fatal_if(support.empty(), "support set must be non-empty");
+    std::vector<double> probs(pow2(width), 0.0);
+    for (std::uint64_t v : support) {
+        fatal_if(v >= probs.size(), "support value ", v,
+                 " outside the register domain");
+        probs[v] = 1.0 / support.size();
+    }
+    return probs;
+}
+
+std::string
+defaultSpecName(const AssertionSpec &spec)
+{
+    return assertionKindName(spec.kind) + "@" + spec.breakpoint;
+}
+
+void
 AssertionChecker::addAssertion(const AssertionSpec &spec)
 {
     validateSpec(spec);
     specs.push_back(spec);
-    if (specs.back().name.empty()) {
-        specs.back().name = assertionKindName(spec.kind) + "@" +
-                            spec.breakpoint;
-    }
+    if (specs.back().name.empty())
+        specs.back().name = defaultSpecName(spec);
 }
 
 void
@@ -152,14 +183,9 @@ AssertionChecker::assertUniformSubset(
     const std::string &breakpoint, const circuit::QubitRegister &reg,
     const std::vector<std::uint64_t> &support, double alpha)
 {
-    fatal_if(support.empty(), "support set must be non-empty");
-    std::vector<double> probs(pow2(reg.width()), 0.0);
-    for (std::uint64_t v : support) {
-        fatal_if(v >= probs.size(), "support value ", v,
-                 " outside the register domain");
-        probs[v] = 1.0 / support.size();
-    }
-    assertDistribution(breakpoint, reg, probs, alpha);
+    assertDistribution(breakpoint, reg,
+                       uniformSubsetProbs(reg.width(), support),
+                       alpha);
 }
 
 void
@@ -340,10 +366,18 @@ AssertionChecker::checkWithSize(const AssertionSpec &spec,
 std::vector<AssertionOutcome>
 AssertionChecker::checkAll() const
 {
-    std::vector<AssertionOutcome> outcomes;
-    outcomes.reserve(specs.size());
-    for (const auto &spec : specs)
-        outcomes.push_back(check(spec));
+    // Fan the registered (truncation, assertion) pairs across the
+    // runtime pool — the shared plan-execution path of BatchRunner
+    // and session::Session::run. Every check depends only on (spec,
+    // config, seed), so the outcomes are bit-identical to a serial
+    // per-spec loop (tested in test_runtime.cc). The runner is built
+    // once (call_once: checkAll is const and may race) so dedicated
+    // pools are not respawned per call.
+    std::call_once(runnerOnce, [&] {
+        runner = std::make_unique<runtime::BatchRunner>(
+            config.numThreads);
+    });
+    auto outcomes = runner->checkAll(*this, specs);
     if (config.holmBonferroni)
         applyHolmBonferroni(outcomes);
     return outcomes;

@@ -14,6 +14,7 @@
 #define QSA_ASSERTIONS_CHECKER_HH
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "assertions/spec.hh"
@@ -21,6 +22,7 @@
 
 namespace qsa::runtime
 {
+class BatchRunner;
 class EnsembleEngine;
 } // namespace qsa::runtime
 
@@ -52,12 +54,12 @@ class AssertionChecker
     /** assert_classical(reg, width, value) at a breakpoint. */
     void assertClassical(const std::string &breakpoint,
                          const circuit::QubitRegister &reg,
-                         std::uint64_t value, double alpha = 0.05);
+                         std::uint64_t value, double alpha = kDefaultAlpha);
 
     /** assert_superposition(reg, width) at a breakpoint. */
     void assertSuperposition(const std::string &breakpoint,
                              const circuit::QubitRegister &reg,
-                             double alpha = 0.05);
+                             double alpha = kDefaultAlpha);
 
     /**
      * Extension: assert the register's outcomes follow an explicit
@@ -66,7 +68,7 @@ class AssertionChecker
     void assertDistribution(const std::string &breakpoint,
                             const circuit::QubitRegister &reg,
                             const std::vector<double> &probs,
-                            double alpha = 0.05);
+                            double alpha = kDefaultAlpha);
 
     /**
      * Extension: assert the register reads a uniform superposition
@@ -75,19 +77,19 @@ class AssertionChecker
     void assertUniformSubset(const std::string &breakpoint,
                              const circuit::QubitRegister &reg,
                              const std::vector<std::uint64_t> &support,
-                             double alpha = 0.05);
+                             double alpha = kDefaultAlpha);
 
     /** assert_entangled(regA, regB) at a breakpoint. */
     void assertEntangled(const std::string &breakpoint,
                          const circuit::QubitRegister &reg_a,
                          const circuit::QubitRegister &reg_b,
-                         double alpha = 0.05);
+                         double alpha = kDefaultAlpha);
 
     /** assert_product(regA, regB) at a breakpoint. */
     void assertProduct(const std::string &breakpoint,
                        const circuit::QubitRegister &reg_a,
                        const circuit::QubitRegister &reg_b,
-                       double alpha = 0.05);
+                       double alpha = kDefaultAlpha);
 
     /** Register a fully specified assertion. */
     void addAssertion(const AssertionSpec &spec);
@@ -118,9 +120,14 @@ class AssertionChecker
                                     const EscalationPolicy &policy) const;
 
     /**
-     * Check every registered assertion. With
-     * CheckConfig::holmBonferroni the verdicts are re-adjudicated
-     * under Holm-Bonferroni family-wise error control
+     * Check every registered assertion. The (truncation, assertion)
+     * pairs fan across the runtime pool through
+     * runtime::BatchRunner (the same fan-out session::Session::run
+     * uses) instead of a serial per-spec loop; outcomes are
+     * bit-identical to checking each spec serially because every
+     * check depends only on (spec, config, seed). With
+     * CheckConfig::holmBonferroni the verdicts are then
+     * re-adjudicated under Holm-Bonferroni family-wise error control
      * (applyHolmBonferroni below).
      */
     std::vector<AssertionOutcome> checkAll() const;
@@ -157,6 +164,10 @@ class AssertionChecker
      */
     std::unique_ptr<runtime::EnsembleEngine> engine;
 
+    /** checkAll's plan fan-out runner, built on first use. */
+    mutable std::once_flag runnerOnce;
+    mutable std::unique_ptr<runtime::BatchRunner> runner;
+
     void validateSpec(const AssertionSpec &spec) const;
 
     /** check() with an explicit ensemble size (escalation rounds). */
@@ -167,6 +178,42 @@ class AssertionChecker
     gatherEnsemble(const AssertionSpec &spec,
                    std::size_t ensemble_size) const;
 };
+
+/**
+ * Uniform probability vector over exactly `support` within a
+ * width-qubit register's domain (fatal on empty support or
+ * out-of-domain values) — the expansion behind both
+ * AssertionChecker::assertUniformSubset and the session facade's
+ * expectUniformSubset.
+ */
+std::vector<double>
+uniformSubsetProbs(unsigned width,
+                   const std::vector<std::uint64_t> &support);
+
+/**
+ * The default display name for a spec with none set:
+ * "<kind>@<breakpoint>". One definition so checker- and
+ * session-registered assertions render identically.
+ */
+std::string defaultSpecName(const AssertionSpec &spec);
+
+/**
+ * Program-independent assertion-spec validation: register widths,
+ * alpha range, the Classical expected value lying inside the register
+ * domain, and Distribution probability vectors having exactly
+ * 2^width entries that sum to ~1. Rejecting malformed specs at
+ * registration (the facade and the checker both call this) beats
+ * panicking later inside the statistics mid-check.
+ */
+void validateSpecShape(const AssertionSpec &spec);
+
+/**
+ * Full spec validation against a concrete program: everything
+ * validateSpecShape checks, plus the breakpoint label existing in
+ * `program`.
+ */
+void validateSpec(const circuit::Circuit &program,
+                  const AssertionSpec &spec);
 
 /**
  * Holm-Bonferroni step-down family-wise error control over a set of
@@ -215,7 +262,7 @@ autoPlaceScopeAssertions(AssertionChecker &checker,
                          const circuit::Circuit &circ,
                          const circuit::QubitRegister &reg_a,
                          const circuit::QubitRegister &reg_b,
-                         double alpha = 0.05, bool family_wise = true);
+                         double alpha = kDefaultAlpha, bool family_wise = true);
 
 } // namespace qsa::assertions
 

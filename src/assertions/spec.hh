@@ -25,6 +25,14 @@
 namespace qsa::assertions
 {
 
+/**
+ * Default significance level for assertion verdicts — the paper's
+ * working alpha. Centralised so every registration helper, policy
+ * object, and the session facade agree on one value instead of
+ * hard-coding 0.05 per signature.
+ */
+inline constexpr double kDefaultAlpha = 0.05;
+
 /** The statistical assertion types. */
 enum class AssertionKind
 {
@@ -77,7 +85,7 @@ struct AssertionSpec
     std::vector<double> expectedProbs;
 
     /** Significance level for the verdict. */
-    double alpha = 0.05;
+    double alpha = kDefaultAlpha;
 
     /** Optional display name for reports. */
     std::string name;

@@ -400,6 +400,16 @@ Circuit::breakpointLabels() const
     return labels;
 }
 
+bool
+Circuit::hasBreakpoint(const std::string &label) const
+{
+    for (const auto &inst : insts) {
+        if (inst.kind == GateKind::Breakpoint && inst.label == label)
+            return true;
+    }
+    return false;
+}
+
 std::size_t
 Circuit::breakpointPosition(const std::string &label) const
 {

@@ -154,6 +154,9 @@ class Circuit
     /** Labels of all breakpoints in program order. */
     std::vector<std::string> breakpointLabels() const;
 
+    /** True when a breakpoint with the given label exists. */
+    bool hasBreakpoint(const std::string &label) const;
+
     /**
      * Instruction index of the breakpoint with the given label (the
      * number of instructions preceding the marker).

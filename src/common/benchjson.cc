@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bench JSON rendering implementation.
+ */
+
+#include "common/benchjson.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace qsa::benchjson
+{
+
+std::string
+extractJsonPath(int *argc, char **argv)
+{
+    std::string path;
+    int out = 0;
+    for (int i = 0; i < *argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            fatal_if(i + 1 >= *argc, "--json needs a file path");
+            path = argv[++i];
+            continue;
+        }
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            path = argv[i] + 7;
+            fatal_if(path.empty(), "--json needs a file path");
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    for (int i = out; i < *argc; ++i)
+        argv[i] = nullptr;
+    *argc = out;
+    return path;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Shortest decimal that round-trips a double (%.17g always does;
+    // try shorter forms first so 0.25 stays "0.25").
+    char buf[32];
+    for (int precision : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+std::string
+render(const std::string &bench, const std::vector<Record> &records)
+{
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"" << escape(bench) << "\",\n"
+       << "  \"results\": [";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const Record &rec = records[i];
+        os << (i ? ",\n" : "\n") << "    {\"name\": \""
+           << escape(rec.name) << "\"";
+        if (!rec.label.empty())
+            os << ", \"label\": \"" << escape(rec.label) << "\"";
+        os << ", \"iterations\": " << rec.iterations
+           << ", \"real_time\": " << number(rec.realTime)
+           << ", \"cpu_time\": " << number(rec.cpuTime)
+           << ", \"time_unit\": \"" << escape(rec.timeUnit) << "\"";
+        if (!rec.counters.empty()) {
+            os << ", \"counters\": {";
+            for (std::size_t c = 0; c < rec.counters.size(); ++c) {
+                os << (c ? ", " : "") << "\""
+                   << escape(rec.counters[c].first)
+                   << "\": " << number(rec.counters[c].second);
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << (records.empty() ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+void
+write(const std::string &path, const std::string &bench,
+      const std::vector<Record> &records)
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open '", path, "' for writing");
+    out << render(bench, records);
+    out.flush();
+    fatal_if(!out, "failed writing bench JSON to '", path, "'");
+}
+
+} // namespace qsa::benchjson

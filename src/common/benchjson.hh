@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Machine-readable bench output (the BENCH_*.json trajectory files).
+ *
+ * The benches print human-oriented tables; tracking a perf trajectory
+ * across commits needs a stable machine format instead. This helper
+ * is the benchmark-library-agnostic half: a `--json <path>` argv
+ * extractor plus a renderer from flat run records to one JSON
+ * document. The google-benchmark glue (a reporter that tees each run
+ * into a Record) lives header-only in bench/benchjson_main.hh so
+ * libqsa itself never depends on the benchmark library.
+ *
+ * Document shape:
+ *   {
+ *     "bench": "<binary name>",
+ *     "results": [
+ *       {"name": "...", "label": "...", "iterations": N,
+ *        "real_time": t, "cpu_time": t, "time_unit": "ms",
+ *        "counters": {"probes": 15.0, ...}},
+ *       ...
+ *     ]
+ *   }
+ */
+
+#ifndef QSA_COMMON_BENCHJSON_HH
+#define QSA_COMMON_BENCHJSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qsa::benchjson
+{
+
+/** One benchmark run, flattened. */
+struct Record
+{
+    /** Benchmark name (e.g. "BM_LocateAdaptive/0"). */
+    std::string name;
+
+    /** Optional label set by the benchmark (e.g. the fixture name). */
+    std::string label;
+
+    /** Iterations the timing is averaged over. */
+    std::int64_t iterations = 0;
+
+    /** Wall / CPU time per iteration, in `timeUnit`. */
+    double realTime = 0.0;
+    double cpuTime = 0.0;
+
+    /** Unit string for the two times ("ns", "us", "ms", "s"). */
+    std::string timeUnit = "ns";
+
+    /** User counters in insertion order (rates already resolved). */
+    std::vector<std::pair<std::string, double>> counters;
+};
+
+/**
+ * Strip `--json <path>` (or `--json=<path>`) out of argv before the
+ * benchmark library parses it; returns the path, or "" when the flag
+ * is absent. Fatal when the flag is present without a path.
+ */
+std::string extractJsonPath(int *argc, char **argv);
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string escape(const std::string &s);
+
+/**
+ * Format a double as a JSON value: shortest round-trip decimal for
+ * finite values, null for NaN/inf (JSON has no non-finite numbers).
+ */
+std::string number(double v);
+
+/** Render the whole document (see file comment for the shape). */
+std::string render(const std::string &bench,
+                   const std::vector<Record> &records);
+
+/** Render and write to `path`; fatal on I/O failure. */
+void write(const std::string &path, const std::string &bench,
+           const std::vector<Record> &records);
+
+} // namespace qsa::benchjson
+
+#endif // QSA_COMMON_BENCHJSON_HH

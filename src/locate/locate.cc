@@ -436,9 +436,9 @@ runSearch(Prober &prober, const LocateConfig &cfg)
     const std::size_t top = prober.hiBoundary();
 
     const assertions::EscalationPolicy explore{
-        cfg.ensembleSize, cfg.maxEnsembleSize, 0.30};
+        cfg.ensembleSize, cfg.maxEnsembleSize, cfg.passThreshold};
     const assertions::EscalationPolicy confirm{
-        cfg.maxEnsembleSize, cfg.maxEnsembleSize, 0.30};
+        cfg.maxEnsembleSize, cfg.maxEnsembleSize, cfg.passThreshold};
 
     const auto add = [&](const ProbeRecord &rec) {
         report.probes.push_back(rec);
@@ -633,6 +633,12 @@ BugLocator::BugLocator(const circuit::Circuit &suspect,
              "escalation cap below the probe ensemble size");
     fatal_if(config.alpha <= 0.0 || config.alpha >= 1.0,
              "alpha must lie strictly between 0 and 1");
+    // passThreshold <= alpha is legal: the inconclusive band is then
+    // empty and probes simply never escalate (the pre-knob behaviour
+    // for alpha >= 0.30 configs).
+    fatal_if(config.passThreshold <= 0.0 ||
+                 config.passThreshold > 1.0,
+             "escalation pass threshold must lie in (0, 1]");
 }
 
 LocalizationReport

@@ -98,6 +98,13 @@ struct LocateConfig
     /** Per-probe significance level. */
     double alpha = 0.01;
 
+    /**
+     * Escalation pass threshold for inconclusive probes
+     * (assertions::EscalationPolicy::passThreshold semantics): p in
+     * (alpha, passThreshold) doubles the probe ensemble.
+     */
+    double passThreshold = 0.30;
+
     /** Master seed; probe ensembles derive per-boundary streams. */
     std::uint64_t seed = 0x10ca7eb6;
 

@@ -10,6 +10,7 @@
  *  - qsa::runtime    parallel ensemble-execution engine (pool, batch)
  *  - qsa::assertions statistical quantum assertions (the paper's core)
  *  - qsa::locate     statistical bug localization over breakpoints
+ *  - qsa::session    the fluent debugging front-end over all three
  *  - qsa::gf2        binary Galois fields for the Grover oracle
  *  - qsa::chem       Gaussian integrals .. Jordan-Wigner .. Trotter
  *  - qsa::algo       QFT, arithmetic, Shor, Grover, IPEA, Bell
@@ -54,6 +55,7 @@
 #include "runtime/batch.hh"
 #include "runtime/ensemble.hh"
 #include "runtime/pool.hh"
+#include "session/session.hh"
 #include "sim/gates.hh"
 #include "sim/matrix.hh"
 #include "sim/statevector.hh"

@@ -78,6 +78,30 @@ BatchRunner::checkAll(const std::vector<BatchItem> &items)
     return results;
 }
 
+std::vector<assertions::AssertionOutcome>
+BatchRunner::checkAll(const assertions::AssertionChecker &checker,
+                      const std::vector<assertions::AssertionSpec> &specs,
+                      const assertions::EscalationPolicy *escalation)
+{
+    std::vector<assertions::AssertionOutcome> outcomes(specs.size());
+    const auto unit = [&](std::size_t j) {
+        outcomes[j] = escalation
+                          ? checker.checkEscalated(specs[j], *escalation)
+                          : checker.check(specs[j]);
+    };
+    if (specs.size() <= 1) {
+        // No unit-level fan-out to gain: run directly so the one
+        // ensemble still shards its trials across the engine's pool
+        // (a parallelFor(1) body would count as a worker and force
+        // the nested ensemble gather inline).
+        for (std::size_t j = 0; j < specs.size(); ++j)
+            unit(j);
+    } else {
+        poolPtr->parallelFor(specs.size(), unit);
+    }
+    return outcomes;
+}
+
 std::vector<std::vector<assertions::AssertionOutcome>>
 BatchRunner::checkAll(
     const std::vector<const circuit::Circuit *> &programs,

@@ -79,6 +79,24 @@ class BatchRunner
              const assertions::CheckConfig &config =
                  assertions::CheckConfig());
 
+    /**
+     * Fan one checker's specs across this runner's pool, sharing the
+     * checker's engine (truncated-circuit and prefix-state caches)
+     * across all units — the plan-execution path behind both
+     * AssertionChecker::checkAll and session::Session::run. Each
+     * unit's own ensemble generation runs inline on the worker it
+     * lands on (nested parallelFor, pool.hh); a single spec is
+     * checked directly so its ensemble keeps trial-level fan-out.
+     * With `escalation` set, every unit runs the sequential
+     * ensemble-doubling test of AssertionChecker::checkEscalated
+     * instead of a fixed-size check. result[j] is specs[j]'s outcome;
+     * outcomes are bit-identical to a serial per-spec loop.
+     */
+    std::vector<assertions::AssertionOutcome>
+    checkAll(const assertions::AssertionChecker &checker,
+             const std::vector<assertions::AssertionSpec> &specs,
+             const assertions::EscalationPolicy *escalation = nullptr);
+
     /** The pool the assertion units run on. */
     ThreadPool &pool() { return *poolPtr; }
 

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Session facade implementation.
+ */
+
+#include "session/session.hh"
+
+#include <utility>
+
+#include "assertions/report.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "runtime/batch.hh"
+
+namespace qsa::session
+{
+
+namespace
+{
+
+/** Label prefix for on-demand boundary instrumentation. */
+const std::string kBoundaryPrefix = "qsa_session_b";
+
+} // anonymous namespace
+
+// --- Expectation -----------------------------------------------------------
+
+Expectation &
+Expectation::alpha(double a)
+{
+    fatal_if(a <= 0.0 || a >= 1.0,
+             "alpha must lie strictly between 0 and 1");
+    owner->specs[index].alpha = a;
+    owner->stale = true;
+    return *this;
+}
+
+Expectation &
+Expectation::named(const std::string &name)
+{
+    // A display name cannot change a verdict, so existing results are
+    // patched in place instead of invalidating the plan (renaming
+    // after an expensive run must not recompute every ensemble).
+    owner->specs[index].name = name;
+    if (index < owner->results.size())
+        owner->results[index].spec.name = name;
+    return *this;
+}
+
+const assertions::AssertionSpec &
+Expectation::spec() const
+{
+    return owner->specs[index];
+}
+
+const assertions::AssertionOutcome &
+Expectation::outcome()
+{
+    owner->ensureRun();
+    return owner->results[index];
+}
+
+// --- Site ------------------------------------------------------------------
+
+Expectation &
+Site::expectClassical(const circuit::QubitRegister &reg,
+                      std::uint64_t value)
+{
+    assertions::AssertionSpec spec;
+    spec.kind = assertions::AssertionKind::Classical;
+    spec.breakpoint = label;
+    spec.regA = reg;
+    spec.expectedValue = value;
+    return owner->addExpectation(std::move(spec));
+}
+
+Expectation &
+Site::expectSuperposition(const circuit::QubitRegister &reg)
+{
+    assertions::AssertionSpec spec;
+    spec.kind = assertions::AssertionKind::Superposition;
+    spec.breakpoint = label;
+    spec.regA = reg;
+    return owner->addExpectation(std::move(spec));
+}
+
+Expectation &
+Site::expectDistribution(const circuit::QubitRegister &reg,
+                         const std::vector<double> &probs)
+{
+    assertions::AssertionSpec spec;
+    spec.kind = assertions::AssertionKind::Distribution;
+    spec.breakpoint = label;
+    spec.regA = reg;
+    spec.expectedProbs = probs;
+    return owner->addExpectation(std::move(spec));
+}
+
+Expectation &
+Site::expectUniformSubset(const circuit::QubitRegister &reg,
+                          const std::vector<std::uint64_t> &support)
+{
+    return expectDistribution(
+        reg, assertions::uniformSubsetProbs(reg.width(), support));
+}
+
+Expectation &
+Site::expectEntangled(const circuit::QubitRegister &reg_a,
+                      const circuit::QubitRegister &reg_b)
+{
+    assertions::AssertionSpec spec;
+    spec.kind = assertions::AssertionKind::Entangled;
+    spec.breakpoint = label;
+    spec.regA = reg_a;
+    spec.regB = reg_b;
+    return owner->addExpectation(std::move(spec));
+}
+
+Expectation &
+Site::expectProduct(const circuit::QubitRegister &reg_a,
+                    const circuit::QubitRegister &reg_b)
+{
+    assertions::AssertionSpec spec;
+    spec.kind = assertions::AssertionKind::Product;
+    spec.breakpoint = label;
+    spec.regA = reg_a;
+    spec.regB = reg_b;
+    return owner->addExpectation(std::move(spec));
+}
+
+// --- Session ---------------------------------------------------------------
+
+Session::Session(const circuit::Circuit &program,
+                 const assertions::CheckConfig &config)
+    : original(program), cfg(config)
+{
+    fatal_if(cfg.ensembleSize == 0, "ensemble size must be positive");
+}
+
+Session::~Session() = default;
+
+Session &
+Session::ensembleSize(std::size_t size)
+{
+    fatal_if(size == 0, "ensemble size must be positive");
+    cfg.ensembleSize = size;
+    return invalidate();
+}
+
+Session &
+Session::mode(assertions::EnsembleMode m)
+{
+    cfg.mode = m;
+    return invalidate();
+}
+
+Session &
+Session::seed(std::uint64_t s)
+{
+    cfg.seed = s;
+    return invalidate();
+}
+
+Session &
+Session::threads(unsigned num_threads)
+{
+    cfg.numThreads = num_threads;
+    return invalidate();
+}
+
+Session &
+Session::gTest(bool enabled)
+{
+    cfg.useGTest = enabled;
+    return invalidate();
+}
+
+Session &
+Session::use(const assertions::EscalationPolicy &policy)
+{
+    fatal_if(policy.initialSize == 0,
+             "escalation needs a positive initial ensemble size");
+    fatal_if(policy.maxSize < policy.initialSize,
+             "escalation cap below the initial ensemble size");
+    fatal_if(policy.passThreshold <= 0.0 || policy.passThreshold > 1.0,
+             "escalation pass threshold must lie in (0, 1]");
+    escalation = policy;
+    stale = true;
+    return *this;
+}
+
+Session &
+Session::use(const HolmBonferroni &policy)
+{
+    familyWise = policy.enabled;
+    stale = true;
+    return *this;
+}
+
+Session &
+Session::invalidate()
+{
+    checker.reset();
+    runner.reset();
+    stale = true;
+    return *this;
+}
+
+Site
+Session::at(const std::string &breakpoint)
+{
+    fatal_if(!original.hasBreakpoint(breakpoint),
+             "program has no breakpoint labelled '", breakpoint, "'");
+    return Site(*this, breakpoint);
+}
+
+Site
+Session::after(std::size_t instructions)
+{
+    fatal_if(instructions > original.size(),
+             "boundary ", instructions, " beyond the program's ",
+             original.size(), " instructions");
+    if (!wantBoundaries) {
+        wantBoundaries = true;
+        invalidate(); // resolved program changes shape
+    }
+    return Site(*this, boundaryLabel(instructions));
+}
+
+std::string
+Session::boundaryLabel(std::size_t boundary)
+{
+    return kBoundaryPrefix + std::to_string(boundary);
+}
+
+Expectation &
+Session::addExpectation(assertions::AssertionSpec spec)
+{
+    assertions::validateSpecShape(spec);
+    specs.push_back(std::move(spec));
+    handles.push_back(Expectation(*this, specs.size() - 1));
+    stale = true;
+    return handles.back();
+}
+
+void
+Session::resolve()
+{
+    if (checker && resolvedWithBoundaries == wantBoundaries)
+        return;
+    resolved = wantBoundaries
+                   ? original.withBoundaryBreakpoints(kBoundaryPrefix)
+                   : original;
+    resolvedWithBoundaries = wantBoundaries;
+    checker =
+        std::make_unique<assertions::AssertionChecker>(resolved, cfg);
+    runner = std::make_unique<runtime::BatchRunner>(cfg.numThreads);
+}
+
+const circuit::Circuit &
+Session::program()
+{
+    resolve();
+    return resolved;
+}
+
+const std::vector<assertions::AssertionOutcome> &
+Session::run()
+{
+    resolve();
+
+    // The checker did not see the registrations, so default the
+    // display names through the shared convention (keeping reports
+    // identical between the two paths) and validate breakpoints
+    // against the resolved program.
+    std::vector<assertions::AssertionSpec> plan = specs;
+    for (auto &spec : plan) {
+        assertions::validateSpec(resolved, spec);
+        if (spec.name.empty())
+            spec.name = assertions::defaultSpecName(spec);
+    }
+
+    results = runner->checkAll(*checker, plan,
+                               escalation ? &*escalation : nullptr);
+    if (familyWise)
+        assertions::applyHolmBonferroni(results);
+    stale = false;
+    return results;
+}
+
+void
+Session::ensureRun()
+{
+    if (stale)
+        run();
+}
+
+const std::vector<assertions::AssertionOutcome> &
+Session::outcomes()
+{
+    ensureRun();
+    return results;
+}
+
+std::string
+Session::report()
+{
+    ensureRun();
+    return assertions::renderReport(results);
+}
+
+bool
+Session::allPassed()
+{
+    ensureRun();
+    return assertions::allPassed(results);
+}
+
+locate::LocateConfig
+Session::locateConfig(locate::Strategy strategy) const
+{
+    locate::LocateConfig lc;
+    lc.strategy = strategy;
+    lc.seed = cfg.seed;
+    lc.numThreads = cfg.numThreads;
+    if (escalation) {
+        lc.ensembleSize = escalation->initialSize;
+        lc.maxEnsembleSize = escalation->maxSize;
+        lc.passThreshold = escalation->passThreshold;
+    }
+    return lc;
+}
+
+locate::LocalizationReport
+Session::locate(const circuit::Circuit &reference,
+                locate::Strategy strategy) const
+{
+    // Localization probes the *original* program: boundary markers
+    // from the session's own instrumentation would only dilute the
+    // locator's boundary indexing.
+    const locate::BugLocator locator(original, reference,
+                                     locateConfig(strategy));
+    return locator.locate();
+}
+
+locate::LocalizationReport
+Session::locate(const circuit::Circuit &reference,
+                const circuit::QubitRegister &reg_a,
+                locate::Strategy strategy) const
+{
+    const locate::BugLocator locator(original, reference,
+                                     locateConfig(strategy));
+    return locator.locateByPredicates(reg_a);
+}
+
+locate::LocalizationReport
+Session::locate(const circuit::Circuit &reference,
+                const circuit::QubitRegister &reg_a,
+                const circuit::QubitRegister &reg_b,
+                locate::Strategy strategy) const
+{
+    const locate::BugLocator locator(original, reference,
+                                     locateConfig(strategy));
+    return locator.locateByPredicates(reg_a, reg_b);
+}
+
+} // namespace qsa::session

@@ -329,6 +329,62 @@ TEST(SpecValidation, UniformSubsetErrorPathConsistent)
                 "outside the register domain");
 }
 
+TEST(SpecValidation, DistributionShapeRejectedAtRegistration)
+{
+    // Matching the Classical treatment: malformed expectedProbs die
+    // at registration, not later inside the chi-square machinery.
+    BellFixture f;
+    AssertionChecker checker(f.circ);
+
+    // Wrong length: a 1-qubit register needs exactly 2 entries.
+    EXPECT_EXIT(checker.assertDistribution("classical", f.q0,
+                                           {0.5, 0.25, 0.25}),
+                ::testing::ExitedWithCode(1), "2\\^width entries");
+    EXPECT_EXIT(checker.assertDistribution("classical", f.q0, {1.0}),
+                ::testing::ExitedWithCode(1), "2\\^width entries");
+
+    // Not a probability vector.
+    EXPECT_EXIT(checker.assertDistribution("classical", f.q0,
+                                           {0.7, 0.7}),
+                ::testing::ExitedWithCode(1), "must sum to 1");
+    EXPECT_EXIT(checker.assertDistribution("classical", f.q0,
+                                           {-0.5, 1.5}),
+                ::testing::ExitedWithCode(1), "negative probability");
+    const double nan = std::nan("");
+    EXPECT_EXIT(checker.assertDistribution("classical", f.q0,
+                                           {nan, 1.0}),
+                ::testing::ExitedWithCode(1), "non-finite");
+
+    // A well-formed vector (within the 1e-6 sum tolerance) registers.
+    checker.assertDistribution("classical", f.q0,
+                               {0.5 + 4e-7, 0.5});
+    EXPECT_EQ(checker.assertions().size(), 1u);
+}
+
+TEST(SpecValidation, FreeValidatorsShareTheCheckerSemantics)
+{
+    // validateSpecShape / validateSpec are the registration gate the
+    // session facade uses; they must agree with the checker's.
+    BellFixture f;
+    AssertionSpec spec;
+    spec.kind = AssertionKind::Distribution;
+    spec.breakpoint = "classical";
+    spec.regA = f.q0;
+    spec.expectedProbs = {0.5, 0.5};
+    validateSpecShape(spec);          // well-formed: no exit
+    validateSpec(f.circ, spec);       // breakpoint exists: no exit
+
+    spec.expectedProbs = {0.25, 0.25, 0.25, 0.25};
+    EXPECT_EXIT(validateSpecShape(spec), ::testing::ExitedWithCode(1),
+                "2\\^width entries");
+
+    spec.expectedProbs = {0.5, 0.5};
+    spec.breakpoint = "missing";
+    EXPECT_EXIT(validateSpec(f.circ, spec),
+                ::testing::ExitedWithCode(1),
+                "no breakpoint labelled");
+}
+
 // --- Holm-Bonferroni family-wise control -------------------------------------
 
 /** Synthetic outcome with a chosen p-value. */

@@ -1,14 +1,19 @@
 /**
  * @file
- * Unit tests for src/common: bit utilities, RNG, tables.
+ * Unit tests for src/common: bit utilities, RNG, tables, and the
+ * bench JSON renderer.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "common/benchjson.hh"
 #include "common/bits.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -211,6 +216,85 @@ TEST(Table, FormatsDoubles)
     EXPECT_EQ(AsciiTable::fmt(1.0, 0), "1");
     EXPECT_EQ(AsciiTable::fmtP(1.5), "1.0000");
     EXPECT_EQ(AsciiTable::fmtP(-0.2), "0.0000");
+}
+
+// --- benchjson --------------------------------------------------------------
+
+TEST(BenchJson, ExtractJsonPathStripsTheFlag)
+{
+    char a0[] = "bench", a1[] = "--benchmark_filter=Locate";
+    char a2[] = "--json", a3[] = "/tmp/out.json", a4[] = "--v=1";
+    char *argv[] = {a0, a1, a2, a3, a4};
+    int argc = 5;
+    EXPECT_EQ(benchjson::extractJsonPath(&argc, argv),
+              "/tmp/out.json");
+    ASSERT_EQ(argc, 3);
+    EXPECT_STREQ(argv[0], "bench");
+    EXPECT_STREQ(argv[1], "--benchmark_filter=Locate");
+    EXPECT_STREQ(argv[2], "--v=1");
+
+    char b0[] = "bench", b1[] = "--json=trajectory.json";
+    char *bargv[] = {b0, b1};
+    int bargc = 2;
+    EXPECT_EQ(benchjson::extractJsonPath(&bargc, bargv),
+              "trajectory.json");
+    EXPECT_EQ(bargc, 1);
+
+    char c0[] = "bench";
+    char *cargv[] = {c0};
+    int cargc = 1;
+    EXPECT_EQ(benchjson::extractJsonPath(&cargc, cargv), "");
+    EXPECT_EQ(cargc, 1);
+}
+
+TEST(BenchJson, EscapeAndNumber)
+{
+    EXPECT_EQ(benchjson::escape("plain"), "plain");
+    EXPECT_EQ(benchjson::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    EXPECT_EQ(benchjson::escape(std::string(1, '\x01')), "\\u0001");
+
+    EXPECT_EQ(benchjson::number(0.25), "0.25");
+    EXPECT_EQ(benchjson::number(15.0), "15");
+    EXPECT_EQ(benchjson::number(std::nan("")), "null");
+    EXPECT_EQ(benchjson::number(HUGE_VAL), "null");
+    // Shortest form must still round-trip exactly.
+    const double v = 10.430104999613832;
+    EXPECT_EQ(std::strtod(benchjson::number(v).c_str(), nullptr), v);
+}
+
+TEST(BenchJson, RenderShape)
+{
+    benchjson::Record rec;
+    rec.name = "BM_Locate/1";
+    rec.label = "misrouted-control";
+    rec.iterations = 3;
+    rec.realTime = 10.5;
+    rec.cpuTime = 10.25;
+    rec.timeUnit = "ms";
+    rec.counters = {{"probes", 11.0}, {"boundaries", 270.0}};
+
+    const std::string doc = benchjson::render("bench_locate", {rec});
+    EXPECT_NE(doc.find("\"bench\": \"bench_locate\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"BM_Locate/1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"label\": \"misrouted-control\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"iterations\": 3"), std::string::npos);
+    EXPECT_NE(doc.find("\"real_time\": 10.5"), std::string::npos);
+    EXPECT_NE(doc.find("\"time_unit\": \"ms\""), std::string::npos);
+    EXPECT_NE(doc.find("\"probes\": 11"), std::string::npos);
+    EXPECT_NE(doc.find("\"boundaries\": 270"), std::string::npos);
+
+    // No label / no counters → the optional fields vanish; an empty
+    // record list still renders a valid document.
+    benchjson::Record bare;
+    bare.name = "BM_X";
+    const std::string slim = benchjson::render("b", {bare});
+    EXPECT_EQ(slim.find("\"label\""), std::string::npos);
+    EXPECT_EQ(slim.find("\"counters\""), std::string::npos);
+    EXPECT_NE(benchjson::render("b", {}).find("\"results\": []"),
+              std::string::npos);
 }
 
 } // anonymous namespace

@@ -409,6 +409,78 @@ TEST(BatchRunner, MatchesSerialCheckAll)
     EXPECT_FALSE(batch[1][0].passed);
 }
 
+TEST(BatchRunner, BatchedCheckAllMatchesSerialPerSpecLoop)
+{
+    // AssertionChecker::checkAll now fans its specs through
+    // BatchRunner; the satellite contract is that the batched plan is
+    // bit-identical to checking each spec serially, at any thread
+    // count and in both ensemble modes.
+    const auto program = bellProgram();
+    for (auto mode : {assertions::EnsembleMode::Resimulate,
+                      assertions::EnsembleMode::SampleFinalState}) {
+        for (unsigned threads : {1u, 4u, 0u}) {
+            assertions::CheckConfig cfg;
+            cfg.ensembleSize = 192;
+            cfg.mode = mode;
+            cfg.numThreads = threads;
+            assertions::AssertionChecker checker(program, cfg);
+            checker.assertClassical("pair", program.reg("a"), 0, 0.2);
+            checker.assertSuperposition("pair", program.reg("a"));
+            checker.assertEntangled("pair", program.reg("a"),
+                                    program.reg("b"));
+            checker.assertProduct("pair", program.reg("a"),
+                                  program.reg("b"));
+
+            const auto batched = checker.checkAll();
+            ASSERT_EQ(batched.size(), 4u);
+            for (std::size_t i = 0; i < batched.size(); ++i) {
+                const auto serial =
+                    checker.check(checker.assertions()[i]);
+                EXPECT_EQ(batched[i].pValue, serial.pValue);
+                EXPECT_EQ(batched[i].statistic, serial.statistic);
+                EXPECT_EQ(batched[i].df, serial.df);
+                EXPECT_EQ(batched[i].passed, serial.passed);
+                EXPECT_EQ(batched[i].countsA, serial.countsA);
+                EXPECT_EQ(batched[i].jointCounts, serial.jointCounts);
+            }
+        }
+    }
+}
+
+TEST(BatchRunner, SharedCheckerOverloadMatchesDirectChecks)
+{
+    // The BatchRunner::checkAll(checker, specs) overload — the plan
+    // executor behind checkAll and Session::run — shares one engine
+    // across units and stays bit-identical, with or without an
+    // escalation policy.
+    const auto program = bellProgram();
+    assertions::CheckConfig cfg;
+    cfg.ensembleSize = 64;
+    assertions::AssertionChecker checker(program, cfg);
+    checker.assertSuperposition("pair", program.reg("a"));
+    checker.assertEntangled("pair", program.reg("a"),
+                            program.reg("b"));
+    const auto &specs = checker.assertions();
+
+    runtime::BatchRunner runner(4);
+    const auto plain = runner.checkAll(checker, specs);
+    ASSERT_EQ(plain.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto want = checker.check(specs[i]);
+        EXPECT_EQ(plain[i].pValue, want.pValue);
+        EXPECT_EQ(plain[i].countsA, want.countsA);
+    }
+
+    const assertions::EscalationPolicy policy{16, 256, 0.30};
+    const auto escalated = runner.checkAll(checker, specs, &policy);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto want = checker.checkEscalated(specs[i], policy);
+        EXPECT_EQ(escalated[i].pValue, want.pValue);
+        EXPECT_EQ(escalated[i].ensembleSize, want.ensembleSize);
+        EXPECT_EQ(escalated[i].passed, want.passed);
+    }
+}
+
 TEST(BatchRunner, PerItemConfigsAreHonoured)
 {
     const auto bell = bellProgram();
