@@ -93,13 +93,52 @@ wrongInversePair()
     return pair;
 }
 
+/**
+ * Measured teleportation with a broken verify mirror *after* the
+ * Bell measurement and its conditioned corrections — localizable
+ * only by the Resimulate probe family.
+ */
+std::pair<Circuit, Circuit>
+measuredTeleportPair()
+{
+    constexpr double theta = 1.1;
+    constexpr double phi = 0.6;
+    std::pair<Circuit, Circuit> pair;
+    Circuit *circs[] = {&pair.first, &pair.second};
+    for (Circuit *circ : circs) {
+        const bool buggy = circ == &pair.first;
+        const auto msg = circ->addRegister("msg", 1);
+        const auto half = circ->addRegister("half", 1);
+        const auto recv = circ->addRegister("recv", 1);
+        circ->prepZ(msg[0], 0);
+        circ->prepZ(half[0], 0);
+        circ->prepZ(recv[0], 0);
+        circ->ry(msg[0], theta);
+        circ->rz(msg[0], phi);
+        circ->h(half[0]);
+        circ->cnot(half[0], recv[0]);
+        circ->cnot(msg[0], half[0]);
+        circ->h(msg[0]);
+        circ->measureQubits({half[0]}, "m_x");
+        circ->measureQubits({msg[0]}, "m_z");
+        circ->x(recv[0]);
+        circ->conditionLast("m_x", 1);
+        circ->z(recv[0]);
+        circ->conditionLast("m_z", 1);
+        circ->rz(recv[0], -phi);
+        circ->ry(recv[0], buggy ? theta : -theta);
+    }
+    return pair;
+}
+
 std::pair<Circuit, Circuit>
 fixturePair(int which)
 {
     switch (which) {
       case 0: return flippedAdderPair();
       case 1: return misroutedPair();
-      default: return wrongInversePair();
+      case 2: return wrongInversePair();
+      default: return measuredTeleportPair();
     }
 }
 
@@ -109,17 +148,21 @@ fixtureName(int which)
     switch (which) {
       case 0: return "flipped-adder";
       case 1: return "misrouted-control";
-      default: return "wrong-inverse";
+      case 2: return "wrong-inverse";
+      default: return "measured-teleport";
     }
 }
 
 void
-runLocate(benchmark::State &state, locate::Strategy strategy)
+runLocate(benchmark::State &state, locate::Strategy strategy,
+          assertions::EnsembleMode mode =
+              assertions::EnsembleMode::SampleFinalState)
 {
     const auto pair = fixturePair((int)state.range(0));
 
     locate::LocateConfig cfg;
     cfg.strategy = strategy;
+    cfg.mode = mode;
     cfg.ensembleSize = 64;
     cfg.maxEnsembleSize = 1024;
     const locate::BugLocator locator(pair.first, pair.second, cfg);
@@ -156,6 +199,28 @@ BM_LocateLinearScan(benchmark::State &state)
     runLocate(state, locate::Strategy::LinearScan);
 }
 BENCHMARK(BM_LocateLinearScan)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Resimulate-mode probes: the same unitary fixtures (cost of lifting
+// the measurement clamp when nothing needs it — the runtime's cached
+// deterministic head keeps it near the sampling path) plus the
+// measurement-bearing teleport fixture only this mode can localize.
+void
+BM_LocateResimulate(benchmark::State &state)
+{
+    runLocate(state, locate::Strategy::AdaptiveBinarySearch,
+              assertions::EnsembleMode::Resimulate);
+}
+BENCHMARK(BM_LocateResimulate)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_LocateResimulateScan(benchmark::State &state)
+{
+    runLocate(state, locate::Strategy::LinearScan,
+              assertions::EnsembleMode::Resimulate);
+}
+BENCHMARK(BM_LocateResimulateScan)->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace

@@ -142,6 +142,12 @@ main()
     after_inverse.expectClassical(b2, 7);
     std::cout << s.report();
 
+    // The same outcome table, machine-readable: CI and trajectory
+    // tooling consume this the way they consume BENCH_*.json.
+    const char *json_path = "debug_session.json";
+    s.exportJson(json_path);
+    std::cout << "outcome table exported to " << json_path << "\n";
+
     const bool ok = !buggy_passed && fixed_passed && s.allPassed();
     std::cout << (ok ? "\nbug caught, fix verified.\n"
                      : "\nunexpected assertion behaviour!\n");

@@ -268,6 +268,13 @@ AssertionChecker::check(const AssertionSpec &spec) const
 }
 
 AssertionOutcome
+AssertionChecker::check(const AssertionSpec &spec,
+                        std::size_t ensemble_size) const
+{
+    return checkWithSize(spec, ensemble_size);
+}
+
+AssertionOutcome
 AssertionChecker::checkEscalated(const AssertionSpec &spec,
                                  const EscalationPolicy &policy) const
 {

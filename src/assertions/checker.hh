@@ -108,6 +108,17 @@ class AssertionChecker
     AssertionOutcome check(const AssertionSpec &spec) const;
 
     /**
+     * As check(), with an explicit ensemble size overriding
+     * CheckConfig::ensembleSize for this one check — the primitive
+     * behind per-expectation ensemble-size overrides on the session
+     * facade. Identical seed derivation: the outcome is bit-identical
+     * to check() under a config whose ensembleSize equals
+     * `ensemble_size`.
+     */
+    AssertionOutcome check(const AssertionSpec &spec,
+                           std::size_t ensemble_size) const;
+
+    /**
      * Sequential-testing variant of check(): starts at
      * policy.initialSize measurements and doubles the ensemble while
      * the verdict is inconclusive (p in (alpha, passThreshold)), up

@@ -330,7 +330,7 @@ Circuit::appendControlled(const Circuit &other,
 }
 
 Circuit
-Circuit::inverse() const
+Circuit::inverse(bool invert_conditioned) const
 {
     Circuit inv(nQubits);
     inv.regs = regs;
@@ -340,7 +340,12 @@ Circuit::inverse() const
         fatal_if(!gateKindInvertible(inst.kind),
                  "cannot invert non-unitary instruction ",
                  gateKindName(inst.kind));
-        fatal_if(!inst.condLabel.empty(),
+        // A classically-conditioned gate inverts to its adjoint under
+        // the same condition: `if (c == v) U` then `if (c == v) U+`
+        // cancels exactly, provided the record `c` is not rewritten in
+        // between — an invariant only the caller can guarantee (see
+        // the header comment), so it is opt-in.
+        fatal_if(!invert_conditioned && !inst.condLabel.empty(),
                  "cannot invert a classically-conditioned instruction");
 
         switch (inst.kind) {

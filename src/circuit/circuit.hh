@@ -136,9 +136,16 @@ class Circuit
     /**
      * Adjoint of this circuit (reversed order, inverted gates) — the
      * mirroring pattern used for uncomputation. Panics if the circuit
-     * contains non-invertible instructions.
+     * contains non-invertible instructions (Measure, PrepZ), and — by
+     * default — classically-conditioned gates: `if (c == v) U`
+     * inverts to `if (c == v) U+` only when the record `c` is not
+     * rewritten between the original and the mirror, an invariant the
+     * circuit cannot check for its caller. Callers that do guarantee
+     * it (the locate mirror probes invert measure-free segments, so
+     * no record can change inside them) pass
+     * `invert_conditioned = true` to lift the guard.
      */
-    Circuit inverse() const;
+    Circuit inverse(bool invert_conditioned = false) const;
 
     /** @} */
     /** @{ @name Introspection */

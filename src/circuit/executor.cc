@@ -41,6 +41,32 @@ gateMatrix(const Instruction &inst)
 } // anonymous namespace
 
 void
+applyUnitaryInstruction(const Circuit &circ, const Instruction &inst,
+                        sim::StateVector &state)
+{
+    switch (inst.kind) {
+      case GateKind::Swap:
+        state.applyControlledSwap(inst.controls, inst.targets[0],
+                                  inst.targets[1]);
+        break;
+      case GateKind::Unitary:
+        state.applyControlledUnitary(circ.matrix(inst.matrixId),
+                                     inst.controls, inst.targets);
+        break;
+      case GateKind::Breakpoint:
+        break; // markers are inert during execution
+      case GateKind::PrepZ:
+      case GateKind::Measure:
+        panic("applyUnitaryInstruction cannot execute ",
+              gateKindName(inst.kind));
+      default:
+        state.applyControlled(gateMatrix(inst), inst.controls,
+                              inst.targets[0]);
+        break;
+    }
+}
+
+void
 runCircuitOn(const Circuit &circ, sim::StateVector &state,
              std::map<std::string, std::uint64_t> &measurements,
              Rng &rng)
@@ -62,23 +88,12 @@ runCircuitOn(const Circuit &circ, sim::StateVector &state,
           case GateKind::PrepZ:
             state.prepZ(inst.targets[0], inst.bit, rng);
             break;
-          case GateKind::Swap:
-            state.applyControlledSwap(inst.controls, inst.targets[0],
-                                      inst.targets[1]);
-            break;
-          case GateKind::Unitary:
-            state.applyControlledUnitary(circ.matrix(inst.matrixId),
-                                         inst.controls, inst.targets);
-            break;
           case GateKind::Measure:
             measurements[inst.label] =
                 state.measureQubits(inst.targets, rng);
             break;
-          case GateKind::Breakpoint:
-            break; // markers are inert during full execution
           default:
-            state.applyControlled(gateMatrix(inst), inst.controls,
-                                  inst.targets[0]);
+            applyUnitaryInstruction(circ, inst, state);
             break;
         }
     }
@@ -91,6 +106,129 @@ runCircuit(const Circuit &circ, Rng &rng)
     ExecutionRecord record(circ.numQubits());
     runCircuitOn(circ, record.state, record.measurements, rng);
     return record;
+}
+
+namespace
+{
+
+/**
+ * Branch probabilities below this floor are pruned: they are
+ * floating-point dust (an exactly-impossible outcome whose computed
+ * probability is a rounding error away from zero), and keeping them
+ * would both blow up the branch count and trip the simulator's
+ * zero-probability collapse guard.
+ */
+constexpr double kBranchFloor = 1e-12;
+
+/**
+ * Split one branch on the outcome of measuring `qubit`, appending the
+ * surviving children to `out`. When `label` is non-null the outcome
+ * is recorded into the child's measurement map as bit `bit_index` of
+ * that label's value. When `correct_to_bit` is non-negative the child
+ * is X-corrected to that bit after the collapse (the reset
+ * semantics of StateVector::prepZ).
+ */
+void
+splitOnQubit(ExecutionBranch branch, unsigned qubit,
+             const std::string *label, unsigned bit_index,
+             int correct_to_bit, std::vector<ExecutionBranch> &out)
+{
+    const double p1 = branch.state.probabilityOne(qubit);
+    const double prob[2] = {1.0 - p1, p1};
+
+    // Child 0 first, then child 1: the ordering (and hence every
+    // downstream weighted sum) is deterministic.
+    for (unsigned outcome = 0; outcome < 2; ++outcome) {
+        if (prob[outcome] <= kBranchFloor)
+            continue;
+        const bool last = outcome == 1 || prob[1] <= kBranchFloor;
+        ExecutionBranch child =
+            last ? std::move(branch) : branch; // copy only when split
+        child.weight *= prob[outcome];
+        child.state.projectQubit(qubit, outcome, prob[outcome]);
+        if (label != nullptr) {
+            child.measurements[*label] |=
+                static_cast<std::uint64_t>(outcome) << bit_index;
+        }
+        if (correct_to_bit >= 0 &&
+            outcome != static_cast<unsigned>(correct_to_bit)) {
+            child.state.applyGate(sim::Mat2{0.0, 1.0, 1.0, 0.0},
+                                  qubit);
+        }
+        out.push_back(std::move(child));
+        if (last)
+            break;
+    }
+}
+
+} // anonymous namespace
+
+void
+stepBranches(const Circuit &circ, const Instruction &inst,
+             std::vector<ExecutionBranch> &branches,
+             std::size_t max_branches)
+{
+    std::vector<ExecutionBranch> next;
+    next.reserve(branches.size());
+
+    for (ExecutionBranch &branch : branches) {
+        if (!inst.condLabel.empty()) {
+            const auto it = branch.measurements.find(inst.condLabel);
+            fatal_if(it == branch.measurements.end(),
+                     "conditional instruction references unmeasured "
+                     "label '", inst.condLabel, "'");
+            if (it->second != inst.condValue) {
+                next.push_back(std::move(branch));
+                continue;
+            }
+        }
+        switch (inst.kind) {
+          case GateKind::PrepZ: {
+            // A reset is a measure-then-correct: split on the implicit
+            // measurement, then X-correct each child to |bit> exactly
+            // as StateVector::prepZ would.
+            splitOnQubit(std::move(branch), inst.targets[0], nullptr,
+                         0, static_cast<int>(inst.bit & 1), next);
+            break;
+          }
+          case GateKind::Measure: {
+            std::vector<ExecutionBranch> current;
+            branch.measurements[inst.label] = 0; // overwrite semantics
+            current.push_back(std::move(branch));
+            for (std::size_t i = 0; i < inst.targets.size(); ++i) {
+                std::vector<ExecutionBranch> expanded;
+                for (ExecutionBranch &b : current) {
+                    splitOnQubit(std::move(b), inst.targets[i],
+                                 &inst.label,
+                                 static_cast<unsigned>(i), -1,
+                                 expanded);
+                }
+                // Enforce the cap per qubit, not after the full
+                // register expansion: a wide measured register must
+                // hit the designed fatal, not exhaust memory first.
+                fatal_if(next.size() + expanded.size() > max_branches,
+                         "measurement-branch enumeration exceeded ",
+                         max_branches, " branches (program has too "
+                         "many nondeterministic measurements for "
+                         "exact mixture tracking)");
+                current = std::move(expanded);
+            }
+            for (ExecutionBranch &b : current)
+                next.push_back(std::move(b));
+            break;
+          }
+          default:
+            applyUnitaryInstruction(circ, inst, branch.state);
+            next.push_back(std::move(branch));
+            break;
+        }
+        fatal_if(next.size() > max_branches,
+                 "measurement-branch enumeration exceeded ",
+                 max_branches, " branches (program has too many "
+                 "nondeterministic measurements for exact mixture "
+                 "tracking)");
+    }
+    branches = std::move(next);
 }
 
 } // namespace qsa::circuit

@@ -46,6 +46,58 @@ void runCircuitOn(const Circuit &circ, sim::StateVector &state,
                   std::map<std::string, std::uint64_t> &measurements,
                   Rng &rng);
 
+/**
+ * Apply one deterministic (non-Measure, non-PrepZ) instruction to a
+ * state, ignoring any classical condition — the single gate
+ * interpreter shared by runCircuitOn and stepBranches so both paths
+ * produce bit-identical amplitudes. Breakpoint markers are no-ops;
+ * Measure/PrepZ panic (they need outcome handling).
+ */
+void applyUnitaryInstruction(const Circuit &circ,
+                             const Instruction &inst,
+                             sim::StateVector &state);
+
+/**
+ * One branch of a measurement-resolved execution: the state and the
+ * recorded outcomes *conditional on* one sequence of mid-circuit
+ * measurement results, together with that sequence's probability.
+ * The weights of a branch set always sum to ~1 (up to branches pruned
+ * below stepBranches' probability floor).
+ */
+struct ExecutionBranch
+{
+    /** Probability of this branch's measurement-outcome sequence. */
+    double weight = 1.0;
+
+    /** Quantum state conditional on those outcomes. */
+    sim::StateVector state;
+
+    /** Recorded outcomes keyed by measure label. */
+    std::map<std::string, std::uint64_t> measurements;
+};
+
+/**
+ * Advance every branch through one instruction, exactly. Unitary
+ * instructions evolve each branch in place; Measure and PrepZ split a
+ * branch into one child per outcome with the exact outcome
+ * probabilities (children below a ~1e-12 probability floor are
+ * pruned, so floating-point dust does not spawn branches);
+ * classically-conditioned instructions fire per branch against that
+ * branch's own measurement record. This is the deterministic,
+ * RNG-free counterpart of runCircuitOn: the weighted branch set is
+ * the exact output mixture of the program, and each branch's state is
+ * bit-identical to a sampled run that landed on the same outcomes.
+ * For a measurement-free circuit the single branch's evolution is
+ * bit-identical to runCircuitOn's.
+ *
+ * Fatal when the branch count would exceed `max_branches` (the
+ * enumeration is exponential in the number of nondeterministic
+ * measurements; callers bound it).
+ */
+void stepBranches(const Circuit &circ, const Instruction &inst,
+                  std::vector<ExecutionBranch> &branches,
+                  std::size_t max_branches);
+
 } // namespace qsa::circuit
 
 #endif // QSA_CIRCUIT_EXECUTOR_HH

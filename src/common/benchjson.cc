@@ -116,11 +116,17 @@ void
 write(const std::string &path, const std::string &bench,
       const std::vector<Record> &records)
 {
+    writeText(path, render(bench, records));
+}
+
+void
+writeText(const std::string &path, const std::string &text)
+{
     std::ofstream out(path);
     fatal_if(!out, "cannot open '", path, "' for writing");
-    out << render(bench, records);
+    out << text;
     out.flush();
-    fatal_if(!out, "failed writing bench JSON to '", path, "'");
+    fatal_if(!out, "failed writing JSON to '", path, "'");
 }
 
 } // namespace qsa::benchjson

@@ -80,6 +80,14 @@ std::string render(const std::string &bench,
 void write(const std::string &path, const std::string &bench,
            const std::vector<Record> &records);
 
+/**
+ * Write an already-rendered JSON document to `path`; fatal on I/O
+ * failure. Shared by the bench writer above and other structured
+ * exporters (session::Session::exportJson) so every machine-readable
+ * artifact goes through one error-checked sink.
+ */
+void writeText(const std::string &path, const std::string &text);
+
 } // namespace qsa::benchjson
 
 #endif // QSA_COMMON_BENCHJSON_HH

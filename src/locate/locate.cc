@@ -28,6 +28,12 @@ namespace
 /** Breakpoint label terminating a mirror-probe program. */
 const std::string kProbeLabel = "qsa_locate_probe";
 
+/**
+ * Breakpoint label between a Resimulate mirror probe's suspect prefix
+ * and its adjoint unwind (the direct-marginal half of a dual probe).
+ */
+const std::string kProbePreLabel = "qsa_locate_probe_pre";
+
 /** Boundary-breakpoint prefix for predicate probes. */
 const std::string kBoundaryPrefix = "qsa_locate_b";
 
@@ -39,6 +45,37 @@ probeable(const circuit::Instruction &inst)
         return false;
     return circuit::gateKindInvertible(inst.kind) ||
            inst.kind == circuit::GateKind::Breakpoint;
+}
+
+/**
+ * Instruction a Resimulate-mode mirror segment can span: anything
+ * whose adjoint exists, conditioned or not (a conditioned gate
+ * inverts under its own condition — exact within a measure-free
+ * segment), plus inert markers. Measure and PrepZ terminate segments.
+ */
+bool
+segmentSpans(const circuit::Instruction &inst)
+{
+    return circuit::gateKindInvertible(inst.kind) ||
+           inst.kind == circuit::GateKind::Breakpoint;
+}
+
+/**
+ * Structural equality of the non-invertible instructions mirror
+ * probes must cross in Resimulate mode: a measure/reset boundary is
+ * crossable only when both programs perform the identical operation
+ * there (same kind, qubits, label, and classical condition), so the
+ * suspect prefix's recorded outcomes are drawn from the same
+ * measurements the reference's conditioned gates refer to.
+ */
+bool
+alignedNonInvertible(const circuit::Instruction &a,
+                     const circuit::Instruction &b)
+{
+    return a.kind == b.kind && a.targets == b.targets &&
+           a.controls == b.controls && a.label == b.label &&
+           a.bit == b.bit && a.condLabel == b.condLabel &&
+           a.condValue == b.condValue;
 }
 
 /** Per-boundary probe seed (escalation keeps the boundary's stream). */
@@ -53,7 +90,7 @@ baseConfig(const LocateConfig &cfg)
 {
     assertions::CheckConfig cc;
     cc.ensembleSize = cfg.ensembleSize;
-    cc.mode = assertions::EnsembleMode::SampleFinalState;
+    cc.mode = cfg.mode;
     cc.seed = cfg.seed;
     cc.numThreads = cfg.numThreads;
     return cc;
@@ -149,8 +186,29 @@ class Prober
 
 /**
  * Mirror probes: suspect prefix followed by the adjoint of the
- * reference prefix, asserted classically equal to the prep state. A
- * single (adaptive) probe runs on its own checker so escalation
+ * reference prefix, asserted classically equal to the prep state.
+ *
+ * In Resimulate mode the adjoint covers the mirror *segment* — back
+ * to the last measure/reset before the boundary — and the assertion
+ * is the oracle's full-space mixture predicate at the segment start
+ * (see locate.hh). A segment unwind alone has two blind spots once
+ * the segment start is a measurement mixture rather than the
+ * classical prologue: divergence whose only trace at the segment
+ * start is a relative phase (a mixture marginal cannot see it the
+ * way a point-mass fidelity check can), and divergence from an
+ * *earlier* segment that the unwind of common instructions cancels.
+ * Probes past the first measurement are therefore *dual*: the probe
+ * program carries one breakpoint before the unwind asserting the
+ * oracle's mixture predicate at the boundary itself (divergence that
+ * reached any computational marginal) and one after the unwind
+ * asserting the segment-start predicate (phase-sensitive within the
+ * segment), each at alpha/2 so the pair keeps the probe's error
+ * budget. Boundaries whose unwind reaches the classical prologue
+ * keep the single point-mass assertion — in particular, on a
+ * measurement-free program the Resimulate probe sequence is
+ * spec-for-spec the same as the default mode's.
+ *
+ * A single (adaptive) probe runs on its own checker so escalation
  * rounds reuse the cached prefix statevector, with the ensemble
  * fanned across the runtime pool; a LinearScan batch fans probe-wise
  * through runtime::BatchRunner in bounded-memory chunks.
@@ -162,6 +220,7 @@ class MirrorProber : public Prober
                  const circuit::Circuit &reference,
                  const LocateConfig &cfg)
         : suspect(suspect), reference(reference), cfg(cfg),
+          resim(cfg.mode == assertions::EnsembleMode::Resimulate),
           runner(cfg.numThreads)
     {
         fatal_if(suspect.numQubits() != reference.numQubits(),
@@ -171,6 +230,11 @@ class MirrorProber : public Prober
                  "mirror probes assert on the full qubit space; ",
                  suspect.numQubits(), " qubits is too wide — use "
                  "locateByPredicates on a register instead");
+        fatal_if(resim && suspect.numQubits() > 16,
+                 "Resimulate mirror probes hold a full-space mixture "
+                 "distribution per segment start; ", suspect.numQubits(),
+                 " qubits is too wide — use locateByPredicates on a "
+                 "register instead");
 
         std::vector<unsigned> qubits(suspect.numQubits());
         for (unsigned q = 0; q < suspect.numQubits(); ++q)
@@ -192,10 +256,21 @@ class MirrorProber : public Prober
 
         hi = common;
         for (std::size_t i = prologue; i < common; ++i) {
-            if (!probeable(si[i]) || !probeable(ri[i])) {
-                hi = i;
-                break;
+            if (resim) {
+                // Resimulate probes cross measures and resets as long
+                // as both programs perform the identical operation
+                // there; structural divergence ends the mirrorable
+                // range (the bracket still contains it: the last
+                // segment's probes fail first).
+                if (segmentSpans(si[i]) && segmentSpans(ri[i]))
+                    continue;
+                if (alignedNonInvertible(si[i], ri[i]))
+                    continue;
+            } else if (probeable(si[i]) && probeable(ri[i])) {
+                continue;
             }
+            hi = i;
+            break;
         }
         fatal_if(hi == 0, "no probeable instruction boundary (does "
                  "the program start with a measurement?)");
@@ -211,6 +286,41 @@ class MirrorProber : public Prober
             circuit::runCircuitOn(step, state, meas, rng);
             refValues.push_back(basisValue(state));
         }
+
+        if (resim) {
+            // Mirror segment starts: segStart[k] is the largest
+            // boundary <= k with only invertible instructions in
+            // between, i.e. where the adjoint unwind of the reference
+            // segment lands.
+            segStart.resize(hi + 1);
+            segStart[0] = 0;
+            for (std::size_t k = 1; k <= hi; ++k) {
+                segStart[k] =
+                    segmentSpans(ri[k - 1]) ? segStart[k - 1] : k;
+            }
+            // The eager oracle records the full-space mixture
+            // predicate at every segment start — and, for a scan
+            // that will probe every boundary anyway, at every
+            // boundary. An adaptive search touches O(log n)
+            // boundaries, so its dual probes derive the per-boundary
+            // marginal predicate lazily instead (oracleAt), keeping
+            // memory at O(probed boundaries * 2^n), not O(n * 2^n).
+            scanAll = cfg.strategy == Strategy::LinearScan;
+            std::vector<std::size_t> boundaries;
+            if (scanAll) {
+                boundaries.resize(hi + 1);
+                for (std::size_t k = 0; k <= hi; ++k)
+                    boundaries[k] = k;
+            } else {
+                boundaries.assign(segStart.begin(), segStart.end());
+                std::sort(boundaries.begin(), boundaries.end());
+                boundaries.erase(std::unique(boundaries.begin(),
+                                             boundaries.end()),
+                                 boundaries.end());
+            }
+            oracle = std::make_unique<PredicateOracle>(
+                reference, allReg, cfg.seed, boundaries);
+        }
     }
 
     ProbeRecord
@@ -225,9 +335,13 @@ class MirrorProber : public Prober
         auto cc = baseConfig(cfg);
         cc.seed = seedFor(cfg.seed, boundary);
         const assertions::AssertionChecker checker(program, cc);
-        return toRecord(boundary,
-                        checker.checkEscalated(specFor(boundary),
-                                               policy));
+
+        const auto specs = specsFor(boundary, /*family_wise=*/false);
+        std::vector<assertions::AssertionOutcome> outcomes;
+        outcomes.reserve(specs.size());
+        for (const auto &spec : specs)
+            outcomes.push_back(checker.checkEscalated(spec, policy));
+        return combineOutcomes(boundary, outcomes);
     }
 
     std::vector<ProbeRecord>
@@ -239,7 +353,8 @@ class MirrorProber : public Prober
         // dropped before the next chunk starts, bounding the scan's
         // memory at kScanChunk prefixes.
         std::vector<assertions::AssertionOutcome> outcomes;
-        outcomes.reserve(boundaries.size());
+        std::vector<std::size_t> spans; // specs per boundary
+        spans.reserve(boundaries.size());
         for (std::size_t base = 0; base < boundaries.size();
              base += kScanChunk) {
             const std::size_t end =
@@ -251,14 +366,32 @@ class MirrorProber : public Prober
                 programs.push_back(buildProbe(boundaries[i]));
                 auto cc = baseConfig(cfg);
                 cc.seed = seedFor(cfg.seed, boundaries[i]);
-                items.push_back(
-                    {&programs.back(), {specFor(boundaries[i])}, cc});
+                const auto specs =
+                    specsFor(boundaries[i], family_wise);
+                spans.push_back(specs.size());
+                items.push_back({&programs.back(), specs, cc});
             }
-            for (const auto &per_item : runner.checkAll(items))
-                outcomes.push_back(per_item[0]);
+            for (const auto &per_item : runner.checkAll(items)) {
+                outcomes.insert(outcomes.end(), per_item.begin(),
+                                per_item.end());
+            }
         }
-        return adjudicateFamily(boundaries, std::move(outcomes),
-                                family_wise);
+        // Family-wise control over every component assertion (mirror
+        // specs are never Entangled, so plain Holm applies), then
+        // fold the components back into one record per boundary.
+        if (family_wise)
+            assertions::applyHolmBonferroni(outcomes);
+        std::vector<ProbeRecord> records;
+        records.reserve(boundaries.size());
+        std::size_t cursor = 0;
+        for (std::size_t i = 0; i < boundaries.size(); ++i) {
+            const std::vector<assertions::AssertionOutcome> group(
+                outcomes.begin() + cursor,
+                outcomes.begin() + cursor + spans[i]);
+            cursor += spans[i];
+            records.push_back(combineOutcomes(boundaries[i], group));
+        }
+        return records;
     }
 
     std::size_t hiBoundary() const override { return hi; }
@@ -267,11 +400,16 @@ class MirrorProber : public Prober
     const circuit::Circuit &suspect;
     const circuit::Circuit &reference;
     LocateConfig cfg;
+    bool resim = false;
     runtime::BatchRunner runner;
     circuit::QubitRegister allReg;
     std::size_t prologue = 0;
     std::size_t hi = 0;
     std::vector<std::uint64_t> refValues;
+    std::vector<std::size_t> segStart;
+    std::unique_ptr<PredicateOracle> oracle;
+    bool scanAll = false;
+    mutable std::map<std::size_t, PredicateOracle> lazyOracles;
 
     static std::uint64_t
     basisValue(const sim::StateVector &state)
@@ -284,30 +422,144 @@ class MirrorProber : public Prober
         panic("reference prologue state is not a basis state");
     }
 
+    /** Where this boundary's adjoint unwind lands. */
+    std::size_t
+    segStartFor(std::size_t boundary) const
+    {
+        return resim ? segStart[boundary]
+                     : std::min(boundary, prologue);
+    }
+
+    /**
+     * The oracle holding the full-space predicate at `boundary`: the
+     * eager one where it recorded the boundary (segment starts; every
+     * boundary under LinearScan), else a lazily built and memoised
+     * single-boundary oracle (one extra measurement-resolved pass —
+     * cheap next to the probe's ensemble). Called from the search
+     * thread only; probe workers never touch the cache.
+     */
+    const PredicateOracle &
+    oracleAt(std::size_t boundary) const
+    {
+        if (scanAll || segStart[boundary] == boundary)
+            return *oracle;
+        auto it = lazyOracles.find(boundary);
+        if (it == lazyOracles.end()) {
+            it = lazyOracles
+                     .emplace(boundary,
+                              PredicateOracle(
+                                  reference, allReg, cfg.seed,
+                                  std::vector<std::size_t>{boundary}))
+                     .first;
+        }
+        return it->second;
+    }
+
+    /**
+     * True when the boundary needs the dual (marginal + unwind)
+     * probe: its unwind lands on a measurement mixture, not the
+     * classical prologue, and is non-trivial.
+     */
+    bool
+    dualProbe(std::size_t boundary) const
+    {
+        if (!resim)
+            return false;
+        const std::size_t start = segStartFor(boundary);
+        return start > prologue && start < boundary;
+    }
+
     circuit::Circuit
     buildProbe(std::size_t boundary) const
     {
         circuit::Circuit probe = suspect.sliceRange(0, boundary);
-        if (boundary > prologue) {
+        if (dualProbe(boundary))
+            probe.breakpoint(kProbePreLabel);
+        const std::size_t start = segStartFor(boundary);
+        if (boundary > start) {
+            // The segment is measure-free by construction, so a
+            // conditioned gate's record cannot change inside it and
+            // conditioned inversion is exact.
             const circuit::Circuit seg = stripMarkers(
-                reference.sliceRange(prologue, boundary));
-            probe.appendCircuit(seg.inverse());
+                reference.sliceRange(start, boundary));
+            probe.appendCircuit(
+                seg.inverse(/*invert_conditioned=*/true));
         }
         probe.breakpoint(kProbeLabel);
         return probe;
     }
 
-    assertions::AssertionSpec
-    specFor(std::size_t boundary) const
+    /**
+     * The probe's component assertions. Adaptive probes split their
+     * alpha across a dual probe's two components (Bonferroni); a
+     * LinearScan family keeps per-spec alpha and lets the batch-level
+     * Holm-Bonferroni step-down control the whole family instead.
+     */
+    std::vector<assertions::AssertionSpec>
+    specsFor(std::size_t boundary, bool family_wise) const
     {
-        assertions::AssertionSpec spec;
-        spec.kind = assertions::AssertionKind::Classical;
-        spec.breakpoint = kProbeLabel;
-        spec.regA = allReg;
-        spec.expectedValue = refValues[std::min(boundary, prologue)];
-        spec.alpha = cfg.alpha;
-        spec.name = "mirror@" + std::to_string(boundary);
-        return spec;
+        std::vector<assertions::AssertionSpec> specs;
+        if (!resim) {
+            assertions::AssertionSpec spec;
+            spec.kind = assertions::AssertionKind::Classical;
+            spec.breakpoint = kProbeLabel;
+            spec.regA = allReg;
+            spec.expectedValue =
+                refValues[std::min(boundary, prologue)];
+            spec.alpha = cfg.alpha;
+            spec.name = "mirror@" + std::to_string(boundary);
+            specs.push_back(std::move(spec));
+            return specs;
+        }
+
+        const bool dual = dualProbe(boundary);
+        const double alpha =
+            dual && !family_wise ? cfg.alpha / 2.0 : cfg.alpha;
+        if (dual) {
+            // Direct mixture predicate at the boundary itself:
+            // divergence that reached any computational marginal,
+            // including divergence from earlier segments the unwind
+            // would cancel.
+            assertions::AssertionSpec pre =
+                oracleAt(boundary).specAt(boundary, kProbePreLabel,
+                                          alpha);
+            pre.name = "mirror-marginal@" + std::to_string(boundary);
+            specs.push_back(std::move(pre));
+        }
+        // The unwound state must read as the reference's mixture at
+        // the segment start (for a measurement-free program that
+        // start is the prologue and the predicate is the same
+        // classical point mass as the default mode's).
+        assertions::AssertionSpec post = oracle->specAt(
+            segStartFor(boundary), kProbeLabel, alpha);
+        post.name = "mirror@" + std::to_string(boundary);
+        specs.push_back(std::move(post));
+        return specs;
+    }
+
+    /**
+     * Fold a probe's component outcomes into one record: the probe
+     * fails when any component fails, reports the smallest component
+     * p-value, the failing component's kind, and the summed ensemble
+     * cost.
+     */
+    static ProbeRecord
+    combineOutcomes(
+        std::size_t boundary,
+        const std::vector<assertions::AssertionOutcome> &outcomes)
+    {
+        ProbeRecord rec;
+        rec.boundary = boundary;
+        rec.kind = outcomes.back().spec.kind;
+        for (const auto &out : outcomes) {
+            rec.ensembleSize += out.ensembleSize;
+            rec.pValue = std::min(rec.pValue, out.pValue);
+            if (!out.passed && !rec.failed) {
+                rec.failed = true;
+                rec.kind = out.spec.kind;
+            }
+        }
+        return rec;
     }
 };
 
@@ -336,18 +588,26 @@ class PredicateProber : public Prober
         const auto &si = suspect.instructions();
         const auto &ri = reference.instructions();
         hi = std::min(si.size(), ri.size());
-        for (std::size_t i = 0; i < hi; ++i) {
-            // Predicate probes survive mid-program resets (the
-            // reference oracle tracks them exactly) but not
-            // mid-circuit measurement — see the Resimulate note in
-            // locate.hh.
-            const bool blocked =
-                si[i].kind == circuit::GateKind::Measure ||
-                ri[i].kind == circuit::GateKind::Measure ||
-                !si[i].condLabel.empty() || !ri[i].condLabel.empty();
-            if (blocked) {
-                hi = i;
-                break;
+        if (cfg.mode != assertions::EnsembleMode::Resimulate) {
+            for (std::size_t i = 0; i < hi; ++i) {
+                // Under final-state sampling predicate probes survive
+                // mid-program resets (the reference oracle tracks them
+                // exactly) but not mid-circuit measurement or
+                // classically-conditioned code — one sampled final
+                // state cannot represent the outcome mixture. In
+                // Resimulate mode no clamp is needed: every trial
+                // re-simulates the truncated prefix (measurements
+                // included) and the oracle's predicate is the exact
+                // mixture marginal, so every boundary is probeable.
+                const bool blocked =
+                    si[i].kind == circuit::GateKind::Measure ||
+                    ri[i].kind == circuit::GateKind::Measure ||
+                    !si[i].condLabel.empty() ||
+                    !ri[i].condLabel.empty();
+                if (blocked) {
+                    hi = i;
+                    break;
+                }
             }
         }
         fatal_if(hi == 0, "no probeable instruction boundary");

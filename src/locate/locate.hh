@@ -49,10 +49,35 @@
  * family's p-values exist, whereas the adaptive search needs
  * exponentially fewer probes.
  *
- * Limitation: programs with mid-circuit *measurement* are not yet
- * probeable past the first measure in either family (the boundary
- * range is clamped); extending localization to semiclassical programs
- * via the Resimulate ensemble mode is a ROADMAP item.
+ * Mid-circuit measurement: under the default SampleFinalState probe
+ * ensembles both families clamp the probeable range at the first
+ * Measure (one final-state sample cannot represent an outcome
+ * mixture). Selecting LocateConfig::mode = EnsembleMode::Resimulate
+ * lifts the clamp — each probe re-simulates the truncated program
+ * once per ensemble member (exact under measurement; the runtime's
+ * cached deterministic head keeps the per-trial cost to the region
+ * past the first measure):
+ *
+ *  - predicate probes compare each boundary against the oracle's
+ *    outcome-*mixture* marginal (PredicateOracle tracks measurement
+ *    branches exactly, conditioning classically-controlled
+ *    instructions on each branch's recorded outcomes);
+ *
+ *  - mirror probes become *segment* mirrors: the adjoint of the
+ *    reference is appended from the last non-invertible instruction
+ *    (measure/reset) before the probe boundary — conditioned gates
+ *    invert under their own condition — and the result is asserted
+ *    against the oracle's full-space mixture predicate at that
+ *    segment start. Phase sensitivity is retained within each
+ *    measure-free segment; divergence at a segment start shows up in
+ *    the mixture distribution itself. Boundaries where the two
+ *    programs' measurement/reset *structure* differs stay clamped
+ *    (past such a point the mirror cannot be built).
+ *
+ * For measurement-free programs Resimulate mode probes the same
+ * boundaries with the same specs as the default mode, so the search
+ * trajectory and bracket are preserved (probe ensembles are drawn
+ * through a different stream layout, so p-values differ numerically).
  */
 
 #ifndef QSA_LOCATE_LOCATE_HH
@@ -85,6 +110,16 @@ struct LocateConfig
 {
     /** Search strategy. */
     Strategy strategy = Strategy::AdaptiveBinarySearch;
+
+    /**
+     * Probe ensemble generation mode. SampleFinalState (default)
+     * keeps the fast sampling path and clamps the probeable range at
+     * the first Measure; Resimulate re-runs each truncated probe once
+     * per trial, lifting the clamp so semiclassical programs localize
+     * past mid-circuit measurement (see the file comment).
+     */
+    assertions::EnsembleMode mode =
+        assertions::EnsembleMode::SampleFinalState;
 
     /** Measurements per exploratory probe. */
     std::size_t ensembleSize = 64;

@@ -12,7 +12,6 @@
 #include "circuit/scopes.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
-#include "common/rng.hh"
 
 namespace qsa::locate
 {
@@ -22,6 +21,14 @@ namespace
 
 /** Tolerance for classifying exact marginals. */
 constexpr double kProbTol = 1e-9;
+
+/**
+ * Cap on the measurement-branch enumeration: 2^12 outcome histories
+ * is far past any semiclassical program in the repo (one recycled
+ * control qubit measured t times is 2^t branches) while still
+ * bounding a pathological all-qubits-measured-repeatedly program.
+ */
+constexpr std::size_t kMaxBranches = 4096;
 
 BoundaryPredicate
 classify(const std::vector<double> &probs)
@@ -57,6 +64,20 @@ classify(const std::vector<double> &probs)
     return pred;
 }
 
+/** Weighted register marginal over a measurement-branch mixture. */
+std::vector<double>
+mixtureMarginal(const std::vector<circuit::ExecutionBranch> &branches,
+                const std::vector<unsigned> &qubits)
+{
+    std::vector<double> probs(pow2(qubits.size()), 0.0);
+    for (const auto &branch : branches) {
+        const auto marginal = branch.state.marginalProbs(qubits);
+        for (std::size_t v = 0; v < probs.size(); ++v)
+            probs[v] += branch.weight * marginal[v];
+    }
+    return probs;
+}
+
 } // anonymous namespace
 
 PredicateOracle::PredicateOracle(const circuit::Circuit &reference,
@@ -64,33 +85,71 @@ PredicateOracle::PredicateOracle(const circuit::Circuit &reference,
                                  std::uint64_t seed)
     : reg(r)
 {
+    (void)seed;
+    build(reference, nullptr);
+}
+
+PredicateOracle::PredicateOracle(
+    const circuit::Circuit &reference,
+    const circuit::QubitRegister &r, std::uint64_t seed,
+    const std::vector<std::size_t> &boundaries)
+    : reg(r)
+{
+    (void)seed;
+    build(reference, &boundaries);
+}
+
+void
+PredicateOracle::build(const circuit::Circuit &reference,
+                       const std::vector<std::size_t> *boundaries)
+{
     fatal_if(reg.width() == 0,
              "predicate oracle needs a non-empty register");
     fatal_if(reg.width() > 24,
              "register too wide for dense boundary predicates");
 
-    // One incremental pass: simulate instruction k, then record the
-    // register marginal as the boundary-(k+1) predicate.
-    sim::StateVector state(reference.numQubits());
-    std::map<std::string, std::uint64_t> measurements;
-    Rng rng(seed);
+    totalBoundaries = reference.size() + 1;
+    std::vector<std::size_t> sorted;
+    if (boundaries != nullptr) {
+        sorted = *boundaries;
+        std::sort(sorted.begin(), sorted.end());
+    }
+    const auto wanted = [&](std::size_t b) {
+        return boundaries == nullptr ||
+               std::binary_search(sorted.begin(), sorted.end(), b);
+    };
 
-    preds.reserve(reference.size() + 1);
-    preds.push_back(classify(state.marginalProbs(reg.qubits())));
+    // One incremental measurement-resolved pass: advance the branch
+    // mixture through instruction k, then record the weighted
+    // register marginal as the boundary-(k+1) predicate.
+    std::vector<circuit::ExecutionBranch> branches;
+    branches.push_back(circuit::ExecutionBranch{
+        1.0, sim::StateVector(reference.numQubits()), {}});
+
+    if (wanted(0))
+        preds.emplace(0, classify(mixtureMarginal(branches,
+                                                  reg.qubits())));
     for (std::size_t k = 0; k < reference.size(); ++k) {
-        const auto step = reference.sliceRange(k, k + 1);
-        circuit::runCircuitOn(step, state, measurements, rng);
-        preds.push_back(classify(state.marginalProbs(reg.qubits())));
+        circuit::stepBranches(reference, reference.instructions()[k],
+                              branches, kMaxBranches);
+        if (wanted(k + 1)) {
+            preds.emplace(k + 1,
+                          classify(mixtureMarginal(branches,
+                                                   reg.qubits())));
+        }
     }
 }
 
 const BoundaryPredicate &
 PredicateOracle::at(std::size_t boundary) const
 {
-    fatal_if(boundary >= preds.size(), "boundary ", boundary,
-             " beyond the reference program (", preds.size() - 1,
+    fatal_if(boundary >= totalBoundaries, "boundary ", boundary,
+             " beyond the reference program (", totalBoundaries - 1,
              " instructions)");
-    return preds[boundary];
+    const auto it = preds.find(boundary);
+    fatal_if(it == preds.end(), "boundary ", boundary,
+             " was not recorded by this oracle");
+    return it->second;
 }
 
 assertions::AssertionSpec

@@ -5,11 +5,23 @@
  * A BugLocator probe asks "does the program under test still look
  * like the reference program at boundary k?". The PredicateOracle
  * answers the *reference* half of that question: one exact
- * semi-classical simulation pass over the reference program captures,
- * at every instruction boundary, what a statistical assertion on the
+ * measurement-resolved pass over the reference program captures, at
+ * every instruction boundary, what a statistical assertion on the
  * probed register should expect — a classical point-mass value where
  * the tracked state is classical, a uniform superposition where it is
  * uniform, and an explicit outcome distribution otherwise.
+ *
+ * Mid-circuit measurement is handled exactly: the pass tracks the
+ * full outcome *mixture* (circuit::stepBranches), conditioning each
+ * branch's classically-controlled instructions on that branch's own
+ * recorded outcomes, and the boundary predicate describes the
+ * probability-weighted marginal over all branches. That is precisely
+ * the distribution a Resimulate-mode ensemble samples when it
+ * re-simulates the truncated program once per trial, so the oracle's
+ * predicates stay exact past any number of measurements (at a branch
+ * count exponential in the nondeterministic ones — capped, fatal
+ * beyond). For measurement-free programs the pass has a single branch
+ * and is bit-identical to the previous semi-classical simulation.
  *
  * Scope structure is inherited separately: ComputeScope boundaries
  * ("<label>_computed" / "<label>_uncomputed", see circuit/scopes.hh)
@@ -23,6 +35,7 @@
 #define QSA_LOCATE_PREDICATES_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -52,7 +65,8 @@ struct BoundaryPredicate
  * See file comment. Construction runs the reference program once,
  * instruction by instruction, recording a predicate per boundary
  * (boundary k is the state after the first k instructions); cost is
- * one simulation plus one marginalisation per boundary.
+ * one measurement-resolved simulation plus one marginalisation per
+ * recorded boundary and branch.
  */
 class PredicateOracle
 {
@@ -60,17 +74,29 @@ class PredicateOracle
     /**
      * @param reference the correct program
      * @param reg register the predicates describe
-     * @param seed randomness for any mid-circuit collapse in the
-     *        reference (the paper's benchmark programs have none)
+     * @param seed retained for interface stability; the pass is now
+     *        exact (it enumerates mid-circuit outcomes instead of
+     *        sampling them) and draws no randomness
      */
     PredicateOracle(const circuit::Circuit &reference,
                     const circuit::QubitRegister &reg,
                     std::uint64_t seed = 0x51c0ffee);
 
-    /** Number of boundaries (reference instruction count + 1). */
-    std::size_t numBoundaries() const { return preds.size(); }
+    /**
+     * As above, but record predicates only at the given boundaries —
+     * the memory-lean form for callers that probe a sparse boundary
+     * set with a wide register (mirror probes keep one full-space
+     * predicate per mirror segment start, not per instruction).
+     */
+    PredicateOracle(const circuit::Circuit &reference,
+                    const circuit::QubitRegister &reg,
+                    std::uint64_t seed,
+                    const std::vector<std::size_t> &boundaries);
 
-    /** Predicate at a boundary. */
+    /** Number of boundaries (reference instruction count + 1). */
+    std::size_t numBoundaries() const { return totalBoundaries; }
+
+    /** Predicate at a (recorded) boundary. */
     const BoundaryPredicate &at(std::size_t boundary) const;
 
     /**
@@ -83,7 +109,11 @@ class PredicateOracle
 
   private:
     circuit::QubitRegister reg;
-    std::vector<BoundaryPredicate> preds;
+    std::size_t totalBoundaries = 0;
+    std::map<std::size_t, BoundaryPredicate> preds;
+
+    void build(const circuit::Circuit &reference,
+               const std::vector<std::size_t> *boundaries);
 };
 
 /** A scope-inherited assertion kind at one instruction boundary. */

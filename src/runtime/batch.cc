@@ -81,13 +81,28 @@ BatchRunner::checkAll(const std::vector<BatchItem> &items)
 std::vector<assertions::AssertionOutcome>
 BatchRunner::checkAll(const assertions::AssertionChecker &checker,
                       const std::vector<assertions::AssertionSpec> &specs,
-                      const assertions::EscalationPolicy *escalation)
+                      const assertions::EscalationPolicy *escalation,
+                      const std::vector<std::size_t> *ensemble_sizes)
 {
+    fatal_if(ensemble_sizes != nullptr &&
+                 ensemble_sizes->size() != specs.size(),
+             "per-spec ensemble sizes must match the spec count");
     std::vector<assertions::AssertionOutcome> outcomes(specs.size());
     const auto unit = [&](std::size_t j) {
-        outcomes[j] = escalation
-                          ? checker.checkEscalated(specs[j], *escalation)
-                          : checker.check(specs[j]);
+        const std::size_t size =
+            ensemble_sizes ? (*ensemble_sizes)[j] : 0;
+        if (escalation) {
+            assertions::EscalationPolicy policy = *escalation;
+            if (size != 0) {
+                policy.initialSize = size;
+                policy.maxSize = std::max(policy.maxSize, size);
+            }
+            outcomes[j] = checker.checkEscalated(specs[j], policy);
+        } else if (size != 0) {
+            outcomes[j] = checker.check(specs[j], size);
+        } else {
+            outcomes[j] = checker.check(specs[j]);
+        }
     };
     if (specs.size() <= 1) {
         // No unit-level fan-out to gain: run directly so the one

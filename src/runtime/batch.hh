@@ -89,13 +89,19 @@ class BatchRunner
      * checked directly so its ensemble keeps trial-level fan-out.
      * With `escalation` set, every unit runs the sequential
      * ensemble-doubling test of AssertionChecker::checkEscalated
-     * instead of a fixed-size check. result[j] is specs[j]'s outcome;
-     * outcomes are bit-identical to a serial per-spec loop.
+     * instead of a fixed-size check. With `ensemble_sizes` set (same
+     * length as `specs`), a non-zero entry overrides that one spec's
+     * ensemble size — replacing the checker config's size for a plain
+     * check, or the policy's initial size (with the cap raised to at
+     * least the override) for an escalated one. result[j] is
+     * specs[j]'s outcome; outcomes are bit-identical to a serial
+     * per-spec loop.
      */
     std::vector<assertions::AssertionOutcome>
     checkAll(const assertions::AssertionChecker &checker,
              const std::vector<assertions::AssertionSpec> &specs,
-             const assertions::EscalationPolicy *escalation = nullptr);
+             const assertions::EscalationPolicy *escalation = nullptr,
+             const std::vector<std::size_t> *ensemble_sizes = nullptr);
 
     /** The pool the assertion units run on. */
     ThreadPool &pool() { return *poolPtr; }

@@ -26,6 +26,14 @@ shardRange(std::size_t s, std::size_t num_shards, std::size_t n)
     return {lo, lo + base + (s < rem ? 1 : 0)};
 }
 
+/**
+ * Reset outcomes at least this certain are treated as deterministic
+ * when extending a Resimulate head. An uncached run taking the other
+ * branch is below this probability per reset — the quantified slack
+ * in the head cache's bit-identity contract (ensemble.hh).
+ */
+constexpr double kDeterministicTol = 1e-12;
+
 } // anonymous namespace
 
 // --- CdfSampler ------------------------------------------------------------
@@ -159,6 +167,58 @@ EnsembleEngine::prefixState(const std::string &breakpoint,
     return future.get();
 }
 
+std::shared_ptr<const ResimPlan>
+EnsembleEngine::resimPlan(const std::string &breakpoint)
+{
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = resimCache.find(breakpoint);
+        if (it != resimCache.end())
+            return it->second;
+    }
+    // Build outside the lock (one head simulation); racers may build
+    // twice but the builds are identical and the first insertion wins.
+    auto sliced = prefix(breakpoint);
+    auto plan = std::make_shared<ResimPlan>(program->numQubits());
+
+    // Extend the head while instructions are deterministic: unitary
+    // gates and markers always; resets only when the current state
+    // fixes their implicit measurement outcome; stop at the first
+    // Measure or classically-conditioned instruction (there is no
+    // record to condition on yet — a valid program measures first).
+    const auto &insts = sliced->instructions();
+    std::size_t head = 0;
+    for (; head < insts.size(); ++head) {
+        const circuit::Instruction &inst = insts[head];
+        if (inst.kind == circuit::GateKind::Measure ||
+            !inst.condLabel.empty())
+            break;
+        if (inst.kind == circuit::GateKind::PrepZ) {
+            const unsigned q = inst.targets[0];
+            const double p1 = plan->headState.probabilityOne(q);
+            if (p1 > kDeterministicTol && p1 < 1.0 - kDeterministicTol)
+                break; // genuinely random reset: tail territory
+            const unsigned outcome = p1 >= 0.5 ? 1 : 0;
+            // One bernoulli draw the uncached run would have made.
+            ++plan->headDraws;
+            plan->headState.projectQubit(q, outcome,
+                                         outcome ? p1 : 1.0 - p1);
+            if (outcome != (inst.bit & 1)) {
+                plan->headState.applyGate(
+                    sim::Mat2{0.0, 1.0, 1.0, 0.0}, q);
+            }
+            continue;
+        }
+        circuit::applyUnitaryInstruction(*sliced, inst,
+                                         plan->headState);
+    }
+    plan->tail = sliced->sliceRange(head, insts.size());
+
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return resimCache.emplace(breakpoint, std::move(plan))
+        .first->second;
+}
+
 std::shared_ptr<const CdfSampler>
 EnsembleEngine::shotSampler(const EnsembleSpec &spec)
 {
@@ -184,13 +244,14 @@ EnsembleEngine::clearCache()
 {
     std::lock_guard<std::mutex> lock(cacheMutex);
     prefixCache.clear();
+    resimCache.clear();
     stateCache.clear();
     samplerCache.clear();
 }
 
 void
 EnsembleEngine::runTrials(const EnsembleSpec &spec,
-                          const circuit::Circuit &sliced,
+                          const ResimPlan *plan,
                           const CdfSampler *sampler, std::size_t lo,
                           std::size_t hi, std::uint64_t *out) const
 {
@@ -198,10 +259,18 @@ EnsembleEngine::runTrials(const EnsembleSpec &spec,
     if (spec.mode == SampleMode::Resimulate) {
         for (std::size_t m = lo; m < hi; ++m) {
             // Trial streams are keyed by the global trial index, so
-            // shard boundaries cannot influence any outcome.
+            // shard boundaries cannot influence any outcome. The
+            // draws the cached head's resets would have consumed are
+            // discarded so the tail sees the same stream position an
+            // uncached full re-simulation would.
             Rng rng = master.split(m);
-            auto record = circuit::runCircuit(sliced, rng);
-            out[m - lo] = record.state.measureQubits(spec.qubits, rng);
+            for (std::size_t d = 0; d < plan->headDraws; ++d)
+                rng.uniform();
+            sim::StateVector state = plan->headState;
+            std::map<std::string, std::uint64_t> measurements;
+            circuit::runCircuitOn(plan->tail, state, measurements,
+                                  rng);
+            out[m - lo] = state.measureQubits(spec.qubits, rng);
         }
     } else {
         for (std::size_t m = lo; m < hi; ++m) {
@@ -217,9 +286,11 @@ EnsembleEngine::gather(const EnsembleSpec &spec)
     if (spec.shots == 0)
         return {};
 
-    auto sliced = prefix(spec.breakpoint);
+    std::shared_ptr<const ResimPlan> plan;
     std::shared_ptr<const CdfSampler> sampler;
-    if (spec.mode == SampleMode::SampleFinalState)
+    if (spec.mode == SampleMode::Resimulate)
+        plan = resimPlan(spec.breakpoint);
+    else
         sampler = shotSampler(spec);
 
     std::vector<std::uint64_t> results(spec.shots);
@@ -227,7 +298,7 @@ EnsembleEngine::gather(const EnsembleSpec &spec)
     // shot the fan-out would run inline anyway — skip resolving a
     // pool entirely.
     if (ThreadPool::insideWorker() || spec.shots == 1) {
-        runTrials(spec, *sliced, sampler.get(), 0, spec.shots,
+        runTrials(spec, plan.get(), sampler.get(), 0, spec.shots,
                   results.data());
         return results;
     }
@@ -235,7 +306,7 @@ EnsembleEngine::gather(const EnsembleSpec &spec)
         std::min<std::size_t>(pool().concurrency(), spec.shots);
     pool().parallelFor(num_shards, [&](std::size_t s) {
         const auto [lo, hi] = shardRange(s, num_shards, spec.shots);
-        runTrials(spec, *sliced, sampler.get(), lo, hi,
+        runTrials(spec, plan.get(), sampler.get(), lo, hi,
                   results.data() + lo);
     });
     return results;
@@ -247,9 +318,11 @@ EnsembleEngine::gatherHistogram(const EnsembleSpec &spec)
     if (spec.shots == 0)
         return {};
 
-    auto sliced = prefix(spec.breakpoint);
+    std::shared_ptr<const ResimPlan> plan;
     std::shared_ptr<const CdfSampler> sampler;
-    if (spec.mode == SampleMode::SampleFinalState)
+    if (spec.mode == SampleMode::Resimulate)
+        plan = resimPlan(spec.breakpoint);
+    else
         sampler = shotSampler(spec);
 
     const std::size_t num_shards =
@@ -267,7 +340,7 @@ EnsembleEngine::gatherHistogram(const EnsembleSpec &spec)
         auto &hist = shard_hists[s];
         for (std::size_t m = lo; m < hi; m += chunk) {
             const std::size_t end = std::min(m + chunk, hi);
-            runTrials(spec, *sliced, sampler.get(), m, end,
+            runTrials(spec, plan.get(), sampler.get(), m, end,
                       buffer.data());
             for (std::size_t k = 0; k < end - m; ++k)
                 ++hist[buffer[k]];

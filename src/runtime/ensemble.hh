@@ -22,11 +22,25 @@
  *    are multinomial-sampled from the exact outcome distribution via
  *    inverse-CDF binary search — re-running the circuit per shot is
  *    reserved for Resimulate mode, which stays exact for programs with
- *    mid-circuit measurement.
+ *    mid-circuit measurement;
+ *  - in Resimulate mode the truncated circuit's *deterministic head*
+ *    — the longest prefix containing no measurement, no conditional
+ *    instruction, and only resets whose outcome is certain — is
+ *    simulated once and cached per breakpoint; each trial then copies
+ *    the head state and re-simulates only the nondeterministic tail.
+ *    For the paper's measurement-free benchmarks the whole truncated
+ *    program is head, collapsing a Resimulate ensemble's cost to one
+ *    simulation plus N state copies; for semiclassical programs the
+ *    per-trial cost is the region from the first measurement on.
  *
  * RNG stream layout (fixed; part of the reproducibility contract):
  *  - Resimulate: trial m uses Rng(seed).split(m) for both gate-level
- *    randomness and the truncating measurement.
+ *    randomness and the truncating measurement. The cached head
+ *    consumes no outcome-relevant randomness, and each trial discards
+ *    exactly the draws the head's resets would have made, so trial
+ *    outcomes are bit-identical to an uncached full re-simulation
+ *    (up to reset outcomes whose probability is below the ~1e-12
+ *    determinism tolerance).
  *  - SampleFinalState: the single prefix execution uses
  *    Rng(seed).split(0); shot m draws its uniform from
  *    Rng(seed).split(m + 1).
@@ -47,9 +61,31 @@
 #include "circuit/circuit.hh"
 #include "circuit/executor.hh"
 #include "runtime/pool.hh"
+#include "sim/statevector.hh"
 
 namespace qsa::runtime
 {
+
+/**
+ * Precomputed split of a truncated circuit for Resimulate mode: the
+ * deterministic head's final state (simulated once), the number of
+ * RNG draws the head's resets would have consumed per trial, and the
+ * nondeterministic tail each trial actually re-simulates. See the
+ * file comment for the exactness contract.
+ */
+struct ResimPlan
+{
+    /** State after the deterministic head. */
+    sim::StateVector headState;
+
+    /** Per-trial RNG draws the head's resets would have made. */
+    std::size_t headDraws = 0;
+
+    /** Instructions after the head (possibly empty). */
+    circuit::Circuit tail;
+
+    explicit ResimPlan(unsigned num_qubits) : headState(num_qubits) {}
+};
 
 /** How ensemble members are produced (assertions::EnsembleMode twin). */
 enum class SampleMode
@@ -132,11 +168,11 @@ class EnsembleEngine
     gatherHistogram(const EnsembleSpec &spec);
 
     /**
-     * Drop the cached truncated circuits, prefix states, and shot
-     * samplers. The caches trade memory for speed — a prefix state is
-     * a full 2^n statevector per (breakpoint, seed) — so long-lived
-     * sessions that sweep many breakpoints can call this to bound
-     * the footprint.
+     * Drop the cached truncated circuits, prefix states, resimulation
+     * head states, and shot samplers. The caches trade memory for
+     * speed — a prefix or head state is a full 2^n statevector per
+     * breakpoint — so long-lived sessions that sweep many breakpoints
+     * can call this to bound the footprint.
      */
     void clearCache();
 
@@ -158,6 +194,13 @@ class EnsembleEngine
     /** Truncated circuits keyed by breakpoint label. */
     std::map<std::string, std::shared_ptr<const circuit::Circuit>>
         prefixCache;
+
+    /**
+     * Resimulate-mode head/tail splits keyed by breakpoint label.
+     * Seed-independent: the head is deterministic by construction.
+     */
+    std::map<std::string, std::shared_ptr<const ResimPlan>>
+        resimCache;
 
     /**
      * One in-flight-or-done prefix simulation. A future so a cache
@@ -198,12 +241,14 @@ class EnsembleEngine
     std::shared_ptr<const circuit::ExecutionRecord>
     prefixState(const std::string &breakpoint, std::uint64_t seed);
 
+    std::shared_ptr<const ResimPlan>
+    resimPlan(const std::string &breakpoint);
+
     std::shared_ptr<const CdfSampler>
     shotSampler(const EnsembleSpec &spec);
 
     /** Run trials [lo, hi) of `spec`, writing out[m] for each m. */
-    void runTrials(const EnsembleSpec &spec,
-                   const circuit::Circuit &sliced,
+    void runTrials(const EnsembleSpec &spec, const ResimPlan *plan,
                    const CdfSampler *sampler, std::size_t lo,
                    std::size_t hi, std::uint64_t *out) const;
 };

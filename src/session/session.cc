@@ -5,9 +5,12 @@
 
 #include "session/session.hh"
 
+#include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "assertions/report.hh"
+#include "common/benchjson.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "runtime/batch.hh"
@@ -31,6 +34,14 @@ Expectation::alpha(double a)
     fatal_if(a <= 0.0 || a >= 1.0,
              "alpha must lie strictly between 0 and 1");
     owner->specs[index].alpha = a;
+    owner->stale = true;
+    return *this;
+}
+
+Expectation &
+Expectation::ensembleSize(std::size_t size)
+{
+    owner->sizeOverrides[index] = size;
     owner->stale = true;
     return *this;
 }
@@ -238,6 +249,7 @@ Session::addExpectation(assertions::AssertionSpec spec)
 {
     assertions::validateSpecShape(spec);
     specs.push_back(std::move(spec));
+    sizeOverrides.push_back(0);
     handles.push_back(Expectation(*this, specs.size() - 1));
     stale = true;
     return handles.back();
@@ -280,8 +292,12 @@ Session::run()
             spec.name = assertions::defaultSpecName(spec);
     }
 
+    const bool any_override =
+        std::any_of(sizeOverrides.begin(), sizeOverrides.end(),
+                    [](std::size_t s) { return s != 0; });
     results = runner->checkAll(*checker, plan,
-                               escalation ? &*escalation : nullptr);
+                               escalation ? &*escalation : nullptr,
+                               any_override ? &sizeOverrides : nullptr);
     if (familyWise)
         assertions::applyHolmBonferroni(results);
     stale = false;
@@ -309,6 +325,69 @@ Session::report()
     return assertions::renderReport(results);
 }
 
+std::string
+Session::exportJson()
+{
+    ensureRun();
+    namespace bj = benchjson;
+    std::ostringstream os;
+    os << "{\n  \"session\": {"
+       << "\"program_size\": " << original.size()
+       << ", \"num_qubits\": " << original.numQubits()
+       << ", \"ensemble_size\": " << cfg.ensembleSize
+       << ", \"mode\": \""
+       << (cfg.mode == assertions::EnsembleMode::Resimulate
+               ? "resimulate"
+               : "sample_final_state")
+       << "\", \"seed\": " << cfg.seed
+       << ", \"holm_bonferroni\": "
+       << (familyWise ? "true" : "false");
+    if (escalation) {
+        os << ", \"escalation\": {\"initial_size\": "
+           << escalation->initialSize
+           << ", \"max_size\": " << escalation->maxSize
+           << ", \"pass_threshold\": "
+           << bj::number(escalation->passThreshold) << "}";
+    }
+    os << "},\n  \"assertions\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const assertions::AssertionOutcome &out = results[i];
+        os << (i ? ",\n" : "\n") << "    {\"name\": \""
+           << bj::escape(out.spec.name) << "\", \"kind\": \""
+           << bj::escape(assertions::assertionKindName(out.spec.kind))
+           << "\", \"breakpoint\": \""
+           << bj::escape(out.spec.breakpoint) << "\""
+           << ", \"passed\": " << (out.passed ? "true" : "false")
+           << ", \"p_value\": " << bj::number(out.pValue)
+           << ", \"statistic\": " << bj::number(out.statistic)
+           << ", \"df\": " << bj::number(out.df)
+           << ", \"ensemble_size\": " << out.ensembleSize
+           << ", \"alpha\": " << bj::number(out.spec.alpha)
+           << ", \"effective_alpha\": "
+           << bj::number(out.effectiveAlpha)
+           << ", \"impossible_outcome\": "
+           << (out.impossibleOutcome ? "true" : "false");
+        os << ", \"counts\": {";
+        bool first = true;
+        for (const auto &[value, count] : out.countsA) {
+            os << (first ? "" : ", ") << "\"" << value
+               << "\": " << count;
+            first = false;
+        }
+        os << "}}";
+    }
+    os << (results.empty() ? "]" : "\n  ]") << ",\n  \"all_passed\": "
+       << (assertions::allPassed(results) ? "true" : "false")
+       << "\n}\n";
+    return os.str();
+}
+
+void
+Session::exportJson(const std::string &path)
+{
+    benchjson::writeText(path, exportJson());
+}
+
 bool
 Session::allPassed()
 {
@@ -321,6 +400,7 @@ Session::locateConfig(locate::Strategy strategy) const
 {
     locate::LocateConfig lc;
     lc.strategy = strategy;
+    lc.mode = cfg.mode; // Resimulate sessions probe past measurements
     lc.seed = cfg.seed;
     lc.numThreads = cfg.numThreads;
     if (escalation) {

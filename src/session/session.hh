@@ -90,6 +90,18 @@ class Expectation
     /** Set the display name used in reports. */
     Expectation &named(const std::string &name);
 
+    /**
+     * Override the ensemble size for this one assertion (0 restores
+     * the session default). The outcome is bit-identical to checking
+     * the same spec under a CheckConfig whose ensembleSize equals the
+     * override; when an EscalationPolicy is in use the override
+     * replaces the policy's initial size for this assertion (and
+     * raises its cap to at least the override). The facade follow-up
+     * for plans mixing cheap smoke assertions with a few
+     * high-resolution ones.
+     */
+    Expectation &ensembleSize(std::size_t size);
+
     /** The spec as currently registered. */
     const assertions::AssertionSpec &spec() const;
 
@@ -256,14 +268,31 @@ class Session
     /** Human-readable outcome table (runs first if stale). */
     std::string report();
 
+    /**
+     * Machine-readable export of the outcome tables (runs first if
+     * stale): one JSON document with the session configuration and
+     * one record per assertion — name, kind, breakpoint, verdict,
+     * p-value, statistic, ensemble size, effective alpha, and the
+     * observed counts — rendered through common/benchjson's escaping
+     * and number formatting (the BENCH_*.json conventions).
+     */
+    std::string exportJson();
+
+    /** As exportJson(), written to `path` (fatal on I/O failure). */
+    void exportJson(const std::string &path);
+
     /** True when every assertion passed (runs first if stale). */
     bool allPassed();
 
     /**
      * Localize the first diverging instruction against a trusted
      * reference program with mirror probes (phase-sensitive; the
-     * compared region must be unitary). Seed, threads, and any
-     * escalation policy carry over from the session.
+     * compared region must be unitary under the default ensemble
+     * mode). Seed, threads, ensemble mode, and any escalation policy
+     * carry over from the session — in particular, a session running
+     * in EnsembleMode::Resimulate (`s.mode(...)`) hands that mode to
+     * the locator, whose probes then cross mid-circuit measurements
+     * (see locate::LocateConfig::mode).
      */
     locate::LocalizationReport
     locate(const circuit::Circuit &reference,
@@ -321,6 +350,9 @@ class Session
 
     std::vector<assertions::AssertionSpec> specs;
     std::deque<Expectation> handles; // stable addresses for handles
+
+    /** Per-spec ensemble-size overrides (0 = session default). */
+    std::vector<std::size_t> sizeOverrides;
 
     std::optional<assertions::EscalationPolicy> escalation;
     bool familyWise = false;

@@ -205,6 +205,14 @@ StateVector::prepZ(unsigned qubit, unsigned bit, Rng &rng)
         applyGate(Mat2{0.0, 1.0, 1.0, 0.0}, qubit);
 }
 
+void
+StateVector::projectQubit(unsigned qubit, unsigned value,
+                          double probability)
+{
+    panic_if(qubit >= nQubits, "projected qubit out of range");
+    collapse(qubit, value & 1, probability);
+}
+
 double
 StateVector::probabilityOne(unsigned qubit) const
 {

@@ -113,6 +113,20 @@ class StateVector
      */
     void prepZ(unsigned qubit, unsigned bit, Rng &rng);
 
+    /**
+     * Deterministically project onto the subspace where `qubit` reads
+     * `value`, renormalising — the outcome-resolved half of
+     * measureQubit, used by callers that enumerate measurement
+     * branches exactly (circuit::stepBranches) instead of sampling
+     * one. `probability` is that outcome's probability (from
+     * probabilityOne); the arithmetic matches measureQubit's collapse
+     * bit for bit, so an enumerated branch equals the state a sampled
+     * run landing on the same outcome would hold. Panics when the
+     * branch probability is ~0.
+     */
+    void projectQubit(unsigned qubit, unsigned value,
+                      double probability);
+
     /** @} */
     /** @{ @name Exact read-out (no collapse) */
 

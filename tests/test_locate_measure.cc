@@ -1,0 +1,593 @@
+/**
+ * @file
+ * Localization past mid-circuit measurement: Resimulate-mode probes.
+ *
+ * The tier injects the paper's bug taxonomy into measurement-bearing
+ * programs — a measured (non-deferred) teleportation protocol with
+ * classically-conditioned corrections, a semiclassical phase
+ * estimation with one recycled ancilla, and the semiclassical
+ * one-control-qubit Shor circuit — and requires every variant to be
+ * bracketed to an interval containing the defect, thread- and
+ * seed-invariantly, in strictly fewer probes than the exhaustive
+ * LinearScan. A regression block pins that Resimulate-mode
+ * localization of a measurement-free program probes the same
+ * boundaries with the same verdicts as the default Truncate path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/arith.hh"
+#include "algo/numtheory.hh"
+#include "algo/qft.hh"
+#include "algo/shor.hh"
+#include "assertions/checker.hh"
+#include "bugs/injectors.hh"
+#include "circuit/circuit.hh"
+#include "locate/locate.hh"
+#include "locate/predicates.hh"
+
+namespace
+{
+
+using namespace qsa;
+using namespace qsa::locate;
+using qsa::circuit::Circuit;
+using qsa::circuit::GateKind;
+using qsa::circuit::Instruction;
+using qsa::circuit::QubitRegister;
+
+bool
+sameInstruction(const Instruction &a, const Instruction &b)
+{
+    return a.kind == b.kind && a.controls == b.controls &&
+           a.targets == b.targets && a.angle == b.angle &&
+           a.bit == b.bit && a.label == b.label &&
+           a.condLabel == b.condLabel && a.condValue == b.condValue;
+}
+
+bool
+intervalCoversDefect(const Circuit &suspect, const Circuit &reference,
+                     std::size_t begin, std::size_t end)
+{
+    const auto &si = suspect.instructions();
+    const auto &ri = reference.instructions();
+    for (std::size_t i = begin; i < end; ++i) {
+        if (i >= si.size() || i >= ri.size())
+            return true;
+        if (!sameInstruction(si[i], ri[i]))
+            return true;
+    }
+    return false;
+}
+
+/** Boundary index just after the first Measure instruction. */
+std::size_t
+firstMeasureBoundary(const Circuit &circ)
+{
+    const auto &insts = circ.instructions();
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        if (insts[i].kind == GateKind::Measure)
+            return i + 1;
+    }
+    return insts.size();
+}
+
+/** A (suspect, reference) pair with a known injected defect. */
+struct Fixture
+{
+    std::string name;
+    Circuit suspect;
+    Circuit reference;
+};
+
+// --- Measured teleportation --------------------------------------------------
+//
+// The non-deferred protocol: Bell-basis measurement mid-circuit,
+// Pauli corrections classically conditioned on the recorded bits,
+// then the inverse payload preparation returns the receiver to |0>
+// exactly when teleportation worked.
+
+enum class TeleportBug
+{
+    None,
+    WrongInitialValue,   // type 1: receiver reset to |1>
+    FlippedPayload,      // type 2: payload rotation sign flipped
+    MisroutedCorrection, // type 4: corrections read the wrong bits
+    BrokenMirror,        // type 5: verify step repeats instead of
+                         //         inverting the payload rotation
+    WrongCondValue,      // type 6: X correction fires on outcome 0
+};
+
+Circuit
+buildMeasuredTeleport(TeleportBug bug)
+{
+    constexpr double theta = 1.1;
+    constexpr double phi = 0.6;
+
+    Circuit circ;
+    const auto msg = circ.addRegister("msg", 1);
+    const auto half = circ.addRegister("half", 1);
+    const auto recv = circ.addRegister("recv", 1);
+
+    circ.prepZ(msg[0], 0);
+    circ.prepZ(half[0], 0);
+    circ.prepZ(recv[0],
+               bug == TeleportBug::WrongInitialValue ? 1 : 0); // [2]
+    circ.ry(msg[0],
+            bug == TeleportBug::FlippedPayload ? -theta : theta); // [3]
+    circ.rz(msg[0], phi);
+    circ.h(half[0]);
+    circ.cnot(half[0], recv[0]);
+    circ.cnot(msg[0], half[0]);
+    circ.h(msg[0]);
+    circ.measureQubits({half[0]}, "m_x"); // [9]
+    circ.measureQubits({msg[0]}, "m_z");  // [10]
+
+    circ.x(recv[0]); // [11]
+    circ.conditionLast(
+        bug == TeleportBug::MisroutedCorrection ? "m_z" : "m_x",
+        bug == TeleportBug::WrongCondValue ? 0 : 1);
+    circ.z(recv[0]); // [12]
+    circ.conditionLast(
+        bug == TeleportBug::MisroutedCorrection ? "m_x" : "m_z", 1);
+
+    circ.rz(recv[0], -phi); // [13]
+    circ.ry(recv[0],
+            bug == TeleportBug::BrokenMirror ? theta : -theta); // [14]
+    return circ;
+}
+
+Fixture
+teleportFixture(TeleportBug bug, const std::string &name)
+{
+    Fixture fx;
+    fx.name = "teleport/" + name;
+    fx.suspect = buildMeasuredTeleport(bug);
+    fx.reference = buildMeasuredTeleport(TeleportBug::None);
+    return fx;
+}
+
+// --- Semiclassical phase estimation ------------------------------------------
+//
+// One recycled ancilla measures one phase bit per round (least
+// significant first), with feedback rotations conditioned on the
+// recorded bits — the same recurrence as the semiclassical Shor
+// driver, on a two-qubit program small enough for exhaustive scans.
+// The estimated phase 1/3 is non-dyadic, so every round's measurement
+// is genuinely random and the boundary predicates are true outcome
+// mixtures.
+
+enum class QpeBug
+{
+    None,
+    WrongEigenstate,   // type 1: system prepared in |0>
+    FlippedPhase,      // type 2: controlled-phase sign flipped
+    WrongFeedback,     // type 3: feedback angle denominator off by
+                       //         one power of two (iteration bug)
+};
+
+Circuit
+buildSemiclassicalQpe(QpeBug bug, unsigned t = 3)
+{
+    const double phase = 1.0 / 3.0; // non-dyadic: every bit is random
+
+    Circuit circ;
+    const auto sys = circ.addRegister("sys", 1);
+    const auto anc = circ.addRegister("anc", 1);
+
+    circ.prepZ(sys[0], bug == QpeBug::WrongEigenstate ? 0 : 1);
+    circ.prepZ(anc[0], 0);
+
+    for (unsigned l = t; l >= 1; --l) {
+        if (l < t)
+            circ.prepZ(anc[0], 0); // recycle the ancilla
+        circ.h(anc[0]);
+        const double sign = bug == QpeBug::FlippedPhase ? -1.0 : 1.0;
+        circ.cphase(anc[0], sys[0],
+                    sign * 2.0 * M_PI * phase *
+                        static_cast<double>(1u << (l - 1)));
+        for (unsigned j = l + 1; j <= t; ++j) {
+            const unsigned denom_pow =
+                bug == QpeBug::WrongFeedback ? j - l : j - l + 1;
+            circ.phase(anc[0],
+                       -2.0 * M_PI /
+                           static_cast<double>(1u << denom_pow));
+            circ.conditionLast("m_" + std::to_string(j), 1);
+        }
+        circ.h(anc[0]);
+        circ.measureQubits({anc[0]}, "m_" + std::to_string(l));
+    }
+    return circ;
+}
+
+Fixture
+qpeFixture(QpeBug bug, const std::string &name)
+{
+    Fixture fx;
+    fx.name = "qpe/" + name;
+    fx.suspect = buildSemiclassicalQpe(bug);
+    fx.reference = buildSemiclassicalQpe(QpeBug::None);
+    return fx;
+}
+
+// --- Shared assertions -------------------------------------------------------
+
+LocateConfig
+measureConfig(Strategy strategy = Strategy::AdaptiveBinarySearch,
+              unsigned num_threads = 0)
+{
+    LocateConfig cfg;
+    cfg.strategy = strategy;
+    cfg.mode = assertions::EnsembleMode::Resimulate;
+    cfg.ensembleSize = 64;
+    cfg.maxEnsembleSize = 1024;
+    cfg.numThreads = num_threads;
+    return cfg;
+}
+
+void
+expectLocalizes(const Fixture &fx, const LocalizationReport &report)
+{
+    ASSERT_TRUE(report.bugFound) << fx.name << ": " << report.summary();
+    EXPECT_EQ(report.firstFailing, report.lastPassing + 1) << fx.name;
+    EXPECT_TRUE(intervalCoversDefect(fx.suspect, fx.reference,
+                                     report.suspectBegin(),
+                                     report.suspectEnd()))
+        << fx.name << ": " << report.summary();
+}
+
+class MeasureFixtures : public ::testing::TestWithParam<int>
+{
+  public:
+    static Fixture
+    make(int index)
+    {
+        switch (index) {
+          case 0:
+            return teleportFixture(TeleportBug::WrongInitialValue,
+                                   "wrong-initial-value");
+          case 1:
+            return teleportFixture(TeleportBug::FlippedPayload,
+                                   "flipped-payload");
+          case 2:
+            return teleportFixture(TeleportBug::MisroutedCorrection,
+                                   "misrouted-correction");
+          case 3:
+            return teleportFixture(TeleportBug::BrokenMirror,
+                                   "broken-mirror");
+          case 4:
+            return teleportFixture(TeleportBug::WrongCondValue,
+                                   "wrong-cond-value");
+          case 5:
+            return qpeFixture(QpeBug::WrongEigenstate,
+                              "wrong-eigenstate");
+          case 6:
+            return qpeFixture(QpeBug::FlippedPhase, "flipped-phase");
+          case 7:
+            return qpeFixture(QpeBug::WrongFeedback,
+                              "wrong-feedback");
+        }
+        throw std::logic_error("bad fixture index");
+    }
+};
+
+TEST_P(MeasureFixtures, AdaptiveSearchBracketsTheDefect)
+{
+    const Fixture fx = make(GetParam());
+    const BugLocator locator(fx.suspect, fx.reference,
+                             measureConfig());
+    expectLocalizes(fx, locator.locate());
+}
+
+TEST_P(MeasureFixtures, FewerProbesThanLinearScan)
+{
+    const Fixture fx = make(GetParam());
+
+    const BugLocator adaptive(fx.suspect, fx.reference,
+                              measureConfig());
+    const auto fast = adaptive.locate();
+
+    const BugLocator linear(fx.suspect, fx.reference,
+                            measureConfig(Strategy::LinearScan));
+    const auto scan = linear.locate();
+
+    expectLocalizes(fx, fast);
+    expectLocalizes(fx, scan);
+    EXPECT_LT(fast.probes.size(), scan.probes.size()) << fx.name;
+}
+
+TEST_P(MeasureFixtures, ThreadCountInvariant)
+{
+    const Fixture fx = make(GetParam());
+
+    const BugLocator serial(
+        fx.suspect, fx.reference,
+        measureConfig(Strategy::AdaptiveBinarySearch, 1));
+    const BugLocator four(
+        fx.suspect, fx.reference,
+        measureConfig(Strategy::AdaptiveBinarySearch, 4));
+    const BugLocator pooled(
+        fx.suspect, fx.reference,
+        measureConfig(Strategy::AdaptiveBinarySearch, 0));
+    const auto a = serial.locate();
+    const auto b = four.locate();
+    const auto c = pooled.locate();
+
+    for (const auto *other : {&b, &c}) {
+        EXPECT_EQ(a.lastPassing, other->lastPassing) << fx.name;
+        EXPECT_EQ(a.firstFailing, other->firstFailing) << fx.name;
+        ASSERT_EQ(a.probes.size(), other->probes.size()) << fx.name;
+        for (std::size_t i = 0; i < a.probes.size(); ++i) {
+            EXPECT_EQ(a.probes[i].boundary, other->probes[i].boundary);
+            EXPECT_EQ(a.probes[i].ensembleSize,
+                      other->probes[i].ensembleSize);
+            // Bit-identical: Resimulate trials key their streams by
+            // trial index, never by worker or shard.
+            EXPECT_EQ(a.probes[i].pValue, other->probes[i].pValue);
+            EXPECT_EQ(a.probes[i].failed, other->probes[i].failed);
+        }
+    }
+}
+
+TEST_P(MeasureFixtures, SeedInvariantInterval)
+{
+    const Fixture fx = make(GetParam());
+    LocateConfig cfg = measureConfig();
+    const auto a =
+        BugLocator(fx.suspect, fx.reference, cfg).locate();
+    cfg.seed = 0xfeedbeef;
+    const auto b =
+        BugLocator(fx.suspect, fx.reference, cfg).locate();
+    EXPECT_EQ(a.lastPassing, b.lastPassing) << fx.name;
+    EXPECT_EQ(a.firstFailing, b.firstFailing) << fx.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Taxonomy, MeasureFixtures,
+                         ::testing::Range(0, 8));
+
+// --- Probes beyond the first measure -----------------------------------------
+
+TEST(MeasureLocate, ProbesLandBeyondTheFirstMeasure)
+{
+    // The defects sitting after the Bell measurement are only
+    // reachable by probes beyond the first Measure — exactly the
+    // range both families clamped off before Resimulate mode.
+    const Fixture fx = teleportFixture(TeleportBug::BrokenMirror,
+                                       "broken-mirror");
+    const std::size_t measured = firstMeasureBoundary(fx.suspect);
+
+    const BugLocator locator(fx.suspect, fx.reference,
+                             measureConfig());
+    const auto report = locator.locate();
+    expectLocalizes(fx, report);
+    EXPECT_GT(report.firstFailing, measured);
+    EXPECT_TRUE(std::any_of(report.probes.begin(),
+                            report.probes.end(),
+                            [&](const ProbeRecord &rec) {
+                                return rec.boundary > measured;
+                            }));
+}
+
+// --- Predicate probes through measurement ------------------------------------
+
+TEST(MeasureLocate, PredicateProbesCrossMeasurements)
+{
+    // The receiver's marginal is wrong from the defective reset on:
+    // the oracle's mixture predicates must carry the scan across the
+    // Bell measurement and the conditioned corrections, and its
+    // first-failing boundary must sit at the defect. (The Bell pair's
+    // CNOT later uniformises the receiver's marginal, so only the
+    // exhaustive scan's first-failing semantics pins the onset — a
+    // register marginal is not a monotone divergence witness, which
+    // is exactly why the mirror family exists.)
+    const Fixture fx = teleportFixture(TeleportBug::WrongInitialValue,
+                                       "wrong-initial-value");
+    const QubitRegister recv = fx.suspect.reg("recv");
+
+    const BugLocator linear(fx.suspect, fx.reference,
+                            measureConfig(Strategy::LinearScan));
+    const auto scan = linear.locateByPredicates(recv);
+    expectLocalizes(fx, scan);
+    // The probeable range extends to the end of the program, not to
+    // the first measure.
+    EXPECT_EQ(scan.probes.size(), fx.suspect.size());
+
+    // A defect past both measurements whose marginal divergence
+    // persists bracket-localizes adaptively, in fewer probes.
+    const Fixture late = teleportFixture(TeleportBug::BrokenMirror,
+                                         "broken-mirror");
+    const BugLocator adaptive(late.suspect, late.reference,
+                              measureConfig());
+    const auto report = adaptive.locateByPredicates(
+        late.suspect.reg("recv"));
+    expectLocalizes(late, report);
+    EXPECT_LT(report.probes.size(), scan.probes.size());
+}
+
+TEST(MeasureLocate, MixturePredicatesAreExact)
+{
+    // Ground truth for the oracle through a measurement: after the
+    // Bell measurement of the |Phi+>-teleport, the receiver's
+    // unconditional marginal equals the payload's outcome
+    // distribution (teleportation works before correction only up to
+    // Pauli frames, which do not change the computational marginal of
+    // this payload's |amplitudes|^2 mixed over outcomes).
+    const Circuit circ = buildMeasuredTeleport(TeleportBug::None);
+    const QubitRegister recv = circ.reg("recv");
+
+    const PredicateOracle oracle(circ, recv);
+    ASSERT_EQ(oracle.numBoundaries(), circ.size() + 1);
+
+    // Before anything: classical |0>.
+    EXPECT_EQ(oracle.at(0).kind, assertions::AssertionKind::Classical);
+
+    // After the full program the receiver reads |0> again in every
+    // branch: the mixture predicate collapses back to a classical
+    // point mass — the verified-teleportation invariant.
+    const auto &final_pred = oracle.at(circ.size());
+    EXPECT_EQ(final_pred.kind, assertions::AssertionKind::Classical);
+    EXPECT_EQ(final_pred.expectedValue, 0u);
+}
+
+// --- Semiclassical Shor (the flagship) ---------------------------------------
+
+TEST(MeasureLocate, SemiclassicalShorWrongInverseBracketed)
+{
+    // Table 3's bug type 6 — the wrong modular inverse (12 instead of
+    // 13) — injected into Beauregard's one-control-qubit circuit,
+    // where it sits in the *last* phase-bit round, past the recycled
+    // control's earlier measurements.
+    algo::ShorConfig good_config;
+    good_config.upperBits = 2;
+    algo::ShorConfig bad_config = good_config;
+    bad_config.pairs =
+        algo::shorClassicalInputs(7, 15, good_config.upperBits);
+    bad_config.pairs[0].second = 12; // 7^-1 mod 15 is 13, not 12
+
+    const auto good = algo::buildSemiclassicalShorProgram(good_config);
+    const auto bad = algo::buildSemiclassicalShorProgram(bad_config);
+
+    LocateConfig cfg;
+    cfg.mode = assertions::EnsembleMode::Resimulate;
+    cfg.ensembleSize = 32;
+    cfg.maxEnsembleSize = 128;
+
+    const BugLocator locator(bad.circuit, good.circuit, cfg);
+    const auto report = locator.locate();
+
+    ASSERT_TRUE(report.bugFound) << report.summary();
+    EXPECT_TRUE(intervalCoversDefect(bad.circuit, good.circuit,
+                                     report.suspectBegin(),
+                                     report.suspectEnd()))
+        << report.summary();
+
+    // The bracket sits past the first recycled-control measurement,
+    // and the search needs under a tenth of the probes an exhaustive
+    // scan spends (LinearScan adjudicates every boundary exactly
+    // once, so its probe count is the boundary count).
+    EXPECT_GT(report.firstFailing,
+              firstMeasureBoundary(bad.circuit));
+    EXPECT_LT(report.probes.size(), bad.circuit.size() / 10);
+}
+
+// --- Measurement-free regression: Resimulate == Truncate path ----------------
+
+Fixture
+flippedRotationFixture()
+{
+    Fixture fx;
+    fx.name = "flipped-rotation";
+    for (Circuit *circ : {&fx.suspect, &fx.reference}) {
+        const bool buggy = circ == &fx.suspect;
+        const auto ctrl = circ->addRegister("ctrl", 1);
+        const auto b = circ->addRegister("b", 5);
+        circ->prepRegister(ctrl, 1);
+        circ->prepRegister(b, 12);
+        algo::qft(*circ, b);
+        bugs::phiAddDecomposed(
+            *circ, b, 13, ctrl[0],
+            buggy ? bugs::Table1Variant::IncorrectFlipped
+                  : bugs::Table1Variant::CorrectDropA);
+        algo::iqft(*circ, b);
+    }
+    return fx;
+}
+
+Fixture
+wrongInitialValueFixture()
+{
+    Fixture fx;
+    fx.name = "wrong-initial-value";
+    for (Circuit *circ : {&fx.suspect, &fx.reference}) {
+        const bool buggy = circ == &fx.suspect;
+        const auto a = circ->addRegister("a", 4);
+        const auto y = circ->addRegister("y", 3);
+        circ->prepRegister(a, 5);
+        algo::qft(*circ, a);
+        algo::phiAdd(*circ, a, 3);
+        algo::iqft(*circ, a);
+        circ->prepRegister(y, buggy ? 0 : 1);
+        circ->cnot(y[0], a[0]);
+        circ->cnot(y[1], a[1]);
+    }
+    return fx;
+}
+
+/**
+ * Probe counts, probed boundaries, verdicts, and the bracket must be
+ * identical between the two modes on a measurement-free program (the
+ * probe specs coincide; ensembles are drawn through different stream
+ * layouts, so p-values are not compared).
+ */
+void
+expectSameTrajectory(const LocalizationReport &truncate,
+                     const LocalizationReport &resim,
+                     const std::string &name)
+{
+    EXPECT_EQ(truncate.bugFound, resim.bugFound) << name;
+    EXPECT_EQ(truncate.lastPassing, resim.lastPassing) << name;
+    EXPECT_EQ(truncate.firstFailing, resim.firstFailing) << name;
+    EXPECT_EQ(truncate.suspectGates, resim.suspectGates) << name;
+    ASSERT_EQ(truncate.probes.size(), resim.probes.size()) << name;
+    for (std::size_t i = 0; i < truncate.probes.size(); ++i) {
+        EXPECT_EQ(truncate.probes[i].boundary,
+                  resim.probes[i].boundary)
+            << name << " probe " << i;
+        EXPECT_EQ(truncate.probes[i].kind, resim.probes[i].kind)
+            << name << " probe " << i;
+        EXPECT_EQ(truncate.probes[i].failed, resim.probes[i].failed)
+            << name << " probe " << i;
+    }
+}
+
+TEST(MeasureFreeRegression, MirrorTrajectoryIdentical)
+{
+    const Fixture fx = flippedRotationFixture();
+    LocateConfig cfg;
+    cfg.ensembleSize = 64;
+    cfg.maxEnsembleSize = 1024;
+
+    const auto truncate =
+        BugLocator(fx.suspect, fx.reference, cfg).locate();
+    cfg.mode = assertions::EnsembleMode::Resimulate;
+    const auto resim =
+        BugLocator(fx.suspect, fx.reference, cfg).locate();
+    expectSameTrajectory(truncate, resim, fx.name);
+}
+
+TEST(MeasureFreeRegression, PredicateTrajectoryIdentical)
+{
+    const Fixture fx = wrongInitialValueFixture();
+    const QubitRegister y = fx.suspect.reg("y");
+    LocateConfig cfg;
+    cfg.ensembleSize = 64;
+    cfg.maxEnsembleSize = 1024;
+
+    const auto truncate =
+        BugLocator(fx.suspect, fx.reference, cfg).locateByPredicates(y);
+    cfg.mode = assertions::EnsembleMode::Resimulate;
+    const auto resim =
+        BugLocator(fx.suspect, fx.reference, cfg).locateByPredicates(y);
+    expectSameTrajectory(truncate, resim, fx.name);
+}
+
+TEST(MeasureFreeRegression, LinearScanTrajectoryIdentical)
+{
+    const Fixture fx = flippedRotationFixture();
+    LocateConfig cfg;
+    cfg.strategy = Strategy::LinearScan;
+    cfg.ensembleSize = 64;
+    cfg.maxEnsembleSize = 1024;
+
+    const auto truncate =
+        BugLocator(fx.suspect, fx.reference, cfg).locate();
+    cfg.mode = assertions::EnsembleMode::Resimulate;
+    const auto resim =
+        BugLocator(fx.suspect, fx.reference, cfg).locate();
+    expectSameTrajectory(truncate, resim, fx.name);
+}
+
+} // anonymous namespace

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -268,6 +270,103 @@ TEST(SessionFluent, ConfigSettersRebuildTheEngine)
     expectIdentical(s.outcomes()[0], first, "restored config");
 }
 
+TEST(SessionFluent, PerExpectationEnsembleSizeMatchesHandBuiltConfig)
+{
+    // The facade follow-up: one expectation runs at its own ensemble
+    // size while the rest keep the session default, bit-identical to
+    // a hand-built CheckConfig at that size.
+    BellFixture f;
+    CheckConfig cfg;
+    cfg.ensembleSize = 128;
+
+    session::Session s(f.circ, cfg);
+    s.at("classical").expectClassical(f.q, 0);
+    auto &big = s.at("entangled")
+                    .expectEntangled(f.q0, f.q1)
+                    .ensembleSize(512);
+    const auto &got = s.run();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].ensembleSize, 128u);
+    EXPECT_EQ(big.outcome().ensembleSize, 512u);
+
+    CheckConfig big_cfg = cfg;
+    big_cfg.ensembleSize = 512;
+    assertions::AssertionChecker direct(f.circ, big_cfg);
+    direct.assertEntangled("entangled", f.q0, f.q1);
+    expectIdentical(got[1], direct.check(direct.assertions()[0]),
+                    "overridden expectation");
+
+    // The default-sized sibling is untouched by the override.
+    assertions::AssertionChecker small(f.circ, cfg);
+    small.assertClassical("classical", f.q, 0);
+    expectIdentical(got[0], small.check(small.assertions()[0]),
+                    "default-size expectation");
+
+    // Clearing the override restores the session default.
+    big.ensembleSize(0);
+    EXPECT_EQ(big.outcome().ensembleSize, 128u);
+}
+
+TEST(SessionFluent, EnsembleSizeOverrideComposesWithEscalation)
+{
+    // With a policy in use, the override replaces the policy's
+    // initial size for that one assertion — exactly checkEscalated
+    // under the adjusted policy.
+    BellFixture f;
+    const assertions::EscalationPolicy policy{8, 512, 0.30};
+
+    session::Session s(f.circ);
+    s.use(policy);
+    s.at("entangled")
+        .expectEntangled(f.q0, f.q1)
+        .alpha(0.001)
+        .ensembleSize(256);
+    const auto &got = s.run();
+
+    assertions::AssertionChecker checker(f.circ, CheckConfig());
+    checker.assertEntangled("entangled", f.q0, f.q1, 0.001);
+    const assertions::EscalationPolicy adjusted{256, 512, 0.30};
+    expectIdentical(
+        got[0],
+        checker.checkEscalated(checker.assertions()[0], adjusted),
+        "override + escalation");
+}
+
+// --- Structured export ------------------------------------------------------
+
+TEST(SessionExport, JsonCarriesTheOutcomeTable)
+{
+    BellFixture f;
+    session::Session s(f.circ);
+    s.ensembleSize(64);
+    s.at("classical").expectClassical(f.q, 0).named("prep-cleared");
+    s.at("entangled").expectEntangled(f.q0, f.q1);
+
+    const std::string doc = s.exportJson();
+
+    // Session block and one record per assertion.
+    EXPECT_NE(doc.find("\"session\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ensemble_size\": 64"), std::string::npos);
+    EXPECT_NE(doc.find("\"mode\": \"sample_final_state\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"prep-cleared\""), std::string::npos);
+    EXPECT_NE(doc.find("\"entangled@entangled\""), std::string::npos);
+    EXPECT_NE(doc.find("\"kind\": \"entangled\""), std::string::npos);
+    EXPECT_NE(doc.find("\"p_value\": "), std::string::npos);
+    EXPECT_NE(doc.find("\"counts\": {"), std::string::npos);
+    EXPECT_NE(doc.find("\"all_passed\": true"), std::string::npos);
+
+    // The file-writing overload round-trips the same document.
+    const std::string path =
+        ::testing::TempDir() + "qsa_session_export.json";
+    s.exportJson(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), doc);
+}
+
 // --- Localization handoff ---------------------------------------------------
 
 /** Misrouted-control fixture pair (bench_locate's mid-size shape). */
@@ -323,6 +422,42 @@ TEST(SessionLocate, HandsOffToBugLocatorWithSessionPolicies)
     EXPECT_EQ(lc.seed, s.config().seed);
     EXPECT_EQ(lc.ensembleSize, 64u);
     EXPECT_EQ(lc.maxEnsembleSize, 1024u);
+}
+
+TEST(SessionLocate, ResimulateSessionLocalizesPastMeasurement)
+{
+    // A session switched to Resimulate mode hands that mode to the
+    // locator: the defect behind the mid-circuit measurement (a
+    // flipped rotation after a classically-conditioned correction)
+    // is bracketed — the default mode would clamp the probeable
+    // range before it.
+    const auto build = [](bool buggy) {
+        Circuit c;
+        const auto q = c.addRegister("q", 2);
+        c.prepZ(q[0], 0);
+        c.prepZ(q[1], 0);
+        c.h(q[0]);
+        c.measureQubits({q[0]}, "m");
+        c.x(q[1]);
+        c.conditionLast("m", 1);
+        c.ry(q[1], buggy ? 0.9 : -0.9); // the post-measure defect
+        return c;
+    };
+    const Circuit buggy = build(true);
+    const Circuit reference = build(false);
+
+    session::Session s(buggy);
+    s.mode(EnsembleMode::Resimulate);
+    s.use(assertions::EscalationPolicy{64, 1024, 0.30});
+    const auto report = s.locate(reference);
+    ASSERT_TRUE(report.bugFound) << report.summary();
+    EXPECT_EQ(report.suspectBegin(), buggy.size() - 1)
+        << report.summary();
+
+    // The derived config carries the session's mode.
+    const auto lc =
+        s.locateConfig(locate::Strategy::AdaptiveBinarySearch);
+    EXPECT_EQ(lc.mode, EnsembleMode::Resimulate);
 }
 
 // --- Registration-time validation -------------------------------------------
