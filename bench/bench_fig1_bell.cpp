@@ -1,80 +1,91 @@
 /**
  * @file
  * Figure 1: Bell state creation and the correlated-measurement
- * contingency table.
+ * contingency table, as a machine-readable benchmark.
  *
- * Regenerates the 2x2 contingency table of the paper's introductory
- * example and the entanglement-assertion p-value across ensemble
- * sizes, including the paper's quoted M = 16 / p ~ 0.0005 point.
+ * Regenerates the entanglement-assertion p-value of the paper's
+ * introductory example across ensemble sizes — including the quoted
+ * M = 16 / p ~ 0.0005 point — plus the negative control before the
+ * CNOT (independent qubits: the product assertion passes, the
+ * entanglement assertion stays inconclusive). Contingency counts,
+ * chi-square statistics, and verdicts land as counters; run with
+ * --json <path> for the BENCH_*.json record.
  */
 
-#include <iostream>
+#include <benchmark/benchmark.h>
 
+#include "benchjson_main.hh"
 #include "qsa/qsa.hh"
 
-int
-main()
+namespace
 {
-    using namespace qsa;
 
-    std::cout << "=== Figure 1: Bell state creation ===\n\n";
+using namespace qsa;
 
+void
+BM_BellEntangledAssertion(benchmark::State &state)
+{
+    const std::size_t m = (std::size_t)state.range(0);
     circuit::Circuit program = algo::buildBellProgram();
     const auto q0 = program.reg("q").slice(0, 1, "q0");
     const auto q1 = program.reg("q").slice(1, 1, "q1");
 
-    // --- The paper's probability table (exact). ---------------------------
-    std::cout << "exact joint distribution at breakpoint 'entangled' "
-                 "(paper: 1/2 diagonal):\n";
-    const auto joint =
-        assertions::exactJoint(program, "entangled", q0, q1);
-    AsciiTable jt;
-    jt.setHeader({"Probability", "m0 = 0", "m0 = 1"});
-    for (unsigned b = 0; b < 2; ++b) {
-        jt.addRow({"m1 = " + std::to_string(b),
-                   AsciiTable::fmt(joint[0][b], 3),
-                   AsciiTable::fmt(joint[1][b], 3)});
-    }
-    std::cout << jt.render() << "\n";
-
-    // --- Sampled contingency tables + chi-square sweep. -------------------
-    std::cout << "entanglement assertion vs ensemble size "
-                 "(Yates-corrected chi-square):\n";
-    AsciiTable sweep;
-    sweep.setHeader({"M", "n00", "n01", "n10", "n11", "chi2", "df",
-                     "p-value", "verdict"});
-    for (std::size_t m : {16u, 32u, 64u, 256u, 1024u}) {
+    assertions::AssertionOutcome out;
+    for (auto _ : state) {
         session::Session s(program);
         s.ensembleSize(m);
-        const auto o =
-            s.at("entangled").expectEntangled(q0, q1).outcome();
-
-        auto count = [&](unsigned a, unsigned b) {
-            const auto it = o.jointCounts.find({a, b});
-            return it == o.jointCounts.end() ? 0ull : it->second;
-        };
-        sweep.addRow({std::to_string(m), std::to_string(count(0, 0)),
-                      std::to_string(count(0, 1)),
-                      std::to_string(count(1, 0)),
-                      std::to_string(count(1, 1)),
-                      AsciiTable::fmt(o.statistic, 2),
-                      AsciiTable::fmt(o.df, 0),
-                      AsciiTable::fmtP(o.pValue),
-                      o.passed ? "entangled" : "inconclusive"});
+        out = s.at("entangled").expectEntangled(q0, q1).outcome();
+        benchmark::DoNotOptimize(out);
     }
-    std::cout << sweep.render() << "\n";
-    std::cout << "paper reference: perfectly correlated table at "
-                 "M = 16 gives p = 0.0005\n\n";
 
-    // --- Negative control: before the CNOT. --------------------------------
-    std::cout << "negative control at breakpoint 'superposition' "
-                 "(independent qubits):\n";
-    session::Session s(program);
-    s.ensembleSize(1024);
-    auto before_cnot = s.at("superposition");
-    before_cnot.expectEntangled(q0, q1);
-    before_cnot.expectProduct(q0, q1);
-    std::cout << s.report();
-
-    return 0;
+    const auto count = [&](unsigned a, unsigned b) {
+        const auto it = out.jointCounts.find({a, b});
+        return it == out.jointCounts.end() ? 0ull : it->second;
+    };
+    state.SetLabel(out.passed ? "entangled" : "inconclusive");
+    state.counters["p_value"] = out.pValue;
+    state.counters["chi2"] = out.statistic;
+    state.counters["passed"] = out.passed ? 1.0 : 0.0;
+    state.counters["n00"] = (double)count(0, 0);
+    state.counters["n01"] = (double)count(0, 1);
+    state.counters["n10"] = (double)count(1, 0);
+    state.counters["n11"] = (double)count(1, 1);
 }
+BENCHMARK(BM_BellEntangledAssertion)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+/** Negative control: before the CNOT the qubits are independent. */
+void
+BM_BellNegativeControl(benchmark::State &state)
+{
+    circuit::Circuit program = algo::buildBellProgram();
+    const auto q0 = program.reg("q").slice(0, 1, "q0");
+    const auto q1 = program.reg("q").slice(1, 1, "q1");
+
+    bool product_passed = false, entangled_passed = true;
+    double product_p = 0.0;
+    for (auto _ : state) {
+        session::Session s(program);
+        s.ensembleSize(1024);
+        auto before_cnot = s.at("superposition");
+        auto &entangled = before_cnot.expectEntangled(q0, q1);
+        auto &product = before_cnot.expectProduct(q0, q1);
+        product_passed = product.passed();
+        product_p = product.pValue();
+        entangled_passed = entangled.passed();
+    }
+
+    const bool expected = product_passed && !entangled_passed;
+    state.SetLabel(expected ? "independent"
+                            : "UNEXPECTED CORRELATION");
+    state.counters["product_p"] = product_p;
+    state.counters["product_passed"] = product_passed ? 1.0 : 0.0;
+    state.counters["entangled_passed"] =
+        entangled_passed ? 1.0 : 0.0;
+}
+BENCHMARK(BM_BellNegativeControl)->Unit(benchmark::kMicrosecond);
+
+} // anonymous namespace
+
+QSA_BENCHJSON_MAIN("bench_fig1_bell");

@@ -13,6 +13,8 @@
  * BENCH_*.json record.
  */
 
+#include <cmath>
+
 #include <benchmark/benchmark.h>
 
 #include "benchjson_main.hh"
@@ -131,6 +133,49 @@ measuredTeleportPair()
     return pair;
 }
 
+/**
+ * Measured teleportation with a conditioned-Z-*frame* defect (the
+ * conditioned Z correction applies S instead): a pure relative-phase
+ * divergence invisible to every computational-basis probe between
+ * its site and the verify rotation — the swap-test family's
+ * flagship.
+ */
+std::pair<Circuit, Circuit>
+zFrameTeleportPair()
+{
+    constexpr double theta = 1.1;
+    constexpr double phi = 0.6;
+    std::pair<Circuit, Circuit> pair;
+    Circuit *circs[] = {&pair.first, &pair.second};
+    for (Circuit *circ : circs) {
+        const bool buggy = circ == &pair.first;
+        const auto msg = circ->addRegister("msg", 1);
+        const auto half = circ->addRegister("half", 1);
+        const auto recv = circ->addRegister("recv", 1);
+        circ->prepZ(msg[0], 0);
+        circ->prepZ(half[0], 0);
+        circ->prepZ(recv[0], 0);
+        circ->ry(msg[0], theta);
+        circ->rz(msg[0], phi);
+        circ->h(half[0]);
+        circ->cnot(half[0], recv[0]);
+        circ->cnot(msg[0], half[0]);
+        circ->h(msg[0]);
+        circ->measureQubits({half[0]}, "m_x");
+        circ->measureQubits({msg[0]}, "m_z");
+        circ->x(recv[0]);
+        circ->conditionLast("m_x", 1);
+        if (buggy)
+            circ->phase(recv[0], M_PI / 2);
+        else
+            circ->z(recv[0]);
+        circ->conditionLast("m_z", 1);
+        circ->rz(recv[0], -phi);
+        circ->ry(recv[0], -theta);
+    }
+    return pair;
+}
+
 std::pair<Circuit, Circuit>
 fixturePair(int which)
 {
@@ -138,7 +183,8 @@ fixturePair(int which)
       case 0: return flippedAdderPair();
       case 1: return misroutedPair();
       case 2: return wrongInversePair();
-      default: return measuredTeleportPair();
+      case 3: return measuredTeleportPair();
+      default: return zFrameTeleportPair();
     }
 }
 
@@ -149,20 +195,25 @@ fixtureName(int which)
       case 0: return "flipped-adder";
       case 1: return "misrouted-control";
       case 2: return "wrong-inverse";
-      default: return "measured-teleport";
+      case 3: return "measured-teleport";
+      default: return "zframe-teleport";
     }
 }
 
 void
 runLocate(benchmark::State &state, locate::Strategy strategy,
           assertions::EnsembleMode mode =
-              assertions::EnsembleMode::SampleFinalState)
+              assertions::EnsembleMode::SampleFinalState,
+          locate::ProbeFamily family =
+              locate::ProbeFamily::SegmentMirror,
+          const char *reg_name = nullptr)
 {
     const auto pair = fixturePair((int)state.range(0));
 
     locate::LocateConfig cfg;
     cfg.strategy = strategy;
     cfg.mode = mode;
+    cfg.family = family;
     cfg.ensembleSize = 64;
     cfg.maxEnsembleSize = 1024;
     const locate::BugLocator locator(pair.first, pair.second, cfg);
@@ -171,7 +222,11 @@ runLocate(benchmark::State &state, locate::Strategy strategy,
     std::size_t measurements = 0;
     bool found = true;
     for (auto _ : state) {
-        const auto report = locator.locate();
+        const auto report =
+            reg_name == nullptr
+                ? locator.locate()
+                : locator.locateByPredicates(
+                      pair.first.reg(reg_name));
         probes = report.probes.size();
         measurements = report.totalMeasurements;
         found = found && report.bugFound;
@@ -221,6 +276,51 @@ BM_LocateResimulateScan(benchmark::State &state)
               assertions::EnsembleMode::Resimulate);
 }
 BENCHMARK(BM_LocateResimulateScan)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+// Phase-sensitive families on the conditioned-Z-frame teleport — the
+// defect every computational-basis family brackets at the verify
+// step instead of its site. Probes are register-scoped to the
+// receiver; the swap-test scan is the exhaustive baseline the
+// adaptive search must beat, and Auto pays the marginal search plus
+// one decisive swap probe before escalating.
+void
+BM_LocateSwapTest(benchmark::State &state)
+{
+    runLocate(state, locate::Strategy::AdaptiveBinarySearch,
+              assertions::EnsembleMode::Resimulate,
+              locate::ProbeFamily::SwapTest, "recv");
+}
+BENCHMARK(BM_LocateSwapTest)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void
+BM_LocateSwapTestScan(benchmark::State &state)
+{
+    runLocate(state, locate::Strategy::LinearScan,
+              assertions::EnsembleMode::Resimulate,
+              locate::ProbeFamily::SwapTest, "recv");
+}
+BENCHMARK(BM_LocateSwapTestScan)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_LocateRotatedMarginal(benchmark::State &state)
+{
+    runLocate(state, locate::Strategy::AdaptiveBinarySearch,
+              assertions::EnsembleMode::Resimulate,
+              locate::ProbeFamily::RotatedMarginal, "recv");
+}
+BENCHMARK(BM_LocateRotatedMarginal)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_LocateAutoEscalation(benchmark::State &state)
+{
+    runLocate(state, locate::Strategy::AdaptiveBinarySearch,
+              assertions::EnsembleMode::Resimulate,
+              locate::ProbeFamily::Auto, "recv");
+}
+BENCHMARK(BM_LocateAutoEscalation)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace

@@ -1,37 +1,48 @@
 /**
  * @file
  * Section 5.2.3: the two whole-algorithm convergence checks for the
- * quantum chemistry benchmark.
+ * quantum chemistry benchmark, as a machine-readable benchmark.
  *
- *  1. Trotter-step convergence: the IPEA ground-state energy settles
- *     as the number of Trotter steps per evolution grows; a failure
+ *  1. Trotter-step convergence: the eigenphase error of the
+ *     Trotterised evolution shrinks with the step count; a failure
  *     to converge indicates a bug in the Hamiltonian subroutine.
- *  2. Precision refinement: rounding a high-precision phase estimate
- *     must reproduce the low-precision estimate; disagreement
- *     indicates a bug in the IPEA subroutine.
+ *  2. Precision refinement: every higher-precision IPEA phase
+ *     estimate must agree with the coarser one to a unit in the last
+ *     place; disagreement indicates a bug in the IPEA subroutine.
+ *
+ * Errors, energies, and consistency verdicts land as counters; run
+ * with --json <path> for the BENCH_*.json record.
  */
 
 #include <cmath>
-#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
+#include <benchmark/benchmark.h>
+
+#include "benchjson_main.hh"
 #include "qsa/qsa.hh"
 
-int
-main()
+namespace
 {
-    using namespace qsa;
-    using namespace qsa::chem;
 
-    std::cout << "=== Section 5.2.3: convergence checks ===\n\n";
+using namespace qsa;
+using namespace qsa::chem;
 
-    const H2Model model = buildH2Model(73.48);
-    const double fci = groundStateEnergy(model.hamiltonian);
-    const double e_ref = 1.5, time = 1.2;
+constexpr double kERef = 1.5;
+constexpr double kTime = 1.2;
 
-    // --- 1. Energy vs Trotter steps. ---------------------------------------
-    // Two views: the eigenphase error of the Trotterised unitary
-    // itself (no read-out limit), and the energy IPEA actually
-    // measures at 12 bits of phase.
+/**
+ * Eigenphase error of one Trotterised evolution applied to the exact
+ * ground state (no read-out limit): build the dense circuit matrix
+ * column by column, apply it to the ground vector, and compare the
+ * acquired phase with the exact eigenphase.
+ */
+double
+trotterEigenphaseError(const H2Model &model, double fci,
+                       unsigned steps)
+{
     const auto spectrum = diagonalize(model.hamiltonian);
     std::vector<sim::Complex> ground(16);
     for (int i = 0; i < 16; ++i)
@@ -41,82 +52,114 @@ main()
     // the identity term is a global phase and is only physical once
     // controlled. Compare eigenphases against the same convention.
     double c0 = 0.0;
-    {
-        const auto it =
-            model.hamiltonian.terms().find(chem::PauliMask{0, 0});
-        if (it != model.hamiltonian.terms().end())
-            c0 = it->second.real();
+    const auto it =
+        model.hamiltonian.terms().find(chem::PauliMask{0, 0});
+    if (it != model.hamiltonian.terms().end())
+        c0 = it->second.real();
+
+    circuit::Circuit circ(4);
+    appendTrotterEvolution(circ, model.hamiltonian, kTime, steps,
+                           {0, 1, 2, 3}, {}, kERef);
+
+    sim::CMatrix u(16);
+    for (std::uint64_t col = 0; col < 16; ++col) {
+        sim::StateVector basis(4);
+        basis.setBasisState(col);
+        std::map<std::string, std::uint64_t> meas;
+        Rng rng(1);
+        circuit::runCircuitOn(circ, basis, meas, rng);
+        for (std::uint64_t row = 0; row < 16; ++row)
+            u.at(row, col) = basis.amp(row);
+    }
+    const std::vector<sim::Complex> evolved = u.apply(ground);
+
+    sim::Complex overlap(0.0);
+    for (int i = 0; i < 16; ++i)
+        overlap += std::conj(ground[i]) * evolved[i];
+    const double measured_phase = -std::arg(overlap);
+    const double exact_phase = (fci - c0) * kTime;
+    double err = measured_phase - exact_phase;
+    while (err > M_PI)
+        err -= 2.0 * M_PI;
+    while (err <= -M_PI)
+        err += 2.0 * M_PI;
+    return std::fabs(err);
+}
+
+void
+BM_TrotterConvergence(benchmark::State &state)
+{
+    const unsigned steps = (unsigned)state.range(0);
+    const H2Model model = buildH2Model(73.48);
+    const double fci = groundStateEnergy(model.hamiltonian);
+
+    double phase_err = 0.0;
+    for (auto _ : state) {
+        phase_err = trotterEigenphaseError(model, fci, steps);
+        benchmark::DoNotOptimize(phase_err);
     }
 
-    std::cout << "ground-state energy vs Trotter steps (FCI = "
-              << AsciiTable::fmt(fci, 6) << "):\n";
-    AsciiTable t1;
-    t1.setHeader({"Trotter steps", "eigenphase error (rad)",
-                  "energy error (hartree)", "IPEA energy (12 bits)"});
-    for (unsigned steps : {1u, 2u, 4u, 8u, 16u}) {
-        // Direct view: apply one Trotterised evolution to the exact
-        // ground state and compare the acquired phase with the exact
-        // eigenphase (no read-out resolution limit).
-        circuit::Circuit circ(4);
-        appendTrotterEvolution(circ, model.hamiltonian, time, steps,
-                               {0, 1, 2, 3}, {}, e_ref);
+    state.SetLabel("first-order Trotter, " + std::to_string(steps) +
+                   " step(s)");
+    state.counters["eigenphase_error"] = phase_err;
+    state.counters["energy_error"] = phase_err / kTime;
+}
+BENCHMARK(BM_TrotterConvergence)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
-        // Build the dense matrix of the Trotter circuit column by
-        // column and apply it to the exact ground vector.
-        sim::CMatrix u(16);
-        for (std::uint64_t col = 0; col < 16; ++col) {
-            sim::StateVector basis(4);
-            basis.setBasisState(col);
-            std::map<std::string, std::uint64_t> meas;
-            Rng rng(1);
-            circuit::runCircuitOn(circ, basis, meas, rng);
-            for (std::uint64_t row = 0; row < 16; ++row)
-                u.at(row, col) = basis.amp(row);
-        }
-        const std::vector<sim::Complex> evolved = u.apply(ground);
+/**
+ * IPEA read-out at 12 bits of phase on the Trotterised evolution:
+ * the energy the algorithm actually measures must converge to FCI
+ * within its resolution as the step count grows.
+ */
+void
+BM_IpeaTrotterEnergy(benchmark::State &state)
+{
+    const unsigned steps = (unsigned)state.range(0);
+    const H2Model model = buildH2Model(73.48);
+    const double fci = groundStateEnergy(model.hamiltonian);
 
-        sim::Complex overlap(0.0);
-        for (int i = 0; i < 16; ++i)
-            overlap += std::conj(ground[i]) * evolved[i];
-        const double measured_phase = -std::arg(overlap);
-        const double exact_phase = (fci - c0) * time;
-        double err = measured_phase - exact_phase;
-        while (err > M_PI)
-            err -= 2.0 * M_PI;
-        while (err <= -M_PI)
-            err += 2.0 * M_PI;
-        const double energy_err = std::fabs(err) / time;
+    const algo::ControlledPowerFn fn =
+        [&](circuit::Circuit &cc, unsigned ctrl, unsigned k) {
+            const std::uint64_t reps = 1ull << k;
+            for (std::uint64_t r = 0; r < reps; ++r) {
+                appendTrotterEvolution(cc, model.hamiltonian, kTime,
+                                       steps, {0, 1, 2, 3}, {ctrl},
+                                       kERef);
+            }
+        };
 
-        // Read-out view: what IPEA measures at 12 bits of phase.
-        const algo::ControlledPowerFn fn =
-            [&](circuit::Circuit &cc, unsigned ctrl, unsigned k) {
-                const std::uint64_t reps = 1ull << k;
-                for (std::uint64_t r = 0; r < reps; ++r) {
-                    appendTrotterEvolution(cc, model.hamiltonian,
-                                           time, steps, {0, 1, 2, 3},
-                                           {ctrl}, e_ref);
-                }
-            };
+    double e_ipea = 0.0;
+    for (auto _ : state) {
         algo::IpeaConfig cfg;
         cfg.bits = 12;
         const auto run = algo::runIpea(4, 0b0011, fn, cfg);
-        const double e_ipea =
-            algo::phaseToEnergy(run.phase, time, e_ref);
-
-        t1.addRow({std::to_string(steps),
-                   AsciiTable::fmt(std::fabs(err), 6),
-                   AsciiTable::fmt(energy_err, 6),
-                   AsciiTable::fmt(e_ipea, 6)});
+        e_ipea = algo::phaseToEnergy(run.phase, kTime, kERef);
+        benchmark::DoNotOptimize(run);
     }
-    std::cout << t1.render();
-    std::cout << "shape check: the eigenphase error shrinks with r "
-                 "(first-order Trotter); the IPEA column converges to "
-                 "FCI within its 12-bit resolution.\n\n";
 
-    // --- 2. Energy vs phase-estimation precision. ----------------------------
-    std::cout << "phase estimate vs bit precision (exact evolution "
-                 "operator):\n";
-    const auto u = evolutionOperator(model.hamiltonian, time, e_ref);
+    state.SetLabel("12-bit IPEA, " + std::to_string(steps) +
+                   " Trotter step(s)");
+    state.counters["ipea_energy"] = e_ipea;
+    state.counters["fci_energy"] = fci;
+    state.counters["energy_error"] = std::fabs(e_ipea - fci);
+}
+BENCHMARK(BM_IpeaTrotterEnergy)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Precision refinement on the exact evolution operator: each run
+ * sweeps m = 4, 6, 8, 10, 12 bits and checks every refinement
+ * against the coarser estimate (one unit in the last place). The
+ * refinements_consistent counter must stay 1.
+ */
+void
+BM_IpeaPrecisionRefinement(benchmark::State &state)
+{
+    const H2Model model = buildH2Model(73.48);
+    const auto u =
+        evolutionOperator(model.hamiltonian, kTime, kERef);
     const algo::ControlledPowerFn exact_fn =
         [&](circuit::Circuit &circ, unsigned ctrl, unsigned k) {
             sim::CMatrix p = u;
@@ -125,40 +168,39 @@ main()
             circ.unitary(p, {0, 1, 2, 3}, {ctrl});
         };
 
-    AsciiTable t2;
-    t2.setHeader({"bits m", "phase (binary)", "phase", "energy",
-                  "rounds to previous row?"});
-    double prev_phase = -1.0;
-    unsigned prev_bits = 0;
-    for (unsigned bits : {4u, 6u, 8u, 10u, 12u}) {
-        algo::IpeaConfig cfg;
-        cfg.bits = bits;
-        const auto run = algo::runIpea(4, 0b0011, exact_fn, cfg);
-
-        std::string binary = "0.";
-        for (unsigned b : run.bits)
-            binary += std::to_string(b);
-
-        std::string consistent = "-";
-        if (prev_phase >= 0.0) {
-            // The most significant prev_bits bits must agree up to
-            // one unit in the last place.
-            const double scale = std::pow(2.0, prev_bits);
-            consistent = std::fabs(run.phase - prev_phase) <=
-                                 1.0 / scale
-                             ? "yes"
-                             : "NO";
+    bool consistent = true;
+    double final_energy = 0.0;
+    for (auto _ : state) {
+        consistent = true;
+        double prev_phase = -1.0;
+        unsigned prev_bits = 0;
+        for (unsigned bits : {4u, 6u, 8u, 10u, 12u}) {
+            algo::IpeaConfig cfg;
+            cfg.bits = bits;
+            const auto run = algo::runIpea(4, 0b0011, exact_fn, cfg);
+            if (prev_phase >= 0.0) {
+                const double scale = std::pow(2.0, prev_bits);
+                consistent = consistent &&
+                             std::fabs(run.phase - prev_phase) <=
+                                 1.0 / scale;
+            }
+            prev_phase = run.phase;
+            prev_bits = bits;
+            final_energy =
+                algo::phaseToEnergy(run.phase, kTime, kERef);
         }
-        t2.addRow({std::to_string(bits), binary,
-                   AsciiTable::fmt(run.phase, 5),
-                   AsciiTable::fmt(
-                       algo::phaseToEnergy(run.phase, time, e_ref), 5),
-                   consistent});
-        prev_phase = run.phase;
-        prev_bits = bits;
+        benchmark::DoNotOptimize(final_energy);
     }
-    std::cout << t2.render();
-    std::cout << "shape check: every refinement is consistent with "
-                 "the coarser estimate.\n";
-    return 0;
+
+    state.SetLabel(consistent ? "refinements consistent"
+                              : "REFINEMENT MISMATCH");
+    state.counters["refinements_consistent"] =
+        consistent ? 1.0 : 0.0;
+    state.counters["energy_12bit"] = final_energy;
 }
+BENCHMARK(BM_IpeaPrecisionRefinement)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+QSA_BENCHJSON_MAIN("bench_sec52_convergence");

@@ -1,17 +1,20 @@
 /**
  * @file
- * Table 3: joint probability of Shor's output and ancillary
- * (helper) qubits when the classical input is wrong (a^-1 = 12
- * instead of 13 on the first iteration).
+ * Table 3: Shor's output / helper joint distribution when the
+ * classical input is wrong (a^-1 = 12 instead of 13 on the first
+ * iteration), as a machine-readable benchmark.
  *
- * The paper's shape: the clean-helper row keeps the correct output
- * distribution at reduced weight; non-zero helper rows appear with
- * total probability ~1/2 and polluted outputs; the classical
- * postcondition assertion on the helper register fires.
+ * The paper's shape, pinned as counters: the clean-helper row keeps
+ * the correct output distribution at reduced weight (p_clean ~ 1/2
+ * for the buggy inputs, ~1 for the correct ones), and the classical
+ * postcondition assertion on the deallocated helper register fires
+ * only for the buggy program. Run with --json <path> to write the
+ * BENCH_*.json record (bench/benchjson_main.hh).
  */
 
-#include <iostream>
+#include <benchmark/benchmark.h>
 
+#include "benchjson_main.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -19,85 +22,91 @@ namespace
 
 using namespace qsa;
 
-/** Print the joint P(helper, output) table for a built program. */
-void
-printJoint(const algo::ShorProgram &prog, const char *title)
+algo::ShorProgram
+buildVariant(bool buggy)
 {
-    std::cout << title << "\n";
-    const auto joint = assertions::exactJoint(
-        prog.circuit, "final", prog.helper, prog.upper);
-
-    AsciiTable t;
-    std::vector<std::string> header{"helper \\ output"};
-    for (unsigned v = 0; v < 8; ++v)
-        header.push_back(std::to_string(v));
-    t.setHeader(header);
-
-    for (std::size_t h = 0; h < joint.size(); ++h) {
-        double row_total = 0.0;
-        for (double p : joint[h])
-            row_total += p;
-        if (row_total < 1e-9)
-            continue;
-        std::vector<std::string> row{std::to_string(h)};
-        for (double p : joint[h])
-            row.push_back(p < 1e-9 ? "0" : AsciiTable::fmt(p, 4));
-        t.addRow(row);
+    algo::ShorConfig cfg;
+    if (buggy) {
+        cfg.pairs = algo::shorClassicalInputs(7, 15, 3);
+        cfg.pairs[0].second = 12; // the paper's exact mistake
     }
-    std::cout << t.render();
+    return algo::buildShorProgram(cfg);
+}
+
+const char *
+variantName(bool buggy)
+{
+    return buggy ? "buggy (a^-1 = 12)" : "correct (a^-1 = 13)";
+}
+
+/**
+ * The exact joint P(helper, output) behind Table 3: p_clean is the
+ * clean-helper row's total weight — the paper's headline ~1/2 for
+ * the wrong inverse.
+ */
+void
+BM_Tab3JointDistribution(benchmark::State &state)
+{
+    const bool buggy = state.range(0) != 0;
+    const auto prog = buildVariant(buggy);
 
     double p_clean = 0.0;
-    for (double p : joint[0])
-        p_clean += p;
-    std::cout << "P(helper = 0) = " << AsciiTable::fmt(p_clean, 4)
-              << "\n\n";
-}
+    for (auto _ : state) {
+        const auto joint = assertions::exactJoint(
+            prog.circuit, "final", prog.helper, prog.upper);
+        p_clean = 0.0;
+        for (double p : joint[0])
+            p_clean += p;
+        benchmark::DoNotOptimize(joint);
+    }
 
-/** Assertion verdicts on the deallocated registers. */
+    state.SetLabel(variantName(buggy));
+    state.counters["p_clean"] = p_clean;
+}
+BENCHMARK(BM_Tab3JointDistribution)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The postcondition assertions on the deallocated registers: the
+ * helper-cleared classical assertion must fail for the buggy inputs
+ * and pass for the correct ones.
+ */
 void
-printAssertions(const algo::ShorProgram &prog, const char *title)
+BM_Tab3PostconditionAssertions(benchmark::State &state)
 {
-    std::cout << title << "\n";
+    const bool buggy = state.range(0) != 0;
+    const auto prog = buildVariant(buggy);
+
     assertions::CheckConfig cfg;
     cfg.ensembleSize = 64;
-    assertions::AssertionChecker checker(prog.circuit, cfg);
-    checker.assertClassical("final", prog.helper, 0);
-    checker.assertClassical("final", prog.flag, 0);
-    std::cout << assertions::renderReport(checker.checkAll()) << "\n";
+
+    double helper_p = 1.0, flag_p = 1.0;
+    bool helper_passed = true, flag_passed = true;
+    for (auto _ : state) {
+        assertions::AssertionChecker checker(prog.circuit, cfg);
+        checker.assertClassical("final", prog.helper, 0);
+        checker.assertClassical("final", prog.flag, 0);
+        const auto outcomes = checker.checkAll();
+        helper_p = outcomes[0].pValue;
+        helper_passed = outcomes[0].passed;
+        flag_p = outcomes[1].pValue;
+        flag_passed = outcomes[1].passed;
+        benchmark::DoNotOptimize(outcomes);
+    }
+
+    const bool expected =
+        buggy ? (!helper_passed && flag_passed)
+              : (helper_passed && flag_passed);
+    state.SetLabel(std::string(variantName(buggy)) +
+                   (expected ? "" : " [UNEXPECTED VERDICT]"));
+    state.counters["helper_p"] = helper_p;
+    state.counters["helper_passed"] = helper_passed ? 1.0 : 0.0;
+    state.counters["flag_p"] = flag_p;
+    state.counters["flag_passed"] = flag_passed ? 1.0 : 0.0;
 }
+BENCHMARK(BM_Tab3PostconditionAssertions)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 
-int
-main()
-{
-    using namespace qsa;
-
-    std::cout << "=== Table 3: wrong modular inverse (bug type 6) "
-                 "===\n\n";
-
-    // --- Correct program --------------------------------------------------
-    algo::ShorConfig good;
-    const auto good_prog = algo::buildShorProgram(good);
-    printJoint(good_prog,
-               "correct inputs (a^-1 = 13): P(helper, output)");
-    printAssertions(good_prog, "postcondition assertions (correct):");
-
-    // --- Buggy program (the paper's Table 3) --------------------------------
-    algo::ShorConfig bad;
-    bad.pairs = algo::shorClassicalInputs(7, 15, 3);
-    bad.pairs[0].second = 12; // the paper's exact mistake
-    const auto bad_prog = algo::buildShorProgram(bad);
-    printJoint(bad_prog,
-               "buggy inputs (a^-1 = 12): P(helper, output) "
-               "[paper's Table 3]");
-    printAssertions(bad_prog, "postcondition assertions (buggy):");
-
-    std::cout
-        << "paper reference: ancilla non-zero with probability 1/2;\n"
-        << "conditioned on ancilla = 0 the outputs 0, 2, 4, 6 "
-           "survive;\n"
-        << "the classical assertion on the deallocated ancillas "
-           "fails.\n";
-    return 0;
-}
+QSA_BENCHJSON_MAIN("bench_tab3_shor_bug");

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over the BENCH_*.json trajectory files.
+
+Compares a freshly generated bench JSON document (see
+src/common/benchjson.hh for the shape) against a committed baseline
+and fails when any gated counter regressed by more than the
+tolerance. The default gated counters are the localization cost
+headline numbers — probes and measurements — which are seeded and
+deterministic, so drift means the search genuinely changed, not that
+the runner was noisy. Wall-clock is deliberately NOT gated: CI
+machines are too noisy for a 10% timing gate to stay green.
+
+Usage:
+  check_bench_regression.py BASELINE CURRENT
+      [--tolerance 0.10] [--counters probes,measurements]
+
+Exit status: 0 when every gated counter is within tolerance, 1 on any
+regression or missing benchmark, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    """Map (name, label) -> counters dict from one BENCH_*.json."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    records = {}
+    for result in doc.get("results", []):
+        key = (result.get("name", ""), result.get("label", ""))
+        records[key] = result.get("counters", {})
+    if not records:
+        sys.exit(f"error: {path} contains no benchmark results")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly generated JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional increase per counter (default 0.10)",
+    )
+    parser.add_argument(
+        "--counters",
+        default="probes,measurements",
+        help="comma-separated counters to gate "
+        "(default: probes,measurements)",
+    )
+    args = parser.parse_args()
+
+    gated = [c for c in args.counters.split(",") if c]
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    failures = []
+    checked = 0
+    for key, base_counters in sorted(baseline.items()):
+        name = f"{key[0]} [{key[1]}]" if key[1] else key[0]
+        if key not in current:
+            failures.append(f"{name}: missing from the current run")
+            continue
+        cur_counters = current[key]
+        for counter in gated:
+            if counter not in base_counters:
+                continue
+            base = float(base_counters[counter])
+            if counter not in cur_counters:
+                failures.append(f"{name}: counter '{counter}' "
+                                "missing from the current run")
+                continue
+            cur = float(cur_counters[counter])
+            checked += 1
+            limit = base * (1.0 + args.tolerance)
+            if cur > limit:
+                pct = 100.0 * (cur - base) / base if base else 0.0
+                failures.append(
+                    f"{name}: {counter} regressed {base:g} -> {cur:g} "
+                    f"(+{pct:.1f}%, tolerance "
+                    f"{100.0 * args.tolerance:.0f}%)")
+            elif base and cur < base / (1.0 + args.tolerance):
+                pct = 100.0 * (base - cur) / base
+                print(f"note: {name}: {counter} improved "
+                      f"{base:g} -> {cur:g} (-{pct:.1f}%) — consider "
+                      "refreshing the committed baseline")
+
+    for key in sorted(set(current) - set(baseline)):
+        name = f"{key[0]} [{key[1]}]" if key[1] else key[0]
+        print(f"note: {name}: new benchmark without a baseline")
+
+    if checked == 0:
+        sys.exit("error: no gated counters matched — wrong baseline "
+                 "file or counter names?")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) over "
+              f"{checked} gated counter(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+
+    print(f"OK: {checked} gated counter(s) within "
+          f"{100.0 * args.tolerance:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

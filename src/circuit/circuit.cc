@@ -476,6 +476,40 @@ Circuit::sliceRange(std::size_t begin, std::size_t end) const
     return slice;
 }
 
+Circuit
+Circuit::embedded(unsigned total_qubits, unsigned offset,
+                  const std::string &label_prefix) const
+{
+    fatal_if(static_cast<std::uint64_t>(offset) + nQubits >
+                 total_qubits,
+             "cannot embed a ", nQubits, "-qubit circuit at offset ",
+             offset, " into a ", total_qubits, "-qubit space");
+
+    Circuit out(total_qubits);
+    for (const auto &r : regs) {
+        std::vector<unsigned> qubits;
+        qubits.reserve(r.width());
+        for (unsigned q : r.qubits())
+            qubits.push_back(q + offset);
+        out.regs.emplace_back(label_prefix + r.name(),
+                              std::move(qubits));
+    }
+    for (Instruction inst : insts) {
+        for (unsigned &q : inst.targets)
+            q += offset;
+        for (unsigned &q : inst.controls)
+            q += offset;
+        if (!inst.label.empty())
+            inst.label = label_prefix + inst.label;
+        if (!inst.condLabel.empty())
+            inst.condLabel = label_prefix + inst.condLabel;
+        if (inst.kind == GateKind::Unitary)
+            inst.matrixId = out.addMatrix(matrix(inst.matrixId));
+        out.append(inst);
+    }
+    return out;
+}
+
 void
 Circuit::truncate(std::size_t new_size)
 {

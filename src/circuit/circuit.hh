@@ -195,6 +195,21 @@ class Circuit
      */
     Circuit sliceRange(std::size_t begin, std::size_t end) const;
 
+    /**
+     * Copy of this circuit embedded into a wider qubit space: every
+     * qubit index is shifted up by `offset` and the result is defined
+     * on `total_qubits` qubits. Measurement-record labels, breakpoint
+     * labels, and the classical conditions that reference them are
+     * prefixed with `label_prefix`, so two embedded copies of
+     * measuring programs keep disjoint classical records — the
+     * substrate of the swap-test comparator probes, which run the
+     * suspect on the low half and the reference on the high half of
+     * one probe program. Registers are carried over (shifted and
+     * prefixed) for introspection.
+     */
+    Circuit embedded(unsigned total_qubits, unsigned offset,
+                     const std::string &label_prefix = "") const;
+
     /** Drop instructions from the end until `new_size` remain. */
     void truncate(std::size_t new_size);
 

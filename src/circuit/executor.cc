@@ -163,6 +163,31 @@ splitOnQubit(ExecutionBranch branch, unsigned qubit,
 
 } // anonymous namespace
 
+namespace
+{
+
+/**
+ * One diagnostic for every branch-cap overflow: name the instruction
+ * that overflowed and say what to do about it, instead of silently
+ * truncating the mixture (a truncated mixture would make every
+ * downstream predicate quietly wrong).
+ */
+[[noreturn]] void
+branchCapOverflow(const Instruction &inst, std::size_t max_branches)
+{
+    std::string where = gateKindName(inst.kind);
+    if (!inst.label.empty())
+        where += " '" + inst.label + "'";
+    fatal("measurement-branch enumeration exceeded its cap of ",
+          max_branches, " outcome histories at instruction ", where,
+          ": exact mixture tracking is exponential in the "
+          "nondeterministic measurements. Measure fewer qubits at "
+          "once, assert on a narrower register, or fall back to "
+          "end-to-end statistical checks for this program.");
+}
+
+} // anonymous namespace
+
 void
 stepBranches(const Circuit &circ, const Instruction &inst,
              std::vector<ExecutionBranch> &branches,
@@ -206,11 +231,8 @@ stepBranches(const Circuit &circ, const Instruction &inst,
                 // Enforce the cap per qubit, not after the full
                 // register expansion: a wide measured register must
                 // hit the designed fatal, not exhaust memory first.
-                fatal_if(next.size() + expanded.size() > max_branches,
-                         "measurement-branch enumeration exceeded ",
-                         max_branches, " branches (program has too "
-                         "many nondeterministic measurements for "
-                         "exact mixture tracking)");
+                if (next.size() + expanded.size() > max_branches)
+                    branchCapOverflow(inst, max_branches);
                 current = std::move(expanded);
             }
             for (ExecutionBranch &b : current)
@@ -222,11 +244,8 @@ stepBranches(const Circuit &circ, const Instruction &inst,
             next.push_back(std::move(branch));
             break;
         }
-        fatal_if(next.size() > max_branches,
-                 "measurement-branch enumeration exceeded ",
-                 max_branches, " branches (program has too many "
-                 "nondeterministic measurements for exact mixture "
-                 "tracking)");
+        if (next.size() > max_branches)
+            branchCapOverflow(inst, max_branches);
     }
     branches = std::move(next);
 }

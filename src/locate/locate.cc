@@ -37,6 +37,29 @@ const std::string kProbePreLabel = "qsa_locate_probe_pre";
 /** Boundary-breakpoint prefix for predicate probes. */
 const std::string kBoundaryPrefix = "qsa_locate_b";
 
+/**
+ * Label prefix renaming the embedded reference copy's measurement
+ * records and breakpoints inside a swap-test probe, so the two
+ * program copies keep disjoint classical records.
+ */
+const std::string kRefPrefix = "qsa_locate_ref:";
+
+/**
+ * Seed salt separating swap-test probe streams from mirror probe
+ * streams at the same boundary (an Auto search runs both).
+ */
+constexpr std::uint64_t kSwapSeedSalt = 0x5caff07dba5e11e5ULL;
+
+/**
+ * Per-frame seed salt for rotated-marginal probes (each frame's
+ * ensemble is an independent stream at the same boundary).
+ */
+std::uint64_t
+frameSeedSalt(Frame frame)
+{
+    return 0x0f7a7edba5e5ULL * (static_cast<std::uint64_t>(frame) + 1);
+}
+
 /** Probeable instruction: unitary gate or a no-op marker. */
 bool
 probeable(const circuit::Instruction &inst)
@@ -109,8 +132,72 @@ toRecord(std::size_t boundary,
     return rec;
 }
 
+/**
+ * Fold a probe's component outcomes into one record: the probe fails
+ * when any component fails, reports the smallest component p-value,
+ * the failing component's kind, and the summed ensemble cost. Shared
+ * by every multi-component probe family (dual mirrors, the three
+ * rotated frames).
+ */
+ProbeRecord
+combineRecords(std::size_t boundary,
+               const std::vector<assertions::AssertionOutcome> &outcomes)
+{
+    ProbeRecord rec;
+    rec.boundary = boundary;
+    rec.kind = outcomes.back().spec.kind;
+    for (const auto &out : outcomes) {
+        rec.ensembleSize += out.ensembleSize;
+        rec.pValue = std::min(rec.pValue, out.pValue);
+        if (!out.passed && !rec.failed) {
+            rec.failed = true;
+            rec.kind = out.spec.kind;
+        }
+    }
+    return rec;
+}
+
 /** Probes per LinearScan batch chunk (memory bound, see probeAll). */
 constexpr std::size_t kScanChunk = 64;
+
+/**
+ * Widest program the swap-test family accepts: a probe simulates two
+ * embedded copies plus an ancilla (2n+1 qubits). Shared by the
+ * SwapProber's gate and the Auto paths' escalation-availability
+ * check (an Auto search on a wider program keeps its cheap family's
+ * verdict instead of dying in a prober it may never need).
+ */
+constexpr unsigned kSwapQubitGate = 10;
+
+/**
+ * Probeable range shared by the marginal-style families (predicate,
+ * rotated, swap): under final-state sampling one sampled final state
+ * cannot represent an outcome mixture, so the range clamps at the
+ * first measurement or classically-conditioned instruction of either
+ * program; Resimulate mode needs no clamp at all.
+ */
+std::size_t
+clampedCommonBoundary(const circuit::Circuit &suspect,
+                      const circuit::Circuit &reference, bool resim)
+{
+    const auto &si = suspect.instructions();
+    const auto &ri = reference.instructions();
+    std::size_t hi = std::min(si.size(), ri.size());
+    if (!resim) {
+        for (std::size_t i = 0; i < hi; ++i) {
+            const bool blocked =
+                si[i].kind == circuit::GateKind::Measure ||
+                ri[i].kind == circuit::GateKind::Measure ||
+                !si[i].condLabel.empty() || !ri[i].condLabel.empty();
+            if (blocked) {
+                hi = i;
+                break;
+            }
+        }
+    }
+    fatal_if(hi == 0, "no probeable instruction boundary");
+    return hi;
+}
 
 /**
  * Family-wise adjudication of a scanned probe family: Holm-Bonferroni
@@ -122,7 +209,7 @@ constexpr std::size_t kScanChunk = 64;
 std::vector<ProbeRecord>
 adjudicateFamily(const std::vector<std::size_t> &boundaries,
                  std::vector<assertions::AssertionOutcome> outcomes,
-                 bool family_wise)
+                 bool family_wise, ProbeFamily family)
 {
     if (family_wise) {
         std::vector<std::size_t> index;
@@ -141,8 +228,10 @@ adjudicateFamily(const std::vector<std::size_t> &boundaries,
 
     std::vector<ProbeRecord> records;
     records.reserve(boundaries.size());
-    for (std::size_t i = 0; i < boundaries.size(); ++i)
+    for (std::size_t i = 0; i < boundaries.size(); ++i) {
         records.push_back(toRecord(boundaries[i], outcomes[i]));
+        records.back().family = family;
+    }
     return records;
 }
 
@@ -396,6 +485,23 @@ class MirrorProber : public Prober
 
     std::size_t hiBoundary() const override { return hi; }
 
+    /**
+     * True when some probeable boundary unwinds onto a measurement
+     * mixture rather than the classical prologue: there the mirror
+     * family's witnesses are computational marginals only, so an
+     * all-passing run cannot certify the absence of phase divergence
+     * (ProbeFamily::Auto escalates on this).
+     */
+    bool
+    hasMixtureSegments() const
+    {
+        for (std::size_t k = 1; k <= hi; ++k) {
+            if (dualProbe(k))
+                return true;
+        }
+        return false;
+    }
+
   private:
     const circuit::Circuit &suspect;
     const circuit::Circuit &reference;
@@ -538,26 +644,22 @@ class MirrorProber : public Prober
     }
 
     /**
-     * Fold a probe's component outcomes into one record: the probe
-     * fails when any component fails, reports the smallest component
-     * p-value, the failing component's kind, and the summed ensemble
-     * cost.
+     * combineRecords plus the mirror family's metadata: a dual probe
+     * (outcomes [pre-marginal, segment-unwind]) that rejected only
+     * through the computational pre-marginal while its phase-
+     * sensitive unwind passed is flagged phase-ambiguous — the
+     * divergence was transported here, not necessarily born here.
      */
     static ProbeRecord
     combineOutcomes(
         std::size_t boundary,
         const std::vector<assertions::AssertionOutcome> &outcomes)
     {
-        ProbeRecord rec;
-        rec.boundary = boundary;
-        rec.kind = outcomes.back().spec.kind;
-        for (const auto &out : outcomes) {
-            rec.ensembleSize += out.ensembleSize;
-            rec.pValue = std::min(rec.pValue, out.pValue);
-            if (!out.passed && !rec.failed) {
-                rec.failed = true;
-                rec.kind = out.spec.kind;
-            }
+        ProbeRecord rec = combineRecords(boundary, outcomes);
+        rec.family = ProbeFamily::SegmentMirror;
+        if (outcomes.size() == 2) {
+            rec.phaseAmbiguous = rec.failed && !outcomes[0].passed &&
+                                 outcomes[1].passed;
         }
         return rec;
     }
@@ -585,32 +687,15 @@ class PredicateProber : public Prober
         fatal_if(suspect.numQubits() != reference.numQubits(),
                  "suspect and reference use different qubit spaces");
 
-        const auto &si = suspect.instructions();
-        const auto &ri = reference.instructions();
-        hi = std::min(si.size(), ri.size());
-        if (cfg.mode != assertions::EnsembleMode::Resimulate) {
-            for (std::size_t i = 0; i < hi; ++i) {
-                // Under final-state sampling predicate probes survive
-                // mid-program resets (the reference oracle tracks them
-                // exactly) but not mid-circuit measurement or
-                // classically-conditioned code — one sampled final
-                // state cannot represent the outcome mixture. In
-                // Resimulate mode no clamp is needed: every trial
-                // re-simulates the truncated prefix (measurements
-                // included) and the oracle's predicate is the exact
-                // mixture marginal, so every boundary is probeable.
-                const bool blocked =
-                    si[i].kind == circuit::GateKind::Measure ||
-                    ri[i].kind == circuit::GateKind::Measure ||
-                    !si[i].condLabel.empty() ||
-                    !ri[i].condLabel.empty();
-                if (blocked) {
-                    hi = i;
-                    break;
-                }
-            }
-        }
-        fatal_if(hi == 0, "no probeable instruction boundary");
+        // Under final-state sampling predicate probes survive
+        // mid-program resets (the reference oracle tracks them
+        // exactly) but clamp per clampedCommonBoundary; in Resimulate
+        // mode every trial re-simulates the truncated prefix
+        // (measurements included) and the oracle's predicate is the
+        // exact mixture marginal, so every boundary is probeable.
+        hi = clampedCommonBoundary(
+            suspect, reference,
+            cfg.mode == assertions::EnsembleMode::Resimulate);
 
         if (reg_b != nullptr) {
             regB = *reg_b;
@@ -623,9 +708,12 @@ class PredicateProber : public Prober
     probe(std::size_t boundary,
           const assertions::EscalationPolicy &policy) override
     {
-        return toRecord(boundary,
-                        checker.checkEscalated(specFor(boundary),
-                                               policy));
+        ProbeRecord rec =
+            toRecord(boundary,
+                     checker.checkEscalated(specFor(boundary),
+                                            policy));
+        rec.family = ProbeFamily::MixtureMarginal;
+        return rec;
     }
 
     std::vector<ProbeRecord>
@@ -652,7 +740,8 @@ class PredicateProber : public Prober
                             chunk.end());
         }
         return adjudicateFamily(boundaries, std::move(outcomes),
-                                family_wise);
+                                family_wise,
+                                ProbeFamily::MixtureMarginal);
     }
 
     std::size_t hiBoundary() const override { return hi; }
@@ -685,6 +774,392 @@ class PredicateProber : public Prober
             return spec;
         }
         return oracle.specAt(boundary, label, cfg.alpha);
+    }
+};
+
+/**
+ * Swap-test probes: the probe program runs the suspect prefix on
+ * qubits [0, n), the reference prefix — qubit indices shifted and
+ * classical labels renamed (Circuit::embedded) — on [n, 2n), then an
+ * H / controlled-SWAP-per-register-qubit / H comparator on ancilla
+ * qubit 2n. For pure pair states the ancilla reads 0 with
+ * probability (1 + |<psi|phi>|^2) / 2; the partial swap test over a
+ * register measures the reduced-state overlap, and averaging over
+ * independently sampled suspect and reference measurement branches
+ * makes the unconditional ancilla distribution
+ * Bernoulli((1 + tr(rho sigma)) / 2) for the two reduced mixtures.
+ * The OverlapOracle supplies the null value (sigma = rho): a
+ * classical point mass at 0 wherever the reference's reduced state
+ * is pure — there a single observed 1 refutes the null outright — a
+ * two-point distribution otherwise.
+ *
+ * Witness soundness: common unitary evolution of the register
+ * preserves tr(rho sigma) exactly, so once a defective instruction
+ * lowers the overlap the deficit persists at every later boundary of
+ * the same measure-free segment — the monotone witness the adaptive
+ * bracket needs, including for divergence invisible to every
+ * computational marginal (relative phases, conditioned frame
+ * errors). Across aligned measurements the deficit generally
+ * survives (both mixtures pass through the same dephasing channel)
+ * but is no longer invariant; the confirmation probes at the
+ * converged bracket guard the verdict there, as they do for the
+ * mirror family.
+ *
+ * Register scoping is the sensitivity lever past measurements: a
+ * full-space comparator's overlap signal is scaled by the squared
+ * branch weights once measured qubits make the branches nearly
+ * orthogonal, while a register that excludes them keeps a
+ * high-purity null (see OverlapOracle). locateByPredicates(reg) with
+ * ProbeFamily::SwapTest/Auto is therefore the sharp tool; the
+ * full-space form backs locate()'s families on measure-light
+ * programs.
+ *
+ * Cost: each probe simulates 2n+1 qubits, so the family is gated to
+ * small programs and is the *escalation* family, not the default.
+ */
+class SwapProber : public Prober
+{
+  public:
+    /** @param reg comparator register (nullptr = the full space) */
+    SwapProber(const circuit::Circuit &suspect,
+               const circuit::Circuit &reference,
+               const LocateConfig &cfg,
+               const circuit::QubitRegister *reg)
+        : suspect(suspect), reference(reference), cfg(cfg),
+          resim(cfg.mode == assertions::EnsembleMode::Resimulate),
+          runner(cfg.numThreads)
+    {
+        fatal_if(suspect.numQubits() != reference.numQubits(),
+                 "suspect and reference use different qubit spaces");
+        fatal_if(suspect.numQubits() == 0, "empty qubit space");
+        n = suspect.numQubits();
+        fatal_if(n > kSwapQubitGate,
+                 "swap-test probes simulate two embedded program "
+                 "copies plus an ancilla (", 2 * n + 1,
+                 " qubits for this program); ", n, " qubits is too "
+                 "wide — use locateByPredicates with "
+                 "ProbeFamily::RotatedMarginal on a register instead");
+        anc = 2 * n;
+        ancReg = circuit::QubitRegister("qsa_swap_anc", {anc});
+        if (reg != nullptr) {
+            swapQubits = reg->qubits();
+            oracleQubits = reg->qubits();
+        } else {
+            swapQubits.resize(n);
+            for (unsigned q = 0; q < n; ++q)
+                swapQubits[q] = q;
+            // Empty register selects the oracle's pairwise-fidelity
+            // full-space purity (no 2^n x 2^n density matrix).
+        }
+
+        // In Resimulate mode the probe runs both copies' measurements
+        // per trial, so even structurally diverging programs stay
+        // comparable past them.
+        hi = clampedCommonBoundary(suspect, reference, resim);
+    }
+
+    ProbeRecord
+    probe(std::size_t boundary,
+          const assertions::EscalationPolicy &policy) override
+    {
+        const circuit::Circuit program = buildProbe(boundary);
+        auto cc = baseConfig(cfg);
+        cc.seed = seedFor(cfg.seed ^ kSwapSeedSalt, boundary);
+        const assertions::AssertionChecker checker(program, cc);
+        ProbeRecord rec = toRecord(
+            boundary,
+            checker.checkEscalated(specFor(boundary), policy));
+        rec.family = ProbeFamily::SwapTest;
+        return rec;
+    }
+
+    std::vector<ProbeRecord>
+    probeAll(const std::vector<std::size_t> &boundaries,
+             bool family_wise) override
+    {
+        // A scan wants every boundary's purity: one eager
+        // measurement-resolved pass beats one lazy pass per
+        // boundary. Built here rather than in the constructor so an
+        // Auto search that only ever issues its single decisive
+        // escalation-check probe never pays for it.
+        if (!oracle) {
+            oracle = std::make_unique<OverlapOracle>(
+                reference, oracleQubits, boundaries);
+        }
+        std::vector<assertions::AssertionOutcome> outcomes;
+        outcomes.reserve(boundaries.size());
+        for (std::size_t base = 0; base < boundaries.size();
+             base += kScanChunk) {
+            const std::size_t end =
+                std::min(boundaries.size(), base + kScanChunk);
+            std::deque<circuit::Circuit> programs;
+            std::vector<runtime::BatchItem> items;
+            items.reserve(end - base);
+            for (std::size_t i = base; i < end; ++i) {
+                programs.push_back(buildProbe(boundaries[i]));
+                auto cc = baseConfig(cfg);
+                cc.seed =
+                    seedFor(cfg.seed ^ kSwapSeedSalt, boundaries[i]);
+                items.push_back({&programs.back(),
+                                 {specFor(boundaries[i])}, cc});
+            }
+            for (const auto &per_item : runner.checkAll(items)) {
+                outcomes.insert(outcomes.end(), per_item.begin(),
+                                per_item.end());
+            }
+        }
+        return adjudicateFamily(boundaries, std::move(outcomes),
+                                family_wise, ProbeFamily::SwapTest);
+    }
+
+    std::size_t hiBoundary() const override { return hi; }
+
+  private:
+    const circuit::Circuit &suspect;
+    const circuit::Circuit &reference;
+    LocateConfig cfg;
+    bool resim = false;
+    runtime::BatchRunner runner;
+    unsigned n = 0;
+    unsigned anc = 0;
+    circuit::QubitRegister ancReg;
+    std::vector<unsigned> swapQubits;
+    std::vector<unsigned> oracleQubits; // empty = full space
+    std::size_t hi = 0;
+
+    /** Eager purity oracle, built on the first probeAll. */
+    std::unique_ptr<OverlapOracle> oracle;
+
+    /**
+     * Adaptive searches touch O(log n) boundaries: their purities are
+     * derived lazily (one measurement-resolved pass each, cheap next
+     * to the probe's ensemble) and memoised. Search-thread only.
+     */
+    mutable std::map<std::size_t, double> purityMemo;
+
+    double
+    purityAt(std::size_t boundary) const
+    {
+        auto it = purityMemo.find(boundary);
+        if (it != purityMemo.end())
+            return it->second;
+        double purity;
+        if (oracle && oracle->recorded(boundary)) {
+            purity = oracle->purityAt(boundary);
+        } else {
+            const OverlapOracle one(reference, oracleQubits,
+                                    {boundary});
+            purity = one.purityAt(boundary);
+        }
+        return purityMemo.emplace(boundary, purity).first->second;
+    }
+
+    circuit::Circuit
+    buildProbe(std::size_t boundary) const
+    {
+        const unsigned space = 2 * n + 1;
+        circuit::Circuit probe(space);
+        probe.appendCircuit(
+            suspect.sliceRange(0, boundary).embedded(space, 0));
+        probe.appendCircuit(reference.sliceRange(0, boundary)
+                                .embedded(space, n, kRefPrefix));
+        probe.h(anc);
+        for (unsigned q : swapQubits)
+            probe.cswap(anc, q, n + q);
+        probe.h(anc);
+        probe.breakpoint(kProbeLabel);
+        return probe;
+    }
+
+    assertions::AssertionSpec
+    specFor(std::size_t boundary) const
+    {
+        const double p0 = 0.5 * (1.0 + purityAt(boundary));
+        assertions::AssertionSpec spec;
+        spec.breakpoint = kProbeLabel;
+        spec.regA = ancReg;
+        spec.alpha = cfg.alpha;
+        spec.name = "swap@" + std::to_string(boundary);
+        if (p0 >= 1.0 - 1e-9) {
+            // Pure reference state: under the null the comparator
+            // never reads 1, so one observed 1 is decisive.
+            spec.kind = assertions::AssertionKind::Classical;
+            spec.expectedValue = 0;
+        } else {
+            spec.kind = assertions::AssertionKind::Distribution;
+            spec.expectedProbs = {p0, 1.0 - p0};
+        }
+        return spec;
+    }
+};
+
+/**
+ * Rotated-basis predicate probes: each boundary is adjudicated in
+ * the Z, X and Y measurement frames at once. The probe program for
+ * (boundary, frame) is the suspect prefix with the frame's
+ * basis-change epilogue appended to the probed register, and the
+ * assertion is the oracle's frame-transported mixture marginal
+ * (PredicateOracle with frames). An adaptive probe Bonferroni-splits
+ * its alpha across the three frames; a LinearScan batch keeps
+ * per-spec alpha and lets Holm-Bonferroni control the whole
+ * 3-per-boundary family. For a one-qubit register the three frames
+ * determine the Bloch vector, so any divergence *on the register* is
+ * visible the instruction it appears — including pure phase — at
+ * three cheap n-qubit probes per boundary instead of a 2n+1-qubit
+ * swap test. The witness is still not monotone (divergence can
+ * rotate off the probed register later), so brackets carry the same
+ * first-visible caveat as the computational marginal family.
+ */
+class RotatedProber : public Prober
+{
+  public:
+    RotatedProber(const circuit::Circuit &suspect,
+                  const circuit::Circuit &reference,
+                  const LocateConfig &cfg,
+                  const circuit::QubitRegister &reg)
+        : cfg(cfg), regA(reg), suspect(suspect),
+          reference(reference), runner(cfg.numThreads)
+    {
+        fatal_if(suspect.numQubits() != reference.numQubits(),
+                 "suspect and reference use different qubit spaces");
+
+        hi = clampedCommonBoundary(
+            suspect, reference,
+            cfg.mode == assertions::EnsembleMode::Resimulate);
+    }
+
+    ProbeRecord
+    probe(std::size_t boundary,
+          const assertions::EscalationPolicy &policy) override
+    {
+        std::vector<assertions::AssertionOutcome> outcomes;
+        outcomes.reserve(3);
+        for (Frame frame : kAllFrames) {
+            const circuit::Circuit program =
+                buildProbe(boundary, frame);
+            auto cc = baseConfig(cfg);
+            cc.seed = seedFor(cfg.seed ^ frameSeedSalt(frame),
+                              boundary);
+            const assertions::AssertionChecker checker(program, cc);
+            outcomes.push_back(checker.checkEscalated(
+                specFor(oracleAt(boundary), boundary, frame,
+                        cfg.alpha / 3.0),
+                policy));
+        }
+        ProbeRecord rec = combineRecords(boundary, outcomes);
+        rec.family = ProbeFamily::RotatedMarginal;
+        return rec;
+    }
+
+    std::vector<ProbeRecord>
+    probeAll(const std::vector<std::size_t> &boundaries,
+             bool family_wise) override
+    {
+        const double alpha =
+            family_wise ? cfg.alpha : cfg.alpha / 3.0;
+        // A scan touches every boundary: one eager three-frame pass
+        // beats one lazy pass per boundary (built here, not in the
+        // constructor, so adaptive searches — which probe O(log n)
+        // boundaries through the oracleAt memo — never pay for it).
+        if (!scanOracle) {
+            scanOracle = std::make_unique<PredicateOracle>(
+                reference, regA, cfg.seed, &boundaries,
+                std::vector<Frame>{Frame::Z, Frame::X, Frame::Y});
+        }
+        std::vector<assertions::AssertionOutcome> outcomes;
+        for (std::size_t base = 0; base < boundaries.size();
+             base += kScanChunk) {
+            const std::size_t end =
+                std::min(boundaries.size(), base + kScanChunk);
+            std::deque<circuit::Circuit> programs;
+            std::vector<runtime::BatchItem> items;
+            items.reserve(3 * (end - base));
+            for (std::size_t i = base; i < end; ++i) {
+                for (Frame frame : kAllFrames) {
+                    programs.push_back(
+                        buildProbe(boundaries[i], frame));
+                    auto cc = baseConfig(cfg);
+                    cc.seed = seedFor(cfg.seed ^ frameSeedSalt(frame),
+                                      boundaries[i]);
+                    items.push_back(
+                        {&programs.back(),
+                         {specFor(*scanOracle, boundaries[i], frame,
+                                  alpha)},
+                         cc});
+                }
+            }
+            for (const auto &per_item : runner.checkAll(items)) {
+                outcomes.insert(outcomes.end(), per_item.begin(),
+                                per_item.end());
+            }
+        }
+        if (family_wise)
+            assertions::applyHolmBonferroni(outcomes);
+        std::vector<ProbeRecord> records;
+        records.reserve(boundaries.size());
+        for (std::size_t i = 0; i < boundaries.size(); ++i) {
+            const std::vector<assertions::AssertionOutcome> group(
+                outcomes.begin() + 3 * i,
+                outcomes.begin() + 3 * (i + 1));
+            records.push_back(combineRecords(boundaries[i], group));
+            records.back().family = ProbeFamily::RotatedMarginal;
+        }
+        return records;
+    }
+
+    std::size_t hiBoundary() const override { return hi; }
+
+  private:
+    LocateConfig cfg;
+    circuit::QubitRegister regA;
+    const circuit::Circuit &suspect;
+    const circuit::Circuit &reference;
+    runtime::BatchRunner runner;
+    std::size_t hi = 0;
+
+    /** Eager three-frame oracle, built on the first probeAll. */
+    std::unique_ptr<PredicateOracle> scanOracle;
+
+    /**
+     * Adaptive probes derive their boundary's three-frame predicates
+     * lazily (one measurement-resolved pass each) and memoise them —
+     * escalation and confirmation rounds at the same boundary reuse
+     * the entry. Search-thread only.
+     */
+    mutable std::map<std::size_t, std::unique_ptr<PredicateOracle>>
+        lazyOracles;
+
+    const PredicateOracle &
+    oracleAt(std::size_t boundary) const
+    {
+        auto it = lazyOracles.find(boundary);
+        if (it == lazyOracles.end()) {
+            const std::vector<std::size_t> one{boundary};
+            it = lazyOracles
+                     .emplace(boundary,
+                              std::make_unique<PredicateOracle>(
+                                  reference, regA, cfg.seed, &one,
+                                  std::vector<Frame>{
+                                      Frame::Z, Frame::X, Frame::Y}))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    circuit::Circuit
+    buildProbe(std::size_t boundary, Frame frame) const
+    {
+        circuit::Circuit probe = suspect.sliceRange(0, boundary);
+        appendFrameEpilogue(probe, regA.qubits(), frame);
+        probe.breakpoint(kProbeLabel);
+        return probe;
+    }
+
+    static assertions::AssertionSpec
+    specFor(const PredicateOracle &oracle, std::size_t boundary,
+            Frame frame, double alpha)
+    {
+        return oracle.specAt(boundary, kProbeLabel, alpha, frame);
     }
 };
 
@@ -862,7 +1337,43 @@ annotate(LocalizationReport &report, const circuit::Circuit &suspect)
     report.suspectGates = os.str();
 }
 
+/**
+ * Was the (mirror-family) verdict phase-ambiguous? A found bracket is
+ * ambiguous when the deciding probe at firstFailing rejected only
+ * through its computational-marginal component (ProbeRecord::
+ * phaseAmbiguous); an all-passing run is ambiguous whenever the
+ * program has post-measurement segments at all — there the mirror
+ * witnesses are computational marginals, which cannot certify the
+ * absence of phase divergence.
+ */
+bool
+phaseAmbiguousVerdict(const LocalizationReport &report,
+                      bool has_mixture_segments)
+{
+    if (!report.bugFound)
+        return has_mixture_segments;
+    for (auto it = report.probes.rbegin(); it != report.probes.rend();
+         ++it) {
+        if (it->boundary == report.firstFailing && it->failed)
+            return it->phaseAmbiguous;
+    }
+    return false;
+}
+
 } // anonymous namespace
+
+std::string
+probeFamilyName(ProbeFamily family)
+{
+    switch (family) {
+      case ProbeFamily::SegmentMirror: return "segment-mirror";
+      case ProbeFamily::MixtureMarginal: return "mixture-marginal";
+      case ProbeFamily::RotatedMarginal: return "rotated-marginal";
+      case ProbeFamily::SwapTest: return "swap-test";
+      case ProbeFamily::Auto: return "auto";
+    }
+    panic("unknown probe family");
+}
 
 std::string
 LocalizationReport::summary() const
@@ -871,6 +1382,8 @@ LocalizationReport::summary() const
     if (!bugFound) {
         os << "no statistically failing boundary in " << probes.size()
            << " probes (" << totalMeasurements << " measurements)";
+        if (escalatedToSwapTest)
+            os << " [escalated to swap-test probes]";
         return os.str();
     }
     os << "bug bracketed in instructions [" << suspectBegin() << ", "
@@ -879,6 +1392,10 @@ LocalizationReport::summary() const
         os << " {" << suspectGates << "}";
     os << " after " << probes.size() << " probes ("
        << totalMeasurements << " measurements)";
+    if (escalatedToSwapTest) {
+        os << " [" << probeFamilyName(decidedBy)
+           << " witness after escalation]";
+    }
     return os.str();
 }
 
@@ -896,18 +1413,75 @@ BugLocator::BugLocator(const circuit::Circuit &suspect,
     // passThreshold <= alpha is legal: the inconclusive band is then
     // empty and probes simply never escalate (the pre-knob behaviour
     // for alpha >= 0.30 configs).
-    fatal_if(config.passThreshold <= 0.0 ||
-                 config.passThreshold > 1.0,
-             "escalation pass threshold must lie in (0, 1]");
+    fatal_if(config.passThreshold < 0.0 || config.passThreshold > 1.0,
+             "escalation pass threshold ", config.passThreshold,
+             " outside [0, 1]");
 }
 
 LocalizationReport
 BugLocator::locate() const
 {
+    fatal_if(config.family == ProbeFamily::MixtureMarginal ||
+                 config.family == ProbeFamily::RotatedMarginal,
+             probeFamilyName(config.family), " probes assert on one "
+             "register's marginal; call locateByPredicates(reg) "
+             "instead");
+
+    if (config.family == ProbeFamily::SwapTest) {
+        SwapProber prober(suspect, reference, config, nullptr);
+        LocalizationReport report = runSearch(prober, config);
+        report.decidedBy = ProbeFamily::SwapTest;
+        resolveTailDivergence(report, suspect, reference,
+                              prober.hiBoundary());
+        annotate(report, suspect);
+        return report;
+    }
+
     MirrorProber prober(suspect, reference, config);
     LocalizationReport report = runSearch(prober, config);
-    resolveTailDivergence(report, suspect, reference,
-                          prober.hiBoundary());
+    report.decidedBy = ProbeFamily::SegmentMirror;
+    std::size_t probed_hi = prober.hiBoundary();
+
+    if (config.family == ProbeFamily::Auto &&
+        phaseAmbiguousVerdict(report, prober.hasMixtureSegments())) {
+        // The mirror verdict cannot pin (or rule out) divergence
+        // whose only trace is a relative phase: re-adjudicate with
+        // the family whose witness is phase-sound and let it decide
+        // the bracket. The mirror probes stay in the log — they are
+        // the evidence the escalation was warranted. On programs too
+        // wide for the two-copy probes the cheap verdict stands as
+        // is (an Auto search must not die in a family it can only
+        // escalate to).
+        if (suspect.numQubits() > kSwapQubitGate) {
+            warn("phase-ambiguous mirror verdict, but ",
+                 suspect.numQubits(), " qubits exceeds the ",
+                 kSwapQubitGate, "-qubit swap-test gate; keeping the "
+                 "segment-mirror bracket unescalated");
+            resolveTailDivergence(report, suspect, reference,
+                                  probed_hi);
+            annotate(report, suspect);
+            return report;
+        }
+        SwapProber swapper(suspect, reference, config, nullptr);
+        LocalizationReport refined = runSearch(swapper, config);
+        const bool swap_decides = refined.bugFound;
+        LocalizationReport merged =
+            swap_decides ? refined : report;
+        merged.decidedBy = swap_decides ? ProbeFamily::SwapTest
+                                        : ProbeFamily::SegmentMirror;
+        merged.escalatedToSwapTest = true;
+        std::vector<ProbeRecord> all = report.probes;
+        all.insert(all.end(), refined.probes.begin(),
+                   refined.probes.end());
+        merged.probes = std::move(all);
+        merged.totalMeasurements =
+            report.totalMeasurements + refined.totalMeasurements;
+        if (swap_decides)
+            probed_hi = swapper.hiBoundary();
+        report = std::move(merged);
+    }
+
+    resolveTailDivergence(report, suspect, reference, probed_hi);
     annotate(report, suspect);
     return report;
 }
@@ -915,10 +1489,85 @@ BugLocator::locate() const
 LocalizationReport
 BugLocator::locateByPredicates(const circuit::QubitRegister &reg) const
 {
+    if (config.family == ProbeFamily::RotatedMarginal) {
+        RotatedProber prober(suspect, reference, config, reg);
+        LocalizationReport report = runSearch(prober, config);
+        report.decidedBy = ProbeFamily::RotatedMarginal;
+        resolveTailDivergence(report, suspect, reference,
+                              prober.hiBoundary());
+        annotate(report, suspect);
+        return report;
+    }
+
+    if (config.family == ProbeFamily::SwapTest) {
+        SwapProber prober(suspect, reference, config, &reg);
+        LocalizationReport report = runSearch(prober, config);
+        report.decidedBy = ProbeFamily::SwapTest;
+        resolveTailDivergence(report, suspect, reference,
+                              prober.hiBoundary());
+        annotate(report, suspect);
+        return report;
+    }
+
     PredicateProber prober(suspect, reference, config, reg, nullptr);
     LocalizationReport report = runSearch(prober, config);
-    resolveTailDivergence(report, suspect, reference,
-                          prober.hiBoundary());
+    report.decidedBy = ProbeFamily::MixtureMarginal;
+    std::size_t probed_hi = prober.hiBoundary();
+
+    if (config.family == ProbeFamily::Auto &&
+        suspect.numQubits() > kSwapQubitGate) {
+        // An Auto search must not die constructing a family it may
+        // never need: past the swap-test gate the marginal verdict
+        // stands as is.
+        warn("program too wide for swap-test escalation (",
+             suspect.numQubits(), " > ", kSwapQubitGate,
+             " qubits); keeping the mixture-marginal bracket");
+    } else if (config.family == ProbeFamily::Auto) {
+        // A register marginal is a first-*visible* witness, never a
+        // defect-site witness: the bracket may sit instructions past
+        // the defect (phase divergence transported into the marginal
+        // by a later rotation), and an all-passing run cannot rule
+        // phase divergence out. One swap-test probe decides whether
+        // escalation is warranted: at the marginal bracket's
+        // lastPassing boundary when a bracket exists (a failure there
+        // proves the divergence predates the visible bracket), at
+        // the top boundary otherwise.
+        SwapProber swapper(suspect, reference, config, &reg);
+        const assertions::EscalationPolicy decisive{
+            config.maxEnsembleSize, config.maxEnsembleSize,
+            config.passThreshold};
+        const std::size_t checkAt =
+            report.bugFound ? report.lastPassing
+                            : swapper.hiBoundary();
+        bool escalate = false;
+        if (checkAt > 0) {
+            const ProbeRecord check =
+                swapper.probe(checkAt, decisive);
+            report.probes.push_back(check);
+            report.totalMeasurements += check.ensembleSize;
+            escalate = check.failed;
+        }
+        if (escalate) {
+            LocalizationReport refined = runSearch(swapper, config);
+            LocalizationReport merged =
+                refined.bugFound ? refined : report;
+            merged.decidedBy = refined.bugFound
+                                   ? ProbeFamily::SwapTest
+                                   : ProbeFamily::MixtureMarginal;
+            merged.escalatedToSwapTest = true;
+            std::vector<ProbeRecord> all = report.probes;
+            all.insert(all.end(), refined.probes.begin(),
+                       refined.probes.end());
+            merged.probes = std::move(all);
+            merged.totalMeasurements =
+                report.totalMeasurements + refined.totalMeasurements;
+            if (refined.bugFound)
+                probed_hi = swapper.hiBoundary();
+            report = std::move(merged);
+        }
+    }
+
+    resolveTailDivergence(report, suspect, reference, probed_hi);
     annotate(report, suspect);
     return report;
 }
@@ -927,8 +1576,14 @@ LocalizationReport
 BugLocator::locateByPredicates(const circuit::QubitRegister &reg_a,
                                const circuit::QubitRegister &reg_b) const
 {
+    fatal_if(config.family != ProbeFamily::SegmentMirror &&
+                 config.family != ProbeFamily::MixtureMarginal,
+             "scope-inherited two-register probes support "
+             "ProbeFamily::MixtureMarginal only (got ",
+             probeFamilyName(config.family), ")");
     PredicateProber prober(suspect, reference, config, reg_a, &reg_b);
     LocalizationReport report = runSearch(prober, config);
+    report.decidedBy = ProbeFamily::MixtureMarginal;
     resolveTailDivergence(report, suspect, reference,
                           prober.hiBoundary());
     annotate(report, suspect);

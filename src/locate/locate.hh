@@ -78,6 +78,44 @@
  * boundaries with the same specs as the default mode, so the search
  * trajectory and bracket are preserved (probe ensembles are drawn
  * through a different stream layout, so p-values differ numerically).
+ *
+ * Probe families and witness soundness: every computational-basis
+ * probe is blind to divergence whose only trace is a relative phase
+ * *until* some later instruction rotates that phase into an
+ * amplitude — past a measurement, where segment mirrors fall back to
+ * mixture-marginal witnesses, such a defect is bracketed at the
+ * rotation (the verify step), not at its site. Two phase-sensitive
+ * families close that gap (LocateConfig::family):
+ *
+ *  - *Rotated-basis predicate probes* (ProbeFamily::RotatedMarginal):
+ *    each boundary is probed in the Z, X and Y frames at once — the
+ *    truncated program gets a basis-change epilogue per frame
+ *    (predicates.hh) and the oracle's predicate is transported into
+ *    that frame. For a single-qubit register the three marginals
+ *    determine the Bloch vector completely; phase divergence on the
+ *    probed register is visible the instruction it appears. Still
+ *    not a monotone witness (later instructions can rotate the
+ *    divergence off the probed register).
+ *
+ *  - *Swap-test probes* (ProbeFamily::SwapTest): the probe program
+ *    runs the suspect prefix on the low qubit half, the reference
+ *    prefix (labels renamed) on the high half, and an
+ *    ancilla-controlled SWAP comparator between them; the ancilla
+ *    reads 0 with probability (1 + tr(rho sigma)) / 2, asserted as
+ *    the Bernoulli the OverlapOracle predicts from the reference's
+ *    mixture purity. The overlap deficit is invariant under common
+ *    unitary evolution, so within any measure-free segment this
+ *    witness is *monotone* — sound for non-persistent divergence —
+ *    at the cost of simulating 2n+1 qubits per probe.
+ *
+ *  - ProbeFamily::Auto is the per-segment witness-selection layer:
+ *    run the cheap segment-mirror search first; when its verdict is
+ *    *phase-ambiguous* — the deciding probe failed only through a
+ *    computational-marginal component whose segment unwind passed,
+ *    or every probe passed even though post-measurement segments
+ *    carry no phase-sound witness — escalate to a swap-test search
+ *    and let the family with the sound witness adjudicate the final
+ *    bracket (LocalizationReport::decidedBy).
  */
 
 #ifndef QSA_LOCATE_LOCATE_HH
@@ -105,11 +143,56 @@ enum class Strategy
     LinearScan,
 };
 
+/**
+ * Which probe family adjudicates a boundary (see the file comment's
+ * witness-soundness taxonomy). SegmentMirror / SwapTest / Auto drive
+ * locate() on the full qubit space; MixtureMarginal / RotatedMarginal
+ * drive locateByPredicates() on one register.
+ */
+enum class ProbeFamily
+{
+    /** Mirror (default) / segment-mirror probes: phase-sensitive
+     *  within a measure-free segment, computational-basis witnesses
+     *  past measurements. */
+    SegmentMirror,
+
+    /** Oracle marginal predicates on one register, computational
+     *  basis only (the cheapest probes; blind to phase). */
+    MixtureMarginal,
+
+    /** Marginal predicates probed in the Z, X and Y frames via
+     *  basis-change epilogues (phase-sensitive on the register). */
+    RotatedMarginal,
+
+    /** Ancilla-controlled-SWAP comparator against an embedded
+     *  reference copy; monotone witness within unitary segments. */
+    SwapTest,
+
+    /** Per-segment witness selection: segment mirrors first,
+     *  swap-test escalation when the verdict is phase-ambiguous. */
+    Auto,
+};
+
+/** Human-readable probe-family name. */
+std::string probeFamilyName(ProbeFamily family);
+
 /** Localization configuration. */
 struct LocateConfig
 {
     /** Search strategy. */
     Strategy strategy = Strategy::AdaptiveBinarySearch;
+
+    /**
+     * Probe family. locate() accepts SegmentMirror, SwapTest, and
+     * Auto (full-space comparators); the one-register
+     * locateByPredicates() accepts MixtureMarginal, RotatedMarginal,
+     * SwapTest, and Auto, with the comparator scoped to the register
+     * — the sensitive form past measurements. SegmentMirror, the
+     * config default, selects the classic family per entry point
+     * (mirrors for locate(), mixture marginals for
+     * locateByPredicates), so existing callers keep their probes.
+     */
+    ProbeFamily family = ProbeFamily::SegmentMirror;
 
     /**
      * Probe ensemble generation mode. SampleFinalState (default)
@@ -177,6 +260,20 @@ struct ProbeRecord
 
     /** True when the probe's assertion failed. */
     bool failed = false;
+
+    /** Family of the probe that produced this record. */
+    ProbeFamily family = ProbeFamily::SegmentMirror;
+
+    /**
+     * True when a failed dual mirror probe rejected only through its
+     * computational-marginal component while its phase-sensitive
+     * segment unwind passed: the divergence was transported here from
+     * an earlier instruction of the same (or an earlier) segment, so
+     * the boundary brackets where the divergence became *visible*,
+     * not necessarily where it arose. ProbeFamily::Auto escalates to
+     * swap-test probes on this signal.
+     */
+    bool phaseAmbiguous = false;
 };
 
 /** Outcome of a localization run. */
@@ -204,6 +301,19 @@ struct LocalizationReport
     /** Total measurements across the final probe adjudications. */
     std::size_t totalMeasurements = 0;
 
+    /**
+     * Probe family whose witness adjudicated the final bracket (for
+     * ProbeFamily::Auto this is SwapTest when the search escalated
+     * and the swap-test probes re-bracketed the defect).
+     */
+    ProbeFamily decidedBy = ProbeFamily::SegmentMirror;
+
+    /**
+     * True when an Auto search escalated from segment mirrors to
+     * swap-test probes (the mirror verdict was phase-ambiguous).
+     */
+    bool escalatedToSwapTest = false;
+
     /** One-paragraph human-readable account. */
     std::string summary() const;
 };
@@ -225,14 +335,23 @@ class BugLocator
                const LocateConfig &config = LocateConfig());
 
     /**
-     * Localize with mirror probes over the full qubit space
-     * (phase-sensitive; the compared region must be unitary).
+     * Localize over the full qubit space with the configured family:
+     * mirror probes (default; phase-sensitive where the compared
+     * region is unitary), full-space swap-test probes, or Auto
+     * (mirrors first, swap-test escalation on a phase-ambiguous
+     * verdict).
      */
     LocalizationReport locate() const;
 
     /**
-     * Localize with boundary predicates on one register's outcome
-     * marginal (derived from the reference by the PredicateOracle).
+     * Localize on one register with the configured family: the
+     * oracle's outcome-marginal predicates (default), the
+     * rotated-basis Z/X/Y marginal triple, register-scoped swap-test
+     * comparator probes, or Auto — the cheap marginal search first,
+     * escalating to swap-test probes when a decisive swap probe at
+     * the marginal bracket's lastPassing boundary (or at the top
+     * boundary, when nothing failed) shows the divergence predates
+     * what any computational marginal can see.
      */
     LocalizationReport
     locateByPredicates(const circuit::QubitRegister &reg) const;

@@ -1,6 +1,6 @@
 /**
  * @file
- * PredicateOracle implementation.
+ * PredicateOracle / OverlapOracle implementation.
  */
 
 #include "locate/predicates.hh"
@@ -12,6 +12,7 @@
 #include "circuit/scopes.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "sim/gates.hh"
 
 namespace qsa::locate
 {
@@ -27,6 +28,8 @@ constexpr double kProbTol = 1e-9;
  * is far past any semiclassical program in the repo (one recycled
  * control qubit measured t times is 2^t branches) while still
  * bounding a pathological all-qubits-measured-repeatedly program.
+ * Overflow is a designed fatal naming the measuring instruction
+ * (circuit::stepBranches), never a silent truncation.
  */
 constexpr std::size_t kMaxBranches = 4096;
 
@@ -64,21 +67,106 @@ classify(const std::vector<double> &probs)
     return pred;
 }
 
-/** Weighted register marginal over a measurement-branch mixture. */
+/**
+ * Weighted register marginal over a measurement-branch mixture, read
+ * in `frame`: each branch state is rotated by the frame's
+ * basis-change epilogue before marginalisation — exactly the
+ * distribution a probe carrying frameEpilogue(reg, frame) samples.
+ */
 std::vector<double>
 mixtureMarginal(const std::vector<circuit::ExecutionBranch> &branches,
-                const std::vector<unsigned> &qubits)
+                const std::vector<unsigned> &qubits, Frame frame)
 {
     std::vector<double> probs(pow2(qubits.size()), 0.0);
     for (const auto &branch : branches) {
-        const auto marginal = branch.state.marginalProbs(qubits);
+        std::vector<double> marginal;
+        if (frame == Frame::Z) {
+            marginal = branch.state.marginalProbs(qubits);
+        } else {
+            sim::StateVector rotated = branch.state;
+            for (unsigned q : qubits) {
+                if (frame == Frame::Y)
+                    rotated.applyGate(sim::gates::sdg(), q);
+                rotated.applyGate(sim::gates::h(), q);
+            }
+            marginal = rotated.marginalProbs(qubits);
+        }
         for (std::size_t v = 0; v < probs.size(); ++v)
             probs[v] += branch.weight * marginal[v];
     }
     return probs;
 }
 
+/**
+ * Mixture purity tr(rho^2), reduced to `qubits` (empty = the full
+ * space, where the pairwise-fidelity form avoids materialising a
+ * 2^n x 2^n density matrix).
+ */
+double
+mixturePurity(const std::vector<circuit::ExecutionBranch> &branches,
+              const std::vector<unsigned> &qubits)
+{
+    if (qubits.empty()) {
+        double purity = 0.0;
+        for (std::size_t i = 0; i < branches.size(); ++i) {
+            purity += branches[i].weight * branches[i].weight;
+            for (std::size_t j = i + 1; j < branches.size(); ++j) {
+                purity += 2.0 * branches[i].weight *
+                          branches[j].weight *
+                          branches[i].state.fidelity(
+                              branches[j].state);
+            }
+        }
+        return purity;
+    }
+
+    // Weighted reduced density matrix, then tr(rho^2) = sum |rho_ij|^2
+    // (rho is Hermitian).
+    const std::uint64_t dim = pow2(qubits.size());
+    sim::CMatrix rho(dim);
+    for (const auto &branch : branches) {
+        const sim::CMatrix branch_rho =
+            branch.state.reducedDensityMatrix(qubits);
+        for (std::uint64_t r = 0; r < dim; ++r) {
+            for (std::uint64_t c = 0; c < dim; ++c) {
+                rho.at(r, c) +=
+                    branch.weight * branch_rho.at(r, c);
+            }
+        }
+    }
+    double purity = 0.0;
+    for (std::uint64_t r = 0; r < dim; ++r) {
+        for (std::uint64_t c = 0; c < dim; ++c)
+            purity += std::norm(rho.at(r, c));
+    }
+    return purity;
+}
+
 } // anonymous namespace
+
+std::string
+frameName(Frame frame)
+{
+    switch (frame) {
+      case Frame::Z: return "Z";
+      case Frame::X: return "X";
+      case Frame::Y: return "Y";
+    }
+    panic("unknown measurement frame");
+}
+
+void
+appendFrameEpilogue(circuit::Circuit &circ,
+                    const std::vector<unsigned> &qubits, Frame frame)
+{
+    if (frame == Frame::Z)
+        return;
+    for (unsigned q : qubits) {
+        if (frame == Frame::Y)
+            circ.sdg(q);
+        circ.h(q);
+    }
+}
 
 PredicateOracle::PredicateOracle(const circuit::Circuit &reference,
                                  const circuit::QubitRegister &r,
@@ -86,7 +174,7 @@ PredicateOracle::PredicateOracle(const circuit::Circuit &reference,
     : reg(r)
 {
     (void)seed;
-    build(reference, nullptr);
+    build(reference, nullptr, {Frame::Z});
 }
 
 PredicateOracle::PredicateOracle(
@@ -96,17 +184,31 @@ PredicateOracle::PredicateOracle(
     : reg(r)
 {
     (void)seed;
-    build(reference, &boundaries);
+    build(reference, &boundaries, {Frame::Z});
+}
+
+PredicateOracle::PredicateOracle(
+    const circuit::Circuit &reference,
+    const circuit::QubitRegister &r, std::uint64_t seed,
+    const std::vector<std::size_t> *boundaries,
+    const std::vector<Frame> &frames)
+    : reg(r)
+{
+    (void)seed;
+    build(reference, boundaries, frames);
 }
 
 void
 PredicateOracle::build(const circuit::Circuit &reference,
-                       const std::vector<std::size_t> *boundaries)
+                       const std::vector<std::size_t> *boundaries,
+                       const std::vector<Frame> &frames)
 {
     fatal_if(reg.width() == 0,
              "predicate oracle needs a non-empty register");
     fatal_if(reg.width() > 24,
              "register too wide for dense boundary predicates");
+    fatal_if(frames.empty(),
+             "predicate oracle needs at least one measurement frame");
 
     totalBoundaries = reference.size() + 1;
     std::vector<std::size_t> sorted;
@@ -118,46 +220,51 @@ PredicateOracle::build(const circuit::Circuit &reference,
         return boundaries == nullptr ||
                std::binary_search(sorted.begin(), sorted.end(), b);
     };
+    const auto record = [&](std::size_t b,
+                            const std::vector<circuit::ExecutionBranch>
+                                &branches) {
+        for (Frame frame : frames) {
+            preds.emplace(std::make_pair(b, frame),
+                          classify(mixtureMarginal(
+                              branches, reg.qubits(), frame)));
+        }
+    };
 
     // One incremental measurement-resolved pass: advance the branch
     // mixture through instruction k, then record the weighted
-    // register marginal as the boundary-(k+1) predicate.
+    // register marginal(s) as the boundary-(k+1) predicate.
     std::vector<circuit::ExecutionBranch> branches;
     branches.push_back(circuit::ExecutionBranch{
         1.0, sim::StateVector(reference.numQubits()), {}});
 
     if (wanted(0))
-        preds.emplace(0, classify(mixtureMarginal(branches,
-                                                  reg.qubits())));
+        record(0, branches);
     for (std::size_t k = 0; k < reference.size(); ++k) {
         circuit::stepBranches(reference, reference.instructions()[k],
                               branches, kMaxBranches);
-        if (wanted(k + 1)) {
-            preds.emplace(k + 1,
-                          classify(mixtureMarginal(branches,
-                                                   reg.qubits())));
-        }
+        if (wanted(k + 1))
+            record(k + 1, branches);
     }
 }
 
 const BoundaryPredicate &
-PredicateOracle::at(std::size_t boundary) const
+PredicateOracle::at(std::size_t boundary, Frame frame) const
 {
     fatal_if(boundary >= totalBoundaries, "boundary ", boundary,
              " beyond the reference program (", totalBoundaries - 1,
              " instructions)");
-    const auto it = preds.find(boundary);
-    fatal_if(it == preds.end(), "boundary ", boundary,
-             " was not recorded by this oracle");
+    const auto it = preds.find({boundary, frame});
+    fatal_if(it == preds.end(), "boundary ", boundary, " (frame ",
+             frameName(frame), ") was not recorded by this oracle");
     return it->second;
 }
 
 assertions::AssertionSpec
 PredicateOracle::specAt(std::size_t boundary,
-                        const std::string &breakpoint,
-                        double alpha) const
+                        const std::string &breakpoint, double alpha,
+                        Frame frame) const
 {
-    const BoundaryPredicate &pred = at(boundary);
+    const BoundaryPredicate &pred = at(boundary, frame);
 
     assertions::AssertionSpec spec;
     spec.kind = pred.kind;
@@ -167,7 +274,51 @@ PredicateOracle::specAt(std::size_t boundary,
     spec.expectedProbs = pred.expectedProbs;
     spec.alpha = alpha;
     spec.name = "predicate@" + std::to_string(boundary);
+    if (frame != Frame::Z)
+        spec.name += "[" + frameName(frame) + "]";
     return spec;
+}
+
+OverlapOracle::OverlapOracle(const circuit::Circuit &reference,
+                             const std::vector<unsigned> &qubits,
+                             const std::vector<std::size_t> &boundaries)
+{
+    fatal_if(!qubits.empty() && qubits.size() > 10,
+             "comparator register too wide for reduced-density "
+             "purities (", qubits.size(), " qubits)");
+
+    totalBoundaries = reference.size() + 1;
+    std::vector<std::size_t> sorted = boundaries;
+    std::sort(sorted.begin(), sorted.end());
+    const auto wanted = [&](std::size_t b) {
+        return sorted.empty() ||
+               std::binary_search(sorted.begin(), sorted.end(), b);
+    };
+
+    std::vector<circuit::ExecutionBranch> branches;
+    branches.push_back(circuit::ExecutionBranch{
+        1.0, sim::StateVector(reference.numQubits()), {}});
+
+    if (wanted(0))
+        purities.emplace(0, mixturePurity(branches, qubits));
+    for (std::size_t k = 0; k < reference.size(); ++k) {
+        circuit::stepBranches(reference, reference.instructions()[k],
+                              branches, kMaxBranches);
+        if (wanted(k + 1))
+            purities.emplace(k + 1, mixturePurity(branches, qubits));
+    }
+}
+
+double
+OverlapOracle::purityAt(std::size_t boundary) const
+{
+    fatal_if(boundary >= totalBoundaries, "boundary ", boundary,
+             " beyond the reference program (", totalBoundaries - 1,
+             " instructions)");
+    const auto it = purities.find(boundary);
+    fatal_if(it == purities.end(), "boundary ", boundary,
+             " was not recorded by this overlap oracle");
+    return it->second;
 }
 
 std::vector<ScopePredicate>

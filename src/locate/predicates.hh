@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "assertions/spec.hh"
@@ -45,6 +46,39 @@
 
 namespace qsa::locate
 {
+
+/**
+ * Measurement frame a marginal predicate is stated in. The paper's
+ * assertions sample in the computational (Z) basis only; Proq-style
+ * projective checking shows non-computational-basis properties are
+ * testable at runtime by rotating the frame onto the computational
+ * basis first. A basis-change epilogue (frameEpilogue) appended to
+ * the truncated probe transports the oracle's predicate into the X
+ * or Y frame, where relative-phase divergence on the probed register
+ * becomes an amplitude difference the chi-square machinery can see.
+ */
+enum class Frame
+{
+    Z, ///< computational basis (no epilogue)
+    X, ///< Hadamard frame (epilogue: H per register qubit)
+    Y, ///< Y frame (epilogue: Sdg then H per register qubit)
+};
+
+/** All frames, in probe order. */
+inline constexpr Frame kAllFrames[] = {Frame::Z, Frame::X, Frame::Y};
+
+/** Human-readable frame name ("Z" / "X" / "Y"). */
+std::string frameName(Frame frame);
+
+/**
+ * Append the basis-change epilogue rotating `frame` onto the
+ * computational basis for every listed qubit (no-op for Frame::Z).
+ * Composes with any truncated program: measuring the qubits after
+ * the epilogue samples their `frame`-basis outcome distribution.
+ */
+void appendFrameEpilogue(circuit::Circuit &circ,
+                         const std::vector<unsigned> &qubits,
+                         Frame frame);
 
 /** What the reference program promises at one instruction boundary. */
 struct BoundaryPredicate
@@ -93,27 +127,100 @@ class PredicateOracle
                     std::uint64_t seed,
                     const std::vector<std::size_t> &boundaries);
 
+    /**
+     * As above, additionally recording the register's mixture
+     * marginal in each requested measurement frame (the rotated-basis
+     * probe family asserts all of them per boundary). Frame::Z alone
+     * is bit-identical to the two-frame-free constructors.
+     */
+    PredicateOracle(const circuit::Circuit &reference,
+                    const circuit::QubitRegister &reg,
+                    std::uint64_t seed,
+                    const std::vector<std::size_t> *boundaries,
+                    const std::vector<Frame> &frames);
+
     /** Number of boundaries (reference instruction count + 1). */
     std::size_t numBoundaries() const { return totalBoundaries; }
 
-    /** Predicate at a (recorded) boundary. */
-    const BoundaryPredicate &at(std::size_t boundary) const;
+    /** Predicate at a (recorded) boundary, in a (recorded) frame. */
+    const BoundaryPredicate &at(std::size_t boundary,
+                                Frame frame = Frame::Z) const;
 
     /**
      * Build the assertion spec testing this oracle's predicate at a
-     * boundary, bound to the given breakpoint label.
+     * boundary, bound to the given breakpoint label. The probe
+     * program must carry the matching frameEpilogue before the
+     * breakpoint when `frame` is not Z.
      */
     assertions::AssertionSpec specAt(std::size_t boundary,
                                      const std::string &breakpoint,
-                                     double alpha) const;
+                                     double alpha,
+                                     Frame frame = Frame::Z) const;
 
   private:
     circuit::QubitRegister reg;
     std::size_t totalBoundaries = 0;
-    std::map<std::size_t, BoundaryPredicate> preds;
+    std::map<std::pair<std::size_t, Frame>, BoundaryPredicate> preds;
 
     void build(const circuit::Circuit &reference,
-               const std::vector<std::size_t> *boundaries);
+               const std::vector<std::size_t> *boundaries,
+               const std::vector<Frame> &frames);
+};
+
+/**
+ * Expected swap-test statistics per boundary: one exact
+ * measurement-resolved pass over the reference records the *purity*
+ * tr(rho_k^2) of the reference's mixture rho_k, reduced to the
+ * comparator register, at each requested boundary. A swap-test
+ * probe's ancilla reads 0 with probability (1 + tr(rho sigma)) / 2,
+ * where sigma is the suspect's reduced mixture at the same boundary
+ * (the partial swap test measures subsystem overlap); under the null
+ * hypothesis sigma = rho, so the expected ancilla Bernoulli is
+ * (1 + purity) / 2 — a classical point mass at 0 wherever the
+ * reference's reduced state is pure. Unlike a register marginal, the
+ * overlap deficit 1 - tr(rho sigma) is *invariant* under common
+ * unitary evolution of the register, which is what makes the
+ * swap-test witness monotone within a measure-free segment (see
+ * locate.hh's family taxonomy). Register scoping is also what keeps
+ * the probe *sensitive* past measurements: comparing the full space
+ * scales the per-branch overlap signal by the squared branch weights
+ * (measured qubits make the branches nearly orthogonal), while the
+ * register that discards them keeps a high-purity — often pure —
+ * null.
+ */
+class OverlapOracle
+{
+  public:
+    /**
+     * @param reference the correct program
+     * @param qubits comparator register (empty = the full space)
+     * @param boundaries boundaries to record (empty = all)
+     */
+    OverlapOracle(const circuit::Circuit &reference,
+                  const std::vector<unsigned> &qubits,
+                  const std::vector<std::size_t> &boundaries);
+
+    /** Number of boundaries (reference instruction count + 1). */
+    std::size_t numBoundaries() const { return totalBoundaries; }
+
+    /** True when the boundary was recorded by this oracle. */
+    bool recorded(std::size_t boundary) const
+    {
+        return purities.count(boundary) != 0;
+    }
+
+    /** Reduced mixture purity tr(rho^2) at a recorded boundary. */
+    double purityAt(std::size_t boundary) const;
+
+    /** Expected P(ancilla = 0) of a swap-test probe at a boundary. */
+    double swapPassProbability(std::size_t boundary) const
+    {
+        return 0.5 * (1.0 + purityAt(boundary));
+    }
+
+  private:
+    std::size_t totalBoundaries = 0;
+    std::map<std::size_t, double> purities;
 };
 
 /** A scope-inherited assertion kind at one instruction boundary. */

@@ -187,6 +187,15 @@ Session::gTest(bool enabled)
 }
 
 Session &
+Session::probes(locate::ProbeFamily family)
+{
+    probeFamily = family;
+    // Localization state is rebuilt per locate() call; the assertion
+    // plan is untouched, so no invalidation is needed.
+    return *this;
+}
+
+Session &
 Session::use(const assertions::EscalationPolicy &policy)
 {
     fatal_if(policy.initialSize == 0,
@@ -400,6 +409,7 @@ Session::locateConfig(locate::Strategy strategy) const
 {
     locate::LocateConfig lc;
     lc.strategy = strategy;
+    lc.family = probeFamily;
     lc.mode = cfg.mode; // Resimulate sessions probe past measurements
     lc.seed = cfg.seed;
     lc.numThreads = cfg.numThreads;

@@ -213,6 +213,20 @@ class Session
     /** Use the G-test instead of Pearson chi-square. */
     Session &gTest(bool enabled = true);
 
+    /**
+     * Probe family for locate() (locate::LocateConfig::family
+     * semantics). The default keeps the classic families per
+     * overload: segment mirrors for the full-space locate(),
+     * mixture marginals for the register overloads. Select
+     * locate::ProbeFamily::SwapTest for the phase-sound comparator
+     * probes, or locate::ProbeFamily::Auto to run the cheap
+     * mirror-marginal search first and auto-escalate to swap-test
+     * probes when its verdict is phase-ambiguous (a defect whose
+     * only trace between its site and the verify step is a relative
+     * phase — invisible to every computational-basis probe).
+     */
+    Session &probes(locate::ProbeFamily family);
+
     /** Apply an ensemble-escalation policy to every check. */
     Session &use(const assertions::EscalationPolicy &policy);
 
@@ -356,6 +370,10 @@ class Session
 
     std::optional<assertions::EscalationPolicy> escalation;
     bool familyWise = false;
+
+    /** Probe family handed to BugLocator by locate(). */
+    locate::ProbeFamily probeFamily =
+        locate::ProbeFamily::SegmentMirror;
 
     /** True once any after() site forces boundary instrumentation. */
     bool wantBoundaries = false;

@@ -310,6 +310,26 @@ StateVector::fidelity(const StateVector &other) const
     return std::norm(innerProduct(other));
 }
 
+StateVector
+StateVector::tensorWith(const StateVector &other) const
+{
+    fatal_if(nQubits + other.nQubits > 28,
+             "tensor product of ", static_cast<unsigned>(nQubits),
+             " + ", static_cast<unsigned>(other.nQubits),
+             " qubits exceeds the simulator's memory budget");
+    StateVector product(nQubits + other.nQubits);
+    product.amps.assign(product.amps.size(), Complex(0.0));
+    for (std::uint64_t hi = 0; hi < other.dim(); ++hi) {
+        const Complex scale = other.amps[hi];
+        if (scale == Complex(0.0))
+            continue;
+        const std::uint64_t base = hi << nQubits;
+        for (std::uint64_t lo = 0; lo < dim(); ++lo)
+            product.amps[base | lo] = scale * amps[lo];
+    }
+    return product;
+}
+
 void
 StateVector::normalize()
 {

@@ -163,6 +163,17 @@ class StateVector
     /** Fidelity |<this|other>|^2. */
     double fidelity(const StateVector &other) const;
 
+    /**
+     * Tensor product |this> (x) |other>: a state on numQubits() +
+     * other.numQubits() qubits whose low qubits are this state and
+     * whose high qubits are `other`. Ground-truth composer for the
+     * swap-test comparator *tests* (tests/test_sim.cc builds
+     * suspect (x) reference (x) ancilla by hand to pin the partial
+     * swap-test identity the probe family relies on; the probes
+     * themselves prepare the two copies by circuit embedding).
+     */
+    StateVector tensorWith(const StateVector &other) const;
+
     /** @} */
 
     /** Renormalise (guards against drift in very long circuits). */

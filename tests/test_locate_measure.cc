@@ -99,6 +99,11 @@ enum class TeleportBug
     BrokenMirror,        // type 5: verify step repeats instead of
                          //         inverting the payload rotation
     WrongCondValue,      // type 6: X correction fires on outcome 0
+    ConditionedZFrame,   // the phase blind spot: the conditioned Z
+                         //   correction applies an S frame instead,
+                         //   a relative-phase defect invisible to
+                         //   every computational-basis probe between
+                         //   its site and the verify step
 };
 
 Circuit
@@ -130,7 +135,10 @@ buildMeasuredTeleport(TeleportBug bug)
     circ.conditionLast(
         bug == TeleportBug::MisroutedCorrection ? "m_z" : "m_x",
         bug == TeleportBug::WrongCondValue ? 0 : 1);
-    circ.z(recv[0]); // [12]
+    if (bug == TeleportBug::ConditionedZFrame)
+        circ.phase(recv[0], M_PI / 2); // [12] S frame instead of Z
+    else
+        circ.z(recv[0]); // [12]
     circ.conditionLast(
         bug == TeleportBug::MisroutedCorrection ? "m_x" : "m_z", 1);
 
@@ -572,6 +580,386 @@ TEST(MeasureFreeRegression, PredicateTrajectoryIdentical)
     const auto resim =
         BugLocator(fx.suspect, fx.reference, cfg).locateByPredicates(y);
     expectSameTrajectory(truncate, resim, fx.name);
+}
+
+// --- The phase blind spot: conditioned-Z-frame defect ------------------------
+//
+// The conditioned Z correction applies an S frame instead of Z: in
+// every m_z = 1 branch the receiver differs from the reference by a
+// relative phase only. No computational-basis probe between the
+// defect's site [12] and the verify rotation [14] can see it — the
+// mixture marginals are bit-identical — so the computational families
+// bracket the verify step, not the defect. The register-scoped
+// swap-test family compares reduced states, whose overlap deficit is
+// invariant under the common verify rotations, and brackets the
+// defect itself.
+
+/** Instruction index of the defective conditioned correction. */
+constexpr std::size_t kZFrameDefect = 12;
+
+Fixture
+zFrameFixture()
+{
+    return teleportFixture(TeleportBug::ConditionedZFrame,
+                           "conditioned-z-frame");
+}
+
+LocateConfig
+zFrameConfig(ProbeFamily family,
+             Strategy strategy = Strategy::AdaptiveBinarySearch,
+             unsigned num_threads = 0)
+{
+    LocateConfig cfg = measureConfig(strategy, num_threads);
+    cfg.family = family;
+    return cfg;
+}
+
+TEST(PhaseBlindSpot, SwapTestBracketsTheDefect)
+{
+    const Fixture fx = zFrameFixture();
+    const QubitRegister recv = fx.suspect.reg("recv");
+
+    const BugLocator locator(fx.suspect, fx.reference,
+                             zFrameConfig(ProbeFamily::SwapTest));
+    const auto report = locator.locateByPredicates(recv);
+
+    expectLocalizes(fx, report);
+    EXPECT_EQ(report.suspectBegin(), kZFrameDefect)
+        << report.summary();
+    EXPECT_EQ(report.decidedBy, ProbeFamily::SwapTest);
+    for (const auto &rec : report.probes)
+        EXPECT_EQ(rec.family, ProbeFamily::SwapTest);
+}
+
+TEST(PhaseBlindSpot, SwapTestFewerProbesThanLinearScan)
+{
+    const Fixture fx = zFrameFixture();
+    const QubitRegister recv = fx.suspect.reg("recv");
+
+    const BugLocator adaptive(fx.suspect, fx.reference,
+                              zFrameConfig(ProbeFamily::SwapTest));
+    const auto fast = adaptive.locateByPredicates(recv);
+
+    const BugLocator linear(
+        fx.suspect, fx.reference,
+        zFrameConfig(ProbeFamily::SwapTest, Strategy::LinearScan));
+    const auto scan = linear.locateByPredicates(recv);
+
+    expectLocalizes(fx, fast);
+    expectLocalizes(fx, scan);
+    EXPECT_EQ(scan.suspectBegin(), kZFrameDefect);
+    EXPECT_LT(fast.probes.size(), scan.probes.size());
+}
+
+TEST(PhaseBlindSpot, SwapTestThreadCountInvariant)
+{
+    const Fixture fx = zFrameFixture();
+    const QubitRegister recv = fx.suspect.reg("recv");
+
+    std::vector<LocalizationReport> reports;
+    for (unsigned threads : {1u, 4u, 0u}) {
+        const BugLocator locator(
+            fx.suspect, fx.reference,
+            zFrameConfig(ProbeFamily::SwapTest,
+                         Strategy::AdaptiveBinarySearch, threads));
+        reports.push_back(locator.locateByPredicates(recv));
+    }
+    const auto &a = reports.front();
+    for (std::size_t r = 1; r < reports.size(); ++r) {
+        const auto &b = reports[r];
+        EXPECT_EQ(a.lastPassing, b.lastPassing);
+        EXPECT_EQ(a.firstFailing, b.firstFailing);
+        ASSERT_EQ(a.probes.size(), b.probes.size());
+        for (std::size_t i = 0; i < a.probes.size(); ++i) {
+            EXPECT_EQ(a.probes[i].boundary, b.probes[i].boundary);
+            EXPECT_EQ(a.probes[i].ensembleSize,
+                      b.probes[i].ensembleSize);
+            // Bit-identical: swap-probe trials key their streams by
+            // trial index, never by worker or shard.
+            EXPECT_EQ(a.probes[i].pValue, b.probes[i].pValue);
+            EXPECT_EQ(a.probes[i].failed, b.probes[i].failed);
+        }
+    }
+}
+
+TEST(PhaseBlindSpot, SwapTestSeedInvariantInterval)
+{
+    const Fixture fx = zFrameFixture();
+    const QubitRegister recv = fx.suspect.reg("recv");
+
+    LocateConfig cfg = zFrameConfig(ProbeFamily::SwapTest);
+    const auto a = BugLocator(fx.suspect, fx.reference, cfg)
+                       .locateByPredicates(recv);
+    cfg.seed = 0xfeedbeef;
+    const auto b = BugLocator(fx.suspect, fx.reference, cfg)
+                       .locateByPredicates(recv);
+    EXPECT_EQ(a.lastPassing, b.lastPassing);
+    EXPECT_EQ(a.firstFailing, b.firstFailing);
+    EXPECT_EQ(a.suspectBegin(), kZFrameDefect);
+}
+
+/**
+ * Regression pin of the blind spot itself: both computational-basis
+ * families *do* reject — the divergence reaches the receiver's
+ * marginal at the verify rotation — but the bracket sits at the
+ * verify step, strictly past the defect, and no probe between the
+ * defect's site and the verify step fails. This documents why the
+ * phase-sensitive families exist; if a future change makes a
+ * computational probe see the defect in place, this pin should fail
+ * and the taxonomy in locate.hh revisited.
+ */
+TEST(PhaseBlindSpot, ComputationalFamiliesBracketOnlyTheVerifyStep)
+{
+    const Fixture fx = zFrameFixture();
+    const QubitRegister recv = fx.suspect.reg("recv");
+
+    // Segment-mirror family (the locate() default).
+    const BugLocator mirror(
+        fx.suspect, fx.reference,
+        zFrameConfig(ProbeFamily::SegmentMirror,
+                     Strategy::LinearScan));
+    const auto mirror_scan = mirror.locate();
+    ASSERT_TRUE(mirror_scan.bugFound) << mirror_scan.summary();
+    EXPECT_GT(mirror_scan.suspectBegin(), kZFrameDefect)
+        << mirror_scan.summary();
+    EXPECT_FALSE(intervalCoversDefect(fx.suspect, fx.reference,
+                                      mirror_scan.suspectBegin(),
+                                      mirror_scan.suspectEnd()));
+
+    // Mixture-marginal family on the receiver register.
+    const BugLocator marginal(
+        fx.suspect, fx.reference,
+        zFrameConfig(ProbeFamily::MixtureMarginal,
+                     Strategy::LinearScan));
+    const auto marginal_scan = marginal.locateByPredicates(recv);
+    ASSERT_TRUE(marginal_scan.bugFound) << marginal_scan.summary();
+    EXPECT_GT(marginal_scan.suspectBegin(), kZFrameDefect)
+        << marginal_scan.summary();
+    EXPECT_FALSE(intervalCoversDefect(fx.suspect, fx.reference,
+                                      marginal_scan.suspectBegin(),
+                                      marginal_scan.suspectEnd()));
+
+    // The mirror record at the bracket carries the phase-ambiguity
+    // flag Auto escalates on: only the computational pre-marginal
+    // component failed, the phase-sensitive unwind passed.
+    bool flagged = false;
+    for (const auto &rec : mirror_scan.probes) {
+        if (rec.boundary == mirror_scan.firstFailing && rec.failed)
+            flagged = flagged || rec.phaseAmbiguous;
+    }
+    EXPECT_TRUE(flagged);
+}
+
+TEST(PhaseBlindSpot, RotatedMarginalSeesTheFrameDefectInPlace)
+{
+    // The S-frame divergence is visible in the receiver's X/Y
+    // marginals the instruction it appears, so the rotated triple
+    // brackets the defect exactly where the computational marginal
+    // could not.
+    const Fixture fx = zFrameFixture();
+    const QubitRegister recv = fx.suspect.reg("recv");
+
+    const BugLocator locator(
+        fx.suspect, fx.reference,
+        zFrameConfig(ProbeFamily::RotatedMarginal));
+    const auto report = locator.locateByPredicates(recv);
+
+    expectLocalizes(fx, report);
+    EXPECT_EQ(report.suspectBegin(), kZFrameDefect)
+        << report.summary();
+    EXPECT_EQ(report.decidedBy, ProbeFamily::RotatedMarginal);
+}
+
+TEST(PhaseBlindSpot, AutoEscalatesFromMarginalsToSwapTest)
+{
+    const Fixture fx = zFrameFixture();
+    const QubitRegister recv = fx.suspect.reg("recv");
+
+    const BugLocator locator(fx.suspect, fx.reference,
+                             zFrameConfig(ProbeFamily::Auto));
+    const auto report = locator.locateByPredicates(recv);
+
+    expectLocalizes(fx, report);
+    EXPECT_TRUE(report.escalatedToSwapTest) << report.summary();
+    EXPECT_EQ(report.decidedBy, ProbeFamily::SwapTest);
+    EXPECT_EQ(report.suspectBegin(), kZFrameDefect)
+        << report.summary();
+
+    // Both families appear in the probe log: the cheap marginal
+    // probes first, then the swap-test escalation.
+    bool sawMarginal = false, sawSwap = false;
+    for (const auto &rec : report.probes) {
+        sawMarginal = sawMarginal ||
+                      rec.family == ProbeFamily::MixtureMarginal;
+        sawSwap = sawSwap || rec.family == ProbeFamily::SwapTest;
+    }
+    EXPECT_TRUE(sawMarginal);
+    EXPECT_TRUE(sawSwap);
+}
+
+TEST(PhaseBlindSpot, AutoDoesNotEscalateWhenTheMarginalBracketHolds)
+{
+    // A defect whose divergence arises where it becomes visible (the
+    // broken verify mirror) is confirmed by the single decisive swap
+    // probe at lastPassing; Auto must not pay for a second search.
+    const Fixture fx = teleportFixture(TeleportBug::BrokenMirror,
+                                       "broken-mirror");
+    const QubitRegister recv = fx.suspect.reg("recv");
+
+    const BugLocator locator(fx.suspect, fx.reference,
+                             zFrameConfig(ProbeFamily::Auto));
+    const auto report = locator.locateByPredicates(recv);
+
+    expectLocalizes(fx, report);
+    EXPECT_FALSE(report.escalatedToSwapTest) << report.summary();
+    EXPECT_EQ(report.decidedBy, ProbeFamily::MixtureMarginal);
+    // Exactly one swap-test record: the escalation-decision probe.
+    std::size_t swapProbes = 0;
+    for (const auto &rec : report.probes) {
+        if (rec.family == ProbeFamily::SwapTest)
+            ++swapProbes;
+    }
+    EXPECT_EQ(swapProbes, 1u);
+}
+
+TEST(PhaseBlindSpot, FullSpaceAutoEscalatesOnAmbiguousMirrorVerdict)
+{
+    // locate()'s Auto family: the mirror bracket at the verify step
+    // is phase-ambiguous (marginal-only failure), so the search
+    // escalates to full-space swap-test probes. The full-space
+    // comparator's sensitivity is diluted by the measured qubits'
+    // branch orthogonality — the register-scoped family is the sharp
+    // tool — so only the escalation mechanics are pinned here.
+    const Fixture fx = zFrameFixture();
+    const BugLocator locator(fx.suspect, fx.reference,
+                             zFrameConfig(ProbeFamily::Auto));
+    const auto report = locator.locate();
+    EXPECT_TRUE(report.escalatedToSwapTest) << report.summary();
+    EXPECT_TRUE(report.bugFound) << report.summary();
+}
+
+TEST(PhaseBlindSpot, FullSpaceAutoMatchesMirrorWhenUnambiguous)
+{
+    // A defect whose segment unwind fails too (the broken verify
+    // mirror) is not phase-ambiguous: Auto must not escalate, and
+    // the trajectory is the mirror family's exactly.
+    const Fixture fx = teleportFixture(TeleportBug::BrokenMirror,
+                                       "broken-mirror");
+
+    const auto mirror =
+        BugLocator(fx.suspect, fx.reference,
+                   zFrameConfig(ProbeFamily::SegmentMirror))
+            .locate();
+    const auto agile = BugLocator(fx.suspect, fx.reference,
+                                  zFrameConfig(ProbeFamily::Auto))
+                           .locate();
+
+    EXPECT_FALSE(agile.escalatedToSwapTest) << agile.summary();
+    EXPECT_EQ(agile.lastPassing, mirror.lastPassing);
+    EXPECT_EQ(agile.firstFailing, mirror.firstFailing);
+    ASSERT_EQ(agile.probes.size(), mirror.probes.size());
+    for (std::size_t i = 0; i < agile.probes.size(); ++i) {
+        EXPECT_EQ(agile.probes[i].boundary,
+                  mirror.probes[i].boundary);
+        EXPECT_EQ(agile.probes[i].pValue, mirror.probes[i].pValue);
+    }
+}
+
+TEST(PhaseBlindSpot, AutoFallsBackToMarginalsPastTheSwapGate)
+{
+    // Swap-test probes simulate two embedded copies (2n+1 qubits),
+    // so they are gated to n <= 10. An Auto search on a wider
+    // program must keep the cheap marginal verdict — not die
+    // constructing a prober it may never need.
+    Fixture fx;
+    fx.name = "wide-auto";
+    for (Circuit *circ : {&fx.suspect, &fx.reference}) {
+        const bool buggy = circ == &fx.suspect;
+        const auto q = circ->addRegister("q", 11);
+        circ->prepRegister(q, 0);
+        circ->x(q[buggy ? 3 : 4]); // index-aligned, marginal-visible
+        circ->h(q[0]);
+    }
+    const QubitRegister q = fx.suspect.reg("q");
+
+    LocateConfig cfg;
+    cfg.ensembleSize = 64;
+    cfg.maxEnsembleSize = 1024;
+    cfg.family = ProbeFamily::Auto;
+    const auto agile = BugLocator(fx.suspect, fx.reference, cfg)
+                           .locateByPredicates(q);
+    cfg.family = ProbeFamily::MixtureMarginal;
+    const auto marginal = BugLocator(fx.suspect, fx.reference, cfg)
+                              .locateByPredicates(q);
+
+    expectLocalizes(fx, agile);
+    EXPECT_FALSE(agile.escalatedToSwapTest);
+    EXPECT_EQ(agile.decidedBy, ProbeFamily::MixtureMarginal);
+    EXPECT_EQ(agile.lastPassing, marginal.lastPassing);
+    EXPECT_EQ(agile.firstFailing, marginal.firstFailing);
+    EXPECT_EQ(agile.probes.size(), marginal.probes.size());
+}
+
+TEST(PhaseBlindSpot, SwapTestWorksInSampleFinalStateMode)
+{
+    // On a measurement-free program the comparator's null is a pure
+    // point mass (ancilla always 0) and the default sampling mode
+    // carries the probes; the flipped rotation is phase-visible.
+    const Fixture fx = flippedRotationFixture();
+    LocateConfig cfg;
+    cfg.family = ProbeFamily::SwapTest;
+    cfg.ensembleSize = 64;
+    cfg.maxEnsembleSize = 1024;
+
+    const auto report =
+        BugLocator(fx.suspect, fx.reference, cfg).locate();
+    ASSERT_TRUE(report.bugFound) << report.summary();
+    EXPECT_TRUE(intervalCoversDefect(fx.suspect, fx.reference,
+                                     report.suspectBegin(),
+                                     report.suspectEnd()))
+        << report.summary();
+}
+
+// --- Config validation and diagnostics ---------------------------------------
+
+TEST(LocateValidation, RejectsPassThresholdOutsideUnitInterval)
+{
+    const Fixture fx = zFrameFixture();
+    LocateConfig cfg = measureConfig();
+    cfg.passThreshold = 1.5;
+    EXPECT_EXIT((BugLocator(fx.suspect, fx.reference, cfg)),
+                ::testing::ExitedWithCode(1), "outside \\[0, 1\\]");
+    cfg.passThreshold = -0.1;
+    EXPECT_EXIT((BugLocator(fx.suspect, fx.reference, cfg)),
+                ::testing::ExitedWithCode(1), "outside \\[0, 1\\]");
+}
+
+TEST(LocateValidation, RegisterFamiliesRejectedOnFullSpaceLocate)
+{
+    const Fixture fx = zFrameFixture();
+    LocateConfig cfg = measureConfig();
+    cfg.family = ProbeFamily::RotatedMarginal;
+    const BugLocator locator(fx.suspect, fx.reference, cfg);
+    EXPECT_EXIT(locator.locate(), ::testing::ExitedWithCode(1),
+                "locateByPredicates");
+}
+
+TEST(LocateValidation, BranchCapDiagnosticNamesTheInstruction)
+{
+    // One recycled qubit measured 13 times doubles the branch count
+    // past the 2^12 cap; the failure must be a designed diagnostic
+    // naming the measuring instruction, not a silent truncation (or
+    // an OOM).
+    Circuit circ(1);
+    circ.prepZ(0, 0);
+    for (int round = 0; round < 13; ++round) {
+        circ.h(0);
+        circ.measureQubits({0}, "m_" + std::to_string(round));
+    }
+    const QubitRegister reg("q", {0});
+    EXPECT_EXIT((PredicateOracle(circ, reg)),
+                ::testing::ExitedWithCode(1),
+                "measurement-branch enumeration exceeded its cap");
 }
 
 TEST(MeasureFreeRegression, LinearScanTrajectoryIdentical)

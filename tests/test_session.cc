@@ -460,6 +460,56 @@ TEST(SessionLocate, ResimulateSessionLocalizesPastMeasurement)
     EXPECT_EQ(lc.mode, EnsembleMode::Resimulate);
 }
 
+TEST(SessionLocate, ProbeFamilyCarriesIntoTheLocator)
+{
+    // A conditioned frame defect: the correction applies S where the
+    // reference applies Z, so the divergence is a relative phase
+    // invisible to every computational-basis probe until the verify
+    // rotation. The session's swap-test family brackets the defect
+    // itself; the default family brackets the verify step.
+    // One-bit teleportation: measuring q0 leaves q1 in Z^m |psi>,
+    // and the conditioned Z restores |psi> in both branches.
+    const auto build = [](bool buggy) {
+        Circuit c;
+        const auto q = c.addRegister("q", 2);
+        c.prepZ(q[0], 0);
+        c.prepZ(q[1], 0);
+        c.ry(q[0], 1.1); // the payload
+        c.cnot(q[0], q[1]);
+        c.h(q[0]);
+        c.measureQubits({q[0]}, "m");
+        if (buggy)
+            c.phase(q[1], M_PI / 2); // [6] S frame instead of Z
+        else
+            c.z(q[1]);
+        c.conditionLast("m", 1);
+        c.ry(q[1], -1.1); // verify: rotates the error into view
+        return c;
+    };
+    const Circuit buggy = build(true);
+    const Circuit reference = build(false);
+    const QubitRegister target = buggy.reg("q").slice(1, 1, "q1");
+
+    session::Session s(buggy);
+    s.mode(EnsembleMode::Resimulate);
+    s.use(assertions::EscalationPolicy{64, 1024, 0.30});
+
+    const auto marginal = s.locate(reference, target);
+    ASSERT_TRUE(marginal.bugFound) << marginal.summary();
+    EXPECT_EQ(marginal.suspectBegin(), buggy.size() - 1)
+        << marginal.summary();
+
+    s.probes(locate::ProbeFamily::SwapTest);
+    const auto lc =
+        s.locateConfig(locate::Strategy::AdaptiveBinarySearch);
+    EXPECT_EQ(lc.family, locate::ProbeFamily::SwapTest);
+
+    const auto swap = s.locate(reference, target);
+    ASSERT_TRUE(swap.bugFound) << swap.summary();
+    EXPECT_EQ(swap.suspectBegin(), 6u) << swap.summary();
+    EXPECT_EQ(swap.decidedBy, locate::ProbeFamily::SwapTest);
+}
+
 // --- Registration-time validation -------------------------------------------
 
 TEST(SessionValidation, UnknownLabelRejectedAtAddressTime)

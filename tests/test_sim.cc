@@ -358,6 +358,57 @@ TEST(CMatrixTest, DistanceUpToPhase)
     EXPECT_LT(h.distanceUpToPhase(h_phased), tol);
 }
 
+TEST(TensorProduct, ComposesAmplitudesLowQubitsFirst)
+{
+    // |psi> = ry-rotated single qubit, |phi> = H|0>: the product
+    // state's amplitude at (hi, lo) must factor exactly.
+    StateVector psi(1);
+    psi.applyGate(gates::ry(0.8), 0);
+    StateVector phi(1);
+    phi.applyGate(gates::h(), 0);
+
+    const StateVector product = psi.tensorWith(phi);
+    ASSERT_EQ(product.numQubits(), 2u);
+    for (std::uint64_t hi = 0; hi < 2; ++hi) {
+        for (std::uint64_t lo = 0; lo < 2; ++lo) {
+            const Complex want = phi.amp(hi) * psi.amp(lo);
+            EXPECT_NEAR(std::abs(product.amp((hi << 1) | lo) - want),
+                        0.0, tol);
+        }
+    }
+    EXPECT_NEAR(product.norm(), 1.0, tol);
+}
+
+TEST(TensorProduct, SwapTestIdentity)
+{
+    // Ground truth for the swap-test probe family: on
+    // |psi> (x) |phi> (x) |0>_anc, the H / cswap / H comparator
+    // leaves P(anc = 0) = (1 + |<psi|phi>|^2) / 2.
+    StateVector psi(1);
+    psi.applyGate(gates::ry(1.1), 0);
+    psi.applyGate(gates::rz(0.6), 0);
+    StateVector phi(1);
+    phi.applyGate(gates::ry(1.1), 0);
+    phi.applyGate(gates::phase(M_PI / 2), 0); // S-frame divergence
+
+    StateVector anc(1);
+    StateVector probe = psi.tensorWith(phi).tensorWith(anc);
+    probe.applyGate(gates::h(), 2);
+    probe.applyControlledSwap({2}, 0, 1);
+    probe.applyGate(gates::h(), 2);
+
+    const double want = 0.5 * (1.0 + psi.fidelity(phi));
+    EXPECT_NEAR(probe.marginalProbs({2})[0], want, tol);
+
+    // Identical halves: the ancilla never reads 1 (the pure-null
+    // point mass the swap probes assert classically).
+    StateVector same = psi.tensorWith(psi).tensorWith(anc);
+    same.applyGate(gates::h(), 2);
+    same.applyControlledSwap({2}, 0, 1);
+    same.applyGate(gates::h(), 2);
+    EXPECT_NEAR(same.marginalProbs({2})[1], 0.0, tol);
+}
+
 TEST(CMatrixTest, ApplyMatchesStateVector)
 {
     // Build H (x) I as dense and compare against the simulator.
