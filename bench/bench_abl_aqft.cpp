@@ -12,11 +12,14 @@
 
 #include <iostream>
 
+#include "benchjson_table.hh"
 #include "qsa/qsa.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    qsa::benchjson::TableBenchJson bench_json(&argc, argv,
+                                              "bench_abl_aqft");
     using namespace qsa;
 
     std::cout << "=== Ablation A3: approximate QFT ===\n\n";

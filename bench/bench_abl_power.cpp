@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "benchjson_table.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -44,8 +45,10 @@ assertionFireRate(const circuit::Circuit &circ,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    qsa::benchjson::TableBenchJson bench_json(&argc, argv,
+                                              "bench_abl_power");
     using namespace qsa;
     const unsigned trials = 40;
 

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "benchjson_table.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -28,8 +29,10 @@ struct Variant
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    qsa::benchjson::TableBenchJson bench_json(&argc, argv,
+                                              "bench_abl_stats");
     using namespace qsa;
 
     std::cout << "=== Ablation A2: statistical test variants ===\n\n";

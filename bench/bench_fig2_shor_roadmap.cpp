@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "benchjson_table.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -43,8 +44,10 @@ roadmapVerdicts(const algo::ShorProgram &prog)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    qsa::benchjson::TableBenchJson bench_json(&argc, argv,
+                                              "bench_fig2_shor_roadmap");
     using namespace qsa;
 
     std::cout << "=== Figure 2: Shor roadmap assertions ===\n\n";

@@ -11,6 +11,7 @@
 #include <functional>
 #include <iostream>
 
+#include "benchjson_table.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -39,8 +40,10 @@ unitaryOf(unsigned n, const circuit::Circuit &circ)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    qsa::benchjson::TableBenchJson bench_json(&argc, argv,
+                                              "bench_fig4_recursion");
     using namespace qsa;
 
     std::cout << "=== Figure 4: recursive controlled operations "

@@ -323,6 +323,65 @@ BM_LocateAutoEscalation(benchmark::State &state)
 BENCHMARK(BM_LocateAutoEscalation)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Replay one localization per benchmark configuration with the
+ * registry freshly reset, so the "metrics" snapshot in the --json
+ * artifact counts a fixed workload — locate.probes, the cache
+ * hit/miss totals, and friends are then independent of how many
+ * iterations the timing loops above decided to run, and the CI
+ * regression gate can compare them across commits exactly.
+ */
+void
+metricsEpilogue()
+{
+    obs::Registry::reset();
+    const auto once = [](int which, locate::Strategy strategy,
+                         assertions::EnsembleMode mode,
+                         locate::ProbeFamily family,
+                         const char *reg_name) {
+        const auto pair = fixturePair(which);
+        locate::LocateConfig cfg;
+        cfg.strategy = strategy;
+        cfg.mode = mode;
+        cfg.family = family;
+        cfg.ensembleSize = 64;
+        cfg.maxEnsembleSize = 1024;
+        const locate::BugLocator locator(pair.first, pair.second,
+                                         cfg);
+        const auto report =
+            reg_name == nullptr
+                ? locator.locate()
+                : locator.locateByPredicates(
+                      pair.first.reg(reg_name));
+        benchmark::DoNotOptimize(report);
+    };
+    using assertions::EnsembleMode;
+    using locate::ProbeFamily;
+    using locate::Strategy;
+    for (int which : {0, 1, 2}) {
+        once(which, Strategy::AdaptiveBinarySearch,
+             EnsembleMode::SampleFinalState,
+             ProbeFamily::SegmentMirror, nullptr);
+        once(which, Strategy::LinearScan,
+             EnsembleMode::SampleFinalState,
+             ProbeFamily::SegmentMirror, nullptr);
+    }
+    for (int which : {0, 1, 2, 3})
+        once(which, Strategy::AdaptiveBinarySearch,
+             EnsembleMode::Resimulate, ProbeFamily::SegmentMirror,
+             nullptr);
+    once(3, Strategy::LinearScan, EnsembleMode::Resimulate,
+         ProbeFamily::SegmentMirror, nullptr);
+    once(4, Strategy::AdaptiveBinarySearch, EnsembleMode::Resimulate,
+         ProbeFamily::SwapTest, "recv");
+    once(4, Strategy::LinearScan, EnsembleMode::Resimulate,
+         ProbeFamily::SwapTest, "recv");
+    once(4, Strategy::AdaptiveBinarySearch, EnsembleMode::Resimulate,
+         ProbeFamily::RotatedMarginal, "recv");
+    once(4, Strategy::AdaptiveBinarySearch, EnsembleMode::Resimulate,
+         ProbeFamily::Auto, "recv");
+}
+
 } // anonymous namespace
 
-QSA_BENCHJSON_MAIN("bench_locate");
+QSA_BENCHJSON_MAIN_WITH_METRICS("bench_locate", metricsEpilogue);

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "benchjson_main.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -181,4 +182,4 @@ BENCHMARK(BM_TrotterStepCircuit);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+QSA_BENCHJSON_MAIN("bench_perf_kernels");

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "benchjson_table.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -45,8 +46,10 @@ makeHarness()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    qsa::benchjson::TableBenchJson bench_json(&argc, argv,
+                                              "bench_sec44_modmul");
     using namespace qsa;
 
     std::cout << "=== Sections 4.4/4.5: Listing 4 harness p-values "

@@ -12,6 +12,7 @@
 #include <functional>
 #include <iostream>
 
+#include "benchjson_table.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -41,8 +42,10 @@ unitaryOf(const std::function<void(circuit::Circuit &)> &build)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    qsa::benchjson::TableBenchJson bench_json(&argc, argv,
+                                              "bench_tab1_rotation");
     using namespace qsa;
     using bugs::Table1Variant;
 

@@ -7,11 +7,14 @@
 
 #include <iostream>
 
+#include "benchjson_table.hh"
 #include "qsa/qsa.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    qsa::benchjson::TableBenchJson bench_json(&argc, argv,
+                                              "bench_tab2_shor_inputs");
     using namespace qsa;
 
     std::cout << "=== Table 2: classical inputs to Shor's algorithm "

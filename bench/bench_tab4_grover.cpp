@@ -7,11 +7,14 @@
 
 #include <iostream>
 
+#include "benchjson_table.hh"
 #include "qsa/qsa.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    qsa::benchjson::TableBenchJson bench_json(&argc, argv,
+                                              "bench_tab4_grover");
     using namespace qsa;
 
     std::cout << "=== Table 4: Grover amplitude amplification ===\n\n";

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "benchjson_table.hh"
 #include "qsa/qsa.hh"
 
 namespace
@@ -35,8 +36,10 @@ occupationString(std::uint32_t mask)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    qsa::benchjson::TableBenchJson bench_json(&argc, argv,
+                                              "bench_tab5_chemistry");
     using namespace qsa;
     using namespace qsa::chem;
 

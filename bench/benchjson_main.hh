@@ -14,12 +14,14 @@
 #ifndef QSA_BENCH_BENCHJSON_MAIN_HH
 #define QSA_BENCH_BENCHJSON_MAIN_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/benchjson.hh"
+#include "obs/obs.hh"
 
 namespace qsa::benchjson
 {
@@ -51,9 +53,17 @@ class TeeReporter : public benchmark::ConsoleReporter
     std::vector<Record> records;
 };
 
-/** The BENCHMARK_MAIN() body with --json teeing bolted on. */
+/**
+ * The BENCHMARK_MAIN() body with --json teeing bolted on. The JSON
+ * document embeds the qsa::obs metrics snapshot taken just before
+ * writing; `metrics_epilogue`, when given, runs first — benches use
+ * it to reset the registry and replay a fixed workload so the
+ * snapshot is deterministic instead of scaling with however many
+ * iterations the timing loops decided to run (see bench_locate.cpp).
+ */
 inline int
-benchMain(const std::string &bench_name, int argc, char **argv)
+benchMain(const std::string &bench_name, int argc, char **argv,
+          const std::function<void()> &metrics_epilogue = nullptr)
 {
     const std::string json_path = extractJsonPath(&argc, argv);
     benchmark::Initialize(&argc, argv);
@@ -61,8 +71,12 @@ benchMain(const std::string &bench_name, int argc, char **argv)
         return 1;
     TeeReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
-    if (!json_path.empty())
-        write(json_path, bench_name, reporter.records);
+    if (!json_path.empty()) {
+        if (metrics_epilogue)
+            metrics_epilogue();
+        write(json_path, bench_name, reporter.records,
+              obs::metricsJson());
+    }
     benchmark::Shutdown();
     return 0;
 }
@@ -73,6 +87,14 @@ benchMain(const std::string &bench_name, int argc, char **argv)
     int main(int argc, char **argv)                                   \
     {                                                                 \
         return qsa::benchjson::benchMain(bench_name, argc, argv);     \
+    }
+
+/** As QSA_BENCHJSON_MAIN with a deterministic-metrics epilogue. */
+#define QSA_BENCHJSON_MAIN_WITH_METRICS(bench_name, epilogue)         \
+    int main(int argc, char **argv)                                   \
+    {                                                                 \
+        return qsa::benchjson::benchMain(bench_name, argc, argv,      \
+                                         epilogue);                   \
     }
 
 #endif // QSA_BENCH_BENCHJSON_MAIN_HH

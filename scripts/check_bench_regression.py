@@ -10,9 +10,17 @@ deterministic, so drift means the search genuinely changed, not that
 the runner was noisy. Wall-clock is deliberately NOT gated: CI
 machines are too noisy for a 10% timing gate to stay green.
 
+Alongside the per-benchmark counters, the gate can also compare the
+document-level "metrics" object (the qsa::obs snapshot the bench
+embeds from a deterministic replay of its fixtures): pass --metrics
+with the metric names to gate. Gated metrics are costs — probe
+totals, cache misses — so an increase beyond tolerance is a
+regression exactly like a counter increase.
+
 Usage:
   check_bench_regression.py BASELINE CURRENT
       [--tolerance 0.10] [--counters probes,measurements]
+      [--metrics locate.probes,runtime.prefix_cache.misses]
 
 Exit status: 0 when every gated counter is within tolerance, 1 on any
 regression or missing benchmark, 2 on malformed input.
@@ -36,7 +44,7 @@ def load_records(path):
         records[key] = result.get("counters", {})
     if not records:
         sys.exit(f"error: {path} contains no benchmark results")
-    return records
+    return records, doc.get("metrics", {})
 
 
 def main():
@@ -55,11 +63,18 @@ def main():
         help="comma-separated counters to gate "
         "(default: probes,measurements)",
     )
+    parser.add_argument(
+        "--metrics",
+        default="",
+        help="comma-separated document-level qsa::obs metrics to "
+        "gate (default: none)",
+    )
     args = parser.parse_args()
 
     gated = [c for c in args.counters.split(",") if c]
-    baseline = load_records(args.baseline)
-    current = load_records(args.current)
+    gated_metrics = [m for m in args.metrics.split(",") if m]
+    baseline, base_metrics = load_records(args.baseline)
+    current, cur_metrics = load_records(args.current)
 
     failures = []
     checked = 0
@@ -95,6 +110,29 @@ def main():
     for key in sorted(set(current) - set(baseline)):
         name = f"{key[0]} [{key[1]}]" if key[1] else key[0]
         print(f"note: {name}: new benchmark without a baseline")
+
+    for metric in gated_metrics:
+        if metric not in base_metrics:
+            print(f"note: metrics.{metric}: no baseline value yet")
+            continue
+        base = float(base_metrics[metric])
+        if metric not in cur_metrics:
+            failures.append(f"metrics.{metric}: missing from the "
+                            "current run")
+            continue
+        cur = float(cur_metrics[metric])
+        checked += 1
+        if cur > base * (1.0 + args.tolerance):
+            pct = 100.0 * (cur - base) / base if base else 0.0
+            failures.append(
+                f"metrics.{metric}: regressed {base:g} -> {cur:g} "
+                f"(+{pct:.1f}%, tolerance "
+                f"{100.0 * args.tolerance:.0f}%)")
+        elif base and cur < base / (1.0 + args.tolerance):
+            pct = 100.0 * (base - cur) / base
+            print(f"note: metrics.{metric}: improved {base:g} -> "
+                  f"{cur:g} (-{pct:.1f}%) — consider refreshing the "
+                  "committed baseline")
 
     if checked == 0:
         sys.exit("error: no gated counters matched — wrong baseline "

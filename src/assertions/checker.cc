@@ -11,6 +11,7 @@
 #include "circuit/scopes.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "runtime/batch.hh"
 #include "runtime/ensemble.hh"
 #include "stats/histogram.hh"
@@ -290,6 +291,7 @@ AssertionChecker::checkEscalated(const AssertionSpec &spec,
                                     out.pValue) ||
             size >= policy.maxSize)
             return out;
+        QSA_OBS_COUNTER("assertions.escalations", 1);
         size = std::min(policy.maxSize, size * 2);
     }
 }
@@ -301,6 +303,7 @@ AssertionChecker::checkWithSize(const AssertionSpec &spec,
     validateSpec(spec);
     fatal_if(ensemble_size == 0, "ensemble size must be positive");
 
+    QSA_OBS_COUNTER("assertions.checks", 1);
     AssertionOutcome out;
     out.spec = spec;
     out.ensembleSize = ensemble_size;

@@ -82,7 +82,8 @@ number(double v)
 }
 
 std::string
-render(const std::string &bench, const std::vector<Record> &records)
+render(const std::string &bench, const std::vector<Record> &records,
+       const std::string &metrics_json)
 {
     std::ostringstream os;
     os << "{\n  \"bench\": \"" << escape(bench) << "\",\n"
@@ -108,15 +109,19 @@ render(const std::string &bench, const std::vector<Record> &records)
         }
         os << "}";
     }
-    os << (records.empty() ? "]" : "\n  ]") << "\n}\n";
+    os << (records.empty() ? "]" : "\n  ]");
+    if (!metrics_json.empty())
+        os << ",\n  \"metrics\": " << metrics_json;
+    os << "\n}\n";
     return os.str();
 }
 
 void
 write(const std::string &path, const std::string &bench,
-      const std::vector<Record> &records)
+      const std::vector<Record> &records,
+      const std::string &metrics_json)
 {
-    writeText(path, render(bench, records));
+    writeText(path, render(bench, records, metrics_json));
 }
 
 void

@@ -18,8 +18,9 @@
  *        "real_time": t, "cpu_time": t, "time_unit": "ms",
  *        "counters": {"probes": 15.0, ...}},
  *       ...
- *     ]
- *   }
+ *     ],
+ *     "metrics": {"locate.probes": 12, ...}   // optional: one flat
+ *   }                                         // qsa::obs snapshot
  */
 
 #ifndef QSA_COMMON_BENCHJSON_HH
@@ -72,13 +73,21 @@ std::string escape(const std::string &s);
  */
 std::string number(double v);
 
-/** Render the whole document (see file comment for the shape). */
+/**
+ * Render the whole document (see file comment for the shape).
+ * `metrics_json` is a pre-rendered JSON object (qsa::obs::
+ * metricsJson()) embedded verbatim as the top-level "metrics" key;
+ * empty means the key is omitted. Passed as text so this renderer —
+ * the bottom of the common layer — never depends on qsa::obs.
+ */
 std::string render(const std::string &bench,
-                   const std::vector<Record> &records);
+                   const std::vector<Record> &records,
+                   const std::string &metrics_json = "");
 
 /** Render and write to `path`; fatal on I/O failure. */
 void write(const std::string &path, const std::string &bench,
-           const std::vector<Record> &records);
+           const std::vector<Record> &records,
+           const std::string &metrics_json = "");
 
 /**
  * Write an already-rendered JSON document to `path`; fatal on I/O

@@ -9,33 +9,58 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace qsa
 {
 
+namespace
+{
+
+/**
+ * One lock around every sink write: pool workers warn concurrently
+ * and interleaved ostream inserts would tear the lines. Leaked so
+ * messages from static destructors stay safe.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex *mutex = new std::mutex;
+    return *mutex;
+}
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::cerr << prefix << msg << std::endl;
+}
+
+} // anonymous namespace
+
 void
 informMessage(const std::string &msg)
 {
-    std::cerr << "info: " << msg << std::endl;
+    emit("info: ", msg);
 }
 
 void
 warnMessage(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    emit("warn: ", msg);
 }
 
 void
 fatalMessage(const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << std::endl;
+    emit("fatal: ", msg);
     std::exit(1);
 }
 
 void
 panicMessage(const std::string &msg)
 {
-    std::cerr << "panic: " << msg << std::endl;
+    emit("panic: ", msg);
     std::abort();
 }
 

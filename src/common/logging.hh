@@ -13,6 +13,7 @@
 #ifndef QSA_COMMON_LOGGING_HH
 #define QSA_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -86,6 +87,30 @@ fatal_if(const Cond &cond, Args &&...args)
         fatalMessage(messageString(std::forward<Args>(args)...));
 }
 
+/**
+ * warn() only on the first caller to claim `flag` — the guts of
+ * QSA_WARN_ONCE for call sites that manage their own flag (e.g. one
+ * flag shared across a family of related warnings).
+ */
+template <typename... Args>
+void
+warnOnce(std::atomic<bool> &flag, Args &&...args)
+{
+    if (!flag.exchange(true, std::memory_order_relaxed))
+        warnMessage(messageString(std::forward<Args>(args)...));
+}
+
 } // namespace qsa
+
+/**
+ * warn() at most once per call site, however many threads or trials
+ * reach it — the right sink for per-trial / per-probe paths where a
+ * repeated warning is pure noise.
+ */
+#define QSA_WARN_ONCE(...)                                             \
+    do {                                                               \
+        static std::atomic<bool> qsa_warned_once_{false};              \
+        ::qsa::warnOnce(qsa_warned_once_, __VA_ARGS__);                \
+    } while (0)
 
 #endif // QSA_COMMON_LOGGING_HH

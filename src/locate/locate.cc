@@ -16,6 +16,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/obs.hh"
 #include "runtime/batch.hh"
 #include "sim/statevector.hh"
 
@@ -1170,16 +1171,43 @@ runSearch(Prober &prober, const LocateConfig &cfg)
     LocalizationReport report;
     const std::size_t top = prober.hiBoundary();
 
+    QSA_OBS_COUNTER("locate.searches", 1);
+    QSA_OBS_SPAN(search_span, "locate.search");
+    search_span
+        .arg("strategy", cfg.strategy == Strategy::LinearScan
+                             ? "linear-scan"
+                             : "adaptive")
+        .arg("boundaries", top);
+
     const assertions::EscalationPolicy explore{
         cfg.ensembleSize, cfg.maxEnsembleSize, cfg.passThreshold};
     const assertions::EscalationPolicy confirm{
         cfg.maxEnsembleSize, cfg.maxEnsembleSize, cfg.passThreshold};
 
     const auto add = [&](const ProbeRecord &rec) {
+        QSA_OBS_COUNTER("locate.probes", 1);
+        QSA_OBS_COUNTER("locate.measurements", rec.ensembleSize);
+        if (rec.failed)
+            QSA_OBS_COUNTER("locate.probe_failures", 1);
         report.probes.push_back(rec);
         report.totalMeasurements += rec.ensembleSize;
         return rec;
     };
+
+    // Every single-boundary probe goes through here so the trace gets
+    // one span per probe, annotated with family/boundary/verdict.
+    const auto probeOne =
+        [&](std::size_t boundary,
+            const assertions::EscalationPolicy &policy) {
+            QSA_OBS_SPAN(span, "locate.probe");
+            const ProbeRecord rec = prober.probe(boundary, policy);
+            span.arg("family", probeFamilyName(rec.family))
+                .arg("boundary", rec.boundary)
+                .arg("verdict", rec.failed ? "fail" : "pass")
+                .arg("p_value", rec.pValue)
+                .arg("ensemble", rec.ensembleSize);
+            return add(rec);
+        };
 
     if (cfg.strategy == Strategy::LinearScan) {
         std::vector<std::size_t> boundaries;
@@ -1187,6 +1215,8 @@ runSearch(Prober &prober, const LocateConfig &cfg)
         for (std::size_t k = 1; k <= top; ++k)
             boundaries.push_back(k);
         std::size_t first_failing = 0;
+        QSA_OBS_SPAN(scan_span, "locate.scan");
+        scan_span.arg("boundaries", boundaries.size());
         for (const auto &rec :
              prober.probeAll(boundaries, cfg.holmBonferroni)) {
             add(rec);
@@ -1204,7 +1234,7 @@ runSearch(Prober &prober, const LocateConfig &cfg)
     // Adaptive binary search. Boundary 0 (the empty prefix) passes by
     // construction; the end boundary must fail for there to be
     // anything to localize.
-    if (!add(prober.probe(top, explore)).failed)
+    if (!probeOne(top, explore).failed)
         return report;
 
     std::size_t lo = 0;
@@ -1221,7 +1251,7 @@ runSearch(Prober &prober, const LocateConfig &cfg)
     while (true) {
         while (hi - lo > 1) {
             const std::size_t mid = lo + (hi - lo) / 2;
-            if (add(prober.probe(mid, explore)).failed) {
+            if (probeOne(mid, explore).failed) {
                 hi = mid;
                 failedSet.insert(mid);
             } else {
@@ -1233,7 +1263,7 @@ runSearch(Prober &prober, const LocateConfig &cfg)
         // escalated ensemble: an exploratory pass can be a miss and
         // an exploratory failure a false alarm.
         if (!confirmedPass[lo]) {
-            if (add(prober.probe(lo, confirm)).failed) {
+            if (probeOne(lo, confirm).failed) {
                 // Miss exposed: resume below the demoted boundary.
                 passed[lo] = 0;
                 failedSet.insert(lo);
@@ -1249,7 +1279,7 @@ runSearch(Prober &prober, const LocateConfig &cfg)
             confirmedPass[lo] = 1;
         }
         if (!confirmedFail[hi]) {
-            if (!add(prober.probe(hi, confirm)).failed) {
+            if (!probeOne(hi, confirm).failed) {
                 // False alarm exposed: resume above it, at the next
                 // boundary still believed failing.
                 failedSet.erase(hi);
@@ -1462,6 +1492,8 @@ BugLocator::locate() const
             annotate(report, suspect);
             return report;
         }
+        QSA_OBS_COUNTER("locate.swap_escalations", 1);
+        obs::instant("locate.escalate_swap_test");
         SwapProber swapper(suspect, reference, config, nullptr);
         LocalizationReport refined = runSearch(swapper, config);
         const bool swap_decides = refined.bugFound;
@@ -1541,13 +1573,26 @@ BugLocator::locateByPredicates(const circuit::QubitRegister &reg) const
                             : swapper.hiBoundary();
         bool escalate = false;
         if (checkAt > 0) {
+            QSA_OBS_SPAN(span, "locate.probe");
             const ProbeRecord check =
                 swapper.probe(checkAt, decisive);
+            span.arg("family", probeFamilyName(check.family))
+                .arg("boundary", check.boundary)
+                .arg("verdict", check.failed ? "fail" : "pass")
+                .arg("p_value", check.pValue)
+                .arg("ensemble", check.ensembleSize);
+            QSA_OBS_COUNTER("locate.probes", 1);
+            QSA_OBS_COUNTER("locate.measurements",
+                            check.ensembleSize);
+            if (check.failed)
+                QSA_OBS_COUNTER("locate.probe_failures", 1);
             report.probes.push_back(check);
             report.totalMeasurements += check.ensembleSize;
             escalate = check.failed;
         }
         if (escalate) {
+            QSA_OBS_COUNTER("locate.swap_escalations", 1);
+            obs::instant("locate.escalate_swap_test");
             LocalizationReport refined = runSearch(swapper, config);
             LocalizationReport merged =
                 refined.bugFound ? refined : report;

@@ -11,6 +11,7 @@
  *  - qsa::assertions statistical quantum assertions (the paper's core)
  *  - qsa::locate     statistical bug localization over breakpoints
  *  - qsa::session    the fluent debugging front-end over all three
+ *  - qsa::obs        metrics registry and trace spans (QSA_OBS)
  *  - qsa::gf2        binary Galois fields for the Grover oracle
  *  - qsa::chem       Gaussian integrals .. Jordan-Wigner .. Trotter
  *  - qsa::algo       QFT, arithmetic, Shor, Grover, IPEA, Bell
@@ -52,6 +53,7 @@
 #include "gf2/gf2.hh"
 #include "locate/locate.hh"
 #include "locate/predicates.hh"
+#include "obs/obs.hh"
 #include "runtime/batch.hh"
 #include "runtime/ensemble.hh"
 #include "runtime/pool.hh"

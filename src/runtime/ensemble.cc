@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace qsa::runtime
 {
@@ -96,17 +97,25 @@ EnsembleEngine::prefix(const std::string &breakpoint)
     {
         std::lock_guard<std::mutex> lock(cacheMutex);
         auto it = prefixCache.find(breakpoint);
-        if (it != prefixCache.end())
+        if (it != prefixCache.end()) {
+            QSA_OBS_COUNTER("runtime.prefix_cache.hits", 1);
             return it->second;
+        }
     }
     // Slice outside the lock (an O(#gates) circuit copy); racers may
     // slice twice but the copies are identical and the first
-    // insertion wins.
+    // insertion wins. A losing racer counts as a hit so the miss
+    // total stays deterministic (misses == distinct breakpoints).
     auto built = std::make_shared<const circuit::Circuit>(
         program->prefixUpTo(breakpoint));
     std::lock_guard<std::mutex> lock(cacheMutex);
-    return prefixCache.emplace(breakpoint, std::move(built))
-        .first->second;
+    const auto [it, inserted] =
+        prefixCache.emplace(breakpoint, std::move(built));
+    if (inserted)
+        QSA_OBS_COUNTER("runtime.prefix_cache.misses", 1);
+    else
+        QSA_OBS_COUNTER("runtime.prefix_cache.hits", 1);
+    return it->second;
 }
 
 std::shared_ptr<const circuit::ExecutionRecord>
@@ -137,6 +146,10 @@ EnsembleEngine::prefixState(const std::string &breakpoint,
             future = it->second.future;
         }
     }
+    if (claimed)
+        QSA_OBS_COUNTER("runtime.state_cache.misses", 1);
+    else
+        QSA_OBS_COUNTER("runtime.state_cache.hits", 1);
     if (claimed) {
         // The one prefix execution of SampleFinalState mode; stream
         // split(0) per the layout in the file comment.
@@ -173,8 +186,10 @@ EnsembleEngine::resimPlan(const std::string &breakpoint)
     {
         std::lock_guard<std::mutex> lock(cacheMutex);
         auto it = resimCache.find(breakpoint);
-        if (it != resimCache.end())
+        if (it != resimCache.end()) {
+            QSA_OBS_COUNTER("runtime.head_cache.hits", 1);
             return it->second;
+        }
     }
     // Build outside the lock (one head simulation); racers may build
     // twice but the builds are identical and the first insertion wins.
@@ -215,8 +230,13 @@ EnsembleEngine::resimPlan(const std::string &breakpoint)
     plan->tail = sliced->sliceRange(head, insts.size());
 
     std::lock_guard<std::mutex> lock(cacheMutex);
-    return resimCache.emplace(breakpoint, std::move(plan))
-        .first->second;
+    const auto [it, inserted] =
+        resimCache.emplace(breakpoint, std::move(plan));
+    if (inserted)
+        QSA_OBS_COUNTER("runtime.head_cache.misses", 1);
+    else
+        QSA_OBS_COUNTER("runtime.head_cache.hits", 1);
+    return it->second;
 }
 
 std::shared_ptr<const CdfSampler>
@@ -227,8 +247,10 @@ EnsembleEngine::shotSampler(const EnsembleSpec &spec)
     {
         std::lock_guard<std::mutex> lock(cacheMutex);
         auto it = samplerCache.find(key);
-        if (it != samplerCache.end())
+        if (it != samplerCache.end()) {
+            QSA_OBS_COUNTER("runtime.sampler_cache.hits", 1);
             return it->second;
+        }
     }
     // Build outside the lock; racers may build twice but the builds
     // are identical and the first insertion wins.
@@ -236,7 +258,13 @@ EnsembleEngine::shotSampler(const EnsembleSpec &spec)
     auto built = std::make_shared<const CdfSampler>(
         record->state.marginalProbs(spec.qubits));
     std::lock_guard<std::mutex> lock(cacheMutex);
-    return samplerCache.emplace(key, std::move(built)).first->second;
+    const auto [it, inserted] =
+        samplerCache.emplace(key, std::move(built));
+    if (inserted)
+        QSA_OBS_COUNTER("runtime.sampler_cache.misses", 1);
+    else
+        QSA_OBS_COUNTER("runtime.sampler_cache.hits", 1);
+    return it->second;
 }
 
 void
@@ -286,6 +314,15 @@ EnsembleEngine::gather(const EnsembleSpec &spec)
     if (spec.shots == 0)
         return {};
 
+    QSA_OBS_SPAN(span, "runtime.gather");
+    span.arg("breakpoint", spec.breakpoint)
+        .arg("shots", spec.shots)
+        .arg("mode", spec.mode == SampleMode::Resimulate
+                         ? "resimulate"
+                         : "sample");
+    QSA_OBS_TIMER(gather_time, "runtime.ensemble.gather");
+    QSA_OBS_COUNTER("runtime.ensemble.trials", spec.shots);
+
     std::shared_ptr<const ResimPlan> plan;
     std::shared_ptr<const CdfSampler> sampler;
     if (spec.mode == SampleMode::Resimulate)
@@ -317,6 +354,15 @@ EnsembleEngine::gatherHistogram(const EnsembleSpec &spec)
 {
     if (spec.shots == 0)
         return {};
+
+    QSA_OBS_SPAN(span, "runtime.gather_histogram");
+    span.arg("breakpoint", spec.breakpoint)
+        .arg("shots", spec.shots)
+        .arg("mode", spec.mode == SampleMode::Resimulate
+                         ? "resimulate"
+                         : "sample");
+    QSA_OBS_TIMER(gather_time, "runtime.ensemble.gather");
+    QSA_OBS_COUNTER("runtime.ensemble.trials", spec.shots);
 
     std::shared_ptr<const ResimPlan> plan;
     std::shared_ptr<const CdfSampler> sampler;

@@ -6,6 +6,7 @@
 #include "runtime/pool.hh"
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace qsa::runtime
 {
@@ -58,6 +59,7 @@ ThreadPool::drainJob(Job &job)
         const std::size_t i = job.next.fetch_add(1);
         if (i >= job.n)
             break;
+        QSA_OBS_COUNTER("runtime.pool.tasks", 1);
         // Letting an exception escape would leave the body and its
         // output buffers dangling under the other workers; capture
         // the first one instead and rethrow it from the poster once
@@ -88,10 +90,16 @@ ThreadPool::workerLoop()
     inside_worker = true;
     std::unique_lock<std::mutex> lock(poolMutex);
     while (true) {
-        wake.wait(lock, [this] {
-            return stopping ||
-                   (current && current->next.load() < current->n);
-        });
+        {
+            // Time blocked-without-work episodes; this is the pool's
+            // idle-time signal (wall-clock, not part of the
+            // determinism contract).
+            QSA_OBS_TIMER(idle_wait, "runtime.pool.worker_idle");
+            wake.wait(lock, [this] {
+                return stopping ||
+                       (current && current->next.load() < current->n);
+            });
+        }
         if (stopping)
             return;
         auto job = current;
@@ -119,9 +127,12 @@ ThreadPool::parallelFor(std::size_t n,
     job->body = &body;
     job->n = n;
 
+    QSA_OBS_COUNTER("runtime.pool.jobs", 1);
+    QSA_OBS_GAUGE_ADD("runtime.pool.queue_depth", 1);
     {
         // Serialise posters: one job owns the pool at a time.
         std::unique_lock<std::mutex> lock(poolMutex);
+        QSA_OBS_TIMER(post_wait, "runtime.pool.poster_wait");
         idle.wait(lock, [this] { return current == nullptr; });
         current = job;
     }
@@ -135,6 +146,7 @@ ThreadPool::parallelFor(std::size_t n,
 
     {
         std::unique_lock<std::mutex> lock(job->doneMutex);
+        QSA_OBS_TIMER(straggler_wait, "runtime.pool.poster_wait");
         job->done.wait(lock, [&] {
             return job->completed.load() == job->n;
         });
@@ -144,6 +156,7 @@ ThreadPool::parallelFor(std::size_t n,
         current.reset();
     }
     idle.notify_one();
+    QSA_OBS_GAUGE_ADD("runtime.pool.queue_depth", -1);
 
     if (job->error)
         std::rethrow_exception(job->error);

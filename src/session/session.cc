@@ -13,6 +13,7 @@
 #include "common/benchjson.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "runtime/batch.hh"
 
 namespace qsa::session
@@ -288,6 +289,9 @@ Session::program()
 const std::vector<assertions::AssertionOutcome> &
 Session::run()
 {
+    QSA_OBS_COUNTER("session.runs", 1);
+    QSA_OBS_SPAN(span, "session.run");
+    span.arg("assertions", specs.size());
     resolve();
 
     // The checker did not see the registrations, so default the
@@ -385,10 +389,24 @@ Session::exportJson()
         }
         os << "}}";
     }
-    os << (results.empty() ? "]" : "\n  ]") << ",\n  \"all_passed\": "
+    os << (results.empty() ? "]" : "\n  ]")
+       << ",\n  \"metrics\": " << obs::metricsJson()
+       << ",\n  \"all_passed\": "
        << (assertions::allPassed(results) ? "true" : "false")
        << "\n}\n";
     return os.str();
+}
+
+std::string
+Session::metricsJson() const
+{
+    return obs::metricsJson();
+}
+
+void
+Session::traceToFile(const std::string &path) const
+{
+    obs::writeTrace(path);
 }
 
 void

@@ -295,6 +295,24 @@ class Session
     /** As exportJson(), written to `path` (fatal on I/O failure). */
     void exportJson(const std::string &path);
 
+    /**
+     * The process-wide qsa::obs metrics snapshot as one flat JSON
+     * object (the same object exportJson embeds under "metrics"):
+     * probe/trial/gate counters, cache hit/miss totals, pool and
+     * timer readings. "{}" when the library was built with
+     * QSA_OBS=OFF. Process-wide, not per-session — a scrape after
+     * two sessions ran reflects both.
+     */
+    std::string metricsJson() const;
+
+    /**
+     * Write the process-wide qsa::obs trace buffer (Chrome
+     * trace-event JSON, Perfetto-loadable) to `path`; fatal on I/O
+     * failure. Spans only accumulate while obs::setTracing(true) (or
+     * the QSA_TRACE environment variable) is in effect.
+     */
+    void traceToFile(const std::string &path) const;
+
     /** True when every assertion passed (runs first if stale). */
     bool allPassed();
 

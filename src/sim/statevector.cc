@@ -9,6 +9,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace qsa::sim
 {
@@ -17,6 +18,25 @@ namespace
 {
 /** Practical cap: 2^28 amplitudes is 4 GiB of doubles. */
 constexpr unsigned max_qubits = 28;
+
+/**
+ * One bookkeeping call per kernel invocation (never per amplitude):
+ * gate applications and the amplitudes they sweep are the paper's
+ * simulated-work currency, so every apply* kernel reports here.
+ */
+inline void
+countGate(std::uint64_t amps_touched)
+{
+#if QSA_OBS_ENABLED
+    static const obs::Counter &applies =
+        obs::Registry::counter("sim.gate_applies");
+    static const obs::Counter &touches =
+        obs::Registry::counter("sim.amp_touches");
+    obs::Counter::addTwo(applies, 1, touches, amps_touched);
+#else
+    (void)amps_touched;
+#endif
+}
 } // anonymous namespace
 
 StateVector::StateVector(unsigned num_qubits) : nQubits(num_qubits)
@@ -50,6 +70,7 @@ StateVector::applyGate(const Mat2 &gate, unsigned target)
 
     const std::uint64_t stride = pow2(target);
     const std::uint64_t d = dim();
+    countGate(d);
     for (std::uint64_t base = 0; base < d; base += 2 * stride) {
         for (std::uint64_t off = 0; off < stride; ++off) {
             const std::uint64_t i0 = base + off;
@@ -82,6 +103,7 @@ StateVector::applyControlled(const Mat2 &gate,
 
     const std::uint64_t tmask = pow2(target);
     const std::uint64_t d = dim();
+    countGate(d);
     for (std::uint64_t i0 = 0; i0 < d; ++i0) {
         if ((i0 & tmask) || (i0 & cmask) != cmask)
             continue;
@@ -116,6 +138,7 @@ StateVector::applyControlledSwap(const std::vector<unsigned> &controls,
     const std::uint64_t m0 = pow2(q0);
     const std::uint64_t m1 = pow2(q1);
     const std::uint64_t d = dim();
+    countGate(d);
     for (std::uint64_t i = 0; i < d; ++i) {
         // Visit each swapped pair once: q0 set, q1 clear.
         if (!(i & m0) || (i & m1) || (i & cmask) != cmask)
@@ -155,6 +178,7 @@ StateVector::applyControlledUnitary(const CMatrix &u,
     const std::uint64_t sub = pow2(k);
     std::vector<Complex> in(sub), out(sub);
     const std::uint64_t d = dim();
+    countGate(d);
 
     for (std::uint64_t base = 0; base < d; ++base) {
         // Enumerate each coset once: all target bits clear in base.
@@ -181,6 +205,7 @@ StateVector::measureQubit(unsigned qubit, Rng &rng)
 {
     panic_if(qubit >= nQubits, "measured qubit out of range");
 
+    QSA_OBS_COUNTER("sim.measurements", 1);
     const double p1 = probabilityOne(qubit);
     const unsigned outcome = rng.bernoulli(p1) ? 1 : 0;
     collapse(qubit, outcome, outcome ? p1 : 1.0 - p1);
