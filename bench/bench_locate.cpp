@@ -220,6 +220,7 @@ runLocate(benchmark::State &state, locate::Strategy strategy,
 
     std::size_t probes = 0;
     std::size_t measurements = 0;
+    std::size_t pruned = 0;
     bool found = true;
     for (auto _ : state) {
         const auto report =
@@ -229,6 +230,7 @@ runLocate(benchmark::State &state, locate::Strategy strategy,
                       pair.first.reg(reg_name));
         probes = report.probes.size();
         measurements = report.totalMeasurements;
+        pruned = report.prunedBoundaries;
         found = found && report.bugFound;
         benchmark::DoNotOptimize(report);
     }
@@ -238,6 +240,9 @@ runLocate(benchmark::State &state, locate::Strategy strategy,
     state.counters["probes"] = (double)probes;
     state.counters["measurements"] = (double)measurements;
     state.counters["boundaries"] = (double)pair.first.size();
+    // Boundaries the analyze prefix-equivalence pre-pass certified
+    // away before any ensemble ran (see locate.hh "Static pruning").
+    state.counters["pruned"] = (double)pruned;
 }
 
 void

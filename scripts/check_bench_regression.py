@@ -17,10 +17,18 @@ with the metric names to gate. Gated metrics are costs — probe
 totals, cache misses — so an increase beyond tolerance is a
 regression exactly like a counter increase.
 
+Wins can be gated too: --require-positive names metrics that must be
+strictly positive in the current run. The first user is the static
+pruning pre-pass (metrics.locate.pruned_boundaries) — probes saved by
+qsa::analyze prefix-equivalence certification. A zero there means the
+pre-pass silently stopped certifying anything, which the probe-count
+tolerance alone would mask as long as the search still converged.
+
 Usage:
   check_bench_regression.py BASELINE CURRENT
       [--tolerance 0.10] [--counters probes,measurements]
       [--metrics locate.probes,runtime.prefix_cache.misses]
+      [--require-positive locate.pruned_boundaries]
 
 Exit status: 0 when every gated counter is within tolerance, 1 on any
 regression or missing benchmark, 2 on malformed input.
@@ -69,10 +77,19 @@ def main():
         help="comma-separated document-level qsa::obs metrics to "
         "gate (default: none)",
     )
+    parser.add_argument(
+        "--require-positive",
+        default="",
+        help="comma-separated document-level metrics that must be "
+        "strictly positive in the current run (default: none)",
+    )
     args = parser.parse_args()
 
     gated = [c for c in args.counters.split(",") if c]
     gated_metrics = [m for m in args.metrics.split(",") if m]
+    required_positive = [
+        m for m in args.require_positive.split(",") if m
+    ]
     baseline, base_metrics = load_records(args.baseline)
     current, cur_metrics = load_records(args.current)
 
@@ -133,6 +150,20 @@ def main():
             print(f"note: metrics.{metric}: improved {base:g} -> "
                   f"{cur:g} (-{pct:.1f}%) — consider refreshing the "
                   "committed baseline")
+
+    for metric in required_positive:
+        checked += 1
+        if metric not in cur_metrics:
+            failures.append(f"metrics.{metric}: missing from the "
+                            "current run (required positive)")
+        elif float(cur_metrics[metric]) <= 0:
+            failures.append(
+                f"metrics.{metric}: expected a strictly positive "
+                f"value, got {cur_metrics[metric]}")
+        else:
+            base = float(base_metrics.get(metric, 0.0))
+            print(f"note: metrics.{metric} = "
+                  f"{cur_metrics[metric]:g} (baseline {base:g})")
 
     if checked == 0:
         sys.exit("error: no gated counters matched — wrong baseline "

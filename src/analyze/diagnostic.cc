@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Diagnostic rendering (text and JSON).
+ */
+
+#include "analyze/diagnostic.hh"
+
+#include <sstream>
+
+#include "common/benchjson.hh"
+#include "common/logging.hh"
+
+namespace qsa::analyze
+{
+
+std::string
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    panic("unknown severity");
+}
+
+std::size_t
+LintReport::count(Severity severity) const
+{
+    std::size_t total = 0;
+    for (const Diagnostic &d : diagnostics) {
+        if (d.severity == severity)
+            ++total;
+    }
+    return total;
+}
+
+std::string
+LintReport::render() const
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : diagnostics) {
+        os << severityName(d.severity) << " [" << d.rule << "] at #"
+           << d.instruction;
+        if (!d.qubits.empty()) {
+            os << " q{";
+            for (std::size_t i = 0; i < d.qubits.size(); ++i)
+                os << (i ? "," : "") << d.qubits[i];
+            os << "}";
+        }
+        if (!d.label.empty())
+            os << " '" << d.label << "'";
+        os << ": " << d.message << "\n";
+        if (!d.hint.empty())
+            os << "    hint: " << d.hint << "\n";
+    }
+    os << diagnostics.size() << " finding(s): "
+       << count(Severity::Error) << " error(s), "
+       << count(Severity::Warning) << " warning(s), "
+       << count(Severity::Info) << " info\n";
+    return os.str();
+}
+
+std::string
+LintReport::json() const
+{
+    namespace bj = benchjson;
+    std::ostringstream os;
+    os << "{\"diagnostics\": [";
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        const Diagnostic &d = diagnostics[i];
+        os << (i ? ",\n" : "\n") << "  {\"rule\": \""
+           << bj::escape(d.rule) << "\", \"severity\": \""
+           << severityName(d.severity)
+           << "\", \"instruction\": " << d.instruction
+           << ", \"qubits\": [";
+        for (std::size_t q = 0; q < d.qubits.size(); ++q)
+            os << (q ? ", " : "") << d.qubits[q];
+        os << "], \"label\": \"" << bj::escape(d.label)
+           << "\", \"message\": \"" << bj::escape(d.message)
+           << "\", \"hint\": \"" << bj::escape(d.hint) << "\"}";
+    }
+    os << (diagnostics.empty() ? "]" : "\n]")
+       << ", \"errors\": " << count(Severity::Error)
+       << ", \"warnings\": " << count(Severity::Warning)
+       << ", \"infos\": " << count(Severity::Info) << "}\n";
+    return os.str();
+}
+
+} // namespace qsa::analyze

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Static circuit linter: a registry of dataflow passes over the IR.
+ *
+ * Each rule walks the instruction list once (classical-label
+ * liveness, qubit liveness, measurement lifecycles, union-find
+ * entanglement connectivity, adjacency scans) and reports structured
+ * `Diagnostic`s. The rule catalogue and the soundness notes per rule
+ * live in DESIGN.md "qsa::analyze"; every defect-class rule (warning
+ * and error severity) is tuned to report zero findings on the repo's
+ * clean reference circuits (tested), so such a finding on a real
+ * program is worth reading. Info findings are advisory — correct
+ * generators do emit genuinely cancelling gate pairs (the iqft;qft
+ * seam of chained Fourier arithmetic).
+ *
+ * The entanglement rules consult the Clifford abstract interpreter
+ * when the prefix up to the finding is inside the decidable fragment:
+ * the exact tableau then confirms or suppresses the union-find
+ * over-approximation.
+ */
+
+#ifndef QSA_ANALYZE_LINT_HH
+#define QSA_ANALYZE_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostic.hh"
+#include "circuit/circuit.hh"
+
+namespace qsa::analyze
+{
+
+/** One registered lint rule. */
+struct LintRule
+{
+    /** Stable rule id (doubles as the Diagnostic rule field). */
+    std::string id;
+
+    /** Severity every finding of this rule carries. */
+    Severity severity;
+
+    /** One-line description for --help style listings. */
+    std::string summary;
+
+    /** The pass body: append findings for `circ` to `out`. */
+    void (*run)(const circuit::Circuit &circ,
+                std::vector<Diagnostic> &out);
+};
+
+/** The full rule registry, in catalogue order. */
+const std::vector<LintRule> &lintRules();
+
+/** Run every registered rule over `circ`. Findings are ordered by
+ *  instruction index, then rule id. */
+LintReport lintCircuit(const circuit::Circuit &circ);
+
+} // namespace qsa::analyze
+
+#endif // QSA_ANALYZE_LINT_HH

@@ -17,28 +17,49 @@ bugCatalog()
         {BugType::WrongInitialValue, "wrong-initial-value", "4.1",
          "lower target register loaded with 0 instead of 1 (or the "
          "superposition-creating Hadamards omitted)",
-         "classical / superposition precondition assertions"},
+         "classical / superposition precondition assertions", ""},
         {BugType::FlippedRotation, "flipped-rotation", "4.2 / Table 1",
          "controlled-rotation decomposition with the +/- angle halves "
          "swapped: a rotation in the wrong direction",
-         "classical assertion on an adder unit-test output"},
+         "classical assertion on an adder unit-test output", ""},
         {BugType::IterationBug, "iteration-bug", "4.3",
          "two-dimensional adder loop with an off-by-one bound, a "
          "wrong rotation-angle denominator, or swapped endianness",
-         "classical assertions on iteration inputs/outputs"},
+         "classical assertions on iteration inputs/outputs", ""},
         {BugType::MisroutedControl, "misrouted-control", "4.4",
          "replicated multi-control code passing ctrl1 twice instead "
          "of ctrl0, ctrl1 (Listing 2, line 15)",
-         "entanglement assertion between control and target"},
+         "entanglement assertion between control and target", ""},
         {BugType::BrokenMirror, "broken-mirror", "4.5",
          "uncompute path missing the angle negation / operation "
          "reversal, leaving ancilla qubits entangled",
-         "product-state assertion after uncomputation"},
+         "product-state assertion after uncomputation", ""},
         {BugType::WrongClassicalInput, "wrong-classical-input",
          "4.6 / Table 3",
          "supplying 12 instead of 13 as the modular inverse of 7 "
          "mod 15",
-         "classical postcondition assertion on deallocated ancillas"},
+         "classical postcondition assertion on deallocated ancillas",
+         ""},
+        {BugType::ConditionLabelTypo, "condition-label-typo",
+         "extension",
+         "classically-controlled correction conditioned on a "
+         "mistyped measurement label that nothing writes",
+         "static lint; at runtime the executor aborts at the "
+         "conditioned instruction",
+         "cond-unwritten-label"},
+        {BugType::MeasuredQubitReuse, "measured-qubit-reuse",
+         "extension",
+         "measured qubit recycled without a reset, computing on a "
+         "stale collapsed value",
+         "static lint; dynamically a classical assertion on the "
+         "recycled qubit's expected fresh value",
+         "measure-without-reset"},
+        {BugType::EntangledReset, "entangled-reset", "extension",
+         "ancilla released by reset while still entangled with live "
+         "qubits, collapsing them",
+         "static lint; dynamically a product-state assertion before "
+         "the release",
+         "reset-entangled"},
     };
 }
 

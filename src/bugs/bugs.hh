@@ -19,7 +19,11 @@
 namespace qsa::bugs
 {
 
-/** The six bug types of the paper's taxonomy. */
+/**
+ * The six bug types of the paper's taxonomy, plus three
+ * statically-visible extension types the qsa::analyze linter catches
+ * before any ensemble runs (their BugInfo::lintRule names the rule).
+ */
 enum class BugType
 {
     /** Type 1: incorrect quantum initial values (Section 4.1). */
@@ -44,6 +48,19 @@ enum class BugType
     /** Type 6: incorrect classical input parameters (Section 4.6,
      *  Table 3's wrong modular inverse). */
     WrongClassicalInput,
+
+    /** Extension: a classically-controlled correction conditioned on
+     *  a mistyped measurement label nothing writes (the executor
+     *  aborts at runtime; the linter catches it statically). */
+    ConditionLabelTypo,
+
+    /** Extension: a measured qubit recycled without a reset, so the
+     *  reuse computes on a stale collapsed value. */
+    MeasuredQubitReuse,
+
+    /** Extension: an ancilla released by reset while still entangled
+     *  with live qubits — the reset measures it and collapses them. */
+    EntangledReset,
 };
 
 /** Catalogue entry describing one bug type. */
@@ -62,6 +79,14 @@ struct BugInfo
 
     /** Which assertion kind catches it. */
     std::string caughtBy;
+
+    /**
+     * qsa::analyze lint rule id that catches this bug statically,
+     * empty when the bug is dynamic-only — visible to statistical
+     * assertions but not to any purely static pass (the pin table
+     * tests/test_analyze_bugs.cc enforces).
+     */
+    std::string lintRule;
 };
 
 /** The full catalogue, in paper order. */

@@ -9,6 +9,7 @@
 
 #include "algo/arith.hh"
 #include "algo/qft.hh"
+#include "bugs/bugs.hh"
 #include "common/logging.hh"
 
 namespace qsa::bugs
@@ -175,6 +176,94 @@ phiSubForgotNegate(circuit::Circuit &circ,
                                     b[b_indx], angle);
             }
         }
+    }
+}
+
+namespace
+{
+
+/** Conditioned correction reading a label nothing writes. */
+StaticBugFixture
+conditionLabelTypoFixture()
+{
+    StaticBugFixture fx;
+    fx.lintRule = "cond-unwritten-label";
+    for (circuit::Circuit *circ : {&fx.buggy, &fx.clean}) {
+        const bool buggy = circ == &fx.buggy;
+        const auto q = circ->addRegister("q", 2);
+        circ->h(q[0]);
+        circ->measureQubits({q[0]}, "m");
+        circ->x(q[1]);
+        // BUG: "mm" instead of "m" — the executor aborts here.
+        circ->conditionLast(buggy ? "mm" : "m", 1);
+        circ->measureQubits({q[1]}, "out");
+    }
+    fx.defectInstruction = 2; // the conditioned X
+    return fx;
+}
+
+/** Measured qubit recycled without the reset. */
+StaticBugFixture
+measuredQubitReuseFixture()
+{
+    StaticBugFixture fx;
+    fx.lintRule = "measure-without-reset";
+    for (circuit::Circuit *circ : {&fx.buggy, &fx.clean}) {
+        const bool buggy = circ == &fx.buggy;
+        const auto q = circ->addRegister("q", 2);
+        circ->h(q[0]);
+        circ->measureQubits({q[0]}, "m");
+        // BUG: the recycling prepZ is missing — the H below acts on
+        // the stale collapsed value, not a fresh |0>.
+        if (!buggy)
+            circ->prepZ(q[0], 0);
+        circ->h(q[0]);
+        circ->cnot(q[0], q[1]);
+        circ->measureQubits({q[0], q[1]}, "out");
+    }
+    fx.defectInstruction = 2; // the reuse (H on the stale qubit)
+    return fx;
+}
+
+/** Ancilla released while still entangled with live qubits. */
+StaticBugFixture
+entangledResetFixture()
+{
+    StaticBugFixture fx;
+    fx.lintRule = "reset-entangled";
+    for (circuit::Circuit *circ : {&fx.buggy, &fx.clean}) {
+        const bool buggy = circ == &fx.buggy;
+        const auto q = circ->addRegister("q", 2);
+        const auto anc = circ->addRegister("anc", 1);
+        circ->h(q[0]);
+        circ->cnot(q[0], anc[0]); // compute into the ancilla
+        circ->cz(anc[0], q[1]);   // use it
+        // BUG: the uncompute CNOT is missing — the release below
+        // measures the ancilla and collapses q.
+        if (!buggy)
+            circ->cnot(q[0], anc[0]);
+        circ->prepZ(anc[0], 0);
+        circ->measureQubits({q[0], q[1]}, "out");
+    }
+    fx.defectInstruction = 3; // the release of the entangled ancilla
+    return fx;
+}
+
+} // anonymous namespace
+
+StaticBugFixture
+staticBugFixture(BugType type)
+{
+    switch (type) {
+      case BugType::ConditionLabelTypo:
+        return conditionLabelTypoFixture();
+      case BugType::MeasuredQubitReuse:
+        return measuredQubitReuseFixture();
+      case BugType::EntangledReset:
+        return entangledResetFixture();
+      default:
+        fatal("bug type '", bugInfo(type).name,
+              "' is dynamic-only: it has no static fixture");
     }
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bugs/bugs.hh"
 #include "circuit/circuit.hh"
 #include "circuit/register.hh"
 
@@ -107,6 +108,32 @@ void cUaBrokenMirror(circuit::Circuit &circ, unsigned ctrl,
 void phiSubForgotNegate(circuit::Circuit &circ,
                         const circuit::QubitRegister &b, std::uint64_t a,
                         const std::vector<unsigned> &controls);
+
+/**
+ * The statically-visible extension bugs (BugType::ConditionLabelTypo
+ * / MeasuredQubitReuse / EntangledReset) as self-contained program
+ * pairs: the buggy variant must fire exactly its catalogue lint rule
+ * at the defect instruction, the clean variant must lint clean
+ * (tests/test_analyze_bugs.cc pins both).
+ */
+struct StaticBugFixture
+{
+    /** The program with the defect injected. */
+    circuit::Circuit buggy;
+
+    /** The corrected program (lint-clean). */
+    circuit::Circuit clean;
+
+    /** Instruction index of the defect in `buggy`. */
+    std::size_t defectInstruction = 0;
+
+    /** The analyze rule id expected there (BugInfo::lintRule). */
+    std::string lintRule;
+};
+
+/** Build the fixture for one statically-visible bug type (fatal for
+ *  the six dynamic-only paper types). */
+StaticBugFixture staticBugFixture(BugType type);
 
 } // namespace qsa::bugs
 

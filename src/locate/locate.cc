@@ -11,6 +11,7 @@
 #include <set>
 #include <sstream>
 
+#include "analyze/clifford.hh"
 #include "assertions/checker.hh"
 #include "circuit/executor.hh"
 #include "common/bits.hh"
@@ -1164,12 +1165,26 @@ class RotatedProber : public Prober
     }
 };
 
-/** Shared search driver over either probe family. */
+/**
+ * Shared search driver over either probe family. `pruned_lo` is the
+ * static pre-pass' certified-equivalent boundary: every boundary up to
+ * it provably passes (the suspect and reference prefixes act
+ * identically up to global phase, and every probe statistic is
+ * phase-invariant), so the search treats it as a confirmed-passing
+ * lower bound and never probes at or below it.
+ */
 LocalizationReport
-runSearch(Prober &prober, const LocateConfig &cfg)
+runSearch(Prober &prober, const LocateConfig &cfg,
+          std::size_t pruned_lo = 0)
 {
     LocalizationReport report;
     const std::size_t top = prober.hiBoundary();
+    // The probeable range can end below the certified boundary (e.g.
+    // clamped at the first Measure); the certificate still covers the
+    // clamped range.
+    pruned_lo = std::min(pruned_lo, top);
+    report.prunedBoundaries = pruned_lo;
+    QSA_OBS_COUNTER("locate.pruned_boundaries", pruned_lo);
 
     QSA_OBS_COUNTER("locate.searches", 1);
     QSA_OBS_SPAN(search_span, "locate.search");
@@ -1177,7 +1192,8 @@ runSearch(Prober &prober, const LocateConfig &cfg)
         .arg("strategy", cfg.strategy == Strategy::LinearScan
                              ? "linear-scan"
                              : "adaptive")
-        .arg("boundaries", top);
+        .arg("boundaries", top)
+        .arg("pruned", pruned_lo);
 
     const assertions::EscalationPolicy explore{
         cfg.ensembleSize, cfg.maxEnsembleSize, cfg.passThreshold};
@@ -1211,9 +1227,11 @@ runSearch(Prober &prober, const LocateConfig &cfg)
 
     if (cfg.strategy == Strategy::LinearScan) {
         std::vector<std::size_t> boundaries;
-        boundaries.reserve(top);
-        for (std::size_t k = 1; k <= top; ++k)
+        boundaries.reserve(top - pruned_lo);
+        for (std::size_t k = pruned_lo + 1; k <= top; ++k)
             boundaries.push_back(k);
+        if (boundaries.empty())
+            return report; // whole range certified equivalent
         std::size_t first_failing = 0;
         QSA_OBS_SPAN(scan_span, "locate.scan");
         scan_span.arg("boundaries", boundaries.size());
@@ -1231,22 +1249,25 @@ runSearch(Prober &prober, const LocateConfig &cfg)
         return report;
     }
 
-    // Adaptive binary search. Boundary 0 (the empty prefix) passes by
-    // construction; the end boundary must fail for there to be
-    // anything to localize.
+    // Adaptive binary search. Boundary `pruned_lo` (at least the
+    // empty prefix, possibly a statically certified-equivalent
+    // prefix) passes by construction; the end boundary must fail for
+    // there to be anything to localize.
+    if (pruned_lo >= top)
+        return report; // whole range certified equivalent
     if (!probeOne(top, explore).failed)
         return report;
 
-    std::size_t lo = 0;
+    std::size_t lo = pruned_lo;
     std::size_t hi = top;
     std::vector<char> passed(top + 1, 0);
-    passed[0] = 1;
+    passed[pruned_lo] = 1;
     std::set<std::size_t> failedSet{top};
     // Escalated-ensemble verdicts already delivered (at most one
     // confirmation per boundary, so the outer loop is bounded).
     std::vector<char> confirmedPass(top + 1, 0);
     std::vector<char> confirmedFail(top + 1, 0);
-    confirmedPass[0] = 1;
+    confirmedPass[pruned_lo] = 1;
     bool located = true;
     while (true) {
         while (hi - lo > 1) {
@@ -1269,8 +1290,8 @@ runSearch(Prober &prober, const LocateConfig &cfg)
                 failedSet.insert(lo);
                 confirmedFail[lo] = 1;
                 hi = lo;
-                lo = 0;
-                for (std::size_t b = 1; b < hi; ++b) {
+                lo = pruned_lo;
+                for (std::size_t b = pruned_lo + 1; b < hi; ++b) {
                     if (passed[b])
                         lo = b;
                 }
@@ -1412,6 +1433,9 @@ LocalizationReport::summary() const
     if (!bugFound) {
         os << "no statistically failing boundary in " << probes.size()
            << " probes (" << totalMeasurements << " measurements)";
+        if (prunedBoundaries > 0)
+            os << " [" << prunedBoundaries
+               << " boundaries statically pruned]";
         if (escalatedToSwapTest)
             os << " [escalated to swap-test probes]";
         return os.str();
@@ -1422,6 +1446,9 @@ LocalizationReport::summary() const
         os << " {" << suspectGates << "}";
     os << " after " << probes.size() << " probes ("
        << totalMeasurements << " measurements)";
+    if (prunedBoundaries > 0)
+        os << " [" << prunedBoundaries
+           << " boundaries statically pruned]";
     if (escalatedToSwapTest) {
         os << " [" << probeFamilyName(decidedBy)
            << " witness after escalation]";
@@ -1457,9 +1484,14 @@ BugLocator::locate() const
              "register's marginal; call locateByPredicates(reg) "
              "instead");
 
+    const std::size_t pruned =
+        config.staticPruning
+            ? analyze::equivalentPrefixBoundary(suspect, reference)
+            : 0;
+
     if (config.family == ProbeFamily::SwapTest) {
         SwapProber prober(suspect, reference, config, nullptr);
-        LocalizationReport report = runSearch(prober, config);
+        LocalizationReport report = runSearch(prober, config, pruned);
         report.decidedBy = ProbeFamily::SwapTest;
         resolveTailDivergence(report, suspect, reference,
                               prober.hiBoundary());
@@ -1468,7 +1500,7 @@ BugLocator::locate() const
     }
 
     MirrorProber prober(suspect, reference, config);
-    LocalizationReport report = runSearch(prober, config);
+    LocalizationReport report = runSearch(prober, config, pruned);
     report.decidedBy = ProbeFamily::SegmentMirror;
     std::size_t probed_hi = prober.hiBoundary();
 
@@ -1495,7 +1527,7 @@ BugLocator::locate() const
         QSA_OBS_COUNTER("locate.swap_escalations", 1);
         obs::instant("locate.escalate_swap_test");
         SwapProber swapper(suspect, reference, config, nullptr);
-        LocalizationReport refined = runSearch(swapper, config);
+        LocalizationReport refined = runSearch(swapper, config, pruned);
         const bool swap_decides = refined.bugFound;
         LocalizationReport merged =
             swap_decides ? refined : report;
@@ -1521,9 +1553,14 @@ BugLocator::locate() const
 LocalizationReport
 BugLocator::locateByPredicates(const circuit::QubitRegister &reg) const
 {
+    const std::size_t pruned =
+        config.staticPruning
+            ? analyze::equivalentPrefixBoundary(suspect, reference)
+            : 0;
+
     if (config.family == ProbeFamily::RotatedMarginal) {
         RotatedProber prober(suspect, reference, config, reg);
-        LocalizationReport report = runSearch(prober, config);
+        LocalizationReport report = runSearch(prober, config, pruned);
         report.decidedBy = ProbeFamily::RotatedMarginal;
         resolveTailDivergence(report, suspect, reference,
                               prober.hiBoundary());
@@ -1533,7 +1570,7 @@ BugLocator::locateByPredicates(const circuit::QubitRegister &reg) const
 
     if (config.family == ProbeFamily::SwapTest) {
         SwapProber prober(suspect, reference, config, &reg);
-        LocalizationReport report = runSearch(prober, config);
+        LocalizationReport report = runSearch(prober, config, pruned);
         report.decidedBy = ProbeFamily::SwapTest;
         resolveTailDivergence(report, suspect, reference,
                               prober.hiBoundary());
@@ -1542,7 +1579,7 @@ BugLocator::locateByPredicates(const circuit::QubitRegister &reg) const
     }
 
     PredicateProber prober(suspect, reference, config, reg, nullptr);
-    LocalizationReport report = runSearch(prober, config);
+    LocalizationReport report = runSearch(prober, config, pruned);
     report.decidedBy = ProbeFamily::MixtureMarginal;
     std::size_t probed_hi = prober.hiBoundary();
 
@@ -1593,7 +1630,8 @@ BugLocator::locateByPredicates(const circuit::QubitRegister &reg) const
         if (escalate) {
             QSA_OBS_COUNTER("locate.swap_escalations", 1);
             obs::instant("locate.escalate_swap_test");
-            LocalizationReport refined = runSearch(swapper, config);
+            LocalizationReport refined =
+                runSearch(swapper, config, pruned);
             LocalizationReport merged =
                 refined.bugFound ? refined : report;
             merged.decidedBy = refined.bugFound
@@ -1626,8 +1664,12 @@ BugLocator::locateByPredicates(const circuit::QubitRegister &reg_a,
              "scope-inherited two-register probes support "
              "ProbeFamily::MixtureMarginal only (got ",
              probeFamilyName(config.family), ")");
+    const std::size_t pruned =
+        config.staticPruning
+            ? analyze::equivalentPrefixBoundary(suspect, reference)
+            : 0;
     PredicateProber prober(suspect, reference, config, reg_a, &reg_b);
-    LocalizationReport report = runSearch(prober, config);
+    LocalizationReport report = runSearch(prober, config, pruned);
     report.decidedBy = ProbeFamily::MixtureMarginal;
     resolveTailDivergence(report, suspect, reference,
                           prober.hiBoundary());

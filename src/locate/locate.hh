@@ -108,6 +108,17 @@
  *    witness is *monotone* — sound for non-persistent divergence —
  *    at the cost of simulating 2n+1 qubits per probe.
  *
+ * Static pruning (qsa::analyze): before any probe runs, the locator
+ * asks `analyze::equivalentPrefixBoundary` for the largest boundary E
+ * up to which the suspect and reference prefixes are *provably*
+ * equivalent — by structural instruction equality or by matching
+ * Clifford-segment conjugation tableaux. Every probe family's
+ * statistic is invariant under a common prefix acting identically on
+ * the initial state, so boundaries <= E are certified passing and the
+ * search starts its bracket at E instead of 0 (LinearScan skips them
+ * outright). LocateConfig::staticPruning turns the pre-pass off;
+ * LocalizationReport::prunedBoundaries records the win.
+ *
  *  - ProbeFamily::Auto is the per-segment witness-selection layer:
  *    run the cheap segment-mirror search first; when its verdict is
  *    *phase-ambiguous* — the deciding probe failed only through a
@@ -233,6 +244,15 @@ struct LocateConfig
     unsigned numThreads = 0;
 
     /**
+     * Run the Clifford/structural boundary-equivalence pre-pass
+     * (analyze::equivalentPrefixBoundary) and start the search above
+     * the certified-equivalent prefix. Purely static — no probe, no
+     * simulation — and sound for every probe family, so it defaults
+     * on; disable to reproduce the unpruned search trajectory.
+     */
+    bool staticPruning = true;
+
+    /**
      * Holm-Bonferroni family-wise control over the LinearScan probe
      * family (the adaptive search controls errors sequentially via
      * escalation instead). Scope-inherited Entangled probes are
@@ -313,6 +333,14 @@ struct LocalizationReport
      * swap-test probes (the mirror verdict was phase-ambiguous).
      */
     bool escalatedToSwapTest = false;
+
+    /**
+     * Boundaries the static boundary-equivalence pre-pass certified
+     * as passing without a probe (the search's starting lower bound;
+     * 0 when pruning is disabled or the programs diverge
+     * structurally at the first instruction).
+     */
+    std::size_t prunedBoundaries = 0;
 
     /** One-paragraph human-readable account. */
     std::string summary() const;

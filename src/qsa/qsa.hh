@@ -7,6 +7,7 @@
  *  - qsa::stats      chi-square tests, contingency analysis
  *  - qsa::sim        state-vector simulator, gates, dense matrices
  *  - qsa::circuit    circuit IR, registers, executor, OpenQASM
+ *  - qsa::analyze    static linter + Clifford abstract interpretation
  *  - qsa::runtime    parallel ensemble-execution engine (pool, batch)
  *  - qsa::assertions statistical quantum assertions (the paper's core)
  *  - qsa::locate     statistical bug localization over breakpoints
@@ -31,6 +32,9 @@
 #include "algo/qpe.hh"
 #include "algo/shor.hh"
 #include "algo/teleport.hh"
+#include "analyze/clifford.hh"
+#include "analyze/diagnostic.hh"
+#include "analyze/lint.hh"
 #include "assertions/checker.hh"
 #include "assertions/exact.hh"
 #include "assertions/report.hh"

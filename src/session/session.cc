@@ -9,6 +9,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analyze/clifford.hh"
 #include "assertions/report.hh"
 #include "common/benchjson.hh"
 #include "common/bits.hh"
@@ -420,6 +421,124 @@ Session::allPassed()
 {
     ensureRun();
     return assertions::allPassed(results);
+}
+
+std::string
+staticVerdictName(StaticVerdict verdict)
+{
+    switch (verdict) {
+      case StaticVerdict::Verified: return "verified";
+      case StaticVerdict::Refuted: return "refuted";
+      case StaticVerdict::Undecidable: return "undecidable";
+    }
+    panic("unknown static verdict");
+}
+
+std::size_t
+AnalysisReport::count(StaticVerdict verdict) const
+{
+    std::size_t total = 0;
+    for (const StaticCheck &c : checks) {
+        if (c.verdict == verdict)
+            ++total;
+    }
+    return total;
+}
+
+bool
+AnalysisReport::clean() const
+{
+    return lint.count(analyze::Severity::Error) == 0 &&
+           lint.count(analyze::Severity::Warning) == 0 &&
+           count(StaticVerdict::Refuted) == 0;
+}
+
+std::string
+AnalysisReport::render() const
+{
+    std::ostringstream os;
+    os << lint.render();
+    for (const StaticCheck &c : checks) {
+        os << staticVerdictName(c.verdict) << " [static] '" << c.name
+           << "' at '" << c.breakpoint << "'";
+        if (!c.detail.empty())
+            os << ": " << c.detail;
+        os << "\n";
+    }
+    if (!checks.empty()) {
+        os << checks.size() << " classical spec(s): "
+           << count(StaticVerdict::Verified) << " verified, "
+           << count(StaticVerdict::Refuted) << " refuted, "
+           << count(StaticVerdict::Undecidable) << " undecidable\n";
+    }
+    return os.str();
+}
+
+AnalysisReport
+Session::analyze()
+{
+    QSA_OBS_COUNTER("session.analyses", 1);
+    QSA_OBS_SPAN(span, "session.analyze");
+    resolve();
+
+    AnalysisReport out;
+    // Lint the *original* program: finding indices must address the
+    // instructions the user wrote, not the session's boundary
+    // markers.
+    out.lint = analyze::lintCircuit(original);
+
+    const analyze::CliffordSimulation sim(resolved);
+    std::size_t discharged = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const assertions::AssertionSpec &spec = specs[i];
+        if (spec.kind != assertions::AssertionKind::Classical)
+            continue;
+
+        StaticCheck check;
+        check.specIndex = i;
+        check.name = spec.name.empty()
+                         ? assertions::defaultSpecName(spec)
+                         : spec.name;
+        check.breakpoint = spec.breakpoint;
+
+        const std::size_t boundary =
+            resolved.breakpointPosition(spec.breakpoint);
+        if (!sim.decidableAt(boundary)) {
+            check.verdict = StaticVerdict::Undecidable;
+            check.detail = sim.topReason();
+        } else {
+            const locate::BoundaryPredicate pred =
+                sim.predicateAt(boundary, spec.regA);
+            if (pred.kind != assertions::AssertionKind::Classical) {
+                check.verdict = StaticVerdict::Refuted;
+                check.detail =
+                    "register is " +
+                    assertions::assertionKindName(pred.kind) +
+                    " here, not classical";
+                ++discharged;
+            } else if (pred.expectedValue == spec.expectedValue) {
+                check.verdict = StaticVerdict::Verified;
+                check.detail = "register provably reads " +
+                               std::to_string(pred.expectedValue);
+                ++discharged;
+            } else {
+                check.verdict = StaticVerdict::Refuted;
+                check.detail = "register provably reads " +
+                               std::to_string(pred.expectedValue) +
+                               ", not " +
+                               std::to_string(spec.expectedValue);
+                ++discharged;
+            }
+        }
+        out.checks.push_back(std::move(check));
+    }
+
+    QSA_OBS_COUNTER("analyze.static_checks", out.checks.size());
+    QSA_OBS_COUNTER("analyze.static_discharged", discharged);
+    span.arg("diagnostics", out.lint.diagnostics.size())
+        .arg("checks", out.checks.size())
+        .arg("discharged", discharged);
+    return out;
 }
 
 locate::LocateConfig

@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/lint.hh"
 #include "assertions/checker.hh"
 #include "assertions/spec.hh"
 #include "circuit/circuit.hh"
@@ -74,6 +75,64 @@ class Session;
 struct HolmBonferroni
 {
     bool enabled = true;
+};
+
+/** How the static Clifford pass adjudicated one registered spec. */
+enum class StaticVerdict
+{
+    /** The derived predicate proves the assertion passes. */
+    Verified,
+
+    /** The derived predicate proves the assertion fails. */
+    Refuted,
+
+    /** Outside the decidable Clifford fragment (or the assertion
+     *  kind is not statically dischargeable). */
+    Undecidable,
+};
+
+/** Human-readable verdict name. */
+std::string staticVerdictName(StaticVerdict verdict);
+
+/** Static adjudication of one registered assertion. */
+struct StaticCheck
+{
+    /** Index into Session::assertions(). */
+    std::size_t specIndex = 0;
+
+    /** Display name (the run()-time default when none was set). */
+    std::string name;
+
+    /** Breakpoint label the assertion is anchored to. */
+    std::string breakpoint;
+
+    StaticVerdict verdict = StaticVerdict::Undecidable;
+
+    /** Derivation detail: the statically derived predicate, or why
+     *  the boundary was undecidable. */
+    std::string detail;
+};
+
+/**
+ * Result of Session::analyze(): the lint findings over the original
+ * program plus the static discharge of every registered
+ * expectClassical spec whose boundary the Clifford interpreter
+ * decides.
+ */
+struct AnalysisReport
+{
+    analyze::LintReport lint;
+    std::vector<StaticCheck> checks;
+
+    /** Number of checks with the given verdict. */
+    std::size_t count(StaticVerdict verdict) const;
+
+    /** True when no defect-class (warning/error) lint finding and no
+     *  refuted check exists; info findings are advisory. */
+    bool clean() const;
+
+    /** Human-readable rendering of both halves. */
+    std::string render() const;
 };
 
 /**
@@ -315,6 +374,20 @@ class Session
 
     /** True when every assertion passed (runs first if stale). */
     bool allPassed();
+
+    /**
+     * Static analysis of the plan — no simulation, no ensemble:
+     * the lint rule registry runs over the original program
+     * (analyze::lintCircuit) and the Clifford abstract interpreter
+     * statically discharges every registered expectClassical spec
+     * whose boundary lies in the decidable fragment (Verified /
+     * Refuted; Undecidable past the first non-Clifford instruction
+     * or for other assertion kinds). Sound: a Verified check cannot
+     * fail statistically except through sampling error, a Refuted
+     * check cannot pass. Emits analyze.* counters and trace spans
+     * (honouring QSA_TRACE like every obs client).
+     */
+    AnalysisReport analyze();
 
     /**
      * Localize the first diverging instruction against a trusted

@@ -29,13 +29,26 @@ using namespace qsa::bugs;
 using qsa::circuit::Circuit;
 using qsa::circuit::QubitRegister;
 
-TEST(Catalog, HasAllSixTypes)
+TEST(Catalog, HasAllTypes)
 {
+    // The paper's six types plus the three statically-visible
+    // extension types the analyze linter catches.
     const auto catalog = bugCatalog();
-    EXPECT_EQ(catalog.size(), 6u);
+    EXPECT_EQ(catalog.size(), 9u);
     EXPECT_EQ(bugInfo(BugType::MisroutedControl).paperSection, "4.4");
     EXPECT_EQ(bugInfo(BugType::WrongClassicalInput).name,
               "wrong-classical-input");
+
+    // The paper's six are dynamic-only; the three extensions each
+    // name their lint rule (the full mapping is pinned in
+    // tests/test_analyze_bugs.cc).
+    EXPECT_TRUE(bugInfo(BugType::WrongInitialValue).lintRule.empty());
+    EXPECT_EQ(bugInfo(BugType::ConditionLabelTypo).lintRule,
+              "cond-unwritten-label");
+    EXPECT_EQ(bugInfo(BugType::MeasuredQubitReuse).lintRule,
+              "measure-without-reset");
+    EXPECT_EQ(bugInfo(BugType::EntangledReset).lintRule,
+              "reset-entangled");
 }
 
 // --- Table 1: rotation decompositions (bug type 2) ---------------------------

@@ -295,11 +295,18 @@ TEST_P(MirrorFixtures, FewerProbesThanLinearScan)
 {
     const Fixture fx = make(GetParam());
 
-    const BugLocator adaptive(fx.suspect, fx.reference, testConfig());
+    // This compares the two search strategies over the same boundary
+    // range; static pruning would shrink both searches (and on a
+    // late defect leave the scan almost nothing to probe), so it
+    // stays off here. LocatePruning tests cover the pre-pass.
+    LocateConfig fast_cfg = testConfig();
+    fast_cfg.staticPruning = false;
+    const BugLocator adaptive(fx.suspect, fx.reference, fast_cfg);
     const auto fast = adaptive.locate();
 
-    const BugLocator linear(fx.suspect, fx.reference,
-                            testConfig(Strategy::LinearScan));
+    LocateConfig scan_cfg = testConfig(Strategy::LinearScan);
+    scan_cfg.staticPruning = false;
+    const BugLocator linear(fx.suspect, fx.reference, scan_cfg);
     const auto scan = linear.locate();
 
     expectLocalizes(fx, fast);
@@ -401,9 +408,20 @@ TEST(MirrorLocate, CorrectProgramReportsNoBug)
     const BugLocator locator(fx.reference, fx.reference, testConfig());
     const auto report = locator.locate();
     EXPECT_FALSE(report.bugFound);
-    // Identical prefixes have off-probability exactly zero, so the
-    // only probe is the (passing) end-to-end one.
-    EXPECT_EQ(report.probes.size(), 1u);
+    // An identical program is certified boundary-for-boundary by the
+    // static pre-pass: the search ends before a single probe runs.
+    EXPECT_EQ(report.probes.size(), 0u);
+    EXPECT_EQ(report.prunedBoundaries, fx.reference.size());
+
+    // Unpruned, identical prefixes have off-probability exactly zero,
+    // so the only probe is the (passing) end-to-end one.
+    LocateConfig cfg = testConfig();
+    cfg.staticPruning = false;
+    const auto unpruned =
+        BugLocator(fx.reference, fx.reference, cfg).locate();
+    EXPECT_FALSE(unpruned.bugFound);
+    EXPECT_EQ(unpruned.probes.size(), 1u);
+    EXPECT_EQ(unpruned.prunedBoundaries, 0u);
 }
 
 // --- Predicate probes (bug type 1 and scope inheritance) --------------------
@@ -479,6 +497,10 @@ TEST(PredicateLocate, ScopeInheritedKindsParticipate)
 
     LocateConfig cfg = testConfig(Strategy::LinearScan);
     cfg.ensembleSize = 256;
+    // The inherited-kind probes sit at the scope labels, which the
+    // static pre-pass would certify away (they precede the defect):
+    // this test is about the probes themselves, so scan everything.
+    cfg.staticPruning = false;
     const BugLocator locator(fx.suspect, fx.reference, cfg);
     const auto report = locator.locateByPredicates(work, q);
     expectLocalizes(fx, report);
@@ -569,6 +591,180 @@ TEST(BoundaryBreakpoints, InstrumentEveryBoundary)
             ++gates;
     }
     EXPECT_EQ(gates, 2u);
+}
+
+// --- Static boundary-equivalence pruning ------------------------------------
+
+/** Run one fixture with pruning on and off; the pruned search must
+ *  reproduce the unpruned bracket in no more probes. Returns the
+ *  (pruned, unpruned) probe counts. */
+std::pair<std::size_t, std::size_t>
+comparePruning(const Fixture &fx)
+{
+    LocateConfig on = testConfig();
+    on.staticPruning = true;
+    LocateConfig off = testConfig();
+    off.staticPruning = false;
+
+    const auto pruned =
+        BugLocator(fx.suspect, fx.reference, on).locate();
+    const auto unpruned =
+        BugLocator(fx.suspect, fx.reference, off).locate();
+
+    expectLocalizes(fx, pruned);
+    expectLocalizes(fx, unpruned);
+    EXPECT_EQ(pruned.lastPassing, unpruned.lastPassing) << fx.name;
+    EXPECT_EQ(pruned.firstFailing, unpruned.firstFailing) << fx.name;
+    EXPECT_LE(pruned.probes.size(), unpruned.probes.size()) << fx.name;
+    EXPECT_EQ(unpruned.prunedBoundaries, 0u) << fx.name;
+    return {pruned.probes.size(), unpruned.probes.size()};
+}
+
+TEST_P(MirrorFixtures, PruningPreservesBracketWithNoMoreProbes)
+{
+    comparePruning(make(GetParam()));
+}
+
+TEST(LocatePruning, StrictlyFewerProbesOnSomeFixture)
+{
+    // Across the taxonomy at least one fixture must realise an
+    // actual probe saving, or the pre-pass is dead weight.
+    bool strictly_fewer = false;
+    for (int i = 0; i < 8; ++i) {
+        const auto [pruned, unpruned] =
+            comparePruning(MirrorFixtures::make(i));
+        strictly_fewer = strictly_fewer || pruned < unpruned;
+    }
+    EXPECT_TRUE(strictly_fewer);
+}
+
+TEST(LocatePruning, CertifiedBoundaryReachesTheDefect)
+{
+    // The flipped-rotation fixture diverges at one known rotation;
+    // everything before it is structurally identical, so the
+    // certificate must reach the defect site exactly.
+    const Fixture fx = flippedRotationFixture();
+    const auto &si = fx.suspect.instructions();
+    const auto &ri = fx.reference.instructions();
+    std::size_t defect = 0;
+    while (defect < si.size() && sameInstruction(si[defect], ri[defect]))
+        ++defect;
+
+    const auto report =
+        BugLocator(fx.suspect, fx.reference, testConfig()).locate();
+    EXPECT_EQ(report.prunedBoundaries, defect) << report.summary();
+    expectLocalizes(fx, report);
+}
+
+TEST(LocatePruning, LinearScanSkipsCertifiedBoundaries)
+{
+    const Fixture fx = flippedRotationFixture();
+    const auto scan =
+        BugLocator(fx.suspect, fx.reference,
+                   testConfig(Strategy::LinearScan))
+            .locate();
+    expectLocalizes(fx, scan);
+    for (const auto &rec : scan.probes)
+        EXPECT_GT(rec.boundary, scan.prunedBoundaries);
+}
+
+TEST(LocatePruning, EquivalentCliffordDressingIsCertified)
+{
+    // The two programs implement the same unitary through different
+    // gate sequences (HZH vs X; S·Sdg vs nothing useful on q1):
+    // structural comparison fails at the first dressed instruction,
+    // but the Clifford-run tableau match must certify past the whole
+    // dressed region — the runs end at the same breakpoint — and
+    // prune it, leaving only the genuinely divergent tail to search.
+    Fixture fx;
+    fx.name = "clifford-dressing";
+    for (Circuit *circ : {&fx.suspect, &fx.reference}) {
+        const bool suspect = circ == &fx.suspect;
+        const auto q = circ->addRegister("q", 2);
+        if (suspect) {
+            circ->h(q[0]);
+            circ->z(q[0]);
+            circ->h(q[0]); // HZH = X
+            circ->cnot(q[0], q[1]);
+        } else {
+            circ->x(q[0]);
+            circ->s(q[1]);
+            circ->sdg(q[1]); // identity dressing, equal run length
+            circ->cnot(q[0], q[1]);
+        }
+        circ->breakpoint("sync"); // run barrier at the same index
+        // Divergent tail: the suspect flips the wrong qubit.
+        circ->x(suspect ? q[0] : q[1]);
+        circ->h(q[0]);
+        circ->h(q[1]);
+    }
+
+    const auto report =
+        BugLocator(fx.suspect, fx.reference, testConfig()).locate();
+    ASSERT_TRUE(report.bugFound) << report.summary();
+    // Certified through the dressed run (4) and the breakpoint (5).
+    EXPECT_EQ(report.prunedBoundaries, 5u) << report.summary();
+    EXPECT_TRUE(intervalCoversDefect(fx.suspect, fx.reference,
+                                     report.suspectBegin(),
+                                     report.suspectEnd()))
+        << report.summary();
+    for (const auto &rec : report.probes)
+        EXPECT_GT(rec.boundary, 5u);
+}
+
+TEST(LocatePruning, SoundWhenRunLengthsDiffer)
+{
+    // Same unitary on both sides but through different-*length* gate
+    // sequences: index-aligned boundaries do not line up, so the
+    // pre-pass must refuse to certify anything past the mismatch
+    // (boundary b means "the first b instructions" in both programs,
+    // and prefix k of one run is not prefix k of the other).
+    Fixture fx;
+    fx.name = "unequal-length-dressing";
+    for (Circuit *circ : {&fx.suspect, &fx.reference}) {
+        const bool suspect = circ == &fx.suspect;
+        const auto q = circ->addRegister("q", 2);
+        if (suspect) {
+            circ->h(q[0]);
+            circ->z(q[0]);
+            circ->h(q[0]); // HZH = X, 3 instructions
+        } else {
+            circ->x(q[0]); // 1 instruction
+        }
+        circ->cnot(q[0], q[1]);
+        circ->x(suspect ? q[0] : q[1]); // divergent tail
+        circ->h(q[0]);
+        circ->h(q[1]);
+    }
+
+    const auto report =
+        BugLocator(fx.suspect, fx.reference, testConfig()).locate();
+    EXPECT_EQ(report.prunedBoundaries, 0u) << report.summary();
+    ASSERT_TRUE(report.bugFound) << report.summary();
+    EXPECT_TRUE(intervalCoversDefect(fx.suspect, fx.reference,
+                                     report.suspectBegin(),
+                                     report.suspectEnd()))
+        << report.summary();
+}
+
+TEST(LocatePruning, PredicateProbesPruneToo)
+{
+    const Fixture fx = wrongInitialValueFixture();
+    const QubitRegister y = fx.suspect.reg("y");
+
+    LocateConfig on = testConfig();
+    LocateConfig off = testConfig();
+    off.staticPruning = false;
+
+    const auto pruned = BugLocator(fx.suspect, fx.reference, on)
+                            .locateByPredicates(y);
+    const auto unpruned = BugLocator(fx.suspect, fx.reference, off)
+                              .locateByPredicates(y);
+    expectLocalizes(fx, pruned);
+    expectLocalizes(fx, unpruned);
+    EXPECT_EQ(pruned.lastPassing, unpruned.lastPassing);
+    EXPECT_EQ(pruned.firstFailing, unpruned.firstFailing);
+    EXPECT_LE(pruned.probes.size(), unpruned.probes.size());
 }
 
 } // anonymous namespace

@@ -294,12 +294,16 @@ TEST_P(MeasureFixtures, FewerProbesThanLinearScan)
 {
     const Fixture fx = make(GetParam());
 
-    const BugLocator adaptive(fx.suspect, fx.reference,
-                              measureConfig());
+    // Strategy comparison over the same boundary range: static
+    // pruning would shrink both searches, so it stays off here.
+    LocateConfig fast_cfg = measureConfig();
+    fast_cfg.staticPruning = false;
+    const BugLocator adaptive(fx.suspect, fx.reference, fast_cfg);
     const auto fast = adaptive.locate();
 
-    const BugLocator linear(fx.suspect, fx.reference,
-                            measureConfig(Strategy::LinearScan));
+    LocateConfig scan_cfg = measureConfig(Strategy::LinearScan);
+    scan_cfg.staticPruning = false;
+    const BugLocator linear(fx.suspect, fx.reference, scan_cfg);
     const auto scan = linear.locate();
 
     expectLocalizes(fx, fast);
@@ -400,8 +404,10 @@ TEST(MeasureLocate, PredicateProbesCrossMeasurements)
     const auto scan = linear.locateByPredicates(recv);
     expectLocalizes(fx, scan);
     // The probeable range extends to the end of the program, not to
-    // the first measure.
-    EXPECT_EQ(scan.probes.size(), fx.suspect.size());
+    // the first measure; the boundaries the static pre-pass certified
+    // equivalent are the only ones skipped.
+    EXPECT_EQ(scan.probes.size() + scan.prunedBoundaries,
+              fx.suspect.size());
 
     // A defect past both measurements whose marginal divergence
     // persists bracket-localizes adaptively, in fewer probes.
@@ -636,13 +642,17 @@ TEST(PhaseBlindSpot, SwapTestFewerProbesThanLinearScan)
     const Fixture fx = zFrameFixture();
     const QubitRegister recv = fx.suspect.reg("recv");
 
-    const BugLocator adaptive(fx.suspect, fx.reference,
-                              zFrameConfig(ProbeFamily::SwapTest));
+    // Strategy comparison over the same boundary range: static
+    // pruning would shrink both searches, so it stays off here.
+    LocateConfig fast_cfg = zFrameConfig(ProbeFamily::SwapTest);
+    fast_cfg.staticPruning = false;
+    const BugLocator adaptive(fx.suspect, fx.reference, fast_cfg);
     const auto fast = adaptive.locateByPredicates(recv);
 
-    const BugLocator linear(
-        fx.suspect, fx.reference,
-        zFrameConfig(ProbeFamily::SwapTest, Strategy::LinearScan));
+    LocateConfig scan_cfg =
+        zFrameConfig(ProbeFamily::SwapTest, Strategy::LinearScan);
+    scan_cfg.staticPruning = false;
+    const BugLocator linear(fx.suspect, fx.reference, scan_cfg);
     const auto scan = linear.locateByPredicates(recv);
 
     expectLocalizes(fx, fast);
