@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the qsa_serve daemon.
+
+Drives the real binaries (not the in-process server the unit tests
+use): starts qsa_serve on a Unix-domain socket with a persistent
+oracle store and a QSA_TRACE destination, fires N concurrent
+qsa_client processes, and checks the serve determinism contract from
+the outside:
+
+ - every response is ok (or the expected positioned QASM error),
+ - identical requests produce byte-identical "result" members no
+   matter how the concurrent batch interleaved,
+ - a second (warm-store) round reproduces round one byte-for-byte,
+ - SIGTERM drains gracefully: exit status 0 and the atexit QSA_TRACE
+   flush produced a well-formed trace file,
+ - the store directory actually holds persisted artifacts.
+
+Usage:
+  serve_smoke.py --serve build/qsa_serve --client build/qsa_client
+      [--clients 8] [--workdir DIR]
+
+Exit status: 0 on success, 1 on any violation.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+
+def fail(message):
+    sys.exit(f"serve_smoke: FAIL: {message}")
+
+
+def make_requests(clients):
+    """One request per client: locates and checks at repeated seeds
+    (so byte-identity across concurrent responses is checkable), one
+    lint, and one deliberately malformed circuit."""
+    bell = ("OPENQASM 2.0;\\nqreg a[1];\\nqreg b[1];\\n"
+            "h a[0];\\ncx a[0],b[0];\\n// qsa.breakpoint done\\n")
+    ref = ("OPENQASM 2.0;\\nqreg q[2];\\nh q[0];\\ncx q[0],q[1];\\n"
+           "h q[1];\\ncx q[1],q[0];\\n")
+    sus = ("OPENQASM 2.0;\\nqreg q[2];\\nh q[0];\\ncx q[0],q[1];\\n"
+           "t q[1];\\nh q[1];\\ncx q[1],q[0];\\n")
+    check = (
+        '{"id": %d, "command": "check", "circuit": "%s",'
+        ' "plan": [{"at": "done", "expect": "entangled",'
+        ' "register": "a", "register_b": "b"}],'
+        ' "seed": %d, "ensemble_size": 128}')
+    locate = (
+        '{"id": %d, "command": "locate", "circuit": "%s",'
+        ' "reference": "%s", "seed": %d, "ensemble_size": 128}')
+    requests = []
+    for i in range(clients):
+        kind = i % 4
+        if kind == 0:
+            requests.append(check % (i, bell, 7))
+        elif kind == 1:
+            requests.append(locate % (i, sus, ref, 5))
+        elif kind == 2:
+            requests.append(check % (i, bell, 11))
+        else:
+            requests.append(locate % (i, sus, ref, 5))
+    # Replace one slot with a positioned-error probe.
+    requests[-1] = ('{"id": %d, "command": "lint", "circuit":'
+                    ' "OPENQASM 2.0;\\nqreg q[1];\\nzz q[0];\\n"}'
+                    % (clients - 1))
+    return requests
+
+
+def run_round(client, socket_path, requests):
+    """Fire every request through its own concurrent qsa_client."""
+    responses = [None] * len(requests)
+    errors = [None] * len(requests)
+
+    def one(i):
+        try:
+            proc = subprocess.run(
+                [client, "--socket", socket_path],
+                input=requests[i] + "\n", capture_output=True,
+                text=True, timeout=120)
+            if proc.returncode != 0:
+                errors[i] = f"client exited {proc.returncode}: " \
+                            f"{proc.stderr.strip()}"
+                return
+            responses[i] = proc.stdout.strip()
+        except Exception as err:  # noqa: BLE001 - report, don't die
+            errors[i] = str(err)
+
+    threads = [threading.Thread(target=one, args=(i,))
+               for i in range(len(requests))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for i, err in enumerate(errors):
+        if err:
+            fail(f"client {i}: {err}")
+    return responses
+
+
+def result_member(response_line, i):
+    try:
+        doc = json.loads(response_line)
+    except ValueError as err:
+        fail(f"response {i} is not JSON: {err}: {response_line!r}")
+    return doc
+
+
+def check_round(requests, responses):
+    """Validate one round and map request text -> result JSON text."""
+    by_request = {}
+    for i, (request, response) in enumerate(zip(requests, responses)):
+        doc = result_member(response, i)
+        if '"command": "lint"' in request and "zz" in request:
+            if doc.get("ok") is not False:
+                fail(f"response {i}: malformed QASM was accepted")
+            err = doc.get("error", {})
+            if err.get("line") != 3 or err.get("token") != "zz":
+                fail(f"response {i}: error not positioned: {err}")
+            continue
+        if doc.get("ok") is not True:
+            fail(f"response {i} not ok: {response}")
+        key = request
+        result = json.dumps(doc.get("result"), sort_keys=True)
+        if key in by_request and by_request[key] != result:
+            fail(f"response {i}: identical request produced a "
+                 "different result under concurrency")
+        by_request[key] = result
+    return by_request
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", required=True)
+    parser.add_argument("--client", required=True)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--workdir", default=None)
+    args = parser.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="qsa_smoke_")
+    os.makedirs(workdir, exist_ok=True)
+    socket_path = os.path.join(workdir, "serve.sock")
+    store_dir = os.path.join(workdir, "store")
+    trace_path = os.path.join(workdir, "serve_trace.json")
+
+    env = dict(os.environ, QSA_TRACE=trace_path)
+    daemon = subprocess.Popen(
+        [args.serve, "--socket", socket_path, "--store", store_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    try:
+        line = daemon.stdout.readline()
+        if "listening on" not in line:
+            fail(f"daemon never came up: {line!r}")
+
+        requests = make_requests(args.clients)
+        cold = check_round(requests, run_round(
+            args.client, socket_path, requests))
+
+        # Round two replays the identical batch against the now-warm
+        # store; every result must come back byte-identical.
+        warm = check_round(requests, run_round(
+            args.client, socket_path, requests))
+        for key, result in cold.items():
+            if warm.get(key) != result:
+                fail("warm-store replay changed a result:\n"
+                     f"  request: {key}\n  cold: {result}\n"
+                     f"  warm: {warm.get(key)}")
+
+        if not any(files for _, _, files in os.walk(store_dir)):
+            fail(f"oracle store {store_dir} persisted nothing")
+    finally:
+        if daemon.poll() is None:
+            daemon.send_signal(signal.SIGTERM)
+    status = daemon.wait(timeout=60)
+    if status != 0:
+        fail(f"daemon exited {status} on SIGTERM "
+             f"(output: {daemon.stdout.read()!r})")
+
+    # Graceful exit ran atexit hooks: the trace file must be there
+    # and well-formed.
+    deadline = time.time() + 10
+    while not os.path.exists(trace_path) and time.time() < deadline:
+        time.sleep(0.1)
+    try:
+        with open(trace_path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as err:
+        fail(f"QSA_TRACE flush missing or malformed: {err}")
+    if "traceEvents" not in trace:
+        fail("trace file has no traceEvents")
+    if not any(e.get("name") == "serve.request"
+               for e in trace["traceEvents"]):
+        fail("trace has no serve.request spans")
+
+    print(f"serve_smoke: OK ({args.clients} concurrent clients, "
+          f"{len(trace['traceEvents'])} trace events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@
 #include "circuit/circuit.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "common/bits.hh"
@@ -551,6 +552,90 @@ Circuit::gateCounts() const
         ++counts[key];
     }
     return counts;
+}
+
+namespace {
+
+/**
+ * FNV-1a with explicit little-endian canonicalisation: every field is
+ * reduced to a fixed-width byte sequence before mixing, so the digest
+ * does not depend on host integer width or endianness.
+ */
+struct ContentHasher {
+    std::uint64_t h = 1469598103934665603ULL;
+
+    void byte(unsigned char c)
+    {
+        h = (h ^ c) * 1099511628211ULL;
+    }
+
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<unsigned char>((v >> (8 * i)) & 0xFF));
+    }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s)
+            byte(static_cast<unsigned char>(c));
+    }
+
+    void f64(double d)
+    {
+        if (d == 0.0)
+            d = 0.0; // fold -0.0 into +0.0
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(d), "double is 64-bit");
+        std::memcpy(&bits, &d, sizeof(bits));
+        u64(bits);
+    }
+};
+
+} // namespace
+
+std::uint64_t Circuit::contentHash() const
+{
+    ContentHasher hash;
+    hash.str("qsa.circuit.v1");
+    hash.u64(nQubits);
+    hash.u64(regs.size());
+    for (const auto &r : regs) {
+        hash.str(r.name());
+        hash.u64(r.width());
+        for (unsigned i = 0; i < r.width(); ++i)
+            hash.u64(r.qubit(i));
+    }
+    hash.u64(insts.size());
+    for (const auto &inst : insts) {
+        hash.u64(static_cast<std::uint64_t>(inst.kind));
+        hash.u64(inst.controls.size());
+        for (unsigned c : inst.controls)
+            hash.u64(c);
+        hash.u64(inst.targets.size());
+        for (unsigned t : inst.targets)
+            hash.u64(t);
+        hash.f64(inst.angle);
+        hash.u64(inst.bit);
+        // Hash dense matrix contents, not the side-table id: ids are
+        // allocation order and differ across equal programs.
+        if (inst.kind == GateKind::Unitary && inst.matrixId >= 0) {
+            const auto &m = matrix(inst.matrixId);
+            hash.u64(m.dim());
+            for (std::size_t r = 0; r < m.dim(); ++r)
+                for (std::size_t c = 0; c < m.dim(); ++c) {
+                    hash.f64(m.at(r, c).real());
+                    hash.f64(m.at(r, c).imag());
+                }
+        } else {
+            hash.u64(0);
+        }
+        hash.str(inst.label);
+        hash.str(inst.condLabel);
+        hash.u64(inst.condValue);
+    }
+    return hash.h;
 }
 
 } // namespace qsa::circuit

@@ -226,6 +226,19 @@ class Circuit
      */
     std::size_t depth() const;
 
+    /**
+     * Stable 64-bit content hash over a canonical encoding of the
+     * circuit: qubit count, registers (name, qubit list), and every
+     * instruction field that affects semantics — kind, controls,
+     * targets, angle (bit pattern, -0.0 normalised to 0.0), classical
+     * bit, dense matrix *contents* (ids are arbitrary), labels, and
+     * conditions. Two circuits hash equal iff they are the same
+     * program; the hash is identical across runs, platforms, and
+     * QASM re-emission, which makes it the content address for the
+     * qsa::serve oracle store.
+     */
+    std::uint64_t contentHash() const;
+
     /** @} */
 
   private:

@@ -1,14 +1,30 @@
 /**
  * @file
  * OpenQASM 2.0 dialect emitter and recursive-descent parser.
+ *
+ * The parser reports failures as positioned QasmError values (line,
+ * column, offending token) through tryFromQasm and never calls
+ * fatal() on malformed *input* — qsa::serve hands it bytes from
+ * remote clients, and a bad circuit must come back as an error
+ * response, not kill the daemon. Internally errors propagate as a
+ * private exception; fromQasm converts them to the classic fatal.
+ *
+ * The same robustness rule covers the Circuit building calls: every
+ * precondition Circuit::append/measureQubits/breakpoint would fatal
+ * on (range, duplicate operands, arity, duplicate labels) is checked
+ * here first and reported as a parse error with a position.
  */
 
 #include "circuit/qasm.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -134,8 +150,60 @@ toQasm(const Circuit &circ)
     return os.str();
 }
 
+std::string
+QasmError::render() const
+{
+    std::ostringstream os;
+    os << "line " << line << ", column " << column << ": " << message;
+    if (!token.empty())
+        os << " '" << token << "'";
+    return os.str();
+}
+
 namespace
 {
+
+/** Internal error transport; tryFromQasm converts to QasmError. */
+struct ParseFailure
+{
+    QasmError err;
+};
+
+/** Throw a (not yet positioned) parse failure. */
+[[noreturn]] void
+parseThrow(std::string token, std::string message)
+{
+    ParseFailure failure;
+    failure.err.token = std::move(token);
+    failure.err.message = std::move(message);
+    throw failure;
+}
+
+/** Strip surrounding whitespace. */
+std::string
+trimmed(std::string s)
+{
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.front())))
+        s.erase(s.begin());
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back())))
+        s.pop_back();
+    return s;
+}
+
+/** Parse a decimal unsigned, rejecting junk and overflow. */
+std::uint64_t
+parseUnsigned(const std::string &text, const char *what)
+{
+    const std::string digits = trimmed(text);
+    if (digits.empty() || digits.size() > 18)
+        parseThrow(digits, std::string("bad ") + what);
+    for (char ch : digits)
+        if (!std::isdigit(static_cast<unsigned char>(ch)))
+            parseThrow(digits, std::string("bad ") + what);
+    return std::strtoull(digits.c_str(), nullptr, 10);
+}
 
 /**
  * Minimal arithmetic expression parser for angle parameters:
@@ -154,8 +222,10 @@ class ExprParser
     {
         const double v = expr();
         skipSpace();
-        fatal_if(pos != s.size(), "trailing characters in angle '", s,
-                 "'");
+        if (pos != s.size())
+            parseThrow(s, "trailing characters in angle");
+        if (!std::isfinite(v))
+            parseThrow(s, "non-finite angle");
         return v;
     }
 
@@ -218,18 +288,20 @@ class ExprParser
             return -factor();
         if (consume('(')) {
             const double v = expr();
-            fatal_if(!consume(')'), "unbalanced parens in angle '", s,
-                     "'");
+            if (!consume(')'))
+                parseThrow(s, "unbalanced parens in angle");
             return v;
         }
         if (s.compare(pos, 2, "pi") == 0) {
             pos += 2;
             return M_PI;
         }
-        std::size_t used = 0;
-        const double v = std::stod(s.substr(pos), &used);
-        fatal_if(used == 0, "bad number in angle '", s, "'");
-        pos += used;
+        const char *begin = s.c_str() + pos;
+        char *end = nullptr;
+        const double v = std::strtod(begin, &end);
+        if (end == begin || !std::isfinite(v))
+            parseThrow(s, "bad number in angle");
+        pos += static_cast<std::size_t>(end - begin);
         return v;
     }
 };
@@ -249,14 +321,8 @@ splitList(const std::string &text, char delim)
         }
     }
     out.push_back(cur);
-    for (auto &piece : out) {
-        while (!piece.empty() && std::isspace(
-                   static_cast<unsigned char>(piece.front())))
-            piece.erase(piece.begin());
-        while (!piece.empty() && std::isspace(
-                   static_cast<unsigned char>(piece.back())))
-            piece.pop_back();
-    }
+    for (auto &piece : out)
+        piece = trimmed(piece);
     return out;
 }
 
@@ -272,18 +338,15 @@ parseRef(const std::string &text)
 {
     const auto lb = text.find('[');
     const auto rb = text.find(']');
-    fatal_if(lb == std::string::npos || rb == std::string::npos ||
-                 rb < lb,
-             "bad qubit reference '", text, "'");
+    if (lb == std::string::npos || rb == std::string::npos || rb < lb)
+        parseThrow(trimmed(text), "bad register reference");
     RegRef ref;
-    ref.name = text.substr(0, lb);
-    while (!ref.name.empty() && std::isspace(
-               static_cast<unsigned char>(ref.name.front())))
-        ref.name.erase(ref.name.begin());
-    while (!ref.name.empty() && std::isspace(
-               static_cast<unsigned char>(ref.name.back())))
-        ref.name.pop_back();
-    ref.index = std::stoul(text.substr(lb + 1, rb - lb - 1));
+    ref.name = trimmed(text.substr(0, lb));
+    const std::uint64_t index = parseUnsigned(
+        text.substr(lb + 1, rb - lb - 1), "register index");
+    if (index > 0xFFFFFFFFULL)
+        parseThrow(trimmed(text), "register index out of range");
+    ref.index = static_cast<unsigned>(index);
     return ref;
 }
 
@@ -310,62 +373,155 @@ tryKindFromName(const std::string &name, GateKind &kind)
     return false;
 }
 
-} // anonymous namespace
-
-Circuit
-fromQasm(const std::string &text)
+/** See file comment: the positioned, fatal-free QASM parser. */
+class QasmParser
 {
+  public:
+    explicit QasmParser(const std::string &source) : src(source) {}
+
+    Circuit
+    parse()
+    {
+        std::istringstream is(src);
+        std::string line;
+        while (std::getline(is, line)) {
+            ++lineNo;
+            currentLine = line;
+            try {
+                parseLine(line);
+            } catch (ParseFailure &f) {
+                position(f.err);
+                throw;
+            } catch (const std::exception &e) {
+                ParseFailure f;
+                f.err.message = e.what();
+                position(f.err);
+                throw f;
+            }
+        }
+        try {
+            flushMeasures();
+        } catch (ParseFailure &f) {
+            position(f.err);
+            throw;
+        }
+        return std::move(circ);
+    }
+
+  private:
+    const std::string &src;
     Circuit circ;
-    std::map<std::string, unsigned> reg_base; // register name -> offset
-    std::map<std::string, std::string> creg_label; // creg -> label
-    // Pending measurement targets per label (rebuilt into one Measure
-    // instruction per label, in first-seen order).
+
+    /** Register name -> (qubit offset, width). */
+    std::map<std::string, std::pair<unsigned, unsigned>> regLayout;
+
+    /** Classical register name -> measurement label. */
+    std::map<std::string, std::string> cregLabel;
+
+    /**
+     * Pending measurement targets per label (rebuilt into one Measure
+     * instruction per label, in first-seen order).
+     */
     std::map<std::string, std::vector<std::pair<unsigned, unsigned>>>
-        pending_measures;
-    std::vector<std::string> pending_order;
+        pendingMeasures;
+    std::vector<std::string> pendingOrder;
 
-    auto resolve = [&](const std::string &ref_text) -> unsigned {
+    /** Labels some measure statement has already recorded into. */
+    std::set<std::string> measuredLabels;
+
+    std::size_t lineNo = 0;
+    std::string currentLine;
+
+    /** Fill in line/column on a failure raised while parsing. */
+    void
+    position(QasmError &err) const
+    {
+        if (err.line != 0)
+            return;
+        err.line = lineNo == 0 ? 1 : lineNo;
+        std::size_t col = currentLine.find_first_not_of(" \t");
+        col = (col == std::string::npos) ? 0 : col;
+        if (!err.token.empty()) {
+            const auto at = currentLine.find(err.token);
+            if (at != std::string::npos)
+                col = at;
+        }
+        err.column = col + 1;
+    }
+
+    unsigned
+    resolve(const std::string &ref_text)
+    {
         const RegRef ref = parseRef(ref_text);
-        auto it = reg_base.find(ref.name);
-        fatal_if(it == reg_base.end(), "unknown register '", ref.name,
-                 "'");
-        return it->second + ref.index;
-    };
+        const auto it = regLayout.find(ref.name);
+        if (it == regLayout.end())
+            parseThrow(ref.name, "unknown register");
+        if (ref.index >= it->second.second)
+            parseThrow(trimmed(ref_text),
+                       "qubit index out of range for register '" +
+                           ref.name + "'");
+        return it->second.first + ref.index;
+    }
 
-    auto flush_measures = [&]() {
-        for (const auto &label : pending_order) {
-            const auto &targets = pending_measures.at(label);
+    void
+    flushMeasures()
+    {
+        for (const auto &label : pendingOrder) {
+            const auto &targets = pendingMeasures.at(label);
             std::vector<unsigned> qubits(targets.size());
+            std::set<unsigned> seen_bits, seen_qubits;
             for (const auto &[cbit, qubit] : targets) {
-                fatal_if(cbit >= qubits.size(),
-                         "classical bit out of range in measure");
+                if (cbit >= qubits.size())
+                    parseThrow(label, "classical bits of measurement "
+                                      "group are not contiguous for "
+                                      "label");
+                if (!seen_bits.insert(cbit).second)
+                    parseThrow(label, "duplicate classical bit in "
+                                      "measurement group for label");
+                if (!seen_qubits.insert(qubit).second)
+                    parseThrow(label, "duplicate measured qubit in "
+                                      "measurement group for label");
                 qubits[cbit] = qubit;
             }
             circ.measureQubits(qubits, label);
         }
-        pending_measures.clear();
-        pending_order.clear();
-    };
+        pendingMeasures.clear();
+        pendingOrder.clear();
+    }
 
-    std::istringstream is(text);
-    std::string line;
-    while (std::getline(is, line)) {
+    void
+    parseLine(std::string line)
+    {
         // Pragmas first; then strip comments.
         if (line.rfind("// qsa.prepz", 0) == 0) {
-            flush_measures();
+            flushMeasures();
             std::istringstream ls(line.substr(12));
             unsigned qubit = 0, bit = 0;
             ls >> qubit >> bit;
+            if (!ls)
+                parseThrow(trimmed(line),
+                           "qsa.prepz pragma needs '<qubit> <bit>'");
+            if (qubit >= circ.numQubits())
+                parseThrow(std::to_string(qubit),
+                           "prepz qubit out of range");
+            if (bit > 1)
+                parseThrow(std::to_string(bit),
+                           "prepz bit must be 0 or 1");
             circ.prepZ(qubit, bit);
-            continue;
+            return;
         }
         if (line.rfind("// qsa.breakpoint", 0) == 0) {
-            flush_measures();
+            flushMeasures();
             std::istringstream ls(line.substr(17));
             std::string label;
             ls >> label;
+            if (label.empty())
+                parseThrow(trimmed(line),
+                           "qsa.breakpoint pragma needs a label");
+            if (circ.hasBreakpoint(label))
+                parseThrow(label, "duplicate breakpoint label");
             circ.breakpoint(label);
-            continue;
+            return;
         }
         const auto comment = line.find("//");
         if (comment != std::string::npos)
@@ -378,148 +534,192 @@ fromQasm(const std::string &text)
                 stmt += ch;
                 continue;
             }
-            // Trim.
-            while (!stmt.empty() && std::isspace(
-                       static_cast<unsigned char>(stmt.front())))
-                stmt.erase(stmt.begin());
-            while (!stmt.empty() && std::isspace(
-                       static_cast<unsigned char>(stmt.back())))
-                stmt.pop_back();
-            if (stmt.empty() || stmt.rfind("OPENQASM", 0) == 0 ||
-                stmt.rfind("include", 0) == 0 ||
-                stmt.rfind("barrier", 0) == 0) {
-                stmt.clear();
-                continue;
-            }
-
-            // Adjacent measure lines group into one Measure
-            // instruction; anything else flushes the group so program
-            // order is preserved.
-            if (stmt.rfind("measure", 0) != 0)
-                flush_measures();
-
-            if (stmt.rfind("qreg", 0) == 0) {
-                const RegRef ref = parseRef(stmt.substr(5));
-                reg_base[ref.name] = circ.numQubits();
-                circ.addRegister(ref.name, ref.index);
-                stmt.clear();
-                continue;
-            }
-            if (stmt.rfind("creg", 0) == 0) {
-                const RegRef ref = parseRef(stmt.substr(5));
-                std::string label = ref.name;
-                if (label.rfind("m_", 0) == 0)
-                    label = label.substr(2);
-                creg_label[ref.name] = label;
-                stmt.clear();
-                continue;
-            }
-            if (stmt.rfind("measure", 0) == 0) {
-                const auto arrow = stmt.find("->");
-                fatal_if(arrow == std::string::npos,
-                         "measure without '->'");
-                const unsigned qubit =
-                    resolve(stmt.substr(8, arrow - 8));
-                const RegRef cref =
-                    parseRef(stmt.substr(arrow + 2));
-                auto it = creg_label.find(cref.name);
-                fatal_if(it == creg_label.end(), "unknown creg '",
-                         cref.name, "'");
-                if (!pending_measures.count(it->second))
-                    pending_order.push_back(it->second);
-                pending_measures[it->second].emplace_back(cref.index,
-                                                          qubit);
-                stmt.clear();
-                continue;
-            }
-
-            // Optional classical condition prefix "if(creg==v)".
-            std::string cond_label;
-            std::uint64_t cond_value = 0;
-            if (stmt.rfind("if(", 0) == 0) {
-                const auto eq = stmt.find("==");
-                const auto close = stmt.find(')');
-                fatal_if(eq == std::string::npos ||
-                             close == std::string::npos || close < eq,
-                         "malformed if condition");
-                std::string creg = stmt.substr(3, eq - 3);
-                auto lit = creg_label.find(creg);
-                fatal_if(lit == creg_label.end(), "unknown creg '",
-                         creg, "' in condition");
-                cond_label = lit->second;
-                cond_value =
-                    std::stoull(stmt.substr(eq + 2, close - eq - 2));
-                stmt = stmt.substr(close + 1);
-                while (!stmt.empty() && std::isspace(
-                           static_cast<unsigned char>(stmt.front())))
-                    stmt.erase(stmt.begin());
-            }
-
-            // Gate statement: name[(params)] operands.
-            std::size_t name_end = 0;
-            while (name_end < stmt.size() &&
-                   (std::isalnum(
-                        static_cast<unsigned char>(stmt[name_end])) ||
-                    stmt[name_end] == '_'))
-                ++name_end;
-            std::string name = stmt.substr(0, name_end);
-            std::size_t rest = name_end;
-
-            double angle = 0.0;
-            if (rest < stmt.size() && stmt[rest] == '(') {
-                const auto close = stmt.find(')', rest);
-                fatal_if(close == std::string::npos,
-                         "unbalanced parameter list");
-                ExprParser ep(stmt.substr(rest + 1, close - rest - 1));
-                angle = ep.parse();
-                rest = close + 1;
-            }
-
-            // Strip 'c' control prefixes: no base mnemonic starts
-            // with 'c', so the first non-'c' position starts the base
-            // name ("ccu1" -> 2 controls, "u1").
-            unsigned num_controls = 0;
-            while (num_controls < name.size() &&
-                   name[num_controls] == 'c')
-                ++num_controls;
-
-            GateKind kind;
-            std::string base = name.substr(num_controls);
-            if (!tryKindFromName(base, kind)) {
-                // Names like "cswap" keep a leading 'c' in the base
-                // only if the full string is itself a gate; retry with
-                // fewer stripped prefixes before giving up.
-                bool found = false;
-                for (unsigned k = num_controls; k-- > 0;) {
-                    base = name.substr(k);
-                    if (tryKindFromName(base, kind)) {
-                        num_controls = k;
-                        found = true;
-                        break;
-                    }
-                }
-                fatal_if(!found, "unsupported QASM gate '", name, "'");
-            }
-            const auto operands = splitList(stmt.substr(rest), ',');
-            fatal_if(operands.size() < num_controls + 1,
-                     "not enough operands for gate");
-
-            Instruction inst;
-            inst.kind = kind;
-            inst.angle = angle;
-            inst.condLabel = cond_label;
-            inst.condValue = cond_value;
-            for (unsigned i = 0; i < num_controls; ++i)
-                inst.controls.push_back(resolve(operands[i]));
-            for (std::size_t i = num_controls; i < operands.size(); ++i)
-                inst.targets.push_back(resolve(operands[i]));
-            circ.append(inst);
+            handleStatement(trimmed(stmt));
             stmt.clear();
         }
+        if (!trimmed(stmt).empty())
+            parseThrow(trimmed(stmt), "statement missing ';'");
     }
 
-    flush_measures();
-    return circ;
+    void
+    handleStatement(const std::string &stmt_in)
+    {
+        std::string stmt = stmt_in;
+        if (stmt.empty() || stmt.rfind("OPENQASM", 0) == 0 ||
+            stmt.rfind("include", 0) == 0 ||
+            stmt.rfind("barrier", 0) == 0)
+            return;
+
+        // Adjacent measure lines group into one Measure instruction;
+        // anything else flushes the group so program order is
+        // preserved.
+        if (stmt.rfind("measure", 0) != 0)
+            flushMeasures();
+
+        if (stmt.rfind("qreg", 0) == 0) {
+            const RegRef ref = parseRef(stmt.substr(5));
+            if (ref.index == 0)
+                parseThrow(ref.name,
+                           "register must have width > 0");
+            if (regLayout.count(ref.name))
+                parseThrow(ref.name, "duplicate register name");
+            regLayout[ref.name] = {circ.numQubits(), ref.index};
+            circ.addRegister(ref.name, ref.index);
+            return;
+        }
+        if (stmt.rfind("creg", 0) == 0) {
+            const RegRef ref = parseRef(stmt.substr(5));
+            std::string label = ref.name;
+            if (label.rfind("m_", 0) == 0)
+                label = label.substr(2);
+            cregLabel[ref.name] = label;
+            return;
+        }
+        if (stmt.rfind("measure", 0) == 0) {
+            const auto arrow = stmt.find("->");
+            if (arrow == std::string::npos)
+                parseThrow(stmt, "measure without '->'");
+            const unsigned qubit = resolve(stmt.substr(8, arrow - 8));
+            const RegRef cref = parseRef(stmt.substr(arrow + 2));
+            const auto it = cregLabel.find(cref.name);
+            if (it == cregLabel.end())
+                parseThrow(cref.name, "unknown creg");
+            if (!pendingMeasures.count(it->second))
+                pendingOrder.push_back(it->second);
+            pendingMeasures[it->second].emplace_back(cref.index,
+                                                     qubit);
+            measuredLabels.insert(it->second);
+            return;
+        }
+
+        // Optional classical condition prefix "if(creg==v)".
+        std::string cond_label;
+        std::uint64_t cond_value = 0;
+        if (stmt.rfind("if(", 0) == 0) {
+            const auto eq = stmt.find("==");
+            const auto close = stmt.find(')');
+            if (eq == std::string::npos ||
+                close == std::string::npos || close < eq)
+                parseThrow(stmt, "malformed if condition");
+            const std::string creg = stmt.substr(3, eq - 3);
+            const auto lit = cregLabel.find(creg);
+            if (lit == cregLabel.end())
+                parseThrow(creg, "unknown creg in condition");
+            if (!measuredLabels.count(lit->second))
+                parseThrow(creg, "condition reads creg before any "
+                                 "measurement into it");
+            cond_label = lit->second;
+            cond_value = parseUnsigned(
+                stmt.substr(eq + 2, close - eq - 2),
+                "condition value");
+            stmt = trimmed(stmt.substr(close + 1));
+        }
+
+        // Gate statement: name[(params)] operands.
+        std::size_t name_end = 0;
+        while (name_end < stmt.size() &&
+               (std::isalnum(
+                    static_cast<unsigned char>(stmt[name_end])) ||
+                stmt[name_end] == '_'))
+            ++name_end;
+        const std::string name = stmt.substr(0, name_end);
+        if (name.empty())
+            parseThrow(stmt, "expected a gate name");
+        std::size_t rest = name_end;
+
+        double angle = 0.0;
+        bool has_angle = false;
+        if (rest < stmt.size() && stmt[rest] == '(') {
+            const auto close = stmt.find(')', rest);
+            if (close == std::string::npos)
+                parseThrow(name, "unbalanced parameter list for");
+            ExprParser ep(stmt.substr(rest + 1, close - rest - 1));
+            angle = ep.parse();
+            has_angle = true;
+            rest = close + 1;
+        }
+
+        // Strip 'c' control prefixes: no base mnemonic starts with
+        // 'c', so the first non-'c' position starts the base name
+        // ("ccu1" -> 2 controls, "u1").
+        unsigned num_controls = 0;
+        while (num_controls < name.size() && name[num_controls] == 'c')
+            ++num_controls;
+
+        GateKind kind;
+        std::string base = name.substr(num_controls);
+        if (!tryKindFromName(base, kind)) {
+            // Names like "cswap" keep a leading 'c' in the base only
+            // if the full string is itself a gate; retry with fewer
+            // stripped prefixes before giving up.
+            bool found = false;
+            for (unsigned k = num_controls; k-- > 0;) {
+                base = name.substr(k);
+                if (tryKindFromName(base, kind)) {
+                    num_controls = k;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                parseThrow(name, "unsupported QASM gate");
+        }
+        if (has_angle && !gateKindHasAngle(kind))
+            parseThrow(name, "gate takes no parameter:");
+
+        const auto operands = splitList(stmt.substr(rest), ',');
+        const std::size_t expected_targets =
+            kind == GateKind::Swap ? 2 : 1;
+        if (operands.size() != num_controls + expected_targets)
+            parseThrow(name,
+                       "gate expects " +
+                           std::to_string(num_controls +
+                                          expected_targets) +
+                           " operand(s), got " +
+                           std::to_string(operands.size()) +
+                           ", for");
+
+        Instruction inst;
+        inst.kind = kind;
+        inst.angle = angle;
+        inst.condLabel = cond_label;
+        inst.condValue = cond_value;
+        std::set<unsigned> seen;
+        for (std::size_t i = 0; i < operands.size(); ++i) {
+            const unsigned q = resolve(operands[i]);
+            if (!seen.insert(q).second)
+                parseThrow(operands[i], "duplicate qubit operand");
+            if (i < num_controls)
+                inst.controls.push_back(q);
+            else
+                inst.targets.push_back(q);
+        }
+        circ.append(inst);
+    }
+};
+
+} // anonymous namespace
+
+Circuit
+fromQasm(const std::string &text)
+{
+    QasmError error;
+    auto circ = tryFromQasm(text, &error);
+    fatal_if(!circ, "QASM parse error: ", error.render());
+    return std::move(*circ);
+}
+
+std::optional<Circuit>
+tryFromQasm(const std::string &text, QasmError *error)
+{
+    QasmParser parser(text);
+    try {
+        return parser.parse();
+    } catch (const ParseFailure &failure) {
+        if (error != nullptr)
+            *error = failure.err;
+        return std::nullopt;
+    }
 }
 
 void

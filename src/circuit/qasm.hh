@@ -20,6 +20,7 @@
 #ifndef QSA_CIRCUIT_QASM_HH
 #define QSA_CIRCUIT_QASM_HH
 
+#include <optional>
 #include <string>
 
 #include "circuit/circuit.hh"
@@ -31,12 +32,40 @@ namespace qsa::circuit
 std::string toQasm(const Circuit &circ);
 
 /**
+ * A positioned QASM parse failure: where in the source text the
+ * parser gave up (1-based line/column), the offending token when one
+ * is identifiable, and what went wrong. Remote clients (qsa::serve)
+ * get this verbatim in their error response, so every field must be
+ * actionable without access to the server's logs.
+ */
+struct QasmError
+{
+    std::size_t line = 0;
+    std::size_t column = 0;
+    std::string token;
+    std::string message;
+
+    /** "line 3, column 7: unsupported QASM gate 'zz'". */
+    std::string render() const;
+};
+
+/**
  * Parse the OpenQASM dialect back into a circuit.
  *
  * Supports the subset toQasm emits plus numeric angle expressions with
- * +, -, *, /, parentheses, and the constant pi.
+ * +, -, *, /, parentheses, and the constant pi. Fatal on malformed
+ * input, reporting the position via QasmError::render().
  */
 Circuit fromQasm(const std::string &text);
+
+/**
+ * Non-fatal form of fromQasm: returns the circuit, or std::nullopt
+ * with `*error` (when non-null) describing the failure. The form
+ * servers use — a malformed remote circuit must produce an error
+ * response, not take the daemon down.
+ */
+std::optional<Circuit> tryFromQasm(const std::string &text,
+                                   QasmError *error = nullptr);
 
 /** Write a circuit to a QASM file (fatal on I/O failure). */
 void saveQasmFile(const Circuit &circ, const std::string &path);

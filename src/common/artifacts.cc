@@ -1,0 +1,25 @@
+#include "artifacts.hh"
+
+#include <atomic>
+
+namespace qsa::common
+{
+
+namespace
+{
+
+std::atomic<ArtifactStore *> installed{nullptr};
+
+} // namespace
+
+void setArtifactStore(ArtifactStore *store)
+{
+    installed.store(store, std::memory_order_release);
+}
+
+ArtifactStore *artifactStore()
+{
+    return installed.load(std::memory_order_acquire);
+}
+
+} // namespace qsa::common

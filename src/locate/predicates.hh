@@ -157,6 +157,17 @@ class PredicateOracle
                                      double alpha,
                                      Frame frame = Frame::Z) const;
 
+    /**
+     * Every recorded predicate, keyed by (boundary, frame) — the
+     * (de)serialization surface the persistent oracle store uses to
+     * prove a warm restore equals a cold derivation.
+     */
+    const std::map<std::pair<std::size_t, Frame>, BoundaryPredicate> &
+    entries() const
+    {
+        return preds;
+    }
+
   private:
     circuit::QubitRegister reg;
     std::size_t totalBoundaries = 0;
@@ -216,6 +227,13 @@ class OverlapOracle
     double swapPassProbability(std::size_t boundary) const
     {
         return 0.5 * (1.0 + purityAt(boundary));
+    }
+
+    /** Every recorded purity by boundary (the (de)serialization
+     *  surface for the persistent oracle store). */
+    const std::map<std::size_t, double> &recordedPurities() const
+    {
+        return purities;
     }
 
   private:

@@ -38,10 +38,21 @@ ThreadPool::ThreadPool(unsigned num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(poolMutex);
+        std::unique_lock<std::mutex> lock(poolMutex);
         stopping = true;
+        // Both waiter classes must observe the shutdown: workers
+        // blocked on `wake` and posters blocked on `idle` (whose
+        // predicate is stopping-aware; they fall back to running
+        // their job inline). Forgetting `idle` deadlocks any thread
+        // mid-post when a pool dies under load.
+        wake.notify_all();
+        idle.notify_all();
+        // Let the in-flight job (if any) finish and every blocked
+        // poster leave before the workers are joined.
+        drained.wait(lock, [this] {
+            return postersWaiting == 0 && current == nullptr;
+        });
     }
-    wake.notify_all();
     for (auto &worker : workers)
         worker.join();
 }
@@ -100,12 +111,17 @@ ThreadPool::workerLoop()
                        (current && current->next.load() < current->n);
             });
         }
+        // Drain an in-flight job even when stopping: teardown must
+        // not drop work the poster already handed over.
+        if (current && current->next.load() < current->n) {
+            auto job = current;
+            lock.unlock();
+            drainJob(*job);
+            lock.lock();
+            continue;
+        }
         if (stopping)
             return;
-        auto job = current;
-        lock.unlock();
-        drainJob(*job);
-        lock.lock();
     }
 }
 
@@ -130,10 +146,24 @@ ThreadPool::parallelFor(std::size_t n,
     QSA_OBS_COUNTER("runtime.pool.jobs", 1);
     QSA_OBS_GAUGE_ADD("runtime.pool.queue_depth", 1);
     {
-        // Serialise posters: one job owns the pool at a time.
+        // Serialise posters: one job owns the pool at a time. The
+        // wait is stopping-aware so pool destruction cannot strand a
+        // thread here (see ~ThreadPool); on shutdown the job runs
+        // inline below, touching no pool state after the unlock.
         std::unique_lock<std::mutex> lock(poolMutex);
         QSA_OBS_TIMER(post_wait, "runtime.pool.poster_wait");
-        idle.wait(lock, [this] { return current == nullptr; });
+        ++postersWaiting;
+        idle.wait(lock,
+                  [this] { return stopping || current == nullptr; });
+        --postersWaiting;
+        if (stopping) {
+            drained.notify_all();
+            lock.unlock();
+            for (std::size_t i = 0; i < n; ++i)
+                body(i);
+            QSA_OBS_GAUGE_ADD("runtime.pool.queue_depth", -1);
+            return;
+        }
         current = job;
     }
     wake.notify_all();
@@ -152,10 +182,17 @@ ThreadPool::parallelFor(std::size_t n,
         });
     }
     {
+        // Notify under the lock: the destructor's drained.wait cannot
+        // finish (and free the condition variables) before this
+        // region releases poolMutex, and nothing here touches the
+        // pool after that.
         std::lock_guard<std::mutex> lock(poolMutex);
         current.reset();
+        if (stopping)
+            drained.notify_all();
+        else
+            idle.notify_one();
     }
-    idle.notify_one();
     QSA_OBS_GAUGE_ADD("runtime.pool.queue_depth", -1);
 
     if (job->error)

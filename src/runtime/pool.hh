@@ -47,6 +47,14 @@ class ThreadPool
      */
     explicit ThreadPool(unsigned num_threads = 0);
 
+    /**
+     * Safe while work is still arriving: an in-flight job is drained
+     * to completion, posters blocked waiting for the pool observe the
+     * shutdown and run their job inline on their own thread, and only
+     * then are the workers joined. Destruction never drops posted
+     * work and never deadlocks against concurrent parallelFor calls
+     * (tests/test_shutdown.cc churns pools under load to pin this).
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -117,6 +125,14 @@ class ThreadPool
     std::mutex poolMutex;
     std::condition_variable wake;
     std::condition_variable idle;
+
+    /** Destructor-side rendezvous: signalled when a blocked poster
+     *  leaves or the in-flight job clears during teardown. */
+    std::condition_variable drained;
+
+    /** Posters currently blocked in parallelFor's idle wait. */
+    std::size_t postersWaiting = 0;
+
     std::shared_ptr<Job> current;
     bool stopping = false;
 

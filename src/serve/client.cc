@@ -1,0 +1,104 @@
+#include "serve/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qsa::serve
+{
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    pending.clear();
+}
+
+bool
+Client::connect(const std::string &socket_path, std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path)) {
+        *error = "socket path too long: '" + socket_path + "'";
+        return false;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        *error = std::string("connect to '") + socket_path +
+                 "': " + std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::request(const std::string &request_line,
+                std::string *response, std::string *error)
+{
+    if (fd < 0) {
+        *error = "not connected";
+        return false;
+    }
+
+    const std::string payload = request_line + "\n";
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+        const ssize_t n =
+            ::send(fd, payload.data() + sent, payload.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            *error = std::string("send: ") +
+                     (n < 0 ? std::strerror(errno)
+                            : "connection closed");
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    while (true) {
+        const auto newline = pending.find('\n');
+        if (newline != std::string::npos) {
+            *response = pending.substr(0, newline);
+            pending.erase(0, newline + 1);
+            return true;
+        }
+        char buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            *error = n < 0 ? std::string("recv: ") +
+                                 std::strerror(errno)
+                           : "server closed the connection";
+            return false;
+        }
+        pending.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace qsa::serve

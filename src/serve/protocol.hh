@@ -1,0 +1,157 @@
+/**
+ * @file
+ * qsa::serve wire protocol: newline-delimited JSON requests and
+ * responses (one JSON object per line, no embedded newlines).
+ *
+ * Request schema
+ * --------------
+ *
+ *     {"id": <any JSON value, echoed back>,
+ *      "command": "ping" | "lint" | "analyze" | "check" | "locate",
+ *      "circuit": "<OpenQASM dialect text, see circuit/qasm.hh>",
+ *      // check / analyze: the assertion plan (session/plan.hh schema)
+ *      "plan": [{"at": "final", "expect": "classical", ...}, ...],
+ *      // locate only:
+ *      "reference": "<OpenQASM text of the trusted program>",
+ *      "register": "name",          // optional: marginal localization
+ *      "register_b": "name",        // optional: scope-inherited pairs
+ *      "strategy": "adaptive" | "linear",
+ *      "family": "segment_mirror" | "mixture_marginal" |
+ *                "rotated_marginal" | "swap_test" | "auto",
+ *      // ensemble configuration (all optional):
+ *      "seed": 81985529216486895,
+ *      "ensemble_size": 256,
+ *      "mode": "sample_final_state" | "resimulate",
+ *      "threads": 0,
+ *      "g_test": false,
+ *      "holm_bonferroni": false}
+ *
+ * Response schema
+ * ---------------
+ *
+ *     {"id": <echoed>, "ok": true, "command": "check",
+ *      "result": {...}, "obs": {...}}
+ *     {"id": <echoed>, "ok": false,
+ *      "error": {"message": "...",
+ *                "line": 3, "column": 7, "token": "zz"}}  // QASM only
+ *
+ * Determinism contract: the "result" member is a pure function of the
+ * request — identical bytes for identical requests, regardless of
+ * thread count, request interleaving, or whether the request ran
+ * in-process or through the daemon (CI byte-compares the two). All
+ * timing and environment-dependent observability lives in the
+ * separable top-level "obs" member, which carries the request's
+ * wall-clock duration and trace-span identity and is excluded from
+ * the contract.
+ *
+ * Robustness: parseRequest/handleRequestLine never fatal on request
+ * content. Malformed JSON, bad QASM (positioned via
+ * circuit::tryFromQasm), unknown commands, invalid plans
+ * (session::validatePlan), and over-limit circuits all produce
+ * "ok": false responses. executeRequest assumes a request that passed
+ * parseRequest — by then every fatal path in the session/locate
+ * layers has been pre-validated away.
+ */
+
+#ifndef QSA_SERVE_PROTOCOL_HH
+#define QSA_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assertions/spec.hh"
+#include "circuit/circuit.hh"
+#include "circuit/qasm.hh"
+#include "common/json.hh"
+#include "locate/locate.hh"
+#include "session/plan.hh"
+
+namespace qsa::serve
+{
+
+/**
+ * Resource ceilings a request must respect — the daemon's protection
+ * against well-formed but absurd work (a 30-qubit statevector, a
+ * billion-trial ensemble). Limits violations are rejected at parse
+ * time with an explanatory error response.
+ */
+struct Limits
+{
+    /** Statevector qubits (swap-test locate simulates 2n+1). */
+    unsigned maxQubits = 12;
+
+    /** Per-assertion / per-probe ensemble ceiling. */
+    std::size_t maxEnsembleSize = 1 << 16;
+
+    /** Plan entries per request. */
+    std::size_t maxPlanItems = 64;
+
+    /** Instructions per circuit. */
+    std::size_t maxInstructions = 4096;
+};
+
+/** A parsed, validated request — executeRequest cannot fail on it. */
+struct Request
+{
+    /** Echoed verbatim into the response ("id" member; Null when
+     *  absent). */
+    json::Value id;
+
+    std::string command;
+
+    circuit::Circuit circuit;
+
+    /** locate: the trusted program. */
+    std::optional<circuit::Circuit> reference;
+
+    /** check / analyze: the assertion plan. */
+    std::vector<session::PlanAssertion> plan;
+
+    /** locate: marginal register names ("" = full-space probes). */
+    std::string registerA;
+    std::string registerB;
+
+    locate::Strategy strategy = locate::Strategy::AdaptiveBinarySearch;
+    locate::ProbeFamily family = locate::ProbeFamily::SegmentMirror;
+
+    std::uint64_t seed = 0x51c0ffee;
+    std::size_t ensembleSize = 256;
+    assertions::EnsembleMode mode =
+        assertions::EnsembleMode::SampleFinalState;
+    unsigned threads = 0;
+    bool gTest = false;
+    bool holmBonferroni = false;
+};
+
+/**
+ * Parse and validate one request object. Returns false with a
+ * human-readable `*error` on any schema, QASM, plan, or limits
+ * violation; `*qasm` (when non-null) additionally carries the
+ * positioned parse failure when the error came from a circuit field.
+ */
+bool parseRequest(const json::Value &doc, Request *request,
+                  std::string *error,
+                  circuit::QasmError *qasm = nullptr,
+                  const Limits &limits = Limits());
+
+/**
+ * Execute a validated request and return its deterministic "result"
+ * payload (see the file comment's contract). Runs the full
+ * session/locate machinery — this is the call the dispatcher fans
+ * out over the worker pool.
+ */
+json::Value executeRequest(const Request &request);
+
+/**
+ * The complete per-line entry point: parse `line`, execute, and
+ * render the full NDJSON response (without trailing newline). Never
+ * throws, never fatals on request content — the daemon's inner loop.
+ */
+std::string handleRequestLine(const std::string &line,
+                              const Limits &limits = Limits());
+
+} // namespace qsa::serve
+
+#endif // QSA_SERVE_PROTOCOL_HH

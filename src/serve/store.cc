@@ -1,0 +1,161 @@
+#include "serve/store.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "obs/obs.hh"
+
+namespace qsa::serve
+{
+
+namespace
+{
+
+/** FNV-1a over the canonical key — the on-disk file name. */
+std::string keyDigest(const std::string &key)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : key)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    std::ostringstream os;
+    os << std::hex;
+    os.width(16);
+    os.fill('0');
+    os << h;
+    return os.str();
+}
+
+/** Distinct temp names for writers racing on one entry. */
+std::atomic<std::uint64_t> tempCounter{0};
+
+} // namespace
+
+OracleStore::OracleStore(std::string root)
+    : rootDir(std::move(root))
+{
+    fatal_if(rootDir.empty(), "oracle store needs a root directory");
+}
+
+OracleStore::~OracleStore()
+{
+    uninstall();
+}
+
+std::string OracleStore::pathFor(const std::string &kind,
+                                 const std::string &key) const
+{
+    return rootDir + "/" + kind + "/" + keyDigest(key) + ".json";
+}
+
+bool OracleStore::load(const std::string &kind,
+                       const std::string &key, std::string *payload)
+{
+    const std::string path = pathFor(kind, key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+    {
+        QSA_OBS_COUNTER("serve.oracle_cache.misses", 1);
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    json::Value doc;
+    bool usable = json::Value::parse(text.str(), &doc);
+    const json::Value *inner = nullptr;
+    if (usable)
+    {
+        try
+        {
+            const json::Value *version = doc.find("qsa_oracle_store");
+            const json::Value *stored_kind = doc.find("kind");
+            const json::Value *stored_key = doc.find("key");
+            inner = doc.find("payload");
+            usable = version != nullptr &&
+                     version->asUint64() == kFormatVersion &&
+                     stored_kind != nullptr &&
+                     stored_kind->asString() == kind &&
+                     stored_key != nullptr &&
+                     stored_key->asString() == key &&
+                     inner != nullptr;
+        }
+        catch (const json::TypeError &)
+        {
+            usable = false;
+        }
+    }
+    if (!usable)
+    {
+        QSA_OBS_COUNTER("serve.oracle_cache.misses", 1);
+        return false;
+    }
+
+    *payload = inner->dump();
+    QSA_OBS_COUNTER("serve.oracle_cache.hits", 1);
+    return true;
+}
+
+void OracleStore::store(const std::string &kind,
+                        const std::string &key,
+                        const std::string &payload)
+{
+    json::Value inner;
+    if (!json::Value::parse(payload, &inner))
+    {
+        QSA_WARN_ONCE("oracle store: producer payload is not valid "
+                      "JSON, not persisting");
+        return;
+    }
+
+    json::Value doc = json::Value::object();
+    doc.set("qsa_oracle_store", json::Value::integer(kFormatVersion));
+    doc.set("kind", json::Value::string(kind));
+    doc.set("key", json::Value::string(key));
+    doc.set("payload", std::move(inner));
+
+    const std::string path = pathFor(kind, key);
+    std::error_code ec;
+    std::filesystem::create_directories(rootDir + "/" + kind, ec);
+    if (ec)
+        return; // best-effort: next lookup re-derives
+
+    const std::string temp =
+        path + ".tmp." +
+        std::to_string(
+            tempCounter.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return;
+        out << doc.dump() << "\n";
+        if (!out)
+        {
+            out.close();
+            std::remove(temp.c_str());
+            return;
+        }
+    }
+    // rename(2) is atomic within a filesystem: readers see either the
+    // old entry or the complete new one.
+    if (std::rename(temp.c_str(), path.c_str()) != 0)
+        std::remove(temp.c_str());
+    QSA_OBS_COUNTER("serve.oracle_cache.writes", 1);
+}
+
+void OracleStore::install()
+{
+    common::setArtifactStore(this);
+}
+
+void OracleStore::uninstall()
+{
+    if (common::artifactStore() == this)
+        common::setArtifactStore(nullptr);
+}
+
+} // namespace qsa::serve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * qsa::serve::OracleStore — the versioned JSON-on-disk artifact cache
+ * behind the debugging service.
+ *
+ * Layout: one file per artifact at
+ *
+ *     <root>/<kind>/<fnv64(key) as 16 hex digits>.json
+ *
+ * where `kind` is the producer namespace ("predicates", "overlap",
+ * "prefix_cert") and `key` is the producer's canonical key — a
+ * human-readable string that starts with the producer's payload
+ * schema version and embeds the relevant Circuit::contentHash(), so
+ * the key *is* the invalidation rule: edit the circuit, change the
+ * probed register/boundaries/frames, or bump the payload version and
+ * the lookup simply misses.
+ *
+ * Each file wraps the payload in an envelope
+ *
+ *     {"qsa_oracle_store": 1, "kind": "...", "key": "...",
+ *      "payload": {...}}
+ *
+ * checked on load: wrong envelope version, wrong kind, or a key that
+ * does not match byte-for-byte (a hash collision or a truncated
+ * write) all degrade to a miss — never to a wrong artifact. Writes
+ * are temp-file + rename, so concurrent requests racing on the same
+ * derivation each publish a complete file and readers never observe
+ * a partial one.
+ *
+ * Counters `serve.oracle_cache.hits` / `serve.oracle_cache.misses`
+ * account every lookup; the CI bench gate requires hits > 0 on the
+ * warm half of the serve benchmark.
+ */
+
+#ifndef QSA_SERVE_STORE_HH
+#define QSA_SERVE_STORE_HH
+
+#include <string>
+
+#include "common/artifacts.hh"
+
+namespace qsa::serve
+{
+
+/** See file comment. */
+class OracleStore : public common::ArtifactStore
+{
+  public:
+    /** Envelope format version (bump = every entry invalidated). */
+    static constexpr std::uint64_t kFormatVersion = 1;
+
+    /**
+     * Open (and lazily create) a store rooted at `root`. The
+     * directory is created on first write, not here, so pointing at
+     * a read-only location only disables persistence.
+     */
+    explicit OracleStore(std::string root);
+
+    /** Uninstalls itself if still installed. */
+    ~OracleStore() override;
+
+    OracleStore(const OracleStore &) = delete;
+    OracleStore &operator=(const OracleStore &) = delete;
+
+    bool load(const std::string &kind, const std::string &key,
+              std::string *payload) override;
+
+    void store(const std::string &kind, const std::string &key,
+               const std::string &payload) override;
+
+    /** Install as the process-wide store consulted by the oracle
+     *  producers (common::setArtifactStore). */
+    void install();
+
+    /** Remove the process-wide installation if it points here. */
+    void uninstall();
+
+    const std::string &root() const { return rootDir; }
+
+  private:
+    std::string rootDir;
+
+    std::string pathFor(const std::string &kind,
+                        const std::string &key) const;
+};
+
+} // namespace qsa::serve
+
+#endif // QSA_SERVE_STORE_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Serialized assertion plans: the JSON form of a Session's expect*
+ * calls, and the machinery turning one into registered assertions.
+ *
+ * A wire client (qsa::serve) cannot call the fluent builders — it
+ * sends data. A plan is a JSON array of assertion objects,
+ *
+ *     [{"at": "final", "expect": "classical",
+ *       "register": "sum", "value": 3, "alpha": 0.01},
+ *      {"after": 2, "expect": "entangled",
+ *       "register": "a", "register_b": "b"}]
+ *
+ * where each object carries
+ *
+ *  - exactly one site: `"at": <breakpoint label>` or
+ *    `"after": <instruction boundary>`,
+ *  - `"expect"`: one of "classical" (+ `"value"`), "superposition",
+ *    "distribution" (+ `"probs"`), "uniform_subset" (+ `"support"`),
+ *    "entangled" / "product" (+ `"register_b"`),
+ *  - `"register"` (and `"register_b"`): register *names*, resolved
+ *    against the session's program,
+ *  - optional `"alpha"`, `"name"`, `"ensemble_size"` — the same
+ *    refinements the Expectation handle offers.
+ *
+ * Session::expect(PlanAssertion) registers one parsed item and
+ * returns the usual Expectation handle, so a deserialized plan is
+ * indistinguishable from the equivalent fluent calls — the substrate
+ * of the serve determinism contract (wire request ≡ in-process
+ * session).
+ *
+ * Parsing (tryPlanFromJson) and program-level validation
+ * (validatePlan) are non-fatal: the serving layer adjudicates bad
+ * requests per-connection and must outlive them.
+ */
+
+#ifndef QSA_SESSION_PLAN_HH
+#define QSA_SESSION_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace qsa::json
+{
+class Value;
+} // namespace qsa::json
+
+namespace qsa::session
+{
+
+/** Assertion kind addressable from a serialized plan. */
+enum class PlanKind
+{
+    Classical,
+    Superposition,
+    Distribution,
+    UniformSubset,
+    Entangled,
+    Product,
+};
+
+/** Wire name of a plan kind ("classical", "uniform_subset", ...). */
+std::string planKindName(PlanKind kind);
+
+/** One deserialized plan item (see file comment for the schema). */
+struct PlanAssertion
+{
+    /** Site: breakpoint label when false, raw boundary when true. */
+    bool atBoundary = false;
+    std::string breakpoint;
+    std::size_t boundary = 0;
+
+    PlanKind kind = PlanKind::Classical;
+
+    /** Register names, resolved against the program at expect(). */
+    std::string regA;
+    std::string regB;
+
+    /** Classical expected value. */
+    std::uint64_t expectedValue = 0;
+
+    /** Distribution probabilities. */
+    std::vector<double> probs;
+
+    /** UniformSubset support values. */
+    std::vector<std::uint64_t> support;
+
+    /** 0 = the per-spec default (assertions::kDefaultAlpha). */
+    double alpha = 0.0;
+
+    /** Empty = run()-time default name. */
+    std::string name;
+
+    /** 0 = the session-wide ensemble size. */
+    std::size_t ensembleSize = 0;
+};
+
+/**
+ * Parse a plan from an already-parsed JSON array (the serve request
+ * path — requests are parsed once). Returns false with a positioned
+ * human-readable `*error` ("plan[2]: ...") on any schema violation.
+ */
+bool tryPlanFromValue(const json::Value &array,
+                      std::vector<PlanAssertion> *plan,
+                      std::string *error);
+
+/** As tryPlanFromValue, from JSON text. */
+bool tryPlanFromJson(const std::string &text,
+                     std::vector<PlanAssertion> *plan,
+                     std::string *error);
+
+/** Parse or fatal() — the trusted-input convenience form. */
+std::vector<PlanAssertion> planFromJson(const std::string &text);
+
+/**
+ * Validate a parsed plan against a concrete program without
+ * registering anything: register names exist, breakpoint labels /
+ * boundaries exist, values fit the register, probability vectors have
+ * the right arity and normalisation, alphas are in (0, 1). Returns ""
+ * when valid, else the first violation ("plan[0]: unknown register
+ * 'qq'"). A plan that validates cleanly cannot make
+ * Session::expect() or run() fatal on shape grounds.
+ */
+std::string validatePlan(const circuit::Circuit &program,
+                         const std::vector<PlanAssertion> &plan);
+
+} // namespace qsa::session
+
+#endif // QSA_SESSION_PLAN_HH

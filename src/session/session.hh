@@ -66,6 +66,7 @@ namespace qsa::session
 {
 
 class Session;
+struct PlanAssertion;
 
 /**
  * Family-wise error-control policy: adjudicate the whole plan's
@@ -319,6 +320,16 @@ class Session
      * with the exact oracles against program()).
      */
     static std::string boundaryLabel(std::size_t boundary);
+
+    /**
+     * Register one deserialized plan item (see session/plan.hh):
+     * resolves the site and register names against the program and
+     * dispatches to the matching expect* builder, so a JSON plan is
+     * indistinguishable from the equivalent fluent calls. Register /
+     * site resolution is fatal on unknown names — wire callers
+     * pre-validate with session::validatePlan.
+     */
+    Expectation &expect(const PlanAssertion &item);
 
     /** @} */
     /** @{ @name Execution, reporting, localization */

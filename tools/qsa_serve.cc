@@ -1,0 +1,127 @@
+/**
+ * @file
+ * qsa_serve — the debugging-as-a-service daemon.
+ *
+ * Usage:
+ *   qsa_serve --socket <path> [--store <dir>] [--workers N]
+ *             [--queue N] [--max-qubits N]
+ *
+ * Listens on a Unix-domain socket for newline-delimited JSON requests
+ * (serve/protocol.hh documents the wire schema: ping / lint /
+ * analyze / check / locate over OpenQASM circuits) and serves them
+ * concurrently; every request's ensemble work fans out over the one
+ * process-wide runtime::ThreadPool. With --store, a
+ * serve::OracleStore is installed at the given directory so boundary
+ * predicates, mixture purities, and Clifford prefix-equivalence
+ * certificates persist across requests AND daemon restarts
+ * (content-addressed by Circuit::contentHash; serve.oracle_cache.*
+ * counters report reuse).
+ *
+ * Shutdown: SIGTERM / SIGINT trigger a graceful drain — stop
+ * accepting, finish every queued request, flush responses — followed
+ * by a NORMAL process exit, so atexit hooks run: a daemon started
+ * with QSA_TRACE=<path> writes its trace file on the way out like
+ * every other qsa tool.
+ *
+ * Readiness: prints "listening on <path>" to stdout (flushed) once
+ * requests can connect; scripts wait for that line.
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hh"
+#include "serve/store.hh"
+
+namespace
+{
+
+using namespace qsa;
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: qsa_serve --socket <path> [--store <dir>] "
+          "[--workers N] [--queue N] [--max-qubits N]\n"
+          "  --socket     Unix-domain socket path to listen on\n"
+          "  --store      oracle store directory (persistent cache)\n"
+          "  --workers    dispatcher threads (default: auto)\n"
+          "  --queue      request queue bound (default: 64)\n"
+          "  --max-qubits per-request qubit ceiling (default: 12)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerConfig config;
+    std::string store_dir;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            config.socketPath = argv[++i];
+        } else if (arg == "--store" && has_value) {
+            store_dir = argv[++i];
+        } else if (arg == "--workers" && has_value) {
+            config.workers =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--queue" && has_value) {
+            config.maxQueue =
+                static_cast<std::size_t>(std::atol(argv[++i]));
+        } else if (arg == "--max-qubits" && has_value) {
+            config.limits.maxQubits =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "qsa_serve: unknown or incomplete argument '"
+                      << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    if (config.socketPath.empty()) {
+        std::cerr << "qsa_serve: --socket is required\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    // Block the shutdown signals in every thread the server will
+    // spawn (threads inherit the mask), then wait for one below.
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGTERM);
+    sigaddset(&signals, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    // Optional persistent oracle store, shared by every request.
+    std::unique_ptr<serve::OracleStore> store;
+    if (!store_dir.empty()) {
+        store = std::make_unique<serve::OracleStore>(store_dir);
+        store->install();
+    }
+
+    serve::Server server(config);
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "qsa_serve: " << error << "\n";
+        return 1;
+    }
+    std::cout << "listening on " << server.socketPath() << std::endl;
+
+    int signal_number = 0;
+    sigwait(&signals, &signal_number);
+    std::cout << "draining (signal " << signal_number << ")"
+              << std::endl;
+    server.stop();
+
+    // Normal return: static destructors and atexit hooks (the
+    // QSA_TRACE flush) run.
+    return 0;
+}
