@@ -176,6 +176,37 @@ zFrameTeleportPair()
     return pair;
 }
 
+/**
+ * Wide-measurement program: qubit 0 recycled through 13 measurement
+ * rounds (2^13 = 8192 outcome histories, past the exact oracle's
+ * 4096-branch cap) while qubit 1 carries a persistent prep defect
+ * (X where the reference uses H). Exact reference derivation is
+ * impossible here — this fixture is the sampled oracle's headline.
+ */
+std::pair<Circuit, Circuit>
+wideMeasurePair()
+{
+    std::pair<Circuit, Circuit> pair;
+    Circuit *circs[] = {&pair.first, &pair.second};
+    for (Circuit *circ : circs) {
+        const bool buggy = circ == &pair.first;
+        const auto work = circ->addRegister("work", 1);
+        const auto carry = circ->addRegister("carry", 1);
+        circ->h(work[0]);
+        circ->measureQubits({work[0]}, "m_r0");
+        if (buggy)
+            circ->x(carry[0]);
+        else
+            circ->h(carry[0]);
+        for (int round = 1; round < 13; ++round) {
+            circ->h(work[0]);
+            circ->measureQubits({work[0]},
+                                "m_r" + std::to_string(round));
+        }
+    }
+    return pair;
+}
+
 std::pair<Circuit, Circuit>
 fixturePair(int which)
 {
@@ -184,7 +215,8 @@ fixturePair(int which)
       case 1: return misroutedPair();
       case 2: return wrongInversePair();
       case 3: return measuredTeleportPair();
-      default: return zFrameTeleportPair();
+      case 4: return zFrameTeleportPair();
+      default: return wideMeasurePair();
     }
 }
 
@@ -196,7 +228,8 @@ fixtureName(int which)
       case 1: return "misrouted-control";
       case 2: return "wrong-inverse";
       case 3: return "measured-teleport";
-      default: return "zframe-teleport";
+      case 4: return "zframe-teleport";
+      default: return "wide-measure";
     }
 }
 
@@ -206,7 +239,8 @@ runLocate(benchmark::State &state, locate::Strategy strategy,
               assertions::EnsembleMode::SampleFinalState,
           locate::ProbeFamily family =
               locate::ProbeFamily::SegmentMirror,
-          const char *reg_name = nullptr)
+          const char *reg_name = nullptr,
+          locate::OracleMode oracle_mode = locate::OracleMode::Auto)
 {
     const auto pair = fixturePair((int)state.range(0));
 
@@ -214,6 +248,7 @@ runLocate(benchmark::State &state, locate::Strategy strategy,
     cfg.strategy = strategy;
     cfg.mode = mode;
     cfg.family = family;
+    cfg.oracleMode = oracle_mode;
     cfg.ensembleSize = 64;
     cfg.maxEnsembleSize = 1024;
     const locate::BugLocator locator(pair.first, pair.second, cfg);
@@ -328,6 +363,33 @@ BM_LocateAutoEscalation(benchmark::State &state)
 BENCHMARK(BM_LocateAutoEscalation)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// The sampled reference oracle on the wide-measurement fixture — the
+// program whose exact mixture tracking overflows the branch cap, so
+// Monte-Carlo marginal estimation is the only oracle that runs at
+// all. The scan is the exhaustive baseline; the adaptive search's
+// probe count is the number to watch.
+void
+BM_LocateSampledOracle(benchmark::State &state)
+{
+    runLocate(state, locate::Strategy::AdaptiveBinarySearch,
+              assertions::EnsembleMode::Resimulate,
+              locate::ProbeFamily::SegmentMirror, nullptr,
+              locate::OracleMode::Sampled);
+}
+BENCHMARK(BM_LocateSampledOracle)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_LocateSampledOracleScan(benchmark::State &state)
+{
+    runLocate(state, locate::Strategy::LinearScan,
+              assertions::EnsembleMode::Resimulate,
+              locate::ProbeFamily::SegmentMirror, nullptr,
+              locate::OracleMode::Sampled);
+}
+BENCHMARK(BM_LocateSampledOracleScan)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
 /**
  * Replay one localization per benchmark configuration with the
  * registry freshly reset, so the "metrics" snapshot in the --json
@@ -343,12 +405,15 @@ metricsEpilogue()
     const auto once = [](int which, locate::Strategy strategy,
                          assertions::EnsembleMode mode,
                          locate::ProbeFamily family,
-                         const char *reg_name) {
+                         const char *reg_name,
+                         locate::OracleMode oracle_mode =
+                             locate::OracleMode::Auto) {
         const auto pair = fixturePair(which);
         locate::LocateConfig cfg;
         cfg.strategy = strategy;
         cfg.mode = mode;
         cfg.family = family;
+        cfg.oracleMode = oracle_mode;
         cfg.ensembleSize = 64;
         cfg.maxEnsembleSize = 1024;
         const locate::BugLocator locator(pair.first, pair.second,
@@ -385,6 +450,12 @@ metricsEpilogue()
          ProbeFamily::RotatedMarginal, "recv");
     once(4, Strategy::AdaptiveBinarySearch, EnsembleMode::Resimulate,
          ProbeFamily::Auto, "recv");
+    once(5, Strategy::AdaptiveBinarySearch, EnsembleMode::Resimulate,
+         ProbeFamily::SegmentMirror, nullptr,
+         locate::OracleMode::Sampled);
+    once(5, Strategy::LinearScan, EnsembleMode::Resimulate,
+         ProbeFamily::SegmentMirror, nullptr,
+         locate::OracleMode::Sampled);
 }
 
 } // anonymous namespace

@@ -11,6 +11,11 @@ the outside:
  - identical requests produce byte-identical "result" members no
    matter how the concurrent batch interleaved,
  - a second (warm-store) round reproduces round one byte-for-byte,
+ - an exact-mode locate whose reference overflows the measurement
+   branch cap gets a structured error naming the instruction, and the
+   SAME connection then serves a normal request and a sampled-mode
+   retry of the same wide program (the daemon survives oracle
+   derivation failures),
  - SIGTERM drains gracefully: exit status 0 and the atexit QSA_TRACE
    flush produced a well-formed trace file,
  - the store directory actually holds persisted artifacts.
@@ -135,6 +140,66 @@ def check_round(requests, responses):
     return by_request
 
 
+def wide_measure_qasm(buggy):
+    """Recycle one qubit through 13 measurement rounds (2^13 outcome
+    histories — past the exact oracle's branch cap) with a persistent
+    prep defect on a second qubit."""
+    lines = ["OPENQASM 2.0;", "qreg q[2];"]
+    lines += [f"creg m_r{r}[1];" for r in range(13)]
+    lines += ["h q[0];", "measure q[0] -> m_r0[0];",
+              ("x" if buggy else "h") + " q[1];"]
+    for r in range(1, 13):
+        lines += ["h q[0];", f"measure q[0] -> m_r{r}[0];"]
+    return "\n".join(lines) + "\n"
+
+
+def check_derive_error_survival(client, socket_path):
+    """One client, one connection, three requests: the over-cap exact
+    locate must come back as a structured error — and the daemon must
+    keep answering on the same socket afterwards."""
+    wide = {
+        "command": "locate",
+        "circuit": wide_measure_qasm(True),
+        "reference": wide_measure_qasm(False),
+        "mode": "resimulate",
+        "ensemble_size": 64,
+        "oracle_trials": 2048,
+    }
+    batch = [
+        json.dumps({"id": "over-cap", "oracle_mode": "exact", **wide}),
+        json.dumps({"id": "after", "command": "ping"}),
+        json.dumps({"id": "retry", "oracle_mode": "sampled", **wide}),
+    ]
+    proc = subprocess.run(
+        [client, "--socket", socket_path],
+        input="\n".join(batch) + "\n", capture_output=True,
+        text=True, timeout=120)
+    if proc.returncode != 0:
+        fail("connection died after the over-cap request: client "
+             f"exited {proc.returncode}: {proc.stderr.strip()}")
+    lines = proc.stdout.strip().splitlines()
+    if len(lines) != 3:
+        fail(f"expected 3 responses on one connection, got "
+             f"{len(lines)}: {proc.stdout!r}")
+    over_cap, after, retry = (result_member(line, i)
+                              for i, line in enumerate(lines))
+    if over_cap.get("ok") is not False:
+        fail(f"over-cap exact locate was not an error: {lines[0]}")
+    err = over_cap.get("error", {})
+    if "exceeded its cap" not in err.get("message", ""):
+        fail(f"over-cap error does not name the cap: {err}")
+    if "measure" not in err.get("instruction", ""):
+        fail(f"over-cap error does not name the instruction: {err}")
+    if after.get("ok") is not True:
+        fail(f"daemon stopped serving after a derive error: "
+             f"{lines[1]}")
+    if retry.get("ok") is not True:
+        fail(f"sampled-mode retry failed: {lines[2]}")
+    if retry.get("result", {}).get("bug_found") is not True:
+        fail("sampled-mode retry missed the wide-measurement defect: "
+             f"{lines[2]}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--serve", required=True)
@@ -172,6 +237,8 @@ def main():
                 fail("warm-store replay changed a result:\n"
                      f"  request: {key}\n  cold: {result}\n"
                      f"  warm: {warm.get(key)}")
+
+        check_derive_error_survival(args.client, socket_path)
 
         if not any(files for _, _, files in os.walk(store_dir)):
             fail(f"oracle store {store_dir} persisted nothing")

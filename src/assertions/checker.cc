@@ -90,6 +90,20 @@ validateSpecShape(const AssertionSpec &spec)
         }
         fatal_if(std::abs(total - 1.0) > 1e-6,
                  "expected distribution must sum to 1, got ", total);
+        if (!spec.referenceCounts.empty()) {
+            fatal_if(spec.referenceCounts.size() !=
+                         pow2(spec.regA.width()),
+                     "reference counts must have 2^width entries");
+            double count_total = 0.0;
+            for (double c : spec.referenceCounts) {
+                fatal_if(!std::isfinite(c),
+                         "non-finite reference count");
+                fatal_if(c < 0.0, "negative reference count");
+                count_total += c;
+            }
+            fatal_if(count_total <= 0.0,
+                     "reference counts must have a positive total");
+        }
     }
 }
 
@@ -327,6 +341,26 @@ AssertionChecker::checkWithSize(const AssertionSpec &spec,
       case AssertionKind::Distribution: {
         const std::uint64_t domain = pow2(spec.regA.width());
         const auto observed = stats::denseCounts(values_a, domain);
+
+        // Sampled-reference distributions get the two-sample test:
+        // the reference side is itself a finite sample (see
+        // AssertionSpec::referenceCounts), so both samples' noise
+        // must enter the statistic. The totals were sized
+        // independently, hence constraints = 0. (The G-test ablation
+        // covers only one-sample fits; two-sample always uses the
+        // chi-square form.)
+        if (spec.kind == AssertionKind::Distribution &&
+            !spec.referenceCounts.empty()) {
+            const auto res = stats::chiSquareTwoSample(
+                observed, spec.referenceCounts, 0);
+            out.pValue = res.pValue;
+            out.statistic = res.statistic;
+            out.df = res.df;
+            out.impossibleOutcome = res.impossibleOutcome;
+            out.passed = res.pValue > spec.alpha;
+            break;
+        }
+
         std::vector<double> expected;
         if (spec.kind == AssertionKind::Classical) {
             expected = stats::pointMassExpected(

@@ -84,6 +84,18 @@ struct AssertionSpec
      */
     std::vector<double> expectedProbs;
 
+    /**
+     * Optional Monte-Carlo reference counts backing expectedProbs
+     * (length 2^regA.width(), positive total) — set when the
+     * expectation itself is a finite sample (the locate layer's
+     * sampled oracle). When present, Distribution checks run the
+     * two-sample chi-square against these counts instead of the
+     * one-sample goodness-of-fit, so sampling noise on the reference
+     * side is priced into the verdict rather than treated as ground
+     * truth.
+     */
+    std::vector<double> referenceCounts;
+
     /** Significance level for the verdict. */
     double alpha = kDefaultAlpha;
 

@@ -6,6 +6,7 @@
 
 #include "circuit/executor.hh"
 
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "sim/gates.hh"
 
@@ -67,6 +68,34 @@ applyUnitaryInstruction(const Circuit &circ, const Instruction &inst,
 }
 
 void
+stepInstruction(const Circuit &circ, const Instruction &inst,
+                sim::StateVector &state,
+                std::map<std::string, std::uint64_t> &measurements,
+                Rng &rng)
+{
+    if (!inst.condLabel.empty()) {
+        const auto it = measurements.find(inst.condLabel);
+        fatal_if(it == measurements.end(),
+                 "conditional instruction references unmeasured "
+                 "label '", inst.condLabel, "'");
+        if (it->second != inst.condValue)
+            return;
+    }
+    switch (inst.kind) {
+      case GateKind::PrepZ:
+        state.prepZ(inst.targets[0], inst.bit, rng);
+        break;
+      case GateKind::Measure:
+        measurements[inst.label] =
+            state.measureQubits(inst.targets, rng);
+        break;
+      default:
+        applyUnitaryInstruction(circ, inst, state);
+        break;
+    }
+}
+
+void
 runCircuitOn(const Circuit &circ, sim::StateVector &state,
              std::map<std::string, std::uint64_t> &measurements,
              Rng &rng)
@@ -75,28 +104,8 @@ runCircuitOn(const Circuit &circ, sim::StateVector &state,
              "state too small for circuit: ", state.numQubits(), " < ",
              circ.numQubits());
 
-    for (const Instruction &inst : circ.instructions()) {
-        if (!inst.condLabel.empty()) {
-            const auto it = measurements.find(inst.condLabel);
-            fatal_if(it == measurements.end(),
-                     "conditional instruction references unmeasured "
-                     "label '", inst.condLabel, "'");
-            if (it->second != inst.condValue)
-                continue;
-        }
-        switch (inst.kind) {
-          case GateKind::PrepZ:
-            state.prepZ(inst.targets[0], inst.bit, rng);
-            break;
-          case GateKind::Measure:
-            measurements[inst.label] =
-                state.measureQubits(inst.targets, rng);
-            break;
-          default:
-            applyUnitaryInstruction(circ, inst, state);
-            break;
-        }
-    }
+    for (const Instruction &inst : circ.instructions())
+        stepInstruction(circ, inst, state, measurements, rng);
 }
 
 ExecutionRecord
@@ -170,7 +179,9 @@ namespace
  * One diagnostic for every branch-cap overflow: name the instruction
  * that overflowed and say what to do about it, instead of silently
  * truncating the mixture (a truncated mixture would make every
- * downstream predicate quietly wrong).
+ * downstream predicate quietly wrong). Thrown rather than fatal so
+ * callers with a fallback — the sampled oracle, or a serve daemon
+ * failing one request — can recover.
  */
 [[noreturn]] void
 branchCapOverflow(const Instruction &inst, std::size_t max_branches)
@@ -178,12 +189,18 @@ branchCapOverflow(const Instruction &inst, std::size_t max_branches)
     std::string where = gateKindName(inst.kind);
     if (!inst.label.empty())
         where += " '" + inst.label + "'";
-    fatal("measurement-branch enumeration exceeded its cap of ",
-          max_branches, " outcome histories at instruction ", where,
-          ": exact mixture tracking is exponential in the "
-          "nondeterministic measurements. Measure fewer qubits at "
-          "once, assert on a narrower register, or fall back to "
-          "end-to-end statistical checks for this program.");
+    throw DeriveError(
+        where,
+        "measurement-branch enumeration exceeded its cap of " +
+            std::to_string(max_branches) +
+            " outcome histories at instruction " + where +
+            ": exact mixture tracking is exponential in the "
+            "nondeterministic measurements. Measure fewer qubits at "
+            "once, assert on a narrower register, or switch the "
+            "oracle to sampled mode (OracleMode::Sampled / serve "
+            "\"oracle_mode\": \"sampled\"), which Monte-Carlo "
+            "estimates the reference marginals instead of "
+            "enumerating them.");
 }
 
 } // anonymous namespace

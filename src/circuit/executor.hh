@@ -47,6 +47,20 @@ void runCircuitOn(const Circuit &circ, sim::StateVector &state,
                   Rng &rng);
 
 /**
+ * Execute a single instruction of `circ` onto an existing state —
+ * the loop body of runCircuitOn, exposed so trajectory-stepping
+ * callers (e.g. the sampled oracle, which needs the state at every
+ * boundary of one sampled run) produce amplitudes bit-identical to a
+ * full runCircuitOn pass. Honors the instruction's classical
+ * condition against `measurements` and records Measure outcomes
+ * into it.
+ */
+void stepInstruction(const Circuit &circ, const Instruction &inst,
+                     sim::StateVector &state,
+                     std::map<std::string, std::uint64_t> &measurements,
+                     Rng &rng);
+
+/**
  * Apply one deterministic (non-Measure, non-PrepZ) instruction to a
  * state, ignoring any classical condition — the single gate
  * interpreter shared by runCircuitOn and stepBranches so both paths
@@ -90,9 +104,10 @@ struct ExecutionBranch
  * For a measurement-free circuit the single branch's evolution is
  * bit-identical to runCircuitOn's.
  *
- * Fatal when the branch count would exceed `max_branches` (the
- * enumeration is exponential in the number of nondeterministic
- * measurements; callers bound it).
+ * Throws qsa::DeriveError (naming the instruction) when the branch
+ * count would exceed `max_branches` — the enumeration is exponential
+ * in the number of nondeterministic measurements; callers bound it
+ * and may fall back to sampled derivation.
  */
 void stepBranches(const Circuit &circ, const Instruction &inst,
                   std::vector<ExecutionBranch> &branches,

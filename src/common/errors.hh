@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Recoverable error types shared across layers.
+ *
+ * Most invariant violations in this codebase are programmer errors and
+ * stay fatal (common/logging.hh). Oracle *derivation* failures are
+ * different: they are properties of the analysed program (too many
+ * measurement branches, a register too wide for dense predicates), the
+ * caller may have a fallback (the sampled oracle), and a long-lived
+ * daemon must be able to fail one request without dying. DeriveError
+ * is the structured, catchable carrier for exactly that class.
+ */
+
+#ifndef QSA_COMMON_ERRORS_HH
+#define QSA_COMMON_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace qsa
+{
+
+/**
+ * A reference-oracle derivation failed for a reason inherent to the
+ * program under analysis (not a bug in the caller). `where()` names
+ * the offending instruction or register so diagnostics — and serve's
+ * per-request NDJSON errors — can point at the cause.
+ */
+class DeriveError : public std::runtime_error
+{
+  public:
+    DeriveError(std::string where, const std::string &message)
+        : std::runtime_error(message), where_(std::move(where))
+    {
+    }
+
+    /** The offending instruction/register, e.g. "Measure 'm_3'". */
+    const std::string &where() const noexcept { return where_; }
+
+  private:
+    std::string where_;
+};
+
+} // namespace qsa
+
+#endif // QSA_COMMON_ERRORS_HH

@@ -15,6 +15,7 @@
 #include "assertions/checker.hh"
 #include "circuit/executor.hh"
 #include "common/bits.hh"
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "obs/obs.hh"
@@ -119,6 +120,17 @@ baseConfig(const LocateConfig &cfg)
     cc.seed = cfg.seed;
     cc.numThreads = cfg.numThreads;
     return cc;
+}
+
+/** The oracle derivation knobs of a locate config (predicates.hh). */
+OracleOptions
+oracleOptionsFor(const LocateConfig &cfg)
+{
+    OracleOptions opts;
+    opts.mode = cfg.oracleMode;
+    if (cfg.oracleTrials != 0)
+        opts.sampleTrials = cfg.oracleTrials;
+    return opts;
 }
 
 ProbeRecord
@@ -410,7 +422,8 @@ class MirrorProber : public Prober
                                  boundaries.end());
             }
             oracle = std::make_unique<PredicateOracle>(
-                reference, allReg, cfg.seed, boundaries);
+                reference, allReg, cfg.seed, boundaries,
+                oracleOptionsFor(cfg));
         }
     }
 
@@ -557,7 +570,8 @@ class MirrorProber : public Prober
                      .emplace(boundary,
                               PredicateOracle(
                                   reference, allReg, cfg.seed,
-                                  std::vector<std::size_t>{boundary}))
+                                  std::vector<std::size_t>{boundary},
+                                  oracleOptionsFor(cfg)))
                      .first;
         }
         return it->second;
@@ -683,7 +697,7 @@ class PredicateProber : public Prober
                     const circuit::QubitRegister *reg_b)
         : cfg(cfg), regA(reg_a),
           instrumented(suspect.withBoundaryBreakpoints(kBoundaryPrefix)),
-          oracle(reference, reg_a, cfg.seed),
+          oracle(reference, reg_a, cfg.seed, oracleOptionsFor(cfg)),
           checker(instrumented, baseConfig(cfg)), runner(cfg.numThreads)
     {
         fatal_if(suspect.numQubits() != reference.numQubits(),
@@ -1066,7 +1080,8 @@ class RotatedProber : public Prober
         if (!scanOracle) {
             scanOracle = std::make_unique<PredicateOracle>(
                 reference, regA, cfg.seed, &boundaries,
-                std::vector<Frame>{Frame::Z, Frame::X, Frame::Y});
+                std::vector<Frame>{Frame::Z, Frame::X, Frame::Y},
+                oracleOptionsFor(cfg));
         }
         std::vector<assertions::AssertionOutcome> outcomes;
         for (std::size_t base = 0; base < boundaries.size();
@@ -1142,7 +1157,8 @@ class RotatedProber : public Prober
                               std::make_unique<PredicateOracle>(
                                   reference, regA, cfg.seed, &one,
                                   std::vector<Frame>{
-                                      Frame::Z, Frame::X, Frame::Y}))
+                                      Frame::Z, Frame::X, Frame::Y},
+                                  oracleOptionsFor(cfg)))
                      .first;
         }
         return *it->second;
@@ -1524,25 +1540,35 @@ BugLocator::locate() const
             annotate(report, suspect);
             return report;
         }
-        QSA_OBS_COUNTER("locate.swap_escalations", 1);
-        obs::instant("locate.escalate_swap_test");
-        SwapProber swapper(suspect, reference, config, nullptr);
-        LocalizationReport refined = runSearch(swapper, config, pruned);
-        const bool swap_decides = refined.bugFound;
-        LocalizationReport merged =
-            swap_decides ? refined : report;
-        merged.decidedBy = swap_decides ? ProbeFamily::SwapTest
-                                        : ProbeFamily::SegmentMirror;
-        merged.escalatedToSwapTest = true;
-        std::vector<ProbeRecord> all = report.probes;
-        all.insert(all.end(), refined.probes.begin(),
-                   refined.probes.end());
-        merged.probes = std::move(all);
-        merged.totalMeasurements =
-            report.totalMeasurements + refined.totalMeasurements;
-        if (swap_decides)
-            probed_hi = swapper.hiBoundary();
-        report = std::move(merged);
+        try {
+            SwapProber swapper(suspect, reference, config, nullptr);
+            QSA_OBS_COUNTER("locate.swap_escalations", 1);
+            obs::instant("locate.escalate_swap_test");
+            LocalizationReport refined =
+                runSearch(swapper, config, pruned);
+            const bool swap_decides = refined.bugFound;
+            LocalizationReport merged =
+                swap_decides ? refined : report;
+            merged.decidedBy = swap_decides
+                                   ? ProbeFamily::SwapTest
+                                   : ProbeFamily::SegmentMirror;
+            merged.escalatedToSwapTest = true;
+            std::vector<ProbeRecord> all = report.probes;
+            all.insert(all.end(), refined.probes.begin(),
+                       refined.probes.end());
+            merged.probes = std::move(all);
+            merged.totalMeasurements =
+                report.totalMeasurements + refined.totalMeasurements;
+            if (swap_decides)
+                probed_hi = swapper.hiBoundary();
+            report = std::move(merged);
+        } catch (const DeriveError &err) {
+            // The swap family's purity oracle is exact-only; when it
+            // cannot derive (wide-measurement program past the
+            // branch cap) the cheap verdict stands.
+            warn("swap-test escalation unavailable (", err.what(),
+                 "); keeping the segment-mirror bracket");
+        }
     }
 
     resolveTailDivergence(report, suspect, reference, probed_hi);
@@ -1592,6 +1618,7 @@ BugLocator::locateByPredicates(const circuit::QubitRegister &reg) const
              suspect.numQubits(), " > ", kSwapQubitGate,
              " qubits); keeping the mixture-marginal bracket");
     } else if (config.family == ProbeFamily::Auto) {
+        try {
         // A register marginal is a first-*visible* witness, never a
         // defect-site witness: the bracket may sit instructions past
         // the defect (phase divergence transported into the marginal
@@ -1647,6 +1674,13 @@ BugLocator::locateByPredicates(const circuit::QubitRegister &reg) const
             if (refined.bugFound)
                 probed_hi = swapper.hiBoundary();
             report = std::move(merged);
+        }
+        } catch (const DeriveError &err) {
+            // The swap family's purity oracle is exact-only; when it
+            // cannot derive (wide-measurement program past the
+            // branch cap) the marginal verdict stands.
+            warn("swap-test escalation unavailable (", err.what(),
+                 "); keeping the mixture-marginal bracket");
         }
     }
 

@@ -238,6 +238,26 @@ struct LocateConfig
     std::uint64_t seed = 0x10ca7eb6;
 
     /**
+     * Reference-oracle derivation mode (predicates.hh). Auto
+     * (default) derives exactly and falls back to Monte-Carlo
+     * sampled marginals when the program's measurement-branch
+     * mixture overflows the exact cap — the only way to localize
+     * wide-measurement programs. Exact restores the
+     * throw-on-overflow behaviour; Sampled forces Monte-Carlo even
+     * below the cap. Swap-test probes always derive their purities
+     * exactly (a sampled purity estimator needs two-copy trials the
+     * OverlapOracle does not implement), so SwapTest/Auto families
+     * keep the exact cap on the comparator path.
+     */
+    OracleMode oracleMode = OracleMode::Auto;
+
+    /**
+     * Trial budget per sampled oracle derivation; 0 selects
+     * OracleOptions' default.
+     */
+    std::size_t oracleTrials = 0;
+
+    /**
      * Worker threads (CheckConfig::numThreads semantics: 0 = shared
      * pool). Probe outcomes are bit-identical for any value.
      */

@@ -14,8 +14,10 @@
 #include "circuit/scopes.hh"
 #include "common/artifacts.hh"
 #include "common/bits.hh"
+#include "common/errors.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "obs/obs.hh"
 #include "sim/gates.hh"
 
@@ -33,10 +35,21 @@ constexpr double kProbTol = 1e-9;
  * is far past any semiclassical program in the repo (one recycled
  * control qubit measured t times is 2^t branches) while still
  * bounding a pathological all-qubits-measured-repeatedly program.
- * Overflow is a designed fatal naming the measuring instruction
- * (circuit::stepBranches), never a silent truncation.
+ * Overflow is a designed qsa::DeriveError naming the measuring
+ * instruction (circuit::stepBranches), never a silent truncation —
+ * and in OracleMode::Auto it is the sampled-derivation trigger.
  */
 constexpr std::size_t kMaxBranches = 4096;
+
+/**
+ * Salt separating the sampled oracle's per-boundary outcome-draw
+ * streams from the trajectory streams. The draw at (boundary, frame,
+ * trial) must not consume trajectory randomness: recording an extra
+ * boundary would otherwise perturb every subsequent measurement of
+ * the same trial, making the derivation depend on the probed
+ * boundary set.
+ */
+constexpr std::uint64_t kSampleDrawSalt = 0x5a3d53edc0117ecULL;
 
 BoundaryPredicate
 classify(const std::vector<double> &probs)
@@ -150,15 +163,19 @@ mixturePurity(const std::vector<circuit::ExecutionBranch> &branches,
 /**
  * Canonical store key for a predicate-oracle derivation: payload
  * schema version, reference content hash, probed qubits, recorded
- * boundary set ("all" for the dense form), frames in probe order.
- * Everything the derivation depends on is in the key, so a hit is
- * usable as-is and a version bump invalidates every old entry.
+ * boundary set ("all" for the dense form), frames in probe order —
+ * and, for sampled derivations, the trial budget and master seed
+ * (two sampled derivations agree only when both match; an exact
+ * derivation depends on neither). Everything the derivation depends
+ * on is in the key, so a hit is usable as-is and a version bump
+ * invalidates every old entry.
  */
 std::string
 predicateStoreKey(const circuit::Circuit &reference,
                   const std::vector<unsigned> &qubits,
                   const std::vector<std::size_t> *boundaries,
-                  const std::vector<Frame> &frames)
+                  const std::vector<Frame> &frames,
+                  std::size_t sample_trials, std::uint64_t seed)
 {
     std::ostringstream os;
     os << "v1:" << std::hex << reference.contentHash() << std::dec
@@ -179,6 +196,10 @@ predicateStoreKey(const circuit::Circuit &reference,
     os << ":f";
     for (Frame frame : frames)
         os << frameName(frame);
+    if (sample_trials != 0) {
+        os << ":sampled" << sample_trials << ":s" << std::hex << seed
+           << std::dec;
+    }
     return os.str();
 }
 
@@ -206,6 +227,17 @@ frameName(Frame frame)
     panic("unknown measurement frame");
 }
 
+std::string
+oracleModeName(OracleMode mode)
+{
+    switch (mode) {
+      case OracleMode::Exact: return "exact";
+      case OracleMode::Sampled: return "sampled";
+      case OracleMode::Auto: return "auto";
+    }
+    panic("unknown oracle mode");
+}
+
 void
 appendFrameEpilogue(circuit::Circuit &circ,
                     const std::vector<unsigned> &qubits, Frame frame)
@@ -221,32 +253,32 @@ appendFrameEpilogue(circuit::Circuit &circ,
 
 PredicateOracle::PredicateOracle(const circuit::Circuit &reference,
                                  const circuit::QubitRegister &r,
-                                 std::uint64_t seed)
-    : reg(r)
+                                 std::uint64_t seed_in,
+                                 const OracleOptions &options)
+    : reg(r), seed(seed_in)
 {
-    (void)seed;
-    build(reference, nullptr, {Frame::Z});
+    build(reference, nullptr, {Frame::Z}, options);
 }
 
 PredicateOracle::PredicateOracle(
     const circuit::Circuit &reference,
-    const circuit::QubitRegister &r, std::uint64_t seed,
-    const std::vector<std::size_t> &boundaries)
-    : reg(r)
+    const circuit::QubitRegister &r, std::uint64_t seed_in,
+    const std::vector<std::size_t> &boundaries,
+    const OracleOptions &options)
+    : reg(r), seed(seed_in)
 {
-    (void)seed;
-    build(reference, &boundaries, {Frame::Z});
+    build(reference, &boundaries, {Frame::Z}, options);
 }
 
 PredicateOracle::PredicateOracle(
     const circuit::Circuit &reference,
-    const circuit::QubitRegister &r, std::uint64_t seed,
+    const circuit::QubitRegister &r, std::uint64_t seed_in,
     const std::vector<std::size_t> *boundaries,
-    const std::vector<Frame> &frames)
-    : reg(r)
+    const std::vector<Frame> &frames,
+    const OracleOptions &options)
+    : reg(r), seed(seed_in)
 {
-    (void)seed;
-    build(reference, boundaries, frames);
+    build(reference, boundaries, frames, options);
 }
 
 namespace
@@ -277,6 +309,14 @@ serializePredicates(
             for (double p : pred.expectedProbs)
                 probs.push(json::Value::number(p));
             e.set("probs", std::move(probs));
+        }
+        if (pred.referenceTrials != 0) {
+            json::Value counts = json::Value::array();
+            for (double c : pred.referenceCounts)
+                counts.push(json::Value::number(c));
+            e.set("counts", std::move(counts));
+            e.set("trials",
+                  json::Value::integer(pred.referenceTrials));
         }
         entries.push(std::move(e));
     }
@@ -341,6 +381,20 @@ restorePredicates(
             } else {
                 return false;
             }
+            const json::Value *counts = e.find("counts");
+            const json::Value *trials = e.find("trials");
+            if ((counts == nullptr) != (trials == nullptr))
+                return false;
+            if (counts != nullptr) {
+                if (!counts->isArray())
+                    return false;
+                for (std::size_t c = 0; c < counts->size(); ++c)
+                    pred.referenceCounts.push_back(
+                        counts->at(c).asDouble());
+                pred.referenceTrials = trials->asUint64();
+                if (pred.referenceTrials == 0)
+                    return false;
+            }
             restored.emplace(std::make_pair(b->asUint64(), frame),
                              std::move(pred));
         }
@@ -356,14 +410,24 @@ restorePredicates(
 void
 PredicateOracle::build(const circuit::Circuit &reference,
                        const std::vector<std::size_t> *boundaries,
-                       const std::vector<Frame> &frames)
+                       const std::vector<Frame> &frames,
+                       const OracleOptions &options)
 {
     fatal_if(reg.width() == 0,
              "predicate oracle needs a non-empty register");
-    fatal_if(reg.width() > 24,
-             "register too wide for dense boundary predicates");
     fatal_if(frames.empty(),
              "predicate oracle needs at least one measurement frame");
+    if (reg.width() > 24) {
+        // Dense 2^width marginals are hopeless in *any* mode (the
+        // sampled oracle still tallies per-value counts); the caller
+        // can recover by asserting on a narrower register, so this
+        // is a DeriveError, not a fatal.
+        throw DeriveError(
+            "register of " + std::to_string(reg.width()) + " qubits",
+            "register too wide for dense boundary predicates (" +
+                std::to_string(reg.width()) +
+                " qubits > 24): assert on a narrower register");
+    }
 
     totalBoundaries = reference.size() + 1;
     std::vector<std::size_t> sorted;
@@ -371,9 +435,37 @@ PredicateOracle::build(const circuit::Circuit &reference,
         sorted = *boundaries;
         std::sort(sorted.begin(), sorted.end());
     }
+    const bool all = boundaries == nullptr;
+
+    if (options.mode == OracleMode::Sampled) {
+        buildSampled(reference, sorted, all, frames,
+                     options.sampleTrials);
+        return;
+    }
+    try {
+        buildExact(reference, sorted, all, frames);
+    } catch (const DeriveError &) {
+        if (options.mode == OracleMode::Exact)
+            throw;
+        // Auto: past the branch cap the exact mixture is
+        // unenumerable — re-derive by Monte-Carlo instead.
+        QSA_OBS_COUNTER("locate.oracle.sampled_fallbacks", 1);
+        preds.clear();
+        buildSampled(reference, sorted, all, frames,
+                     options.sampleTrials);
+    }
+}
+
+void
+PredicateOracle::buildExact(
+    const circuit::Circuit &reference,
+    const std::vector<std::size_t> &sortedBoundaries,
+    bool allBoundaries, const std::vector<Frame> &frames)
+{
     const auto wanted = [&](std::size_t b) {
-        return boundaries == nullptr ||
-               std::binary_search(sorted.begin(), sorted.end(), b);
+        return allBoundaries ||
+               std::binary_search(sortedBoundaries.begin(),
+                                  sortedBoundaries.end(), b);
     };
 
     // A persistent store (when installed) short-circuits the whole
@@ -382,8 +474,9 @@ PredicateOracle::build(const circuit::Circuit &reference,
     common::ArtifactStore *store = common::artifactStore();
     std::string key;
     if (store != nullptr) {
-        key = predicateStoreKey(reference, reg.qubits(), boundaries,
-                                frames);
+        key = predicateStoreKey(
+            reference, reg.qubits(),
+            allBoundaries ? nullptr : &sortedBoundaries, frames, 0, 0);
         std::string payload;
         if (store->load("predicates", key, &payload) &&
             restorePredicates(payload, totalBoundaries, &preds)) {
@@ -442,6 +535,133 @@ PredicateOracle::build(const circuit::Circuit &reference,
                      serializePredicates(totalBoundaries, preds));
 }
 
+void
+PredicateOracle::buildSampled(
+    const circuit::Circuit &reference,
+    const std::vector<std::size_t> &sortedBoundaries,
+    bool allBoundaries, const std::vector<Frame> &frames,
+    std::size_t trials)
+{
+    fatal_if(trials == 0,
+             "sampled oracle needs a non-zero trial budget");
+    sampledTrials = trials;
+
+    const auto wanted = [&](std::size_t b) {
+        return allBoundaries ||
+               std::binary_search(sortedBoundaries.begin(),
+                                  sortedBoundaries.end(), b);
+    };
+
+    common::ArtifactStore *store = common::artifactStore();
+    std::string key;
+    if (store != nullptr) {
+        key = predicateStoreKey(
+            reference, reg.qubits(),
+            allBoundaries ? nullptr : &sortedBoundaries, frames,
+            trials, seed);
+        std::string payload;
+        if (store->load("predicates", key, &payload) &&
+            restorePredicates(payload, totalBoundaries, &preds)) {
+            bool covered = true;
+            for (std::size_t b = 0;
+                 covered && b < totalBoundaries; ++b) {
+                if (!wanted(b))
+                    continue;
+                for (Frame frame : frames)
+                    covered = covered &&
+                              preds.count({b, frame}) != 0;
+            }
+            if (covered)
+                return;
+            preds.clear();
+        }
+    }
+
+    {
+        QSA_OBS_TIMER(derive, "locate.oracle.derive");
+        QSA_OBS_COUNTER("locate.oracle.sampled_derivations", 1);
+        QSA_OBS_COUNTER("locate.oracle.sampled_trials", trials);
+
+        // Per-(boundary, frame) outcome tallies over all trials.
+        std::map<std::pair<std::size_t, Frame>, std::vector<double>>
+            counts;
+
+        // Draw one outcome of trial t's state at boundary b in each
+        // frame. The draw stream is keyed by (boundary, frame,
+        // trial) and independent of the trajectory stream: recording
+        // an extra boundary must not perturb the trajectory's later
+        // measurements, or the derivation would depend on the probed
+        // boundary set.
+        const auto drawAt = [&](std::size_t b, std::size_t trial,
+                                const sim::StateVector &state) {
+            for (Frame frame : frames) {
+                std::vector<double> marginal;
+                if (frame == Frame::Z) {
+                    marginal = state.marginalProbs(reg.qubits());
+                } else {
+                    sim::StateVector rotated = state;
+                    for (unsigned q : reg.qubits()) {
+                        if (frame == Frame::Y)
+                            rotated.applyGate(sim::gates::sdg(), q);
+                        rotated.applyGate(sim::gates::h(), q);
+                    }
+                    marginal = rotated.marginalProbs(reg.qubits());
+                }
+                Rng draw =
+                    Rng(seed ^ kSampleDrawSalt)
+                        .split(b * 3 +
+                               static_cast<std::size_t>(frame))
+                        .split(trial);
+                std::vector<double> &tally = counts[{b, frame}];
+                if (tally.empty())
+                    tally.assign(pow2(reg.width()), 0.0);
+                tally[draw.discrete(marginal)] += 1.0;
+            }
+        };
+
+        // One sampled trajectory per trial, stepped with the same
+        // interpreter as a Resimulate run (bit-identical
+        // amplitudes), its RNG stream keyed by the trial index — the
+        // tallies are independent of thread count and iteration
+        // order by construction.
+        for (std::size_t t = 0; t < trials; ++t) {
+            Rng traj = Rng(seed).split(t);
+            sim::StateVector state(reference.numQubits());
+            std::map<std::string, std::uint64_t> meas;
+            if (wanted(0))
+                drawAt(0, t, state);
+            for (std::size_t k = 0; k < reference.size(); ++k) {
+                circuit::stepInstruction(reference,
+                                         reference.instructions()[k],
+                                         state, meas, traj);
+                if (wanted(k + 1))
+                    drawAt(k + 1, t, state);
+            }
+        }
+
+        // Sampled predicates are always Distribution-with-counts:
+        // classifying a finite sample as Classical/Superposition
+        // would promote sampling noise into an exact hypothesis and
+        // hard-fail probes on rare-but-possible outcomes. The
+        // two-sample test downstream prices in both sides' noise.
+        for (auto &entry : counts) {
+            BoundaryPredicate pred;
+            pred.kind = assertions::AssertionKind::Distribution;
+            pred.referenceCounts = std::move(entry.second);
+            pred.referenceTrials = trials;
+            pred.expectedProbs.reserve(pred.referenceCounts.size());
+            for (double c : pred.referenceCounts)
+                pred.expectedProbs.push_back(
+                    c / static_cast<double>(trials));
+            preds.emplace(entry.first, std::move(pred));
+        }
+    }
+
+    if (store != nullptr)
+        store->store("predicates", key,
+                     serializePredicates(totalBoundaries, preds));
+}
+
 const BoundaryPredicate &
 PredicateOracle::at(std::size_t boundary, Frame frame) const
 {
@@ -467,6 +687,7 @@ PredicateOracle::specAt(std::size_t boundary,
     spec.regA = reg;
     spec.expectedValue = pred.expectedValue;
     spec.expectedProbs = pred.expectedProbs;
+    spec.referenceCounts = pred.referenceCounts;
     spec.alpha = alpha;
     spec.name = "predicate@" + std::to_string(boundary);
     if (frame != Frame::Z)
@@ -558,9 +779,17 @@ OverlapOracle::OverlapOracle(const circuit::Circuit &reference,
                              const std::vector<unsigned> &qubits,
                              const std::vector<std::size_t> &boundaries)
 {
-    fatal_if(!qubits.empty() && qubits.size() > 10,
-             "comparator register too wide for reduced-density "
-             "purities (", qubits.size(), " qubits)");
+    if (!qubits.empty() && qubits.size() > 10) {
+        // Recoverable by scoping the comparator to fewer qubits —
+        // thrown so a serve daemon fails the request, not itself.
+        throw DeriveError(
+            "comparator register of " +
+                std::to_string(qubits.size()) + " qubits",
+            "comparator register too wide for reduced-density "
+            "purities (" + std::to_string(qubits.size()) +
+                " qubits > 10): scope the swap-test comparator to a "
+                "narrower register");
+    }
 
     totalBoundaries = reference.size() + 1;
     std::vector<std::size_t> sorted = boundaries;

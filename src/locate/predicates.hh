@@ -19,9 +19,16 @@
  * the distribution a Resimulate-mode ensemble samples when it
  * re-simulates the truncated program once per trial, so the oracle's
  * predicates stay exact past any number of measurements (at a branch
- * count exponential in the nondeterministic ones — capped, fatal
- * beyond). For measurement-free programs the pass has a single branch
- * and is bit-identical to the previous semi-classical simulation.
+ * count exponential in the nondeterministic ones — capped, throwing
+ * qsa::DeriveError beyond). Past the cap the oracle has a sampled
+ * mode (OracleMode::Sampled, the Auto default's fallback): it
+ * Monte-Carlo samples reference trajectories under the splittable
+ * per-trial RNG discipline and estimates each boundary marginal from
+ * the empirical counts, which downstream checks compare against the
+ * suspect ensemble by *two-sample* tests — the segment-comparison
+ * scheme of Sato & Katsube (see DESIGN.md "Sampled oracle"). For
+ * measurement-free programs the exact pass has a single branch and is
+ * bit-identical to the previous semi-classical simulation.
  *
  * Scope structure is inherited separately: ComputeScope boundaries
  * ("<label>_computed" / "<label>_uncomputed", see circuit/scopes.hh)
@@ -93,6 +100,64 @@ struct BoundaryPredicate
 
     /** Exact outcome distribution for Distribution predicates. */
     std::vector<double> expectedProbs;
+
+    /**
+     * Monte-Carlo reference counts when the predicate was derived by
+     * the sampled oracle (length 2^width, summing to
+     * referenceTrials). Downstream checks then run the two-sample
+     * chi-square against these counts — comparing two finite samples
+     * — instead of a one-sample test against expectedProbs, which
+     * would treat sampling noise in the reference as ground truth.
+     */
+    std::vector<double> referenceCounts;
+
+    /** Sampled-derivation trial budget; 0 means exact. */
+    std::size_t referenceTrials = 0;
+};
+
+/** How a PredicateOracle derives its reference predicates. */
+enum class OracleMode
+{
+    /**
+     * Enumerate the full measurement-outcome mixture
+     * (circuit::stepBranches). Exact, but exponential in the
+     * nondeterministic measurements; throws qsa::DeriveError past
+     * the branch cap.
+     */
+    Exact,
+
+    /**
+     * Monte-Carlo: sample reference trajectories with the splittable
+     * per-trial-index RNG discipline (bit-identical across thread
+     * counts) and estimate each boundary marginal from one outcome
+     * draw per trial. Predicates become Distribution-with-counts and
+     * probes compare suspect vs reference by two-sample tests. Cost
+     * is linear in the trial budget regardless of how many qubits
+     * the program measures.
+     */
+    Sampled,
+
+    /** Exact, falling back to Sampled when exact derivation throws
+     *  DeriveError (branch-cap overflow). */
+    Auto,
+};
+
+/** Human-readable oracle-mode name ("exact" / "sampled" / "auto"). */
+std::string oracleModeName(OracleMode mode);
+
+/** Derivation knobs threaded from LocateConfig / serve requests. */
+struct OracleOptions
+{
+    /** Derivation strategy. */
+    OracleMode mode = OracleMode::Auto;
+
+    /**
+     * Trajectories per sampled derivation. The default matches the
+     * exact oracle's branch cap: the sampled reference is never
+     * cheaper to distinguish against than the widest exact mixture
+     * it replaces.
+     */
+    std::size_t sampleTrials = 4096;
 };
 
 /**
@@ -108,13 +173,20 @@ class PredicateOracle
     /**
      * @param reference the correct program
      * @param reg register the predicates describe
-     * @param seed retained for interface stability; the pass is now
-     *        exact (it enumerates mid-circuit outcomes instead of
-     *        sampling them) and draws no randomness
+     * @param seed master seed for sampled derivation (every trial
+     *        draws from the stream keyed by its trial index; exact
+     *        derivation draws no randomness and ignores it)
+     * @param options derivation mode + sample budget
+     *
+     * Throws qsa::DeriveError when derivation is impossible for the
+     * given program/register: exact-mode branch-cap overflow (Auto
+     * falls back to sampled instead), or a register too wide for
+     * dense marginals in any mode.
      */
     PredicateOracle(const circuit::Circuit &reference,
                     const circuit::QubitRegister &reg,
-                    std::uint64_t seed = 0x51c0ffee);
+                    std::uint64_t seed = 0x51c0ffee,
+                    const OracleOptions &options = {});
 
     /**
      * As above, but record predicates only at the given boundaries —
@@ -125,7 +197,8 @@ class PredicateOracle
     PredicateOracle(const circuit::Circuit &reference,
                     const circuit::QubitRegister &reg,
                     std::uint64_t seed,
-                    const std::vector<std::size_t> &boundaries);
+                    const std::vector<std::size_t> &boundaries,
+                    const OracleOptions &options = {});
 
     /**
      * As above, additionally recording the register's mixture
@@ -137,10 +210,18 @@ class PredicateOracle
                     const circuit::QubitRegister &reg,
                     std::uint64_t seed,
                     const std::vector<std::size_t> *boundaries,
-                    const std::vector<Frame> &frames);
+                    const std::vector<Frame> &frames,
+                    const OracleOptions &options = {});
 
     /** Number of boundaries (reference instruction count + 1). */
     std::size_t numBoundaries() const { return totalBoundaries; }
+
+    /** True when the predicates were derived by Monte-Carlo sampling
+     *  (either forced or by Auto fallback past the branch cap). */
+    bool sampled() const { return sampledTrials != 0; }
+
+    /** Trial budget of the sampled derivation (0 when exact). */
+    std::size_t trials() const { return sampledTrials; }
 
     /** Predicate at a (recorded) boundary, in a (recorded) frame. */
     const BoundaryPredicate &at(std::size_t boundary,
@@ -170,12 +251,26 @@ class PredicateOracle
 
   private:
     circuit::QubitRegister reg;
+    std::uint64_t seed = 0;
     std::size_t totalBoundaries = 0;
+    std::size_t sampledTrials = 0;
     std::map<std::pair<std::size_t, Frame>, BoundaryPredicate> preds;
 
     void build(const circuit::Circuit &reference,
                const std::vector<std::size_t> *boundaries,
-               const std::vector<Frame> &frames);
+               const std::vector<Frame> &frames,
+               const OracleOptions &options);
+
+    void buildExact(const circuit::Circuit &reference,
+                    const std::vector<std::size_t> &sortedBoundaries,
+                    bool allBoundaries,
+                    const std::vector<Frame> &frames);
+
+    void buildSampled(const circuit::Circuit &reference,
+                      const std::vector<std::size_t> &sortedBoundaries,
+                      bool allBoundaries,
+                      const std::vector<Frame> &frames,
+                      std::size_t trials);
 };
 
 /**

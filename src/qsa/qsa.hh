@@ -51,6 +51,7 @@
 #include "circuit/qasm.hh"
 #include "circuit/scopes.hh"
 #include "common/bits.hh"
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"

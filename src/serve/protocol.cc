@@ -5,6 +5,7 @@
 
 #include "analyze/lint.hh"
 #include "circuit/qasm.hh"
+#include "common/errors.hh"
 #include "obs/obs.hh"
 #include "session/session.hh"
 
@@ -66,6 +67,25 @@ familyFromName(const std::string &name, locate::ProbeFamily *family)
     }
     if (name == "auto") {
         *family = locate::ProbeFamily::Auto;
+        return true;
+    }
+    return false;
+}
+
+/** Wire name -> reference-oracle mode. */
+bool
+oracleModeFromName(const std::string &name, locate::OracleMode *mode)
+{
+    if (name == "exact") {
+        *mode = locate::OracleMode::Exact;
+        return true;
+    }
+    if (name == "sampled") {
+        *mode = locate::OracleMode::Sampled;
+        return true;
+    }
+    if (name == "auto") {
+        *mode = locate::OracleMode::Auto;
         return true;
     }
     return false;
@@ -157,19 +177,15 @@ validateLocate(const Request &request, const Limits &limits)
         return "programs starting with a measurement have no "
                "probeable boundary";
 
-    // PredicateOracle / OverlapOracle track measurement branches
-    // exactly and fatal above 4096 branches; bound the worst case
-    // (each measured qubit at most doubles the branch count).
-    for (const circuit::Circuit *program : {&suspect, &reference}) {
-        std::size_t measured = 0;
-        for (const auto &inst : program->instructions())
-            if (inst.kind == circuit::GateKind::Measure)
-                measured += inst.targets.size();
-        if (measured > 12)
-            return "program measures " + std::to_string(measured) +
-                   " qubits in total; locate supports at most 12 "
-                   "(measurement-branch tracking)";
-    }
+    // No static pre-guard on measurement count: the exact oracle's
+    // branch-cap overflow depends on measurement *structure* (each
+    // measured qubit at most doubles the branch count, but branches
+    // on zero-probability outcomes never open), so a count bound
+    // would reject programs the oracle handles fine. The oracle
+    // throws qsa::DeriveError past the cap — Auto mode falls back to
+    // the sampled oracle, and handleRequestLine turns an Exact-mode
+    // overflow into a per-request error response naming the
+    // offending instruction.
 
     const bool marginal = !request.registerA.empty();
     if (marginal) {
@@ -338,6 +354,7 @@ executeLocate(const Request &request)
 {
     session::Session s(request.circuit, configFor(request));
     s.probes(request.family);
+    s.oracle(request.oracleMode, request.oracleTrials);
 
     locate::LocalizationReport report =
         request.registerA.empty()
@@ -386,10 +403,15 @@ executeLocate(const Request &request)
     return out;
 }
 
-/** Compose one "ok": false response. */
+/**
+ * Compose one "ok": false response. `where`, when non-empty, names
+ * the instruction/register an oracle derivation failed at (the
+ * DeriveError path).
+ */
 std::string
 errorResponse(const json::Value &id, const std::string &message,
-              const circuit::QasmError *qasm)
+              const circuit::QasmError *qasm,
+              const std::string &where = "")
 {
     json::Value resp = json::Value::object();
     resp.set("id", id);
@@ -401,6 +423,8 @@ errorResponse(const json::Value &id, const std::string &message,
         error.set("column", json::Value::integer(qasm->column));
         error.set("token", json::Value::string(qasm->token));
     }
+    if (!where.empty())
+        error.set("instruction", json::Value::string(where));
     resp.set("error", std::move(error));
     QSA_OBS_COUNTER("serve.requests.rejected", 1);
     return resp.dump();
@@ -423,6 +447,7 @@ parseRequest(const json::Value &doc, Request *request,
             "id",       "command",       "circuit",
             "reference", "plan",         "register",
             "register_b", "strategy",    "family",
+            "oracle_mode", "oracle_trials",
             "seed",     "ensemble_size", "mode",
             "threads",  "g_test",        "holm_bonferroni"};
         for (const auto &member : doc.members()) {
@@ -544,11 +569,16 @@ parseRequest(const json::Value &doc, Request *request,
         const json::Value *reg_b = doc.find("register_b");
         const json::Value *strategy = doc.find("strategy");
         const json::Value *family = doc.find("family");
+        const json::Value *oracle_mode = doc.find("oracle_mode");
+        const json::Value *oracle_trials = doc.find("oracle_trials");
         if (!is_locate && (reference != nullptr || reg != nullptr ||
                            reg_b != nullptr || strategy != nullptr ||
-                           family != nullptr)) {
+                           family != nullptr ||
+                           oracle_mode != nullptr ||
+                           oracle_trials != nullptr)) {
             *error = "'reference' / 'register' / 'strategy' / "
-                     "'family' are only valid for locate";
+                     "'family' / 'oracle_mode' / 'oracle_trials' are "
+                     "only valid for locate";
             return false;
         }
         if (is_locate) {
@@ -574,6 +604,23 @@ parseRequest(const json::Value &doc, Request *request,
                          "mixture_marginal / rotated_marginal / "
                          "swap_test / auto";
                 return false;
+            }
+            if (oracle_mode != nullptr &&
+                !oracleModeFromName(oracle_mode->asString(),
+                                    &request->oracleMode)) {
+                *error = "'oracle_mode' must be exact / sampled / "
+                         "auto";
+                return false;
+            }
+            if (oracle_trials != nullptr) {
+                request->oracleTrials = oracle_trials->asUint64();
+                if (request->oracleTrials == 0 ||
+                    request->oracleTrials > limits.maxEnsembleSize) {
+                    *error = "'oracle_trials' must lie in [1, " +
+                             std::to_string(limits.maxEnsembleSize) +
+                             "]";
+                    return false;
+                }
             }
             const std::string locate_error =
                 validateLocate(*request, limits);
@@ -633,6 +680,15 @@ handleRequestLine(const std::string &line, const Limits &limits)
     json::Value result;
     try {
         result = executeRequest(request);
+    } catch (const DeriveError &e) {
+        // Program-inherent oracle failures (a wide-measurement
+        // reference past the exact branch cap, an over-wide
+        // register): fail the request with the offending instruction
+        // named, keep the daemon alive. An "oracle_mode": "sampled"
+        // (or the default auto) request sidesteps the branch cap.
+        QSA_OBS_COUNTER("serve.requests.derive_errors", 1);
+        return errorResponse(request.id, e.what(), nullptr,
+                             e.where());
     } catch (const std::exception &e) {
         // Belt and braces: no execute path should throw on a
         // validated request, but a daemon never dies on one either.

@@ -18,6 +18,8 @@
  *      "strategy": "adaptive" | "linear",
  *      "family": "segment_mirror" | "mixture_marginal" |
  *                "rotated_marginal" | "swap_test" | "auto",
+ *      "oracle_mode": "exact" | "sampled" | "auto",
+ *      "oracle_trials": 4096,       // sampled-oracle trajectory budget
  *      // ensemble configuration (all optional):
  *      "seed": 81985529216486895,
  *      "ensemble_size": 256,
@@ -49,8 +51,15 @@
  * circuit::tryFromQasm), unknown commands, invalid plans
  * (session::validatePlan), and over-limit circuits all produce
  * "ok": false responses. executeRequest assumes a request that passed
- * parseRequest — by then every fatal path in the session/locate
- * layers has been pre-validated away.
+ * parseRequest — by then the fatal paths in the session/locate layers
+ * have been pre-validated away, with one deliberate exception:
+ * program-inherent oracle derivation failures (qsa::DeriveError —
+ * e.g. a wide-measurement reference past the exact oracle's branch
+ * cap) depend on measurement *structure*, not any statically checkable
+ * count, so they surface at execute time. handleRequestLine catches
+ * them into "ok": false responses whose error object carries the
+ * offending "instruction" — the daemon answers the request and keeps
+ * serving.
  */
 
 #ifndef QSA_SERVE_PROTOCOL_HH
@@ -115,6 +124,11 @@ struct Request
 
     locate::Strategy strategy = locate::Strategy::AdaptiveBinarySearch;
     locate::ProbeFamily family = locate::ProbeFamily::SegmentMirror;
+
+    /** locate: reference-oracle mode and sampled trajectory budget
+     *  (0 = the locate layer's default). */
+    locate::OracleMode oracleMode = locate::OracleMode::Auto;
+    std::size_t oracleTrials = 0;
 
     std::uint64_t seed = 0x51c0ffee;
     std::size_t ensembleSize = 256;

@@ -1,10 +1,12 @@
 #include "serve/store.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -35,8 +37,10 @@ std::atomic<std::uint64_t> tempCounter{0};
 
 } // namespace
 
-OracleStore::OracleStore(std::string root)
-    : rootDir(std::move(root))
+OracleStore::OracleStore(std::string root, std::size_t max_entries,
+                         std::size_t max_bytes)
+    : rootDir(std::move(root)), maxEntriesBound(max_entries),
+      maxBytesBound(max_bytes)
 {
     fatal_if(rootDir.empty(), "oracle store needs a root directory");
 }
@@ -145,6 +149,81 @@ void OracleStore::store(const std::string &kind,
     if (std::rename(temp.c_str(), path.c_str()) != 0)
         std::remove(temp.c_str());
     QSA_OBS_COUNTER("serve.oracle_cache.writes", 1);
+    enforceBounds();
+}
+
+void OracleStore::enforceBounds()
+{
+    if (maxEntriesBound == 0 && maxBytesBound == 0)
+        return;
+
+    // One sweep at a time: concurrent writers would double-count
+    // evictions (and race each other's removals) otherwise.
+    std::lock_guard<std::mutex> guard(evictionMutex);
+
+    namespace fs = std::filesystem;
+    struct Entry
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        std::uintmax_t size = 0;
+    };
+    std::vector<Entry> entries;
+    std::uintmax_t total_bytes = 0;
+
+    std::error_code ec;
+    fs::recursive_directory_iterator it(rootDir, ec);
+    const fs::recursive_directory_iterator end;
+    for (; !ec && it != end; it.increment(ec))
+    {
+        std::error_code entry_ec;
+        if (!it->is_regular_file(entry_ec) || entry_ec)
+            continue;
+        const fs::path &path = it->path();
+        // Only complete entries (.json); in-flight .tmp.* files
+        // belong to a racing writer.
+        if (path.extension() != ".json")
+            continue;
+        Entry entry;
+        entry.path = path;
+        entry.size = fs::file_size(path, entry_ec);
+        if (entry_ec)
+            continue;
+        entry.mtime = fs::last_write_time(path, entry_ec);
+        if (entry_ec)
+            continue;
+        total_bytes += entry.size;
+        entries.push_back(std::move(entry));
+    }
+
+    // Oldest first; path as a deterministic tie-break for entries
+    // written within one mtime granule.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+
+    std::size_t count = entries.size();
+    std::uint64_t evicted = 0;
+    for (const Entry &entry : entries)
+    {
+        const bool over_entries =
+            maxEntriesBound != 0 && count > maxEntriesBound;
+        const bool over_bytes =
+            maxBytesBound != 0 && total_bytes > maxBytesBound;
+        if (!over_entries && !over_bytes)
+            break;
+        std::error_code remove_ec;
+        if (!fs::remove(entry.path, remove_ec) || remove_ec)
+            continue; // best-effort: a reader may hold it elsewhere
+        --count;
+        total_bytes -= entry.size;
+        ++evicted;
+    }
+    if (evicted != 0)
+        QSA_OBS_COUNTER("serve.oracle_cache.evictions", evicted);
 }
 
 void OracleStore::install()

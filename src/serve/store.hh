@@ -30,11 +30,22 @@
  * Counters `serve.oracle_cache.hits` / `serve.oracle_cache.misses`
  * account every lookup; the CI bench gate requires hits > 0 on the
  * warm half of the serve benchmark.
+ *
+ * Retention: an unbounded store grows forever under a long-lived
+ * daemon (every distinct circuit/register/trial-budget combination
+ * adds an entry). The optional maxEntries/maxBytes bounds cap it:
+ * after each write the store evicts complete entries oldest-first
+ * (by file modification time) until both bounds hold again, counting
+ * `serve.oracle_cache.evictions`. Eviction is LRU-by-write, not by
+ * read — a hit does not refresh an entry — which keeps the policy a
+ * pure function of the write sequence.
  */
 
 #ifndef QSA_SERVE_STORE_HH
 #define QSA_SERVE_STORE_HH
 
+#include <cstddef>
+#include <mutex>
 #include <string>
 
 #include "common/artifacts.hh"
@@ -53,8 +64,15 @@ class OracleStore : public common::ArtifactStore
      * Open (and lazily create) a store rooted at `root`. The
      * directory is created on first write, not here, so pointing at
      * a read-only location only disables persistence.
+     *
+     * @param max_entries entry-count bound enforced after each write
+     *        (0 = unbounded)
+     * @param max_bytes total-payload-bytes bound enforced after each
+     *        write (0 = unbounded)
      */
-    explicit OracleStore(std::string root);
+    explicit OracleStore(std::string root,
+                         std::size_t max_entries = 0,
+                         std::size_t max_bytes = 0);
 
     /** Uninstalls itself if still installed. */
     ~OracleStore() override;
@@ -77,11 +95,24 @@ class OracleStore : public common::ArtifactStore
 
     const std::string &root() const { return rootDir; }
 
+    /** The configured retention bounds (0 = unbounded). */
+    std::size_t maxEntries() const { return maxEntriesBound; }
+    std::size_t maxBytes() const { return maxBytesBound; }
+
   private:
     std::string rootDir;
+    std::size_t maxEntriesBound = 0;
+    std::size_t maxBytesBound = 0;
+
+    /** Serialises eviction sweeps across worker threads. */
+    std::mutex evictionMutex;
 
     std::string pathFor(const std::string &kind,
                         const std::string &key) const;
+
+    /** Evict oldest entries until both bounds hold (see file
+     *  comment); no-op when unbounded. */
+    void enforceBounds();
 };
 
 } // namespace qsa::serve

@@ -198,6 +198,16 @@ Session::probes(locate::ProbeFamily family)
 }
 
 Session &
+Session::oracle(locate::OracleMode mode, std::size_t trials)
+{
+    oracleMode = mode;
+    oracleTrials = trials;
+    // As with probes(): locate() state is rebuilt per call, so the
+    // assertion plan stays valid.
+    return *this;
+}
+
+Session &
 Session::use(const assertions::EscalationPolicy &policy)
 {
     fatal_if(policy.initialSize == 0,
@@ -550,6 +560,8 @@ Session::locateConfig(locate::Strategy strategy) const
     lc.mode = cfg.mode; // Resimulate sessions probe past measurements
     lc.seed = cfg.seed;
     lc.numThreads = cfg.numThreads;
+    lc.oracleMode = oracleMode;
+    lc.oracleTrials = oracleTrials;
     if (escalation) {
         lc.ensembleSize = escalation->initialSize;
         lc.maxEnsembleSize = escalation->maxSize;

@@ -287,6 +287,18 @@ class Session
      */
     Session &probes(locate::ProbeFamily family);
 
+    /**
+     * Reference-oracle mode for locate()
+     * (locate::LocateConfig::oracleMode semantics). The default,
+     * locate::OracleMode::Auto, derives exact boundary marginals and
+     * falls back to Monte-Carlo sampled estimates when a
+     * wide-measurement reference overflows the branch enumeration
+     * cap; Exact restores the hard failure, Sampled forces the
+     * Monte-Carlo path. `trials` sets the sampled trajectory budget
+     * (0 keeps locate::OracleOptions' default).
+     */
+    Session &oracle(locate::OracleMode mode, std::size_t trials = 0);
+
     /** Apply an ensemble-escalation policy to every check. */
     Session &use(const assertions::EscalationPolicy &policy);
 
@@ -476,6 +488,12 @@ class Session
     /** Probe family handed to BugLocator by locate(). */
     locate::ProbeFamily probeFamily =
         locate::ProbeFamily::SegmentMirror;
+
+    /** Reference-oracle mode handed to BugLocator by locate(). */
+    locate::OracleMode oracleMode = locate::OracleMode::Auto;
+
+    /** Sampled-oracle trajectory budget (0 = OracleOptions default). */
+    std::size_t oracleTrials = 0;
 
     /** True once any after() site forces boundary instrumentation. */
     bool wantBoundaries = false;

@@ -26,6 +26,7 @@
 #include "assertions/checker.hh"
 #include "bugs/injectors.hh"
 #include "circuit/circuit.hh"
+#include "common/errors.hh"
 #include "locate/locate.hh"
 #include "locate/predicates.hh"
 
@@ -957,9 +958,12 @@ TEST(LocateValidation, RegisterFamiliesRejectedOnFullSpaceLocate)
 TEST(LocateValidation, BranchCapDiagnosticNamesTheInstruction)
 {
     // One recycled qubit measured 13 times doubles the branch count
-    // past the 2^12 cap; the failure must be a designed diagnostic
-    // naming the measuring instruction, not a silent truncation (or
-    // an OOM).
+    // past the 2^12 cap. In exact mode the failure must be a designed
+    // diagnostic — a catchable DeriveError naming the measuring
+    // instruction and pointing at the sampled-mode escape hatch — not
+    // a silent truncation, an OOM, or a process death. The default
+    // Auto mode does not fail at all: it falls back to the sampled
+    // oracle.
     Circuit circ(1);
     circ.prepZ(0, 0);
     for (int round = 0; round < 13; ++round) {
@@ -967,9 +971,27 @@ TEST(LocateValidation, BranchCapDiagnosticNamesTheInstruction)
         circ.measureQubits({0}, "m_" + std::to_string(round));
     }
     const QubitRegister reg("q", {0});
-    EXPECT_EXIT((PredicateOracle(circ, reg)),
-                ::testing::ExitedWithCode(1),
-                "measurement-branch enumeration exceeded its cap");
+
+    OracleOptions exact;
+    exact.mode = OracleMode::Exact;
+    try {
+        const PredicateOracle oracle(circ, reg, 0x51c0ffee, exact);
+        FAIL() << "exact derivation past the branch cap must throw";
+    } catch (const DeriveError &err) {
+        const std::string message = err.what();
+        EXPECT_NE(message.find(
+                      "measurement-branch enumeration exceeded its "
+                      "cap"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("sampled"), std::string::npos)
+            << message;
+        EXPECT_NE(err.where().find("measure"), std::string::npos)
+            << err.where();
+    }
+
+    const PredicateOracle fallback(circ, reg);
+    EXPECT_TRUE(fallback.sampled());
 }
 
 TEST(MeasureFreeRegression, LinearScanTrajectoryIdentical)

@@ -14,6 +14,7 @@
 
 #include <unistd.h>
 
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -99,6 +100,48 @@ locateRequestDoc(std::uint64_t seed, unsigned threads)
     doc.set("ensemble_size", json::Value::integer(128));
     doc.set("threads",
             json::Value::integer(static_cast<std::uint64_t>(threads)));
+    return doc;
+}
+
+/**
+ * A wide-measurement locate pair: qubit 0 is recycled through 13
+ * measurement rounds (2^13 = 8192 outcome histories, past the exact
+ * oracle's 4096 branch cap) while qubit 1 carries the defect — the
+ * suspect preps it with X where the reference uses H. The programs
+ * stay instruction-aligned (so the mirror prober's range spans the
+ * whole circuit) and the defect persists in qubit 1's marginal all
+ * the way to the final boundary.
+ */
+std::string
+wideMeasureQasm(bool buggy)
+{
+    std::string qasm = "OPENQASM 2.0;\nqreg q[2];\n";
+    for (int round = 0; round < 13; ++round)
+        qasm += "creg m_r" + std::to_string(round) + "[1];\n";
+    qasm += "h q[0];\nmeasure q[0] -> m_r0[0];\n";
+    qasm += std::string(buggy ? "x" : "h") + " q[1];\n";
+    for (int round = 1; round < 13; ++round) {
+        qasm += "h q[0];\n";
+        qasm += "measure q[0] -> m_r" + std::to_string(round) +
+                "[0];\n";
+    }
+    return qasm;
+}
+
+json::Value
+wideLocateRequestDoc(const std::string &oracle_mode,
+                     const char *id = "wide")
+{
+    json::Value doc = json::Value::object();
+    doc.set("id", json::Value::string(id));
+    doc.set("command", json::Value::string("locate"));
+    doc.set("circuit", json::Value::string(wideMeasureQasm(true)));
+    doc.set("reference", json::Value::string(wideMeasureQasm(false)));
+    doc.set("mode", json::Value::string("resimulate"));
+    doc.set("ensemble_size", json::Value::integer(64));
+    if (!oracle_mode.empty())
+        doc.set("oracle_mode", json::Value::string(oracle_mode));
+    doc.set("oracle_trials", json::Value::integer(2048));
     return doc;
 }
 
@@ -198,6 +241,83 @@ TEST(ServeProtocol, PlanValidationIsPositioned)
               std::string::npos);
 }
 
+// --- oracle modes and derive-error survival --------------------------------
+
+TEST(ServeProtocol, OracleFieldsAreValidated)
+{
+    json::Value bad_mode = locateRequestDoc(1, 0);
+    bad_mode.set("oracle_mode", json::Value::string("bogus"));
+    json::Value doc =
+        json::Value::parseOrDie(serve::handleRequestLine(
+            bad_mode.dump()));
+    ASSERT_FALSE(doc.find("ok")->asBool());
+    EXPECT_NE(doc.find("error")->find("message")->asString().find(
+                  "oracle_mode"),
+              std::string::npos);
+
+    json::Value bad_trials = locateRequestDoc(1, 0);
+    bad_trials.set("oracle_trials", json::Value::integer(0));
+    doc = json::Value::parseOrDie(
+        serve::handleRequestLine(bad_trials.dump()));
+    ASSERT_FALSE(doc.find("ok")->asBool());
+    EXPECT_NE(doc.find("error")->find("message")->asString().find(
+                  "oracle_trials"),
+              std::string::npos);
+
+    json::Value wrong_command = checkRequestDoc(1, 0);
+    wrong_command.set("oracle_mode", json::Value::string("sampled"));
+    doc = json::Value::parseOrDie(
+        serve::handleRequestLine(wrong_command.dump()));
+    ASSERT_FALSE(doc.find("ok")->asBool());
+    EXPECT_NE(doc.find("error")->find("message")->asString().find(
+                  "only valid for locate"),
+              std::string::npos);
+}
+
+TEST(ServeProtocol, ExactOracleOverflowIsAStructuredError)
+{
+    // The headline bugfix: an exact-mode locate whose reference
+    // overflows the branch cap must come back as a per-request error
+    // naming the offending instruction — not kill the process.
+    const std::int64_t derive0 =
+        counterValue("serve.requests.derive_errors");
+    const std::string response = serve::handleRequestLine(
+        wideLocateRequestDoc("exact").dump());
+    const json::Value doc = json::Value::parseOrDie(response);
+
+    ASSERT_FALSE(doc.find("ok")->asBool());
+    EXPECT_EQ(doc.find("id")->asString(), "wide");
+    const json::Value *error = doc.find("error");
+    ASSERT_NE(error, nullptr);
+    EXPECT_NE(error->find("message")->asString().find(
+                  "exceeded its cap"),
+              std::string::npos);
+    EXPECT_NE(error->find("message")->asString().find("sampled"),
+              std::string::npos)
+        << "the error must advertise the sampled-mode escape hatch";
+    ASSERT_NE(error->find("instruction"), nullptr);
+    EXPECT_NE(error->find("instruction")->asString().find("measure"),
+              std::string::npos);
+    EXPECT_GT(counterValue("serve.requests.derive_errors"), derive0);
+}
+
+TEST(ServeProtocol, SampledOracleLocatesTheWideMeasurementProgram)
+{
+    // The same over-cap pair localizes under the sampled oracle (and
+    // under the default auto mode, which falls back to it).
+    for (const char *mode : {"sampled", ""}) {
+        const std::string response = serve::handleRequestLine(
+            wideLocateRequestDoc(mode).dump());
+        const json::Value doc = json::Value::parseOrDie(response);
+        ASSERT_TRUE(doc.find("ok")->asBool())
+            << "mode '" << mode << "': " << response;
+        const json::Value *result = doc.find("result");
+        ASSERT_NE(result, nullptr);
+        EXPECT_TRUE(result->find("bug_found")->asBool())
+            << "mode '" << mode << "': " << response;
+    }
+}
+
 // --- determinism contract --------------------------------------------------
 
 TEST(ServeDeterminism, ResultIndependentOfThreadCount)
@@ -274,6 +394,47 @@ TEST(ServeOracleStore, WarmReplayIsByteIdenticalAndHits)
     // With the store gone, the same request still gives the same
     // bytes — persistence is a pure accelerator.
     EXPECT_EQ(resultDump(locateRequestDoc(5, 0)), cold);
+}
+
+TEST(ServeOracleStore, EntryBoundEvictsOldestFirst)
+{
+    const std::string root = ::testing::TempDir() + "qsa_evict_" +
+                             std::to_string(::getpid());
+
+    serve::OracleStore store(root, /*max_entries=*/2,
+                             /*max_bytes=*/0);
+    const std::int64_t evictions0 =
+        counterValue("serve.oracle_cache.evictions");
+
+    store.store("predicates", "key-a", R"({"payload": "a"})");
+    store.store("predicates", "key-b", R"({"payload": "b"})");
+    EXPECT_EQ(counterValue("serve.oracle_cache.evictions"),
+              evictions0)
+        << "a store within bounds must not evict";
+
+    store.store("predicates", "key-c", R"({"payload": "c"})");
+    EXPECT_GT(counterValue("serve.oracle_cache.evictions"),
+              evictions0)
+        << "the third entry must push one out";
+
+    // At most two complete entries survive on disk...
+    std::size_t on_disk = 0;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(root))
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json")
+            ++on_disk;
+    EXPECT_LE(on_disk, 2u);
+
+    // ...and exactly that many of the three keys still load. (mtime
+    // granularity can tie all three writes, so which keys survive is
+    // not pinned — only how many.)
+    std::size_t loadable = 0;
+    std::string payload;
+    for (const char *key : {"key-a", "key-b", "key-c"})
+        if (store.load("predicates", key, &payload))
+            ++loadable;
+    EXPECT_EQ(loadable, on_disk);
 }
 
 // --- the server ------------------------------------------------------------
@@ -368,6 +529,66 @@ TEST(ServeServer, OneConnectionManySequentialRequests)
             << error;
         EXPECT_EQ(stripObs(response),
                   stripObs(serve::handleRequestLine(request)));
+    }
+
+    server.stop();
+}
+
+TEST(ServeServer, SurvivesOracleDeriveFailureOnTheSameConnection)
+{
+    // The headline bugfix, end to end: an exact-mode locate whose
+    // reference derivation overflows the branch cap used to bring the
+    // whole daemon down. It must now answer that request with a
+    // structured error and keep serving — on the very same socket.
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("derive");
+    config.workers = 2;
+
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+
+    std::string response;
+    ASSERT_TRUE(client.request(wideLocateRequestDoc("exact").dump(),
+                               &response, &error))
+        << error;
+    {
+        const json::Value doc = json::Value::parseOrDie(response);
+        ASSERT_FALSE(doc.find("ok")->asBool()) << response;
+        const json::Value *err = doc.find("error");
+        ASSERT_NE(err, nullptr);
+        EXPECT_NE(
+            err->find("message")->asString().find("exceeded its cap"),
+            std::string::npos);
+        ASSERT_NE(err->find("instruction"), nullptr);
+        EXPECT_NE(err->find("instruction")->asString().find("measure"),
+                  std::string::npos);
+    }
+
+    // Same connection, next request: the daemon is still alive and
+    // still correct.
+    const std::string follow_up = checkRequestDoc(1, 0).dump();
+    ASSERT_TRUE(client.request(follow_up, &response, &error)) << error;
+    {
+        const json::Value doc = json::Value::parseOrDie(response);
+        EXPECT_TRUE(doc.find("ok")->asBool()) << response;
+    }
+    EXPECT_EQ(stripObs(response),
+              stripObs(serve::handleRequestLine(follow_up)));
+
+    // And the sampled escape hatch the error advertised works here.
+    ASSERT_TRUE(client.request(wideLocateRequestDoc("sampled").dump(),
+                               &response, &error))
+        << error;
+    {
+        const json::Value doc = json::Value::parseOrDie(response);
+        ASSERT_TRUE(doc.find("ok")->asBool()) << response;
+        EXPECT_TRUE(
+            doc.find("result")->find("bug_found")->asBool())
+            << response;
     }
 
     server.stop();

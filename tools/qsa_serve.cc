@@ -5,6 +5,7 @@
  * Usage:
  *   qsa_serve --socket <path> [--store <dir>] [--workers N]
  *             [--queue N] [--max-qubits N]
+ *             [--store-max-entries N] [--store-max-bytes N]
  *
  * Listens on a Unix-domain socket for newline-delimited JSON requests
  * (serve/protocol.hh documents the wire schema: ping / lint /
@@ -45,11 +46,19 @@ usage(std::ostream &os)
 {
     os << "usage: qsa_serve --socket <path> [--store <dir>] "
           "[--workers N] [--queue N] [--max-qubits N]\n"
+          "                 [--store-max-entries N] "
+          "[--store-max-bytes N]\n"
           "  --socket     Unix-domain socket path to listen on\n"
           "  --store      oracle store directory (persistent cache)\n"
           "  --workers    dispatcher threads (default: auto)\n"
           "  --queue      request queue bound (default: 64)\n"
-          "  --max-qubits per-request qubit ceiling (default: 12)\n";
+          "  --max-qubits per-request qubit ceiling (default: 12)\n"
+          "  --store-max-entries\n"
+          "               oracle store entry cap, oldest evicted "
+          "first (default: unbounded)\n"
+          "  --store-max-bytes\n"
+          "               oracle store size cap in bytes (default: "
+          "unbounded)\n";
 }
 
 } // namespace
@@ -59,6 +68,8 @@ main(int argc, char **argv)
 {
     serve::ServerConfig config;
     std::string store_dir;
+    std::size_t store_max_entries = 0;
+    std::size_t store_max_bytes = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -67,6 +78,12 @@ main(int argc, char **argv)
             config.socketPath = argv[++i];
         } else if (arg == "--store" && has_value) {
             store_dir = argv[++i];
+        } else if (arg == "--store-max-entries" && has_value) {
+            store_max_entries =
+                static_cast<std::size_t>(std::atol(argv[++i]));
+        } else if (arg == "--store-max-bytes" && has_value) {
+            store_max_bytes =
+                static_cast<std::size_t>(std::atol(argv[++i]));
         } else if (arg == "--workers" && has_value) {
             config.workers =
                 static_cast<unsigned>(std::atoi(argv[++i]));
@@ -103,7 +120,8 @@ main(int argc, char **argv)
     // Optional persistent oracle store, shared by every request.
     std::unique_ptr<serve::OracleStore> store;
     if (!store_dir.empty()) {
-        store = std::make_unique<serve::OracleStore>(store_dir);
+        store = std::make_unique<serve::OracleStore>(
+            store_dir, store_max_entries, store_max_bytes);
         store->install();
     }
 
