@@ -180,6 +180,196 @@ BM_TrotterStepCircuit(benchmark::State &state)
 }
 BENCHMARK(BM_TrotterStepCircuit);
 
+// --- Kernel-cost fixtures (the CI gate's subject) ----------------------------
+//
+// Two deterministic fixtures measure the amplitude traffic one
+// ensemble check costs, via qsa::obs counter deltas around a single
+// seeded run taken outside the timing loop. The per-record counters
+// (gate_applies, amp_touches, amp_touches_per_trial) are seeded and
+// exact, so scripts/check_bench_regression.py can gate them at a
+// tight tolerance: a kernel or fusion regression shows up as more
+// amplitude slots touched for the same probe count, long before
+// wall-clock noise would reveal it. The fused:0 / tensor:0 variants
+// keep the naive-kernel cost on record so the win stays visible in
+// the artifact itself.
+
+/** Value of one metric in a registry snapshot (0 when absent). */
+std::int64_t
+metricValue(const obs::Snapshot &snap, const std::string &name)
+{
+    for (const auto &[metric, value] : snap)
+        if (metric == name)
+            return value;
+    return 0;
+}
+
+/** Trials per kernel-cost ensemble (fixed: cost scales with it). */
+constexpr std::size_t kKernelTrials = 128;
+
+/**
+ * QFT-adder ensemble fixture. The coin measurement ends the
+ * deterministic head so the whole Fourier-adder tail re-executes per
+ * Resimulate trial — the regime gate fusion is for.
+ */
+circuit::Circuit
+qftAdderFixture()
+{
+    circuit::Circuit circ(0);
+    const auto coin = circ.addRegister("coin", 1);
+    const auto b = circ.addRegister("b", 5);
+    circ.h(coin.qubit(0));
+    circ.measure(coin, "coin");
+    circ.prepRegister(b, 12);
+    algo::qft(circ, b);
+    algo::phiAdd(circ, b, 9);
+    algo::phiAdd(circ, b, 3);
+    algo::iqft(circ, b);
+    circ.breakpoint("sum");
+    return circ;
+}
+
+/**
+ * Swap-test probe fixture, shaped exactly like the SwapProber's
+ * output: a suspect-like half on [0, n), an embedded-reference half
+ * on [n, 2n), and the ancilla-controlled-SWAP comparator. A
+ * mid-circuit measurement per half keeps the tails nondeterministic,
+ * so the tensor split's 2^(2n+1) -> 2^n per-gate saving is what the
+ * counters record.
+ */
+circuit::Circuit
+swapProbeFixture(unsigned n)
+{
+    circuit::Circuit circ(0);
+    const auto low = circ.addRegister("low", n);
+    const auto high = circ.addRegister("high", n);
+    const auto anc = circ.addRegister("anc", 1);
+    const auto half = [&](const circuit::QubitRegister &r,
+                          const std::string &label) {
+        for (unsigned q = 0; q < n; ++q)
+            circ.h(r.qubit(q));
+        circ.measureQubits({r.qubit(0)}, label);
+        for (unsigned q = 0; q + 1 < n; ++q)
+            circ.cnot(r.qubit(q), r.qubit(q + 1));
+        for (unsigned q = 0; q < n; ++q)
+            circ.t(r.qubit(q));
+    };
+    half(low, "m_low");
+    half(high, "m_high");
+    const unsigned a = anc.qubit(0);
+    circ.h(a);
+    for (unsigned q = 0; q < n; ++q)
+        circ.cswap(a, low.qubit(q), high.qubit(q));
+    circ.h(a);
+    circ.breakpoint("cmp");
+    return circ;
+}
+
+assertions::AssertionSpec
+kernelSpec(const circuit::Circuit &circ, const std::string &bp,
+           const std::string &reg)
+{
+    assertions::AssertionSpec spec;
+    spec.kind = assertions::AssertionKind::Superposition;
+    spec.breakpoint = bp;
+    spec.regA = circ.reg(reg);
+    return spec;
+}
+
+/** One seeded ensemble check; returns the counter deltas it cost. */
+void
+runKernelFixture(benchmark::State &state,
+                 const circuit::Circuit &circ,
+                 const assertions::AssertionSpec &spec, bool fuse,
+                 unsigned tensor_split)
+{
+    assertions::CheckConfig cfg;
+    cfg.ensembleSize = kKernelTrials;
+    cfg.mode = assertions::EnsembleMode::Resimulate;
+    cfg.seed = 0x5eed;
+    cfg.numThreads = 1;
+    cfg.fuseGates = fuse;
+    cfg.tensorSplit = tensor_split;
+    const auto once = [&]() {
+        const assertions::AssertionChecker checker(circ, cfg);
+        return checker.check(spec);
+    };
+
+    const auto before = obs::Registry::snapshot();
+    benchmark::DoNotOptimize(once());
+    const auto after = obs::Registry::snapshot();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(once());
+
+    const auto delta = [&](const char *name) {
+        return (double)(metricValue(after, name) -
+                        metricValue(before, name));
+    };
+    state.counters["gate_applies"] = delta("sim.gate_applies");
+    state.counters["amp_touches"] = delta("sim.amp_touches");
+    state.counters["amp_touches_per_trial"] =
+        delta("sim.amp_touches") / (double)kKernelTrials;
+    state.counters["fused_gates"] = delta("sim.fused_gates");
+}
+
+void
+BM_KernelCostQftAdder(benchmark::State &state)
+{
+    const auto circ = qftAdderFixture();
+    runKernelFixture(state, circ, kernelSpec(circ, "sum", "b"),
+                     state.range(0) != 0, 0);
+}
+BENCHMARK(BM_KernelCostQftAdder)
+    ->ArgName("fused")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_KernelCostSwapProbe(benchmark::State &state)
+{
+    constexpr unsigned n = 5;
+    const auto circ = swapProbeFixture(n);
+    runKernelFixture(state, circ, kernelSpec(circ, "cmp", "anc"),
+                     true, state.range(0) != 0 ? n : 0);
+}
+BENCHMARK(BM_KernelCostSwapProbe)
+    ->ArgName("tensor")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Replay both kernel-cost fixtures in their optimized configuration
+ * with the registry freshly reset, so the --json document's
+ * "metrics" object records a fixed workload's sim.gate_applies /
+ * sim.amp_touches totals (gated within tolerance by CI) and a
+ * strictly positive sim.fused_gates (gated by --require-positive: a
+ * zero means the fusion pass silently stopped firing, which the
+ * tolerance half alone would read as "no regression").
+ */
+void
+metricsEpilogue()
+{
+    obs::Registry::reset();
+    const auto check = [](const circuit::Circuit &circ,
+                          const assertions::AssertionSpec &spec,
+                          unsigned tensor_split) {
+        assertions::CheckConfig cfg;
+        cfg.ensembleSize = kKernelTrials;
+        cfg.mode = assertions::EnsembleMode::Resimulate;
+        cfg.seed = 0x5eed;
+        cfg.numThreads = 1;
+        cfg.tensorSplit = tensor_split;
+        const assertions::AssertionChecker checker(circ, cfg);
+        benchmark::DoNotOptimize(checker.check(spec));
+    };
+    const auto adder = qftAdderFixture();
+    check(adder, kernelSpec(adder, "sum", "b"), 0);
+    const auto probe = swapProbeFixture(5);
+    check(probe, kernelSpec(probe, "cmp", "anc"), 5);
+}
+
 } // anonymous namespace
 
-QSA_BENCHJSON_MAIN("bench_perf_kernels");
+QSA_BENCHJSON_MAIN_WITH_METRICS("bench_perf_kernels",
+                                metricsEpilogue);

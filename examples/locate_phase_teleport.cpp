@@ -128,8 +128,14 @@ main()
     std::cout << "swap-test family:        " << swap.summary() << "\n";
     printProbes(swap);
 
-    const auto swap_scan =
-        s.locate(good, recv, locate::Strategy::LinearScan);
+    // The exhaustive baseline: a linear scan with the static-pruning
+    // pre-pass off probes every boundary until the first failure —
+    // the cost the pruned adaptive search above is saving against.
+    locate::LocateConfig scan_cfg =
+        s.locateConfig(locate::Strategy::LinearScan);
+    scan_cfg.staticPruning = false;
+    const locate::BugLocator scanner(bad, good, scan_cfg);
+    const auto swap_scan = scanner.locateByPredicates(recv);
     std::cout << "\nswap-test probe savings: " << swap.probes.size()
               << " adaptive probes vs " << swap_scan.probes.size()
               << " for the exhaustive scan\n\n";

@@ -41,7 +41,8 @@ AssertionChecker::AssertionChecker(const circuit::Circuit &prog,
     // Created eagerly so concurrent check() calls (BatchRunner fans
     // them across a pool) never race on lazy initialisation.
     engine = std::make_unique<runtime::EnsembleEngine>(
-        program, config.numThreads);
+        program, config.numThreads,
+        runtime::EngineOptions{config.fuseGates, config.tensorSplit});
 }
 
 AssertionChecker::~AssertionChecker() = default;

@@ -13,12 +13,8 @@
 namespace qsa::circuit
 {
 
-namespace
-{
-
-/** Gate matrix for a parameterised/fixed single-qubit kind. */
 sim::Mat2
-gateMatrix(const Instruction &inst)
+gateMatrix1q(const Instruction &inst)
 {
     using namespace sim::gates;
     switch (inst.kind) {
@@ -38,8 +34,6 @@ gateMatrix(const Instruction &inst)
         panic("no 2x2 matrix for ", gateKindName(inst.kind));
     }
 }
-
-} // anonymous namespace
 
 void
 applyUnitaryInstruction(const Circuit &circ, const Instruction &inst,
@@ -61,7 +55,7 @@ applyUnitaryInstruction(const Circuit &circ, const Instruction &inst,
         panic("applyUnitaryInstruction cannot execute ",
               gateKindName(inst.kind));
       default:
-        state.applyControlled(gateMatrix(inst), inst.controls,
+        state.applyControlled(gateMatrix1q(inst), inst.controls,
                               inst.targets[0]);
         break;
     }

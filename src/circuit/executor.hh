@@ -72,6 +72,13 @@ void applyUnitaryInstruction(const Circuit &circ,
                              sim::StateVector &state);
 
 /**
+ * Dense 2x2 matrix for a parameterised/fixed single-qubit gate kind
+ * (panics for kinds without one). Shared by the executor dispatch and
+ * the gate-fusion pass so both compose identical matrix entries.
+ */
+sim::Mat2 gateMatrix1q(const Instruction &inst);
+
+/**
  * One branch of a measurement-resolved execution: the state and the
  * recorded outcomes *conditional on* one sequence of mid-circuit
  * measurement results, together with that sequence's probability.

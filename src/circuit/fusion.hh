@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Gate fusion: collapse runs of adjacent small unitaries into single
+ * dense Mat2/Mat4 applies.
+ *
+ * Everything the ensemble engine simulates — prefixes, resimulation
+ * tails, oracle trajectories — bottoms out in one state-vector apply
+ * per gate per trial. Fusing a run of k adjacent 1q gates on the same
+ * qubit (or 1q gates sandwiching a 2q gate on its targets) into one
+ * dense apply divides that per-trial cost by ~k at identical
+ * semantics. The pass runs *after* prefix truncation (inside
+ * EnsembleEngine), so fused programs slot into the prefix/head caches
+ * by construction and arbitrary probe boundaries stay addressable on
+ * the unfused IR.
+ *
+ * Fusion rules:
+ *  - Fusible: unconditional unitary instructions spanning <= 2 qubits
+ *    total — plain 1q kinds, singly-controlled 1q kinds, Swap, and
+ *    dense Unitary instructions on <= 2 qubits (controls included).
+ *  - Barriers: Measure, PrepZ, Breakpoint, classically-conditioned
+ *    gates, and anything spanning >= 3 qubits. A barrier flushes all
+ *    pending blocks, so instruction order across non-unitary events
+ *    is preserved exactly (including RNG draw order).
+ *  - Blocks on disjoint qubit sets commute exactly, so gates merge
+ *    into the earliest open block they overlap; a block is emitted as
+ *    one GateKind::Unitary instruction (ascending qubit order) when a
+ *    barrier arrives or a gate would grow its span past two qubits.
+ *
+ * Fused execution is algebraically identical to the unfused program
+ * but not bit-identical in amplitudes (matrix products round
+ * differently); seeded measurement histograms and assertion verdicts
+ * are unchanged in practice and pinned by tests/test_fusion.cc.
+ */
+
+#ifndef QSA_CIRCUIT_FUSION_HH
+#define QSA_CIRCUIT_FUSION_HH
+
+#include <cstddef>
+
+#include "circuit/circuit.hh"
+
+namespace qsa::circuit
+{
+
+/** Outcome accounting for one fusion pass. */
+struct FusionStats
+{
+    /** Original gate instructions eliminated by merging. */
+    std::size_t fusedGates = 0;
+
+    /** Instructions in the fused circuit. */
+    std::size_t emitted = 0;
+};
+
+/**
+ * Return a fused copy of `in` (same qubit space and registers).
+ * Per-call numbers land in `stats` when non-null. The pass itself is
+ * counter-free; the EnsembleEngine bumps `sim.fused_gates` once per
+ * distinct cached prefix so the total stays deterministic across
+ * thread counts (racing rebuilds must not double-count).
+ */
+Circuit fuseGates(const Circuit &in, FusionStats *stats = nullptr);
+
+} // namespace qsa::circuit
+
+#endif // QSA_CIRCUIT_FUSION_HH

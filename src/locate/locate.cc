@@ -119,6 +119,7 @@ baseConfig(const LocateConfig &cfg)
     cc.mode = cfg.mode;
     cc.seed = cfg.seed;
     cc.numThreads = cfg.numThreads;
+    cc.fuseGates = cfg.fuseGates;
     return cc;
 }
 
@@ -180,8 +181,15 @@ constexpr std::size_t kScanChunk = 64;
  * SwapProber's gate and the Auto paths' escalation-availability
  * check (an Auto search on a wider program keeps its cheap family's
  * verdict instead of dying in a prober it may never need).
+ *
+ * Tensor-split probe trials (LocateConfig::tensorSwapProbes) simulate
+ * the two halves on 2^n states and touch the 2^(2n+1) space only for
+ * the ~n comparator gates, so per-prefix-gate probe cost is ~2^n, not
+ * 2^(2n+1) — which lifts this gate from the historical 10. The bound
+ * is now the comparator's full-size state itself (2^23 amplitudes =
+ * 128 MiB per in-flight trial at n = 11).
  */
-constexpr unsigned kSwapQubitGate = 10;
+constexpr unsigned kSwapQubitGate = 11;
 
 /**
  * Probeable range shared by the marginal-style families (predicate,
@@ -881,6 +889,8 @@ class SwapProber : public Prober
         const circuit::Circuit program = buildProbe(boundary);
         auto cc = baseConfig(cfg);
         cc.seed = seedFor(cfg.seed ^ kSwapSeedSalt, boundary);
+        if (cfg.tensorSwapProbes)
+            cc.tensorSplit = n;
         const assertions::AssertionChecker checker(program, cc);
         ProbeRecord rec = toRecord(
             boundary,
@@ -916,6 +926,8 @@ class SwapProber : public Prober
                 auto cc = baseConfig(cfg);
                 cc.seed =
                     seedFor(cfg.seed ^ kSwapSeedSalt, boundaries[i]);
+                if (cfg.tensorSwapProbes)
+                    cc.tensorSplit = n;
                 items.push_back({&programs.back(),
                                  {specFor(boundaries[i])}, cc});
             }

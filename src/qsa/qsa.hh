@@ -48,6 +48,7 @@
 #include "chem/trotter.hh"
 #include "circuit/circuit.hh"
 #include "circuit/executor.hh"
+#include "circuit/fusion.hh"
 #include "circuit/qasm.hh"
 #include "circuit/scopes.hh"
 #include "common/bits.hh"

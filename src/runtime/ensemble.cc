@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "circuit/fusion.hh"
 #include "common/logging.hh"
 #include "obs/obs.hh"
 
@@ -34,6 +35,112 @@ shardRange(std::size_t s, std::size_t num_shards, std::size_t n)
  * in the head cache's bit-identity contract (ensemble.hh).
  */
 constexpr double kDeterministicTol = 1e-12;
+
+/**
+ * Simulate the deterministic head of `circ` into `state` (which must
+ * start as |0...0> on at least circ.numQubits()): unitary gates and
+ * markers always; resets only when the current state fixes their
+ * implicit measurement outcome; stop at the first Measure or
+ * classically-conditioned instruction. Returns the head length;
+ * `draws` receives the per-trial RNG draws the head's resets would
+ * have consumed.
+ */
+std::size_t
+extendDeterministicHead(const circuit::Circuit &circ,
+                        sim::StateVector &state, std::size_t &draws)
+{
+    const auto &insts = circ.instructions();
+    std::size_t head = 0;
+    for (; head < insts.size(); ++head) {
+        const circuit::Instruction &inst = insts[head];
+        if (inst.kind == circuit::GateKind::Measure ||
+            !inst.condLabel.empty())
+            break;
+        if (inst.kind == circuit::GateKind::PrepZ) {
+            const unsigned q = inst.targets[0];
+            const double p1 = state.probabilityOne(q);
+            if (p1 > kDeterministicTol && p1 < 1.0 - kDeterministicTol)
+                break; // genuinely random reset: tail territory
+            const unsigned outcome = p1 >= 0.5 ? 1 : 0;
+            // One bernoulli draw the uncached run would have made.
+            ++draws;
+            state.projectQubit(q, outcome, outcome ? p1 : 1.0 - p1);
+            if (outcome != (inst.bit & 1))
+                state.applyGate(sim::Mat2{0.0, 1.0, 1.0, 0.0}, q);
+            continue;
+        }
+        circuit::applyUnitaryInstruction(circ, inst, state);
+    }
+    return head;
+}
+
+/**
+ * Scan a truncated circuit for the tensor-split shape: a maximal
+ * leading run touching only qubits < split, then a maximal run
+ * touching only qubits >= split, then the combining remainder.
+ * Returns null when either block is empty (nothing to stage).
+ * Qubit-free markers bind to the phase they appear in.
+ */
+std::shared_ptr<const TensorStages>
+buildTensorStages(const circuit::Circuit &prefix, unsigned split)
+{
+    const unsigned total = prefix.numQubits();
+    if (split == 0 || split >= total)
+        return nullptr;
+
+    const auto spanOf = [](const circuit::Instruction &inst) {
+        std::vector<unsigned> span = inst.targets;
+        span.insert(span.end(), inst.controls.begin(),
+                    inst.controls.end());
+        return span;
+    };
+    const auto onlyBelow = [&](const circuit::Instruction &inst,
+                               unsigned bound, unsigned base) {
+        const auto span = spanOf(inst);
+        if (span.empty())
+            return true; // markers bind to the current phase
+        return std::all_of(span.begin(), span.end(), [&](unsigned q) {
+            return q >= base && q < bound;
+        });
+    };
+
+    const auto &insts = prefix.instructions();
+    std::size_t low_end = 0;
+    while (low_end < insts.size() &&
+           onlyBelow(insts[low_end], split, 0))
+        ++low_end;
+    std::size_t high_end = low_end;
+    while (high_end < insts.size() &&
+           onlyBelow(insts[high_end], total, split))
+        ++high_end;
+    if (low_end == 0 || high_end == low_end)
+        return nullptr;
+
+    auto stages = std::make_shared<TensorStages>();
+    stages->split = split;
+    stages->low = circuit::Circuit(split);
+    stages->high = circuit::Circuit(total - split);
+    stages->combo = prefix.sliceRange(high_end, insts.size());
+    for (std::size_t i = 0; i < low_end; ++i) {
+        circuit::Instruction copy = insts[i];
+        if (copy.kind == circuit::GateKind::Unitary)
+            copy.matrixId =
+                stages->low.addMatrix(prefix.matrix(copy.matrixId));
+        stages->low.append(copy);
+    }
+    for (std::size_t i = low_end; i < high_end; ++i) {
+        circuit::Instruction copy = insts[i];
+        for (unsigned &q : copy.targets)
+            q -= split;
+        for (unsigned &q : copy.controls)
+            q -= split;
+        if (copy.kind == circuit::GateKind::Unitary)
+            copy.matrixId =
+                stages->high.addMatrix(prefix.matrix(copy.matrixId));
+        stages->high.append(copy);
+    }
+    return stages;
+}
 
 } // anonymous namespace
 
@@ -74,8 +181,9 @@ CdfSampler::sample(double u) const
 // --- EnsembleEngine --------------------------------------------------------
 
 EnsembleEngine::EnsembleEngine(const circuit::Circuit &prog,
-                               unsigned num_threads)
-    : program(&prog), numThreads(num_threads)
+                               unsigned num_threads,
+                               EngineOptions opts)
+    : program(&prog), numThreads(num_threads), options(opts)
 {
 }
 
@@ -102,19 +210,53 @@ EnsembleEngine::prefix(const std::string &breakpoint)
             return it->second;
         }
     }
-    // Slice outside the lock (an O(#gates) circuit copy); racers may
-    // slice twice but the copies are identical and the first
-    // insertion wins. A losing racer counts as a hit so the miss
-    // total stays deterministic (misses == distinct breakpoints).
-    auto built = std::make_shared<const circuit::Circuit>(
-        program->prefixUpTo(breakpoint));
+    // Slice (and fuse) outside the lock — an O(#gates) circuit copy;
+    // racers may slice twice but the copies are identical and the
+    // first insertion wins. A losing racer counts as a hit so the
+    // miss total stays deterministic (misses == distinct
+    // breakpoints). Fusing here means every downstream consumer —
+    // prefix simulations, resimulation heads and tails, samplers —
+    // sees the fused program, so the fused circuits slot into the
+    // prefix/head caches by construction.
+    circuit::Circuit sliced = program->prefixUpTo(breakpoint);
+    circuit::FusionStats fusion;
+    if (options.fuseGates)
+        sliced = circuit::fuseGates(sliced, &fusion);
+    auto built =
+        std::make_shared<const circuit::Circuit>(std::move(sliced));
     std::lock_guard<std::mutex> lock(cacheMutex);
     const auto [it, inserted] =
         prefixCache.emplace(breakpoint, std::move(built));
-    if (inserted)
+    if (inserted) {
         QSA_OBS_COUNTER("runtime.prefix_cache.misses", 1);
-    else
+        // Counted on the winning insertion only, so the fusion total
+        // is deterministic (racing rebuilds fuse identically but must
+        // not double-count).
+        QSA_OBS_COUNTER("sim.fused_gates", fusion.fusedGates);
+    } else {
         QSA_OBS_COUNTER("runtime.prefix_cache.hits", 1);
+    }
+    return it->second;
+}
+
+std::shared_ptr<const TensorStages>
+EnsembleEngine::tensorStages(const std::string &breakpoint)
+{
+    if (options.tensorSplit == 0)
+        return nullptr;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = stagesCache.find(breakpoint);
+        if (it != stagesCache.end())
+            return it->second;
+    }
+    auto sliced = prefix(breakpoint);
+    auto built = buildTensorStages(*sliced, options.tensorSplit);
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    const auto [it, inserted] =
+        stagesCache.emplace(breakpoint, std::move(built));
+    if (inserted && it->second != nullptr)
+        QSA_OBS_COUNTER("runtime.tensor_stages.built", 1);
     return it->second;
 }
 
@@ -152,12 +294,33 @@ EnsembleEngine::prefixState(const std::string &breakpoint,
         QSA_OBS_COUNTER("runtime.state_cache.hits", 1);
     if (claimed) {
         // The one prefix execution of SampleFinalState mode; stream
-        // split(0) per the layout in the file comment.
+        // split(0) per the layout in the file comment. When the
+        // prefix tensor-splits, the halves simulate on their small
+        // spaces (same instruction and draw order as a monolithic
+        // run) and combine only for the tail.
         try {
+            auto stages = tensorStages(breakpoint);
             Rng rng = Rng(seed).split(0);
-            promise.set_value(
-                std::make_shared<circuit::ExecutionRecord>(
-                    circuit::runCircuit(*sliced, rng)));
+            if (stages != nullptr) {
+                auto record =
+                    std::make_shared<circuit::ExecutionRecord>(
+                        program->numQubits());
+                sim::StateVector low_state(stages->split);
+                sim::StateVector high_state(program->numQubits() -
+                                            stages->split);
+                circuit::runCircuitOn(stages->low, low_state,
+                                      record->measurements, rng);
+                circuit::runCircuitOn(stages->high, high_state,
+                                      record->measurements, rng);
+                record->state = low_state.tensorWith(high_state);
+                circuit::runCircuitOn(stages->combo, record->state,
+                                      record->measurements, rng);
+                promise.set_value(std::move(record));
+            } else {
+                promise.set_value(
+                    std::make_shared<circuit::ExecutionRecord>(
+                        circuit::runCircuit(*sliced, rng)));
+            }
         } catch (...) {
             // Library errors fatal/panic rather than throw, but e.g.
             // bad_alloc can still unwind here: hand racers the
@@ -194,40 +357,41 @@ EnsembleEngine::resimPlan(const std::string &breakpoint)
     // Build outside the lock (one head simulation); racers may build
     // twice but the builds are identical and the first insertion wins.
     auto sliced = prefix(breakpoint);
-    auto plan = std::make_shared<ResimPlan>(program->numQubits());
+    auto stages = tensorStages(breakpoint);
 
-    // Extend the head while instructions are deterministic: unitary
-    // gates and markers always; resets only when the current state
-    // fixes their implicit measurement outcome; stop at the first
-    // Measure or classically-conditioned instruction (there is no
-    // record to condition on yet — a valid program measures first).
-    const auto &insts = sliced->instructions();
-    std::size_t head = 0;
-    for (; head < insts.size(); ++head) {
-        const circuit::Instruction &inst = insts[head];
-        if (inst.kind == circuit::GateKind::Measure ||
-            !inst.condLabel.empty())
-            break;
-        if (inst.kind == circuit::GateKind::PrepZ) {
-            const unsigned q = inst.targets[0];
-            const double p1 = plan->headState.probabilityOne(q);
-            if (p1 > kDeterministicTol && p1 < 1.0 - kDeterministicTol)
-                break; // genuinely random reset: tail territory
-            const unsigned outcome = p1 >= 0.5 ? 1 : 0;
-            // One bernoulli draw the uncached run would have made.
-            ++plan->headDraws;
-            plan->headState.projectQubit(q, outcome,
-                                         outcome ? p1 : 1.0 - p1);
-            if (outcome != (inst.bit & 1)) {
-                plan->headState.applyGate(
-                    sim::Mat2{0.0, 1.0, 1.0, 0.0}, q);
-            }
-            continue;
-        }
-        circuit::applyUnitaryInstruction(*sliced, inst,
-                                         plan->headState);
+    std::shared_ptr<ResimPlan> plan;
+    if (stages != nullptr) {
+        // Staged: per-half deterministic heads on the small spaces;
+        // trials copy the half states, run the half tails, and tensor
+        // only for the combining tail. The monolithic head is a
+        // 1-qubit placeholder so a cached plan never pins a full-size
+        // state it will not use.
+        auto staged = std::make_shared<ResimStages>(
+            stages->split, program->numQubits() - stages->split);
+        staged->layout = stages;
+        const std::size_t low_head = extendDeterministicHead(
+            stages->low, staged->lowHead, staged->lowDraws);
+        staged->lowTail =
+            stages->low.sliceRange(low_head, stages->low.size());
+        const std::size_t high_head = extendDeterministicHead(
+            stages->high, staged->highHead, staged->highDraws);
+        staged->highTail =
+            stages->high.sliceRange(high_head, stages->high.size());
+        plan = std::make_shared<ResimPlan>(1);
+        plan->stages = std::move(staged);
+    } else {
+        plan = std::make_shared<ResimPlan>(program->numQubits());
+
+        // Extend the head while instructions are deterministic:
+        // unitary gates and markers always; resets only when the
+        // current state fixes their implicit measurement outcome;
+        // stop at the first Measure or classically-conditioned
+        // instruction (there is no record to condition on yet — a
+        // valid program measures first).
+        const std::size_t head = extendDeterministicHead(
+            *sliced, plan->headState, plan->headDraws);
+        plan->tail = sliced->sliceRange(head, sliced->size());
     }
-    plan->tail = sliced->sliceRange(head, insts.size());
 
     std::lock_guard<std::mutex> lock(cacheMutex);
     const auto [it, inserted] =
@@ -275,6 +439,7 @@ EnsembleEngine::clearCache()
     resimCache.clear();
     stateCache.clear();
     samplerCache.clear();
+    stagesCache.clear();
 }
 
 void
@@ -284,7 +449,33 @@ EnsembleEngine::runTrials(const EnsembleSpec &spec,
                           std::size_t hi, std::uint64_t *out) const
 {
     const Rng master(spec.seed);
-    if (spec.mode == SampleMode::Resimulate) {
+    if (spec.mode == SampleMode::Resimulate && plan->stages != nullptr) {
+        // Tensor-split trials: each half re-simulates on its own
+        // small state; the full-size state exists only from the
+        // combining tail on. Draw order — low draws, then high, then
+        // combo — is the monolithic program order, so the measurement
+        // map and stream position match an unstaged run draw for
+        // draw.
+        const ResimStages &staged = *plan->stages;
+        for (std::size_t m = lo; m < hi; ++m) {
+            Rng rng = master.split(m);
+            std::map<std::string, std::uint64_t> measurements;
+            for (std::size_t d = 0; d < staged.lowDraws; ++d)
+                rng.uniform();
+            sim::StateVector low_state = staged.lowHead;
+            circuit::runCircuitOn(staged.lowTail, low_state,
+                                  measurements, rng);
+            for (std::size_t d = 0; d < staged.highDraws; ++d)
+                rng.uniform();
+            sim::StateVector high_state = staged.highHead;
+            circuit::runCircuitOn(staged.highTail, high_state,
+                                  measurements, rng);
+            sim::StateVector state = low_state.tensorWith(high_state);
+            circuit::runCircuitOn(staged.layout->combo, state,
+                                  measurements, rng);
+            out[m - lo] = state.measureQubits(spec.qubits, rng);
+        }
+    } else if (spec.mode == SampleMode::Resimulate) {
         for (std::size_t m = lo; m < hi; ++m) {
             // Trial streams are keyed by the global trial index, so
             // shard boundaries cannot influence any outcome. The

@@ -84,7 +84,61 @@ struct ResimPlan
     /** Instructions after the head (possibly empty). */
     circuit::Circuit tail;
 
+    /** Tensor-split stages; when set, trials run staged and the
+     *  monolithic head above is a 1-qubit placeholder. */
+    std::shared_ptr<const struct ResimStages> stages;
+
     explicit ResimPlan(unsigned num_qubits) : headState(num_qubits) {}
+};
+
+/**
+ * Stage decomposition of a truncated circuit whose leading
+ * instructions act only on the low `split` qubits, followed by a run
+ * acting only on the high qubits, followed by a combining tail on the
+ * full space — the shape of every swap-test probe (suspect prefix,
+ * embedded reference prefix, ancilla-controlled-SWAP comparator).
+ * Trials simulate the two halves on 2^split- and 2^(n-split)-sized
+ * states and tensor them together only for the comparator
+ * (StateVector::tensorWith), cutting per-trial cost from 2^n toward
+ * 2^split + 2^(n-split) + |combo| full-space applies. RNG draw order
+ * is the monolithic program order (low, then high, then combo), so
+ * outcome streams match an unstaged run draw for draw.
+ */
+struct TensorStages
+{
+    /** Low-qubit count; the high block holds numQubits() - split. */
+    unsigned split = 0;
+
+    /** Leading instructions on qubits [0, split). */
+    circuit::Circuit low;
+
+    /** Following high-only run, indices shifted down by `split`. */
+    circuit::Circuit high;
+
+    /** Everything after, on the full qubit space. */
+    circuit::Circuit combo;
+};
+
+/** Resimulate-mode head/tail splits of both tensor stages. */
+struct ResimStages
+{
+    /** The stage decomposition the tails below were cut from. */
+    std::shared_ptr<const TensorStages> layout;
+
+    /** Deterministic-head state and per-trial draws of the low block. */
+    sim::StateVector lowHead;
+    std::size_t lowDraws = 0;
+    circuit::Circuit lowTail;
+
+    /** Same for the high block (shifted index space). */
+    sim::StateVector highHead;
+    std::size_t highDraws = 0;
+    circuit::Circuit highTail;
+
+    ResimStages(unsigned low_qubits, unsigned high_qubits)
+        : lowHead(low_qubits), highHead(high_qubits)
+    {
+    }
 };
 
 /** How ensemble members are produced (assertions::EnsembleMode twin). */
@@ -140,6 +194,24 @@ class CdfSampler
  * concurrently from several threads (BatchRunner does), with the
  * prefix caches protected internally.
  */
+/** Per-engine simulation options (fixed for the engine's lifetime, so
+ *  every cache entry is built under one option set). */
+struct EngineOptions
+{
+    /** Run the gate-fusion pass on every truncated prefix. */
+    bool fuseGates = true;
+
+    /**
+     * Tensor-split hint: when non-zero, truncated prefixes whose
+     * leading instructions separate into a low block on this many
+     * qubits followed by a high-only block (the swap-probe shape) are
+     * simulated half-by-half and tensored at the combining tail.
+     * Prefixes without that structure fall back to monolithic
+     * execution automatically.
+     */
+    unsigned tensorSplit = 0;
+};
+
 class EnsembleEngine
 {
   public:
@@ -149,9 +221,11 @@ class EnsembleEngine
      * @param num_threads worker threads for the shards: 0 = the
      *        process-wide shared pool, otherwise a dedicated pool of
      *        exactly that concurrency (1 = serial)
+     * @param options per-engine simulation options
      */
     explicit EnsembleEngine(const circuit::Circuit &program,
-                            unsigned num_threads = 0);
+                            unsigned num_threads = 0,
+                            EngineOptions options = {});
 
     /**
      * Gather the ensemble: trial-ordered joint measurement outcomes
@@ -185,6 +259,7 @@ class EnsembleEngine
   private:
     const circuit::Circuit *program;
     unsigned numThreads;
+    EngineOptions options;
     std::once_flag poolOnce;
     std::unique_ptr<ThreadPool> ownedPool;
     ThreadPool *poolPtr = nullptr;
@@ -235,8 +310,18 @@ class EnsembleEngine
              std::shared_ptr<const CdfSampler>>
         samplerCache;
 
+    /**
+     * Tensor-stage decompositions keyed by breakpoint; a null entry
+     * records "this prefix does not split" so the scan runs once.
+     */
+    std::map<std::string, std::shared_ptr<const TensorStages>>
+        stagesCache;
+
     std::shared_ptr<const circuit::Circuit>
     prefix(const std::string &breakpoint);
+
+    std::shared_ptr<const TensorStages>
+    tensorStages(const std::string &breakpoint);
 
     std::shared_ptr<const circuit::ExecutionRecord>
     prefixState(const std::string &breakpoint, std::uint64_t seed);

@@ -23,6 +23,12 @@ constexpr unsigned max_qubits = 28;
  * One bookkeeping call per kernel invocation (never per amplitude):
  * gate applications and the amplitudes they sweep are the paper's
  * simulated-work currency, so every apply* kernel reports here.
+ *
+ * Accounting contract: `amps_touched` is the number of amplitude slots
+ * the kernel actually reads/writes, each slot counted once — d for an
+ * uncontrolled 1q gate, d/2^|c| for a controlled one (2 slots per
+ * participating pair), d/2^(|c|+1) for a controlled swap. Kernels that
+ * dispatch to another public kernel must not double-count.
  */
 inline void
 countGate(std::uint64_t amps_touched)
@@ -36,6 +42,40 @@ countGate(std::uint64_t amps_touched)
 #else
     (void)amps_touched;
 #endif
+}
+
+/**
+ * Decompose a reserved-bit mask into ascending single-bit masks for
+ * expandIndex. Returns the number of reserved bits.
+ */
+inline unsigned
+splitMask(std::uint64_t reserved, std::uint64_t *masks)
+{
+    unsigned k = 0;
+    while (reserved) {
+        const std::uint64_t low = reserved & (~reserved + 1);
+        masks[k++] = low;
+        reserved &= reserved - 1;
+    }
+    return k;
+}
+
+/**
+ * Compact-index expansion: spread the bits of `i` across the positions
+ * NOT covered by `masks` (ascending single-bit masks), leaving the
+ * reserved positions clear. Enumerating i over [0, d >> k) yields, in
+ * ascending order, exactly the basis indices with all reserved bits
+ * zero — the mask-indexed iteration that lets controlled kernels visit
+ * only participating amplitudes instead of scanning all d indices.
+ */
+inline std::uint64_t
+expandIndex(std::uint64_t i, const std::uint64_t *masks, unsigned k)
+{
+    for (unsigned b = 0; b < k; ++b) {
+        const std::uint64_t low = masks[b] - 1;
+        i = ((i & ~low) << 1) | (i & low);
+    }
+    return i;
 }
 } // anonymous namespace
 
@@ -102,16 +142,60 @@ StateVector::applyControlled(const Mat2 &gate,
     }
 
     const std::uint64_t tmask = pow2(target);
-    const std::uint64_t d = dim();
-    countGate(d);
-    for (std::uint64_t i0 = 0; i0 < d; ++i0) {
-        if ((i0 & tmask) || (i0 & cmask) != cmask)
-            continue;
+    std::uint64_t masks[64];
+    const unsigned k = splitMask(cmask | tmask, masks);
+    const std::uint64_t pairs = dim() >> k;
+    countGate(2 * pairs);
+    for (std::uint64_t i = 0; i < pairs; ++i) {
+        const std::uint64_t i0 = expandIndex(i, masks, k) | cmask;
         const std::uint64_t i1 = i0 | tmask;
         const Complex a0 = amps[i0];
         const Complex a1 = amps[i1];
         amps[i0] = gate.a00 * a0 + gate.a01 * a1;
         amps[i1] = gate.a10 * a0 + gate.a11 * a1;
+    }
+}
+
+void
+StateVector::applyTwoQubit(const Mat4 &u, unsigned q0, unsigned q1)
+{
+    applyControlledTwoQubit(u, {}, q0, q1);
+}
+
+void
+StateVector::applyControlledTwoQubit(const Mat4 &u,
+                                     const std::vector<unsigned> &controls,
+                                     unsigned q0, unsigned q1)
+{
+    panic_if(q0 >= nQubits || q1 >= nQubits,
+             "two-qubit gate target out of range");
+    panic_if(q0 == q1, "two-qubit gate requires distinct qubits");
+
+    std::uint64_t cmask = 0;
+    for (unsigned c : controls) {
+        panic_if(c >= nQubits, "control qubit out of range");
+        panic_if(c == q0 || c == q1, "control equals target");
+        cmask |= pow2(c);
+    }
+
+    const std::uint64_t m0 = pow2(q0);
+    const std::uint64_t m1 = pow2(q1);
+    std::uint64_t masks[64];
+    const unsigned k = splitMask(cmask | m0 | m1, masks);
+    const std::uint64_t cosets = dim() >> k;
+    countGate(4 * cosets);
+    for (std::uint64_t i = 0; i < cosets; ++i) {
+        const std::uint64_t base = expandIndex(i, masks, k) | cmask;
+        const std::uint64_t idx[4] = {base, base | m0, base | m1,
+                                      base | m0 | m1};
+        const Complex a0 = amps[idx[0]];
+        const Complex a1 = amps[idx[1]];
+        const Complex a2 = amps[idx[2]];
+        const Complex a3 = amps[idx[3]];
+        for (unsigned r = 0; r < 4; ++r) {
+            amps[idx[r]] = u.at(r, 0) * a0 + u.at(r, 1) * a1 +
+                           u.at(r, 2) * a2 + u.at(r, 3) * a3;
+        }
     }
 }
 
@@ -137,14 +221,14 @@ StateVector::applyControlledSwap(const std::vector<unsigned> &controls,
 
     const std::uint64_t m0 = pow2(q0);
     const std::uint64_t m1 = pow2(q1);
-    const std::uint64_t d = dim();
-    countGate(d);
-    for (std::uint64_t i = 0; i < d; ++i) {
+    std::uint64_t masks[64];
+    const unsigned k = splitMask(cmask | m0 | m1, masks);
+    const std::uint64_t pairs = dim() >> k;
+    countGate(2 * pairs);
+    for (std::uint64_t p = 0; p < pairs; ++p) {
         // Visit each swapped pair once: q0 set, q1 clear.
-        if (!(i & m0) || (i & m1) || (i & cmask) != cmask)
-            continue;
-        const std::uint64_t j = (i & ~m0) | m1;
-        std::swap(amps[i], amps[j]);
+        const std::uint64_t base = expandIndex(p, masks, k) | cmask;
+        std::swap(amps[base | m0], amps[base | m1]);
     }
 }
 
@@ -162,8 +246,29 @@ StateVector::applyControlledUnitary(const CMatrix &u,
 {
     const unsigned k = qubits.size();
     panic_if(u.dim() != pow2(k), "unitary dimension mismatch");
-    for (unsigned q : qubits)
+    for (unsigned q : qubits) {
         panic_if(q >= nQubits, "unitary qubit out of range");
+        for (unsigned c : controls)
+            panic_if(c == q, "controls overlap unitary targets");
+    }
+
+    // Fast dispatch: small dense unitaries — including every fused
+    // block the gate-fusion pass emits — run through the specialised
+    // pair/Mat4 kernels. The dispatched kernel does the counting.
+    if (k == 1) {
+        applyControlled(Mat2{u.at(0, 0), u.at(0, 1), u.at(1, 0),
+                             u.at(1, 1)},
+                        controls, qubits[0]);
+        return;
+    }
+    if (k == 2) {
+        Mat4 dense;
+        for (unsigned r = 0; r < 4; ++r)
+            for (unsigned c = 0; c < 4; ++c)
+                dense.at(r, c) = u.at(r, c);
+        applyControlledTwoQubit(dense, controls, qubits[0], qubits[1]);
+        return;
+    }
 
     std::uint64_t cmask = 0;
     for (unsigned c : controls) {
@@ -177,16 +282,16 @@ StateVector::applyControlledUnitary(const CMatrix &u,
 
     const std::uint64_t sub = pow2(k);
     std::vector<Complex> in(sub), out(sub);
-    const std::uint64_t d = dim();
-    countGate(d);
+    std::uint64_t masks[64];
+    const unsigned reserved = splitMask(cmask | qmask, masks);
+    const std::uint64_t cosets = dim() >> reserved;
+    countGate(sub * cosets);
 
-    for (std::uint64_t base = 0; base < d; ++base) {
-        // Enumerate each coset once: all target bits clear in base.
-        if (base & qmask)
-            continue;
-        if ((base & cmask) != cmask)
-            continue;
-
+    for (std::uint64_t ci = 0; ci < cosets; ++ci) {
+        // Enumerate each participating coset once: all target bits
+        // clear, all control bits set.
+        const std::uint64_t base = expandIndex(ci, masks, reserved) |
+                                   cmask;
         for (std::uint64_t v = 0; v < sub; ++v)
             in[v] = amps[depositBits(base, qubits, v)];
         for (std::uint64_t r = 0; r < sub; ++r) {
@@ -242,11 +347,14 @@ double
 StateVector::probabilityOne(unsigned qubit) const
 {
     panic_if(qubit >= nQubits, "qubit out of range");
-    const std::uint64_t mask = pow2(qubit);
+    // Stride-blocked over the |1> half only: same ascending visit
+    // order (so bit-identical sums), half the indices scanned.
+    const std::uint64_t stride = pow2(qubit);
+    const std::uint64_t d = dim();
     double p1 = 0.0;
-    for (std::uint64_t i = 0; i < dim(); ++i) {
-        if (i & mask)
-            p1 += std::norm(amps[i]);
+    for (std::uint64_t base = stride; base < d; base += 2 * stride) {
+        for (std::uint64_t off = 0; off < stride; ++off)
+            p1 += std::norm(amps[base + off]);
     }
     return std::min(1.0, std::max(0.0, p1));
 }

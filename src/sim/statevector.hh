@@ -71,6 +71,19 @@ class StateVector
                          const std::vector<unsigned> &controls,
                          unsigned target);
 
+    /**
+     * Apply a dense two-qubit gate; q0 is the least significant bit of
+     * the matrix's 4-dimensional index space. This is the fusion
+     * kernel: runs of adjacent 1q/2q gates on at most two qubits
+     * collapse into one Mat4 apply.
+     */
+    void applyTwoQubit(const Mat4 &u, unsigned q0, unsigned q1);
+
+    /** Controlled dense two-qubit gate. */
+    void applyControlledTwoQubit(const Mat4 &u,
+                                 const std::vector<unsigned> &controls,
+                                 unsigned q0, unsigned q1);
+
     /** Swap two qubits. */
     void applySwap(unsigned q0, unsigned q1);
 

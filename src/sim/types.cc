@@ -46,4 +46,47 @@ matIsUnitary(const Mat2 &m, double tol)
     return matDistance(prod, identity) < tol;
 }
 
+Mat4
+mat4Identity()
+{
+    Mat4 u{};
+    for (unsigned r = 0; r < 4; ++r)
+        u.at(r, r) = Complex(1.0);
+    return u;
+}
+
+Mat4
+mat4Mul(const Mat4 &lhs, const Mat4 &rhs)
+{
+    Mat4 out{};
+    for (unsigned r = 0; r < 4; ++r) {
+        for (unsigned c = 0; c < 4; ++c) {
+            Complex acc(0.0);
+            for (unsigned k = 0; k < 4; ++k)
+                acc += lhs.at(r, k) * rhs.at(k, c);
+            out.at(r, c) = acc;
+        }
+    }
+    return out;
+}
+
+double
+mat4Distance(const Mat4 &a, const Mat4 &b)
+{
+    double worst = 0.0;
+    for (unsigned i = 0; i < 16; ++i)
+        worst = std::max(worst, std::abs(a.m[i] - b.m[i]));
+    return worst;
+}
+
+bool
+mat4IsUnitary(const Mat4 &m, double tol)
+{
+    Mat4 adj{};
+    for (unsigned r = 0; r < 4; ++r)
+        for (unsigned c = 0; c < 4; ++c)
+            adj.at(r, c) = std::conj(m.at(c, r));
+    return mat4Distance(mat4Mul(adj, m), mat4Identity()) < tol;
+}
+
 } // namespace qsa::sim

@@ -33,6 +33,35 @@ double matDistance(const Mat2 &a, const Mat2 &b);
 /** True when m is unitary to within tol. */
 bool matIsUnitary(const Mat2 &m, double tol = 1e-10);
 
+/**
+ * A 4x4 two-qubit gate matrix, row major. Bit 0 of the index space is
+ * the kernel's first qubit argument (little endian, like basis-state
+ * indices). This is the fusion target: runs of 1q/2q gates on at most
+ * two qubits collapse into one Mat4 apply.
+ */
+struct Mat4
+{
+    Complex m[16];
+
+    Complex &at(unsigned r, unsigned c) { return m[r * 4 + c]; }
+    const Complex &at(unsigned r, unsigned c) const
+    {
+        return m[r * 4 + c];
+    }
+};
+
+/** 4x4 identity. */
+Mat4 mat4Identity();
+
+/** Matrix product of two two-qubit gates (lhs applied after rhs). */
+Mat4 mat4Mul(const Mat4 &lhs, const Mat4 &rhs);
+
+/** Max-norm distance between two two-qubit gates. */
+double mat4Distance(const Mat4 &a, const Mat4 &b);
+
+/** True when m is unitary to within tol. */
+bool mat4IsUnitary(const Mat4 &m, double tol = 1e-10);
+
 } // namespace qsa::sim
 
 #endif // QSA_SIM_TYPES_HH
